@@ -1,0 +1,35 @@
+//! # cc-baselines — comparison algorithms for the congested clique
+//!
+//! The paper positions its deterministic algorithms against the
+//! randomized constant-round solutions of Lenzen–Wattenhofer \[7\]
+//! (routing) and Patt-Shamir–Teplitsky \[12\] (sorting), remarking that
+//! "the randomized solutions are about 2 times as fast". This crate
+//! provides faithful simplified comparators:
+//!
+//! * [`route_randomized`] — two-phase Valiant-style routing: every
+//!   message travels through an independently uniform random relay; each
+//!   phase self-paces to the realized maximum queue depth, learned through
+//!   a one-word overlay broadcast (so the round count adapts to the
+//!   randomness, with high probability `≈ load/n + O(log n / log log n)`
+//!   per phase).
+//! * [`sort_randomized`] — randomized sample sort: random splitters,
+//!   randomized key routing, a second sampling level within groups, and
+//!   the same interval redistribution the deterministic algorithm ends
+//!   with.
+//! * [`route_direct`] — the no-relay strawman: messages go straight to
+//!   their destinations, one per edge per round, taking exactly the
+//!   maximum per-pair multiplicity — `Θ(n)` rounds on skewed workloads,
+//!   which is the gap that motivates relaying at all.
+//! * [`sort_gather`] — the single-collector strawman for sorting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod direct;
+mod rand_exchange;
+mod random_routing;
+mod random_sorting;
+
+pub use direct::{route_direct, sort_gather, DirectOutcome, GatherOutcome};
+pub use random_routing::route_randomized;
+pub use random_sorting::{sort_randomized, RandomSortOutcome};

@@ -1,0 +1,166 @@
+//! The shared two-phase randomized delivery component: messages travel
+//! via independently uniform random relays (phase A), which forward them
+//! to their destinations (phase B). Each phase paces itself to the
+//! realized maximum queue depth, disseminated by a one-word overlay
+//! broadcast in the phase's first round — so the measured round count is
+//! exactly `maxload_A + maxload_B`, the quantity randomized load
+//! balancing (Lenzen–Wattenhofer \[7\]) bounds with high probability.
+
+use cc_sim::util::word_bits;
+use cc_sim::{BaseCtx, NodeId, Payload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Messages of the randomized exchange.
+#[derive(Clone, Debug)]
+pub enum RxMsg<P> {
+    /// Phase A: payload heading to a random relay, tagged with its final
+    /// destination.
+    ToRelay {
+        /// Final destination.
+        dst: NodeId,
+        /// The payload.
+        payload: P,
+    },
+    /// Phase B: delivery.
+    Final {
+        /// The payload.
+        payload: P,
+    },
+    /// Overlay: my deepest phase-A queue.
+    MaxA(u32),
+    /// Overlay: my deepest phase-B queue.
+    MaxB(u32),
+}
+
+impl<P: Payload> Payload for RxMsg<P> {
+    fn size_bits(&self, n: usize) -> u64 {
+        2 + match self {
+            RxMsg::ToRelay { payload, .. } => word_bits(n) + payload.size_bits(n),
+            RxMsg::Final { payload } => payload.size_bits(n),
+            RxMsg::MaxA(_) | RxMsg::MaxB(_) => word_bits(n),
+        }
+    }
+}
+
+enum Phase {
+    A,
+    B,
+    Done,
+}
+
+/// The self-pacing two-phase randomized delivery driver.
+pub struct RandExchange<P> {
+    /// Phase-A queues, one per relay.
+    queues_a: Vec<Vec<(NodeId, P)>>,
+    /// Phase-B queues, one per destination (filled while relaying).
+    queues_b: Vec<Vec<P>>,
+    phase: Phase,
+    /// Global phase lengths, learned from the overlays.
+    r1: u32,
+    r2: u32,
+    wave: u32,
+    received: Vec<P>,
+}
+
+impl<P: Payload> RandExchange<P> {
+    /// Creates the driver for `messages` = `(dst, payload)` pairs, with a
+    /// per-node RNG seeded deterministically from `(seed, me)`.
+    pub fn new(n: usize, me: NodeId, messages: Vec<(NodeId, P)>, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(me.raw() as u64 + 1)));
+        let mut queues_a: Vec<Vec<(NodeId, P)>> = (0..n).map(|_| Vec::new()).collect();
+        for (dst, payload) in messages {
+            let relay = rng.gen_range(0..n);
+            queues_a[relay].push((dst, payload));
+        }
+        RandExchange {
+            queues_a,
+            queues_b: (0..n).map(|_| Vec::new()).collect(),
+            phase: Phase::A,
+            r1: 1,
+            r2: 1,
+            wave: 0,
+            received: Vec::new(),
+        }
+    }
+
+    /// One message per still-nonempty queue: running `max-depth` waves
+    /// drains everything at one message per edge per round.
+    fn send_wave_a(&mut self, _wave: u32, sends: &mut Vec<(NodeId, RxMsg<P>)>) {
+        for (relay, q) in self.queues_a.iter_mut().enumerate() {
+            if let Some((dst, payload)) = q.pop() {
+                sends.push((NodeId::new(relay), RxMsg::ToRelay { dst, payload }));
+            }
+        }
+    }
+
+    fn send_wave_b(&mut self, _wave: u32, sends: &mut Vec<(NodeId, RxMsg<P>)>) {
+        for (dst, q) in self.queues_b.iter_mut().enumerate() {
+            if let Some(payload) = q.pop() {
+                sends.push((NodeId::new(dst), RxMsg::Final { payload }));
+            }
+        }
+    }
+
+    /// Queues the first phase-A wave plus the pacing overlay.
+    pub fn activate(&mut self, ctx: &mut BaseCtx<'_>) -> Vec<(NodeId, RxMsg<P>)> {
+        let my_max = self.queues_a.iter().map(Vec::len).max().unwrap_or(0) as u32;
+        let mut sends = Vec::new();
+        self.wave = 1;
+        self.send_wave_a(1, &mut sends);
+        for v in 0..ctx.n() {
+            sends.push((NodeId::new(v), RxMsg::MaxA(my_max)));
+        }
+        ctx.charge_work(self.queues_a.iter().map(|q| q.len() as u64).sum::<u64>() + ctx.n() as u64);
+        sends
+    }
+
+    /// Advances one round; `Some(received)` when delivery completes.
+    pub fn on_round(
+        &mut self,
+        ctx: &mut BaseCtx<'_>,
+        inbox: Vec<(NodeId, RxMsg<P>)>,
+    ) -> (Vec<(NodeId, RxMsg<P>)>, Option<Vec<P>>) {
+        let mut sends = Vec::new();
+        for (_, msg) in inbox {
+            match msg {
+                RxMsg::ToRelay { dst, payload } => self.queues_b[dst.index()].push(payload),
+                RxMsg::Final { payload } => self.received.push(payload),
+                RxMsg::MaxA(m) => self.r1 = self.r1.max(m),
+                RxMsg::MaxB(m) => self.r2 = self.r2.max(m),
+            }
+        }
+        match self.phase {
+            Phase::A => {
+                self.wave += 1;
+                if self.wave <= self.r1 {
+                    self.send_wave_a(self.wave, &mut sends);
+                    ctx.charge_work(sends.len() as u64);
+                    return (sends, None);
+                }
+                // Phase A complete (everything relayed has arrived):
+                // start phase B with its own pacing overlay.
+                self.phase = Phase::B;
+                self.wave = 1;
+                let my_max = self.queues_b.iter().map(Vec::len).max().unwrap_or(0) as u32;
+                self.send_wave_b(1, &mut sends);
+                for v in 0..ctx.n() {
+                    sends.push((NodeId::new(v), RxMsg::MaxB(my_max)));
+                }
+                ctx.charge_work(sends.len() as u64);
+                (sends, None)
+            }
+            Phase::B => {
+                self.wave += 1;
+                if self.wave <= self.r2 {
+                    self.send_wave_b(self.wave, &mut sends);
+                    ctx.charge_work(sends.len() as u64);
+                    return (sends, None);
+                }
+                self.phase = Phase::Done;
+                (Vec::new(), Some(std::mem::take(&mut self.received)))
+            }
+            Phase::Done => panic!("RandExchange stepped past completion"),
+        }
+    }
+}

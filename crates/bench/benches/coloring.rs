@@ -1,0 +1,47 @@
+//! Substrate benchmark: the three edge-coloring algorithms (E13 runtime
+//! scaling; the exact coloring is the O(|E| log Δ) workhorse of every
+//! routing plan).
+
+use cc_coloring::{color_alternating, color_exact, color_greedy, BipartiteMultigraph};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn regular_graph(v: usize, d: usize, seed: &mut u64) -> BipartiteMultigraph {
+    let mut demands = vec![0u32; v * v];
+    for _ in 0..d {
+        let mut perm: Vec<usize> = (0..v).collect();
+        for i in (1..v).rev() {
+            *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            perm.swap(i, (*seed >> 33) as usize % (i + 1));
+        }
+        for (i, &j) in perm.iter().enumerate() {
+            demands[i * v + j] += 1;
+        }
+    }
+    BipartiteMultigraph::from_demands(v, v, &demands).unwrap()
+}
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring");
+    group.sample_size(10);
+    let mut seed = 99u64;
+    for (v, d) in [(16usize, 16usize), (32, 64), (64, 256)] {
+        let g = regular_graph(v, d, &mut seed);
+        group.bench_with_input(BenchmarkId::new("exact", format!("v{v}_d{d}")), &g, |b, g| {
+            b.iter(|| color_exact(g).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", format!("v{v}_d{d}")), &g, |b, g| {
+            b.iter(|| color_greedy(g))
+        });
+        if d <= 64 {
+            group.bench_with_input(
+                BenchmarkId::new("alternating", format!("v{v}_d{d}")),
+                &g,
+                |b, g| b.iter(|| color_alternating(g)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coloring);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Primitive round-trips: Corollary 3.3 and 3.4 exchanges (E3/E4
+//! wall-clock).
+
+use cc_primitives::{drive, DemandMatrix, KnownExchange, NodeGroup, SubsetExchange};
+use cc_sim::util::word_bits;
+use cc_sim::{run_protocol, CliqueSpec, CommonScope, Payload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+#[derive(Clone, Debug)]
+struct Tag(u32, u32);
+impl Payload for Tag {
+    fn size_bits(&self, n: usize) -> u64 {
+        // Both fields travel on the wire, one word each.
+        let _ = (self.0, self.1);
+        2 * word_bits(n)
+    }
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        let w = cc_sim::util::isqrt(n);
+        group.bench_with_input(BenchmarkId::new("known_exchange", n), &n, |b, &n| {
+            let grp = NodeGroup::contiguous(0, w);
+            let mut demands = DemandMatrix::new(w);
+            for i in 0..w {
+                for j in 0..w {
+                    demands.set(i, j, (n / w) as u32);
+                }
+            }
+            let mut tag = 0u64;
+            b.iter(|| {
+                tag += 1;
+                let t = tag;
+                run_protocol(CliqueSpec::new(n).unwrap().with_budget_words(64), |me| {
+                    if let Some(local) = grp.local_index(me) {
+                        let outgoing: Vec<Vec<Tag>> = (0..w)
+                            .map(|j| {
+                                (0..demands.get(local, j)).map(|k| Tag(me.raw(), k)).collect()
+                            })
+                            .collect();
+                        drive(KnownExchange::member(
+                            grp.clone(),
+                            demands.clone(),
+                            outgoing,
+                            CommonScope::new("bench.kx", t),
+                        ))
+                    } else {
+                        drive(KnownExchange::relay_only())
+                    }
+                })
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("subset_exchange", n), &n, |b, &n| {
+            let grp = NodeGroup::contiguous(0, w);
+            let mut tag = 0u64;
+            b.iter(|| {
+                tag += 1;
+                let t = tag;
+                run_protocol(CliqueSpec::new(n).unwrap().with_budget_words(64), |me| {
+                    if let Some(local) = grp.local_index(me) {
+                        let outgoing: Vec<Vec<Tag>> = (0..w)
+                            .map(|j| (0..((local + j) % w) as u32).map(|k| Tag(me.raw(), k)).collect())
+                            .collect();
+                        drive(SubsetExchange::member(
+                            grp.clone(),
+                            local,
+                            outgoing,
+                            CommonScope::new("bench.sx", t),
+                        ))
+                    } else {
+                        drive(SubsetExchange::relay_only())
+                    }
+                })
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

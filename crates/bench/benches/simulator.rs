@@ -1,0 +1,49 @@
+//! Engine throughput: lock-step all-to-all delivery (message movement +
+//! budget enforcement dominate simulated wall-clock).
+
+use cc_sim::{run_protocol, CliqueSpec, Ctx, Inbox, NodeMachine, Step};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+struct AllToAll {
+    rounds: u32,
+    done: u32,
+}
+
+impl NodeMachine for AllToAll {
+    type Msg = u64;
+    type Output = u64;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        ctx.broadcast(1);
+    }
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &mut Inbox<u64>) -> Step<u64> {
+        let sum: u64 = inbox.drain().map(|(_, m)| m).sum();
+        self.done += 1;
+        if self.done >= self.rounds {
+            return Step::Done(sum);
+        }
+        ctx.broadcast(1);
+        Step::Continue
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        group.bench_with_input(BenchmarkId::new("all_to_all_x8", n), &n, |b, &n| {
+            b.iter(|| {
+                run_protocol(CliqueSpec::new(n).unwrap(), |_| AllToAll {
+                    rounds: 8,
+                    done: 0,
+                })
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

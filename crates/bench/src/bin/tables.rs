@@ -1,0 +1,31 @@
+//! Regenerates the experiment tables (E1–E14). Usage:
+//!
+//! ```sh
+//! cargo run -p cc-bench --release --bin tables -- all
+//! cargo run -p cc-bench --release --bin tables -- e1 e9 e10
+//! ```
+
+use cc_bench::experiments as ex;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |id: &str| all || args.iter().any(|a| a.eq_ignore_ascii_case(id));
+    println!("# Lenzen (PODC 2013) — experiment tables");
+    if want("e1") { ex::e1(); }
+    if want("e2") { ex::e2(); }
+    if want("e3") { ex::e3(); }
+    if want("e4") { ex::e4(); }
+    if want("e5") { ex::e5(); }
+    if want("e6") { ex::e6(); }
+    if want("e7") { ex::e7(); }
+    if want("e8") { ex::e8(); }
+    if want("e9") { ex::e9(); }
+    if want("e10") { ex::e10(); }
+    if want("e11") { ex::e11(); }
+    if want("e12") { ex::e12(); }
+    if want("e13") { ex::e13(); }
+    if want("e14") { ex::e14(); }
+    if want("e15") { ex::e15(); }
+    if want("e16") { ex::e16(); }
+}

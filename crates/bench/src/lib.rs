@@ -1,0 +1,10 @@
+//! # cc-bench — the experiment harness
+//!
+//! Regenerates every quantitative claim of Lenzen (PODC 2013) as a table;
+//! see DESIGN.md §5 for the experiment index and EXPERIMENTS.md for
+//! recorded paper-vs-measured results. Run single experiments with
+//! `cargo run -p cc-bench --release --bin tables -- e1` (or `all`).
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;

@@ -1,0 +1,86 @@
+use std::fmt;
+
+/// Errors from multigraph construction and coloring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ColoringError {
+    /// The demand matrix dimensions do not match the declared vertex counts.
+    DimensionMismatch {
+        /// Declared number of left vertices.
+        left: usize,
+        /// Declared number of right vertices.
+        right: usize,
+        /// Length of the supplied demand slice.
+        len: usize,
+    },
+    /// An exact coloring was requested for a graph that is not regular.
+    NotRegular {
+        /// A vertex whose degree deviates (`(side, index, degree)`).
+        side: Side,
+        /// Vertex index on that side.
+        vertex: usize,
+        /// That vertex's degree.
+        degree: usize,
+        /// The degree expected of every vertex.
+        expected: usize,
+    },
+    /// The two sides have different vertex counts, so no perfect matching
+    /// (and hence no exact regular coloring) can exist.
+    SidesDiffer {
+        /// Number of left vertices.
+        left: usize,
+        /// Number of right vertices.
+        right: usize,
+    },
+    /// No perfect matching exists (the graph violates Hall's condition;
+    /// for regular multigraphs this indicates construction bugs).
+    NoPerfectMatching,
+}
+
+/// Which side of the bipartition a vertex lies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The left (sender) side.
+    Left,
+    /// The right (receiver) side.
+    Right,
+}
+
+impl fmt::Display for ColoringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColoringError::DimensionMismatch { left, right, len } => write!(
+                f,
+                "demand matrix of length {len} does not match {left}×{right} vertices"
+            ),
+            ColoringError::NotRegular {
+                side,
+                vertex,
+                degree,
+                expected,
+            } => write!(
+                f,
+                "{side:?} vertex {vertex} has degree {degree}, expected {expected} (graph not regular)"
+            ),
+            ColoringError::SidesDiffer { left, right } => {
+                write!(f, "bipartition sides differ in size: {left} vs {right}")
+            }
+            ColoringError::NoPerfectMatching => {
+                write!(f, "no perfect matching exists in the multigraph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ColoringError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let e = ColoringError::SidesDiffer { left: 2, right: 3 };
+        assert!(e.to_string().contains("2 vs 3"));
+    }
+}

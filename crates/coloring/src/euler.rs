@@ -1,0 +1,241 @@
+//! Exact König edge coloring via Euler splitting.
+//!
+//! A `d`-regular bipartite multigraph with even `d` splits into two
+//! `d/2`-regular halves by traversing an Euler circuit of every component
+//! and assigning edges alternately (every circuit has even length in a
+//! bipartite graph, so the alternation is consistent). Odd `d` first peels
+//! one perfect matching. Recursing yields exactly `d` colors, in
+//! `O(|E| log d)` time plus the matching peels.
+
+use crate::error::ColoringError;
+use crate::matching::perfect_matching;
+use crate::multigraph::{BipartiteMultigraph, EdgeColoring};
+
+/// Computes an exact `d`-color edge coloring of a `d`-regular bipartite
+/// multigraph (König / Theorem 3.2 of the paper).
+///
+/// The computation is deterministic: identical graphs yield identical
+/// colorings, which is what lets all nodes of the clique agree on a
+/// routing schedule without communication.
+///
+/// # Errors
+///
+/// Returns an error if the graph is not regular with equal sides
+/// ([`ColoringError::NotRegular`] / [`ColoringError::SidesDiffer`]).
+///
+/// ```rust
+/// use cc_coloring::{color_exact, verify_exact_regular, BipartiteMultigraph};
+/// let g = BipartiteMultigraph::from_demands(2, 2, &[1, 1, 1, 1])?;
+/// let c = color_exact(&g)?;
+/// assert!(verify_exact_regular(&g, &c).is_ok());
+/// # Ok::<(), cc_coloring::ColoringError>(())
+/// ```
+pub fn color_exact(g: &BipartiteMultigraph) -> Result<EdgeColoring, ColoringError> {
+    let d = g.regular_degree()?;
+    let mut colors = vec![0u32; g.num_edges()];
+    if d > 0 {
+        let all: Vec<usize> = (0..g.num_edges()).collect();
+        color_rec(g, all, d, 0, &mut colors)?;
+    }
+    Ok(EdgeColoring::new(colors, d as u32))
+}
+
+fn color_rec(
+    g: &BipartiteMultigraph,
+    edge_ids: Vec<usize>,
+    d: usize,
+    base_color: u32,
+    colors: &mut [u32],
+) -> Result<(), ColoringError> {
+    debug_assert_eq!(edge_ids.len(), d * g.left());
+    match d {
+        0 => Ok(()),
+        1 => {
+            for &e in &edge_ids {
+                colors[e] = base_color;
+            }
+            Ok(())
+        }
+        d if d % 2 == 1 => {
+            // Peel a perfect matching, color it `base_color`, recurse on
+            // the even-degree remainder.
+            let sub_pairs: Vec<(u32, u32)> = edge_ids.iter().map(|&e| g.edges()[e]).collect();
+            let sub = BipartiteMultigraph::from_edges(g.left(), g.right(), sub_pairs);
+            let matched_sub = perfect_matching(&sub)?;
+            let mut in_matching = vec![false; edge_ids.len()];
+            for &sub_eid in &matched_sub {
+                in_matching[sub_eid] = true;
+            }
+            let mut rest = Vec::with_capacity(edge_ids.len() - g.left());
+            for (i, &e) in edge_ids.iter().enumerate() {
+                if in_matching[i] {
+                    colors[e] = base_color;
+                } else {
+                    rest.push(e);
+                }
+            }
+            color_rec(g, rest, d - 1, base_color + 1, colors)
+        }
+        d => {
+            let (half_a, half_b) = euler_split(g, &edge_ids);
+            debug_assert_eq!(half_a.len(), half_b.len());
+            color_rec(g, half_a, d / 2, base_color, colors)?;
+            color_rec(g, half_b, d / 2, base_color + (d / 2) as u32, colors)
+        }
+    }
+}
+
+/// Splits an even-degree edge set into two halves such that every vertex
+/// keeps exactly half its degree in each (Euler partition).
+fn euler_split(g: &BipartiteMultigraph, edge_ids: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let nl = g.left();
+    let num_vertices = nl + g.right();
+    // Local incidence: positions into `edge_ids`.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); num_vertices];
+    for (pos, &e) in edge_ids.iter().enumerate() {
+        let (u, v) = g.edges()[e];
+        adj[u as usize].push(pos as u32);
+        adj[nl + v as usize].push(pos as u32);
+    }
+    let mut ptr = vec![0usize; num_vertices];
+    let mut used = vec![false; edge_ids.len()];
+    let mut half_a = Vec::with_capacity(edge_ids.len() / 2);
+    let mut half_b = Vec::with_capacity(edge_ids.len() / 2);
+
+    let other_endpoint = |pos: usize, at: usize| -> usize {
+        let (u, v) = g.edges()[edge_ids[pos]];
+        let (u, v) = (u as usize, nl + v as usize);
+        if at == u {
+            v
+        } else {
+            debug_assert_eq!(at, v);
+            u
+        }
+    };
+
+    // Hierholzer per component; the spliced circuit accumulates in
+    // `circuit` in (reverse) circuit order, which is itself a circuit.
+    let mut stack: Vec<(usize, u32)> = Vec::new();
+    let mut circuit: Vec<u32> = Vec::new();
+    const NO_EDGE: u32 = u32::MAX;
+    for start in 0..num_vertices {
+        if ptr[start] >= adj[start].len() {
+            continue;
+        }
+        circuit.clear();
+        stack.push((start, NO_EDGE));
+        while let Some(&(v, e_in)) = stack.last() {
+            let mut advanced = false;
+            while ptr[v] < adj[v].len() {
+                let pos = adj[v][ptr[v]] as usize;
+                ptr[v] += 1;
+                if used[pos] {
+                    continue;
+                }
+                used[pos] = true;
+                stack.push((other_endpoint(pos, v), pos as u32));
+                advanced = true;
+                break;
+            }
+            if !advanced {
+                stack.pop();
+                if e_in != NO_EDGE {
+                    circuit.push(e_in);
+                }
+            }
+        }
+        debug_assert!(circuit.len().is_multiple_of(2), "bipartite circuits have even length");
+        for (i, &pos) in circuit.iter().enumerate() {
+            if i % 2 == 0 {
+                half_a.push(edge_ids[pos as usize]);
+            } else {
+                half_b.push(edge_ids[pos as usize]);
+            }
+        }
+    }
+    (half_a, half_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_exact_regular;
+
+    fn check(demands: &[u32], n: usize) {
+        let g = BipartiteMultigraph::from_demands(n, n, demands).unwrap();
+        let c = color_exact(&g).unwrap();
+        verify_exact_regular(&g, &c).unwrap();
+    }
+
+    #[test]
+    fn one_regular() {
+        check(&[1, 0, 0, 1], 2);
+    }
+
+    #[test]
+    fn two_regular_cycle() {
+        check(&[1, 1, 1, 1], 2);
+    }
+
+    #[test]
+    fn odd_degree_uses_matching_peel() {
+        check(&[2, 1, 1, 2], 2);
+    }
+
+    #[test]
+    fn power_of_two_degree() {
+        // 4-regular on 3+3.
+        check(
+            &[
+                2, 1, 1, //
+                1, 2, 1, //
+                1, 1, 2,
+            ],
+            3,
+        );
+    }
+
+    #[test]
+    fn all_parallel_edges() {
+        // Degree-5 with every edge parallel on the diagonal.
+        check(&[5, 0, 0, 5], 2);
+    }
+
+    #[test]
+    fn rejects_irregular() {
+        let g = BipartiteMultigraph::from_demands(2, 2, &[2, 0, 1, 1]).unwrap();
+        assert!(color_exact(&g).is_err());
+    }
+
+    #[test]
+    fn empty_graph_zero_colors() {
+        let g = BipartiteMultigraph::from_demands(0, 0, &[]).unwrap();
+        let c = color_exact(&g).unwrap();
+        assert_eq!(c.num_colors(), 0);
+    }
+
+    #[test]
+    fn permutation_matrix_sums() {
+        // Sum of three permutation demand matrices on 4 nodes is 3-regular.
+        let demands = vec![
+            1, 1, 1, 0, //
+            1, 1, 0, 1, //
+            1, 0, 1, 1, //
+            0, 1, 1, 1,
+        ];
+        check(&demands, 4);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let demands = vec![
+            2, 1, 1, //
+            1, 2, 1, //
+            1, 1, 2,
+        ];
+        let g = BipartiteMultigraph::from_demands(3, 3, &demands).unwrap();
+        let c1 = color_exact(&g).unwrap();
+        let c2 = color_exact(&g).unwrap();
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,216 @@
+//! Perfect matchings in bipartite multigraphs via Hopcroft–Karp.
+//!
+//! Regular bipartite multigraphs always contain perfect matchings (Hall's
+//! theorem); the exact König coloring peels one whenever its current degree
+//! is odd.
+
+use crate::error::ColoringError;
+use crate::multigraph::BipartiteMultigraph;
+
+/// Finds a perfect matching of the multigraph, returned as one canonical
+/// edge id per left vertex (`result[u]` is an edge incident to left `u`,
+/// and the right endpoints are all distinct).
+///
+/// Runs Hopcroft–Karp on the support (parallel edges collapsed), in
+/// `O(|E'|·√V)` where `|E'|` is the support size, then maps each matched
+/// pair back to its smallest canonical parallel edge.
+///
+/// # Errors
+///
+/// Returns [`ColoringError::SidesDiffer`] for unequal sides and
+/// [`ColoringError::NoPerfectMatching`] if the graph has none (a regular
+/// multigraph always does).
+pub fn perfect_matching(g: &BipartiteMultigraph) -> Result<Vec<usize>, ColoringError> {
+    let n = g.left();
+    if g.left() != g.right() {
+        return Err(ColoringError::SidesDiffer {
+            left: g.left(),
+            right: g.right(),
+        });
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+
+    // Build the support adjacency with a representative (smallest) edge id
+    // per (u, v) pair. Edges are canonically sorted, so the first edge seen
+    // for a pair is the smallest id.
+    let mut adj: Vec<Vec<(u32, usize)>> = vec![Vec::new(); n];
+    for (eid, &(u, v)) in g.edges().iter().enumerate() {
+        let row = &mut adj[u as usize];
+        // Fast path: canonically ordered edges keep parallels adjacent.
+        if row.last().map(|&(w, _)| w) == Some(v) {
+            continue;
+        }
+        if row.iter().any(|&(w, _)| w == v) {
+            continue;
+        }
+        row.push((v, eid));
+    }
+
+    const NIL: u32 = u32::MAX;
+    let mut match_l = vec![NIL; n]; // right vertex matched to left u
+    let mut match_r = vec![NIL; n]; // left vertex matched to right v
+    let mut dist = vec![0u32; n];
+    let mut queue = Vec::with_capacity(n);
+
+    loop {
+        // BFS layering from free left vertices.
+        queue.clear();
+        const INF: u32 = u32::MAX;
+        for u in 0..n {
+            if match_l[u] == NIL {
+                dist[u] = 0;
+                queue.push(u as u32);
+            } else {
+                dist[u] = INF;
+            }
+        }
+        let mut found_augmenting = false;
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head] as usize;
+            head += 1;
+            for &(v, _) in &adj[u] {
+                let w = match_r[v as usize];
+                if w == NIL {
+                    found_augmenting = true;
+                } else if dist[w as usize] == INF {
+                    dist[w as usize] = dist[u] + 1;
+                    queue.push(w);
+                }
+            }
+        }
+        if !found_augmenting {
+            break;
+        }
+        // DFS augmentation along the layering.
+        fn try_augment(
+            u: usize,
+            adj: &[Vec<(u32, usize)>],
+            dist: &mut [u32],
+            match_l: &mut [u32],
+            match_r: &mut [u32],
+        ) -> bool {
+            for idx in 0..adj[u].len() {
+                let (v, _) = adj[u][idx];
+                let w = match_r[v as usize];
+                let ok = if w == u32::MAX {
+                    true
+                } else if dist[w as usize] == dist[u] + 1 {
+                    try_augment(w as usize, adj, dist, match_l, match_r)
+                } else {
+                    false
+                };
+                if ok {
+                    match_l[u] = v;
+                    match_r[v as usize] = u as u32;
+                    return true;
+                }
+            }
+            dist[u] = u32::MAX;
+            false
+        }
+        for u in 0..n {
+            if match_l[u] == NIL {
+                let _ = try_augment(u, &adj, &mut dist, &mut match_l, &mut match_r);
+            }
+        }
+    }
+
+    if match_l.contains(&NIL) {
+        return Err(ColoringError::NoPerfectMatching);
+    }
+
+    // Map matched pairs back to representative canonical edge ids.
+    let mut result = vec![usize::MAX; n];
+    for u in 0..n {
+        let v = match_l[u];
+        let eid = adj[u]
+            .iter()
+            .find(|&&(w, _)| w == v)
+            .map(|&(_, e)| e)
+            .expect("matched pair must exist in adjacency");
+        result[u] = eid;
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matching_is_perfect(g: &BipartiteMultigraph, m: &[usize]) {
+        let n = g.left();
+        assert_eq!(m.len(), n);
+        let mut left_seen = vec![false; n];
+        let mut right_seen = vec![false; n];
+        for &eid in m {
+            let (u, v) = g.edges()[eid];
+            assert!(!left_seen[u as usize], "left {u} matched twice");
+            assert!(!right_seen[v as usize], "right {v} matched twice");
+            left_seen[u as usize] = true;
+            right_seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn identity_matching() {
+        let demands = vec![
+            1, 0, //
+            0, 1,
+        ];
+        let g = BipartiteMultigraph::from_demands(2, 2, &demands).unwrap();
+        let m = perfect_matching(&g).unwrap();
+        matching_is_perfect(&g, &m);
+    }
+
+    #[test]
+    fn regular_multigraph_has_pm() {
+        // 3-regular on 4+4 with parallel edges.
+        let demands = vec![
+            2, 1, 0, 0, //
+            0, 2, 1, 0, //
+            0, 0, 2, 1, //
+            1, 0, 0, 2,
+        ];
+        let g = BipartiteMultigraph::from_demands(4, 4, &demands).unwrap();
+        assert_eq!(g.regular_degree().unwrap(), 3);
+        let m = perfect_matching(&g).unwrap();
+        matching_is_perfect(&g, &m);
+    }
+
+    #[test]
+    fn detects_no_matching() {
+        // Left {0,1} both connect only to right 0.
+        let demands = vec![
+            1, 0, //
+            1, 0,
+        ];
+        let g = BipartiteMultigraph::from_demands(2, 2, &demands).unwrap();
+        assert_eq!(
+            perfect_matching(&g),
+            Err(ColoringError::NoPerfectMatching)
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteMultigraph::from_demands(0, 0, &[]).unwrap();
+        assert!(perfect_matching(&g).unwrap().is_empty());
+    }
+
+    #[test]
+    fn representative_edges_are_real() {
+        let demands = vec![
+            3, 0, //
+            0, 3,
+        ];
+        let g = BipartiteMultigraph::from_demands(2, 2, &demands).unwrap();
+        let m = perfect_matching(&g).unwrap();
+        matching_is_perfect(&g, &m);
+        for &eid in &m {
+            assert!(eid < g.num_edges());
+        }
+    }
+}

@@ -1,0 +1,434 @@
+use crate::error::{ColoringError, Side};
+
+/// A bipartite multigraph with a canonical edge order.
+///
+/// Vertices are `0..left()` on the left side and `0..right()` on the right
+/// side. Edges are stored in **canonical order**: ascending by
+/// `(left endpoint, right endpoint, parallel-edge index)`. Independent
+/// nodes of a distributed algorithm that build a graph from the same demand
+/// matrix therefore obtain bit-identical edge ids — the property every
+/// common-knowledge coloring in the routing/sorting algorithms relies on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BipartiteMultigraph {
+    left: usize,
+    right: usize,
+    /// `(left, right)` endpoint pairs in canonical order.
+    edges: Vec<(u32, u32)>,
+}
+
+impl BipartiteMultigraph {
+    /// Builds a multigraph from a row-major demand matrix:
+    /// `demands[i * right + j]` parallel edges join left `i` to right `j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColoringError::DimensionMismatch`] if
+    /// `demands.len() != left * right`.
+    pub fn from_demands(
+        left: usize,
+        right: usize,
+        demands: &[u32],
+    ) -> Result<Self, ColoringError> {
+        if demands.len() != left * right {
+            return Err(ColoringError::DimensionMismatch {
+                left,
+                right,
+                len: demands.len(),
+            });
+        }
+        let total: usize = demands.iter().map(|&c| c as usize).sum();
+        let mut edges = Vec::with_capacity(total);
+        for i in 0..left {
+            for j in 0..right {
+                let c = demands[i * right + j];
+                for _ in 0..c {
+                    edges.push((i as u32, j as u32));
+                }
+            }
+        }
+        Ok(BipartiteMultigraph { left, right, edges })
+    }
+
+    /// Builds a multigraph directly from an edge list (kept in the given
+    /// order; the caller is responsible for canonicality if determinism
+    /// across nodes matters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn from_edges(left: usize, right: usize, edges: Vec<(u32, u32)>) -> Self {
+        for &(u, v) in &edges {
+            assert!((u as usize) < left, "left endpoint {u} out of range");
+            assert!((v as usize) < right, "right endpoint {v} out of range");
+        }
+        BipartiteMultigraph { left, right, edges }
+    }
+
+    /// Number of left vertices.
+    #[inline]
+    pub fn left(&self) -> usize {
+        self.left
+    }
+
+    /// Number of right vertices.
+    #[inline]
+    pub fn right(&self) -> usize {
+        self.right
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge list in canonical order.
+    #[inline]
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Degrees of all left vertices.
+    pub fn left_degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.left];
+        for &(u, _) in &self.edges {
+            d[u as usize] += 1;
+        }
+        d
+    }
+
+    /// Degrees of all right vertices.
+    pub fn right_degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.right];
+        for &(_, v) in &self.edges {
+            d[v as usize] += 1;
+        }
+        d
+    }
+
+    /// Maximum degree over all vertices.
+    pub fn max_degree(&self) -> usize {
+        self.left_degrees()
+            .into_iter()
+            .chain(self.right_degrees())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Checks that the graph is `d`-regular on both sides with equal side
+    /// sizes, returning `d`.
+    ///
+    /// # Errors
+    ///
+    /// [`ColoringError::SidesDiffer`] or [`ColoringError::NotRegular`].
+    pub fn regular_degree(&self) -> Result<usize, ColoringError> {
+        if self.left != self.right {
+            return Err(ColoringError::SidesDiffer {
+                left: self.left,
+                right: self.right,
+            });
+        }
+        if self.left == 0 {
+            return Ok(0);
+        }
+        let d = self.edges.len() / self.left;
+        for (i, deg) in self.left_degrees().into_iter().enumerate() {
+            if deg != d {
+                return Err(ColoringError::NotRegular {
+                    side: Side::Left,
+                    vertex: i,
+                    degree: deg,
+                    expected: d,
+                });
+            }
+        }
+        for (j, deg) in self.right_degrees().into_iter().enumerate() {
+            if deg != d {
+                return Err(ColoringError::NotRegular {
+                    side: Side::Right,
+                    vertex: j,
+                    degree: deg,
+                    expected: d,
+                });
+            }
+        }
+        Ok(d)
+    }
+}
+
+/// A proper edge coloring: `colors[e]` is the color of edge `e` (by
+/// canonical edge id), with colors in `0..num_colors`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeColoring {
+    colors: Vec<u32>,
+    num_colors: u32,
+}
+
+impl EdgeColoring {
+    pub(crate) fn new(colors: Vec<u32>, num_colors: u32) -> Self {
+        debug_assert!(colors.iter().all(|&c| c < num_colors || num_colors == 0));
+        EdgeColoring { colors, num_colors }
+    }
+
+    /// Color of edge `e`.
+    #[inline]
+    pub fn color(&self, e: usize) -> u32 {
+        self.colors[e]
+    }
+
+    /// The full color array, indexed by canonical edge id.
+    #[inline]
+    pub fn colors(&self) -> &[u32] {
+        &self.colors
+    }
+
+    /// Number of colors used (colors are `0..num_colors`).
+    #[inline]
+    pub fn num_colors(&self) -> u32 {
+        self.num_colors
+    }
+}
+
+/// Maps `(left, right, parallel-index)` triples to canonical edge ids for a
+/// demand matrix, via prefix sums.
+///
+/// Used by distributed senders to locate *their* edges inside the common
+/// canonical edge order without materializing the edge list:
+///
+/// ```rust
+/// use cc_coloring::EdgeIndexer;
+/// let demands = vec![
+///     2, 1, //
+///     0, 3,
+/// ];
+/// let idx = EdgeIndexer::new(2, 2, &demands);
+/// assert_eq!(idx.edge_id(0, 0, 0), 0);
+/// assert_eq!(idx.edge_id(0, 0, 1), 1);
+/// assert_eq!(idx.edge_id(0, 1, 0), 2);
+/// assert_eq!(idx.edge_id(1, 1, 2), 5);
+/// assert_eq!(idx.num_edges(), 6);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EdgeIndexer {
+    right: usize,
+    /// `prefix[i*right + j]` = number of edges strictly before cell `(i, j)`.
+    prefix: Vec<u64>,
+    total: u64,
+}
+
+impl EdgeIndexer {
+    /// Builds the indexer for a row-major `left × right` demand matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demands.len() != left * right`.
+    pub fn new(left: usize, right: usize, demands: &[u32]) -> Self {
+        assert_eq!(demands.len(), left * right, "demand matrix shape mismatch");
+        let mut prefix = Vec::with_capacity(demands.len());
+        let mut acc = 0u64;
+        for &c in demands {
+            prefix.push(acc);
+            acc += u64::from(c);
+        }
+        EdgeIndexer {
+            right,
+            prefix,
+            total: acc,
+        }
+    }
+
+    /// Canonical edge id of the `k`-th parallel edge from left `i` to
+    /// right `j`.
+    #[inline]
+    pub fn edge_id(&self, i: usize, j: usize, k: usize) -> usize {
+        (self.prefix[i * self.right + j] + k as u64) as usize
+    }
+
+    /// Total number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.total as usize
+    }
+}
+
+/// Pads a `rows × cols` demand matrix so that every row and column sums to
+/// exactly `d`, returning the matrix of *added* (dummy) demands.
+///
+/// This realizes the paper's "add empty dummy messages" device, which
+/// upgrades "at most" load bounds to the exact regularity König's theorem
+/// needs. Padding always succeeds when every row and column sum is at most
+/// `d` and (for square matrices) total deficits balance — parallel edges
+/// make any cell usable.
+///
+/// # Errors
+///
+/// Returns [`ColoringError::NotRegular`] if some row or column already
+/// exceeds `d`, and [`ColoringError::SidesDiffer`] if `rows != cols`
+/// (square matrices are the only shape the algorithms need, and the only
+/// one for which row and column deficits always balance).
+pub fn pad_demands_to_regular(
+    rows: usize,
+    cols: usize,
+    demands: &[u32],
+    d: u32,
+) -> Result<Vec<u32>, ColoringError> {
+    assert_eq!(demands.len(), rows * cols, "demand matrix shape mismatch");
+    if rows != cols {
+        return Err(ColoringError::SidesDiffer {
+            left: rows,
+            right: cols,
+        });
+    }
+    let mut row_sum = vec![0u64; rows];
+    let mut col_sum = vec![0u64; cols];
+    for i in 0..rows {
+        for j in 0..cols {
+            let c = u64::from(demands[i * cols + j]);
+            row_sum[i] += c;
+            col_sum[j] += c;
+        }
+    }
+    for (i, &s) in row_sum.iter().enumerate() {
+        if s > u64::from(d) {
+            return Err(ColoringError::NotRegular {
+                side: Side::Left,
+                vertex: i,
+                degree: s as usize,
+                expected: d as usize,
+            });
+        }
+    }
+    for (j, &s) in col_sum.iter().enumerate() {
+        if s > u64::from(d) {
+            return Err(ColoringError::NotRegular {
+                side: Side::Right,
+                vertex: j,
+                degree: s as usize,
+                expected: d as usize,
+            });
+        }
+    }
+    let mut extra = vec![0u32; rows * cols];
+    let mut j = 0usize;
+    for i in 0..rows {
+        let mut need = u64::from(d) - row_sum[i];
+        while need > 0 {
+            debug_assert!(j < cols, "column deficits exhausted before row deficits");
+            let col_need = u64::from(d) - col_sum[j];
+            if col_need == 0 {
+                j += 1;
+                continue;
+            }
+            let add = need.min(col_need);
+            extra[i * cols + j] += u32::try_from(add).expect("padding fits u32");
+            col_sum[j] += add;
+            need -= add;
+        }
+    }
+    Ok(extra)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_edge_order() {
+        let demands = vec![
+            2, 0, //
+            1, 1,
+        ];
+        let g = BipartiteMultigraph::from_demands(2, 2, &demands).unwrap();
+        assert_eq!(g.edges(), &[(0, 0), (0, 0), (1, 0), (1, 1)]);
+        assert_eq!(g.left_degrees(), vec![2, 2]);
+        assert_eq!(g.right_degrees(), vec![3, 1]);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn regular_degree_detects_irregularity() {
+        let demands = vec![
+            2, 0, //
+            1, 1,
+        ];
+        let g = BipartiteMultigraph::from_demands(2, 2, &demands).unwrap();
+        assert!(matches!(
+            g.regular_degree(),
+            Err(ColoringError::NotRegular { .. })
+        ));
+
+        let regular = vec![
+            1, 1, //
+            1, 1,
+        ];
+        let g = BipartiteMultigraph::from_demands(2, 2, &regular).unwrap();
+        assert_eq!(g.regular_degree().unwrap(), 2);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        assert!(matches!(
+            BipartiteMultigraph::from_demands(2, 2, &[1, 2, 3]),
+            Err(ColoringError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn indexer_matches_materialized_order() {
+        let demands = vec![
+            0, 3, 1, //
+            2, 0, 2, //
+            1, 1, 2,
+        ];
+        let g = BipartiteMultigraph::from_demands(3, 3, &demands).unwrap();
+        let idx = EdgeIndexer::new(3, 3, &demands);
+        assert_eq!(idx.num_edges(), g.num_edges());
+        let mut seen = 0usize;
+        for i in 0..3 {
+            for j in 0..3 {
+                for k in 0..demands[i * 3 + j] as usize {
+                    let id = idx.edge_id(i, j, k);
+                    assert_eq!(id, seen);
+                    assert_eq!(g.edges()[id], (i as u32, j as u32));
+                    seen += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padding_regularizes() {
+        let demands = vec![
+            1, 0, 2, //
+            0, 2, 0, //
+            1, 1, 0,
+        ];
+        let d = 4;
+        let extra = pad_demands_to_regular(3, 3, &demands, d).unwrap();
+        let mut padded = vec![0u32; 9];
+        for i in 0..9 {
+            padded[i] = demands[i] + extra[i];
+        }
+        let g = BipartiteMultigraph::from_demands(3, 3, &padded).unwrap();
+        assert_eq!(g.regular_degree().unwrap(), d as usize);
+    }
+
+    #[test]
+    fn padding_rejects_overfull_rows() {
+        let demands = vec![
+            5, 0, //
+            0, 0,
+        ];
+        assert!(matches!(
+            pad_demands_to_regular(2, 2, &demands, 4),
+            Err(ColoringError::NotRegular { .. })
+        ));
+    }
+
+    #[test]
+    fn padding_zero_matrix() {
+        let extra = pad_demands_to_regular(2, 2, &[0, 0, 0, 0], 3).unwrap();
+        let g = BipartiteMultigraph::from_demands(2, 2, &extra).unwrap();
+        assert_eq!(g.regular_degree().unwrap(), 3);
+    }
+}

@@ -1,0 +1,226 @@
+//! Validity checkers for edge colorings.
+
+use crate::multigraph::{BipartiteMultigraph, EdgeColoring};
+use std::fmt;
+
+/// A violation found while verifying an edge coloring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// The coloring covers a different number of edges than the graph has.
+    LengthMismatch {
+        /// Edges in the graph.
+        edges: usize,
+        /// Entries in the coloring.
+        entries: usize,
+    },
+    /// An edge carries a color at or above `num_colors`.
+    ColorOutOfRange {
+        /// Offending edge id.
+        edge: usize,
+        /// Its color.
+        color: u32,
+        /// Declared palette size.
+        num_colors: u32,
+    },
+    /// Two edges of the same color share an endpoint.
+    Conflict {
+        /// First edge id.
+        first: usize,
+        /// Second edge id.
+        second: usize,
+        /// The shared color.
+        color: u32,
+    },
+    /// For exact regular verification: a color class is not a perfect
+    /// matching.
+    NotPerfectMatching {
+        /// The deficient color.
+        color: u32,
+        /// Number of edges in its class.
+        class_size: usize,
+        /// Expected class size (`n`).
+        expected: usize,
+    },
+    /// For exact regular verification: more colors than the degree.
+    TooManyColors {
+        /// Colors used.
+        used: u32,
+        /// The regular degree.
+        degree: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::LengthMismatch { edges, entries } => {
+                write!(f, "coloring has {entries} entries for {edges} edges")
+            }
+            VerifyError::ColorOutOfRange {
+                edge,
+                color,
+                num_colors,
+            } => write!(f, "edge {edge} has color {color} >= palette {num_colors}"),
+            VerifyError::Conflict {
+                first,
+                second,
+                color,
+            } => write!(
+                f,
+                "edges {first} and {second} share an endpoint and color {color}"
+            ),
+            VerifyError::NotPerfectMatching {
+                color,
+                class_size,
+                expected,
+            } => write!(
+                f,
+                "color class {color} has {class_size} edges, expected a perfect matching of {expected}"
+            ),
+            VerifyError::TooManyColors { used, degree } => {
+                write!(f, "{used} colors used on a {degree}-regular graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies that a coloring is *proper*: every color class is a matching
+/// (no two equally colored edges share an endpoint) and all colors lie in
+/// the declared palette.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify_proper(g: &BipartiteMultigraph, c: &EdgeColoring) -> Result<(), VerifyError> {
+    if c.colors().len() != g.num_edges() {
+        return Err(VerifyError::LengthMismatch {
+            edges: g.num_edges(),
+            entries: c.colors().len(),
+        });
+    }
+    let palette = c.num_colors() as usize;
+    const NIL: usize = usize::MAX;
+    let mut left_seen = vec![NIL; g.left() * palette];
+    let mut right_seen = vec![NIL; g.right() * palette];
+    for (e, &(u, v)) in g.edges().iter().enumerate() {
+        let color = c.color(e);
+        if color >= c.num_colors() {
+            return Err(VerifyError::ColorOutOfRange {
+                edge: e,
+                color,
+                num_colors: c.num_colors(),
+            });
+        }
+        let ls = u as usize * palette + color as usize;
+        if left_seen[ls] != NIL {
+            return Err(VerifyError::Conflict {
+                first: left_seen[ls],
+                second: e,
+                color,
+            });
+        }
+        left_seen[ls] = e;
+        let rs = v as usize * palette + color as usize;
+        if right_seen[rs] != NIL {
+            return Err(VerifyError::Conflict {
+                first: right_seen[rs],
+                second: e,
+                color,
+            });
+        }
+        right_seen[rs] = e;
+    }
+    Ok(())
+}
+
+/// Verifies the full König property for a `d`-regular multigraph: the
+/// coloring is proper, uses exactly `d` colors, and every color class is a
+/// perfect matching.
+///
+/// # Errors
+///
+/// Returns the first violation found, or propagates regularity errors as
+/// a panic-free [`VerifyError`] via the proper check.
+///
+/// # Panics
+///
+/// Panics if the graph is not regular (callers verify exact colorings only
+/// on graphs they constructed as regular).
+pub fn verify_exact_regular(
+    g: &BipartiteMultigraph,
+    c: &EdgeColoring,
+) -> Result<(), VerifyError> {
+    let d = g
+        .regular_degree()
+        .expect("verify_exact_regular requires a regular multigraph");
+    verify_proper(g, c)?;
+    if c.num_colors() as usize > d {
+        return Err(VerifyError::TooManyColors {
+            used: c.num_colors(),
+            degree: d,
+        });
+    }
+    let mut class_sizes = vec![0usize; c.num_colors() as usize];
+    for e in 0..g.num_edges() {
+        class_sizes[c.color(e) as usize] += 1;
+    }
+    for (color, &size) in class_sizes.iter().enumerate() {
+        if size != g.left() {
+            return Err(VerifyError::NotPerfectMatching {
+                color: color as u32,
+                class_size: size,
+                expected: g.left(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_coloring() {
+        let g = BipartiteMultigraph::from_demands(2, 2, &[1, 1, 1, 1]).unwrap();
+        // Edges: (0,0), (0,1), (1,0), (1,1).
+        let c = EdgeColoring::new(vec![0, 1, 1, 0], 2);
+        verify_proper(&g, &c).unwrap();
+        verify_exact_regular(&g, &c).unwrap();
+    }
+
+    #[test]
+    fn rejects_conflict() {
+        let g = BipartiteMultigraph::from_demands(2, 2, &[1, 1, 1, 1]).unwrap();
+        let c = EdgeColoring::new(vec![0, 0, 1, 1], 2);
+        assert!(matches!(
+            verify_proper(&g, &c),
+            Err(VerifyError::Conflict { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_imperfect_class() {
+        let g = BipartiteMultigraph::from_demands(2, 2, &[1, 1, 1, 1]).unwrap();
+        // Proper but with 4 colors: every class has one edge, not two.
+        let c = EdgeColoring::new(vec![0, 1, 2, 3], 4);
+        verify_proper(&g, &c).unwrap();
+        assert!(matches!(
+            verify_exact_regular(&g, &c),
+            Err(VerifyError::TooManyColors { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let g = BipartiteMultigraph::from_demands(2, 2, &[1, 1, 1, 1]).unwrap();
+        let c = EdgeColoring::new(vec![0, 1], 2);
+        assert!(matches!(
+            verify_proper(&g, &c),
+            Err(VerifyError::LengthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests: the three coloring algorithms agree on validity across
+//! randomly generated regular and irregular bipartite multigraphs.
+
+use cc_coloring::{
+    color_alternating, color_exact, color_greedy, pad_demands_to_regular, verify_exact_regular,
+    verify_proper, BipartiteMultigraph,
+};
+use proptest::prelude::*;
+
+/// A random `d`-regular demand matrix on `n × n`, built as a sum of `d`
+/// random permutation matrices (every doubly balanced matrix used by the
+/// routing algorithms has this Birkhoff–von-Neumann shape).
+fn regular_demands(n: usize, d: usize) -> impl Strategy<Value = Vec<u32>> {
+    let perms = proptest::collection::vec(Just(()).prop_perturb(move |_, _| ()), 0..1);
+    let _ = perms; // silence: strategy composed below instead
+    proptest::collection::vec(
+        proptest::sample::subsequence((0..n).collect::<Vec<_>>(), n).prop_shuffle(),
+        d,
+    )
+    .prop_map(move |perm_list| {
+        let mut demands = vec![0u32; n * n];
+        for perm in perm_list {
+            for (i, &j) in perm.iter().enumerate() {
+                demands[i * n + j] += 1;
+            }
+        }
+        demands
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_coloring_is_koenig(
+        (n, d) in (1usize..12, 1usize..10),
+        seed in any::<u64>(),
+    ) {
+        // Derive a deterministic permutation family from the seed.
+        let mut demands = vec![0u32; n * n];
+        let mut state = seed | 1;
+        for _ in 0..d {
+            let mut perm: Vec<usize> = (0..n).collect();
+            // Fisher–Yates with a simple LCG.
+            for i in (1..n).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % (i + 1);
+                perm.swap(i, j);
+            }
+            for (i, &j) in perm.iter().enumerate() {
+                demands[i * n + j] += 1;
+            }
+        }
+        let g = BipartiteMultigraph::from_demands(n, n, &demands).unwrap();
+        prop_assert_eq!(g.regular_degree().unwrap(), d);
+
+        let exact = color_exact(&g).unwrap();
+        prop_assert_eq!(exact.num_colors() as usize, d);
+        verify_exact_regular(&g, &exact).unwrap();
+
+        let alt = color_alternating(&g);
+        prop_assert_eq!(alt.num_colors() as usize, d);
+        verify_exact_regular(&g, &alt).unwrap();
+
+        let greedy = color_greedy(&g);
+        verify_proper(&g, &greedy).unwrap();
+        prop_assert!((greedy.num_colors() as usize) <= 2 * d - 1);
+    }
+
+    #[test]
+    fn irregular_graphs_color_properly(
+        n in 1usize..8,
+        cells in proptest::collection::vec(0u32..4, 64),
+    ) {
+        let demands: Vec<u32> = (0..n * n).map(|i| cells[i % cells.len()]).collect();
+        let g = BipartiteMultigraph::from_demands(n, n, &demands).unwrap();
+        if g.num_edges() == 0 {
+            return Ok(());
+        }
+        let delta = g.max_degree();
+
+        let alt = color_alternating(&g);
+        prop_assert_eq!(alt.num_colors() as usize, delta);
+        verify_proper(&g, &alt).unwrap();
+
+        let greedy = color_greedy(&g);
+        verify_proper(&g, &greedy).unwrap();
+        prop_assert!((greedy.num_colors() as usize) <= 2 * delta - 1);
+    }
+
+    #[test]
+    fn padding_then_exact_coloring(
+        n in 1usize..8,
+        cells in proptest::collection::vec(0u32..3, 64),
+        slack in 0u32..4,
+    ) {
+        let demands: Vec<u32> = (0..n * n).map(|i| cells[i % cells.len()]).collect();
+        let max_line = {
+            let mut rows = vec![0u32; n];
+            let mut cols = vec![0u32; n];
+            for i in 0..n {
+                for j in 0..n {
+                    rows[i] += demands[i * n + j];
+                    cols[j] += demands[i * n + j];
+                }
+            }
+            rows.into_iter().chain(cols).max().unwrap_or(0)
+        };
+        let d = max_line + slack;
+        if d == 0 {
+            return Ok(());
+        }
+        let extra = pad_demands_to_regular(n, n, &demands, d).unwrap();
+        let padded: Vec<u32> = demands.iter().zip(&extra).map(|(a, b)| a + b).collect();
+        let g = BipartiteMultigraph::from_demands(n, n, &padded).unwrap();
+        prop_assert_eq!(g.regular_degree().unwrap(), d as usize);
+        let c = color_exact(&g).unwrap();
+        verify_exact_regular(&g, &c).unwrap();
+    }
+}

@@ -1,0 +1,21 @@
+fn main() {
+    println!("variant    n  rounds      msgs  maxedge(b)  work/node  work/(n·log n)");
+    for n in [64usize, 144, 256, 400, 576] {
+        let inst = cc_core::routing::RoutingInstance::from_demands(n, |_, _| 1).unwrap();
+        for (name, out) in [
+            ("basic", cc_core::routing::route_deterministic(&inst).unwrap()),
+            ("opt  ", cc_core::routing::route_optimized(&inst).unwrap()),
+        ] {
+            let nlogn = (n as f64) * (n as f64).log2();
+            println!(
+                "{name}  {:5}  {:4}  {:9}  {:6}  {:10}  {:8.1}",
+                n,
+                out.metrics.comm_rounds(),
+                out.metrics.total_messages(),
+                out.metrics.max_edge_bits(),
+                out.metrics.max_node_steps(),
+                out.metrics.max_node_steps() as f64 / nlogn
+            );
+        }
+    }
+}

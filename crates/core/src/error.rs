@@ -1,0 +1,70 @@
+use cc_sim::SimError;
+use std::fmt;
+
+/// Errors from the routing and sorting front ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An instance violates Problem 3.1 / 4.1 preconditions.
+    InvalidInstance {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The simulator rejected the run (budget violation, stall, …).
+    Sim(SimError),
+    /// Delivered output failed verification against the instance.
+    VerificationFailed {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidInstance { reason } => write!(f, "invalid instance: {reason}"),
+            CoreError::Sim(e) => write!(f, "simulation failed: {e}"),
+            CoreError::VerificationFailed { reason } => {
+                write!(f, "verification failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+impl CoreError {
+    /// Convenience constructor for instance validation failures.
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        CoreError::InvalidInstance {
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::from(SimError::TooManyRounds { limit: 5 });
+        assert!(e.to_string().contains("simulation failed"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e2 = CoreError::invalid("bad");
+        assert!(e2.to_string().contains("bad"));
+    }
+}

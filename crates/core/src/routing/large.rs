@@ -1,0 +1,183 @@
+//! §6.1: routing messages of `ω(log n)` bits.
+//!
+//! "Splitting these values into multiple messages is a viable option …
+//! a key of size Θ(log² n) would be split into Θ(log n) separate messages
+//! permitting the receiver to reconstruct the key." Each word-sized
+//! fragment of every large message is routed by its own Theorem 3.7
+//! instance; `k`-word payloads therefore cost `k × 16` rounds, which is
+//! asymptotically optimal as soon as nodes must move `Ω(n log n)` bits.
+
+use crate::error::CoreError;
+use crate::routing::general::route_deterministic;
+use crate::routing::instance::{RoutedMessage, RoutingInstance};
+use cc_sim::{Metrics, NodeId};
+
+/// A message whose payload spans several machine words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LargeMessage {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Sequence number among the source's messages to this destination.
+    pub seq: u32,
+    /// The payload words (`len × Θ(log n)` bits).
+    pub payload: Vec<u64>,
+}
+
+impl LargeMessage {
+    /// Builds a large message.
+    pub fn new(src: NodeId, dst: NodeId, seq: u32, payload: Vec<u64>) -> Self {
+        LargeMessage {
+            src,
+            dst,
+            seq,
+            payload,
+        }
+    }
+}
+
+/// Outcome of a fragmented routing run.
+#[derive(Debug)]
+pub struct LargeOutcome {
+    /// Reassembled deliveries per node.
+    pub delivered: Vec<Vec<LargeMessage>>,
+    /// Per-fragment-instance measurements, in fragment order.
+    pub per_instance: Vec<Metrics>,
+    /// Total communication rounds (= Σ per-instance rounds).
+    pub total_rounds: u64,
+}
+
+/// Routes large messages by splitting every payload into word fragments
+/// and running one 16-round Theorem 3.7 instance per fragment index.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidInstance`] on shape violations (same caps
+/// as [`RoutingInstance::new`], applied per fragment instance), and
+/// propagates simulation/verification failures.
+pub fn route_large_messages(
+    n: usize,
+    sends: Vec<Vec<LargeMessage>>,
+) -> Result<LargeOutcome, CoreError> {
+    if sends.len() != n {
+        return Err(CoreError::invalid(format!(
+            "expected {n} send lists, got {}",
+            sends.len()
+        )));
+    }
+    let max_words = sends
+        .iter()
+        .flatten()
+        .map(|m| m.payload.len())
+        .max()
+        .unwrap_or(0);
+
+    let mut per_instance = Vec::with_capacity(max_words);
+    // Reassembly buffers keyed by (src, dst, seq).
+    let mut assembled: Vec<std::collections::BTreeMap<(NodeId, NodeId, u32), Vec<u64>>> =
+        (0..n).map(|_| std::collections::BTreeMap::new()).collect();
+
+    for frag in 0..max_words {
+        let frag_sends: Vec<Vec<RoutedMessage>> = sends
+            .iter()
+            .map(|list| {
+                list.iter()
+                    .filter(|m| frag < m.payload.len())
+                    .map(|m| RoutedMessage::new(m.src, m.dst, m.seq, m.payload[frag]))
+                    .collect()
+            })
+            .collect();
+        let instance = RoutingInstance::new(n, frag_sends)?;
+        let outcome = route_deterministic(&instance)?;
+        for (k, list) in outcome.delivered.iter().enumerate() {
+            for m in list {
+                let slot = assembled[k].entry((m.src, m.dst, m.seq)).or_default();
+                debug_assert_eq!(slot.len(), frag, "fragments arrive in order");
+                slot.push(m.payload);
+            }
+        }
+        per_instance.push(outcome.metrics);
+    }
+
+    let delivered = assembled
+        .into_iter()
+        .map(|buf| {
+            buf.into_iter()
+                .map(|((src, dst, seq), payload)| LargeMessage::new(src, dst, seq, payload))
+                .collect()
+        })
+        .collect();
+    let total_rounds = per_instance.iter().map(Metrics::comm_rounds).sum();
+    Ok(LargeOutcome {
+        delivered,
+        per_instance,
+        total_rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragments_and_reassembles() {
+        let n = 9;
+        let words = 4;
+        let sends: Vec<Vec<LargeMessage>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| {
+                        LargeMessage::new(
+                            NodeId::new(i),
+                            NodeId::new(j),
+                            0,
+                            (0..words).map(|w| (i * 100 + j * 10 + w) as u64).collect(),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let out = route_large_messages(n, sends.clone()).unwrap();
+        assert_eq!(out.per_instance.len(), words);
+        assert!(out.total_rounds <= (words as u64) * 16);
+        for k in 0..n {
+            assert_eq!(out.delivered[k].len(), n);
+            for m in &out.delivered[k] {
+                assert_eq!(m.dst.index(), k);
+                assert_eq!(m.payload.len(), words);
+                let (i, j) = (m.src.index(), m.dst.index());
+                let expect: Vec<u64> = (0..words).map(|w| (i * 100 + j * 10 + w) as u64).collect();
+                assert_eq!(m.payload, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_payload_lengths() {
+        let n = 4;
+        let sends: Vec<Vec<LargeMessage>> = (0..n)
+            .map(|i| {
+                vec![LargeMessage::new(
+                    NodeId::new(i),
+                    NodeId::new((i + 1) % n),
+                    0,
+                    vec![7; i + 1],
+                )]
+            })
+            .collect();
+        let out = route_large_messages(n, sends).unwrap();
+        assert_eq!(out.per_instance.len(), n);
+        for k in 0..n {
+            let src = (k + n - 1) % n;
+            assert_eq!(out.delivered[k][0].payload.len(), src + 1);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = route_large_messages(3, vec![Vec::new(); 3]).unwrap();
+        assert_eq!(out.total_rounds, 0);
+        assert!(out.delivered.iter().all(Vec::is_empty));
+    }
+}

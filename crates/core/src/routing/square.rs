@@ -1,0 +1,712 @@
+//! Algorithms 1 and 2 of the paper: the 16-round deterministic solution of
+//! the Information Distribution Task on a clique whose size is a perfect
+//! square `vn = s²`.
+//!
+//! Round schedule (communication rounds after activation; the numbers are
+//! the paper's):
+//!
+//! | rounds | paper step                   | mechanism                            |
+//! |--------|------------------------------|--------------------------------------|
+//! | 1–2    | Alg 2, Step 1                | per-set count collection + broadcast |
+//! | –      | Alg 2, Step 2 (local)        | König coloring of the set-level multigraph |
+//! | 3–4    | Alg 2, Step 3                | [`GroupAnnounce`] of per-node counts |
+//! | –      | Alg 2, Step 4 (local)        | König coloring of the within-set graph |
+//! | 5–6    | Alg 2, Step 5                | [`KnownExchange`] within each set    |
+//! | 7      | Alg 2, Step 6                | direct cross-set move                |
+//! | 8–9    | Alg 1, Step 3 (announce)     | [`GroupAnnounce`] of per-set counts  |
+//! | 10–11  | Alg 1, Step 3 (exchange)     | [`KnownExchange`] within each set    |
+//! | 12     | Alg 1, Step 4                | direct move into destination sets    |
+//! | 13–16  | Alg 1, Step 5 (Cor 3.4)      | [`SubsetExchange`] within each set   |
+//!
+//! The router runs in *virtual* node-id space so that Theorem 3.7's
+//! general-`n` decomposition can embed two instances into one clique; the
+//! caller translates ids and supplies a per-instance scope tag.
+
+use crate::routing::instance::RoutedMessage;
+use cc_coloring::{
+    color_exact, exact_coloring_work, pad_demands_to_regular, BipartiteMultigraph, EdgeIndexer,
+};
+use cc_primitives::{
+    AnnounceMsg, DemandMatrix, Driver, GroupAnnounce, KnownExchange, KxMsg, NodeGroup,
+    SubsetExchange, SxMsg,
+};
+use cc_sim::hash::{combine, hash_u32s};
+use cc_sim::util::{isqrt, word_bits};
+use cc_sim::{BaseCtx, CommonScope, NodeId, Payload};
+use std::sync::Arc;
+
+/// A message annotated with its intermediate set assignment (σ), carried
+/// between Algorithm 2's Steps 5 and 6.
+#[derive(Clone, Debug)]
+pub struct Inter<P> {
+    msg: RoutedMessage<P>,
+    set: u32,
+}
+
+impl<P: Payload> Payload for Inter<P> {
+    fn size_bits(&self, n: usize) -> u64 {
+        self.msg.size_bits(n) + word_bits(n)
+    }
+}
+
+/// Messages of the square router (one variant per phase, so stray
+/// cross-phase traffic is detected instead of misparsed).
+#[allow(clippy::large_enum_variant)] // hot-path messages; boxing would cost more than the size skew
+#[derive(Clone, Debug)]
+pub enum SqMsg<P = u64> {
+    /// Alg 2 Step 1a: a per-destination-set message count.
+    Cnt(u64),
+    /// Alg 2 Step 1b: a set-pair total, broadcast by its aggregator.
+    Total(u64),
+    /// Alg 2 Step 3 announce traffic.
+    Ann2(KxMsg<AnnounceMsg>),
+    /// Alg 2 Step 5 exchange traffic.
+    Kx5(KxMsg<Inter<P>>),
+    /// Alg 2 Step 6 direct move.
+    Move6(Inter<P>),
+    /// Alg 1 Step 3 announce traffic.
+    Ann3(KxMsg<AnnounceMsg>),
+    /// Alg 1 Step 3 exchange traffic.
+    Kx3(KxMsg<RoutedMessage<P>>),
+    /// Alg 1 Step 4 direct move.
+    Move4(RoutedMessage<P>),
+    /// Alg 1 Step 5 (Cor 3.4) traffic.
+    Sx(SxMsg<RoutedMessage<P>>),
+}
+
+impl<P: Payload> Payload for SqMsg<P> {
+    fn size_bits(&self, n: usize) -> u64 {
+        4 + match self {
+            SqMsg::Cnt(_) | SqMsg::Total(_) => 2 * word_bits(n),
+            SqMsg::Ann2(m) | SqMsg::Ann3(m) => m.size_bits(n),
+            SqMsg::Kx5(m) => m.size_bits(n),
+            SqMsg::Move6(m) => m.size_bits(n),
+            SqMsg::Kx3(m) => m.size_bits(n),
+            SqMsg::Move4(m) => m.size_bits(n),
+            SqMsg::Sx(m) => m.size_bits(n),
+        }
+    }
+}
+
+/// The globally shared Algorithm 2 Step 2 plan: a König coloring of the
+/// set-level demand multigraph (`s × s` vertices, one edge per message).
+struct SetPlan {
+    indexer: EdgeIndexer,
+    colors: Vec<u32>,
+    padded_edges: usize,
+    degree: u64,
+    t_hash: u64,
+}
+
+fn build_set_plan(s: usize, t_counts: &[u32]) -> SetPlan {
+    let t_hash = hash_u32s(t_counts);
+    let m2 = {
+        let dm = DemandMatrix::from_counts(s, t_counts.to_vec());
+        dm.max_line_sum()
+    };
+    if m2 == 0 {
+        return SetPlan {
+            indexer: EdgeIndexer::new(s, s, t_counts),
+            colors: Vec::new(),
+            padded_edges: 0,
+            degree: 0,
+            t_hash,
+        };
+    }
+    let m2_32 = u32::try_from(m2).expect("set totals fit u32");
+    let extra = pad_demands_to_regular(s, s, t_counts, m2_32)
+        .expect("line sums are bounded by m2 by definition");
+    let padded: Vec<u32> = t_counts.iter().zip(&extra).map(|(a, b)| a + b).collect();
+    let graph = BipartiteMultigraph::from_demands(s, s, &padded).expect("shape is s × s");
+    let coloring = color_exact(&graph).expect("padded matrix is m2-regular");
+    SetPlan {
+        indexer: EdgeIndexer::new(s, s, &padded),
+        colors: coloring.colors().to_vec(),
+        padded_edges: graph.num_edges(),
+        degree: m2,
+        t_hash,
+    }
+}
+
+/// The per-set plan derived after Algorithm 2 Step 3: per-member offsets
+/// into the canonical set-level edge order, the within-set redistribution
+/// graph (Step 4) and its coloring, and the Step 5 exchange demands.
+struct SetLocal {
+    /// `offsets[r·s + b]`: how many messages of lower-ranked members of
+    /// this set go to destination set `b`.
+    offsets: Vec<u64>,
+    d4: DemandMatrix,
+    idx4: EdgeIndexer,
+    colors4: Vec<u32>,
+    e5: DemandMatrix,
+    work: u64,
+}
+
+fn build_set_local(s: usize, a: usize, set_plan: &SetPlan, cnt: &[Vec<u64>]) -> SetLocal {
+    let mut offsets = vec![0u64; s * s];
+    for b in 0..s {
+        let mut acc = 0u64;
+        for (rp, row) in cnt.iter().enumerate() {
+            offsets[rp * s + b] = acc;
+            acc += row[b];
+        }
+    }
+    let mut work = (s * s) as u64;
+    // Step 4 graph: one edge per message held in this set, joining its
+    // holder to its Step 2 intermediate set σ.
+    let mut d4 = DemandMatrix::new(s);
+    for rp in 0..s {
+        for b in 0..s {
+            let off = offsets[rp * s + b];
+            for k in 0..cnt[rp][b] {
+                let e = set_plan.indexer.edge_id(a, b, (off + k) as usize);
+                let sigma = (set_plan.colors[e] as usize) % s;
+                d4.add(rp, sigma, 1);
+            }
+        }
+    }
+    work += d4.total();
+    let m4 = d4.max_line_sum();
+    let (idx4, colors4) = if m4 == 0 {
+        (EdgeIndexer::new(s, s, d4.counts()), Vec::new())
+    } else {
+        let m4_32 = u32::try_from(m4).expect("d4 line sums fit u32");
+        let extra = pad_demands_to_regular(s, s, d4.counts(), m4_32)
+            .expect("line sums bounded by m4 by definition");
+        let padded: Vec<u32> = d4.counts().iter().zip(&extra).map(|(x, y)| x + y).collect();
+        let graph = BipartiteMultigraph::from_demands(s, s, &padded).expect("shape is s × s");
+        let coloring = color_exact(&graph).expect("padded matrix is m4-regular");
+        work += exact_coloring_work(graph.num_edges(), m4 as usize);
+        (
+            EdgeIndexer::new(s, s, &padded),
+            coloring.colors().to_vec(),
+        )
+    };
+    // Step 5 demands: member r' sends each message to the member indexed
+    // by its Step 4 color mod s.
+    let mut e5 = DemandMatrix::new(s);
+    for rp in 0..s {
+        for sigma in 0..s {
+            for k4 in 0..d4.get(rp, sigma) {
+                let c4 = colors4[idx4.edge_id(rp, sigma, k4 as usize)];
+                e5.add(rp, (c4 as usize) % s, 1);
+            }
+        }
+    }
+    work += e5.total();
+    SetLocal {
+        offsets,
+        d4,
+        idx4,
+        colors4,
+        e5,
+        work,
+    }
+}
+
+/// The bound all payloads must satisfy to travel through the routers
+/// (clonable, orderable for canonical sorting, shareable across the
+/// common-knowledge cache).
+pub trait RoutePayload: Payload + PartialEq + Eq + Ord + Send + Sync + 'static {}
+impl<T: Payload + PartialEq + Eq + Ord + Send + Sync + 'static> RoutePayload for T {}
+
+/// The 16-round square-clique router, operating in virtual id space.
+pub(crate) struct SquareRouter<P = u64> {
+    vn: usize,
+    s: usize,
+    vme: usize,
+    /// My set index and rank within it.
+    a: usize,
+    r: usize,
+    /// Per-instance disambiguator for common-knowledge scopes.
+    tag: u64,
+    call: u32,
+    /// My messages bucketed by destination set (canonically sorted).
+    buckets: Vec<Vec<RoutedMessage<P>>>,
+    t_counts: Vec<u32>,
+    set_plan: Option<Arc<SetPlan>>,
+    ann2: Option<GroupAnnounce>,
+    kx5: Option<KnownExchange<Inter<P>>>,
+    /// Messages held after Step 6, bucketed by destination set.
+    held: Vec<Vec<RoutedMessage<P>>>,
+    ann3: Option<GroupAnnounce>,
+    kx3: Option<KnownExchange<RoutedMessage<P>>>,
+    sx: Option<SubsetExchange<RoutedMessage<P>>>,
+}
+
+/// Per-round result of the square router: virtual-id sends plus the final
+/// delivery.
+pub(crate) type SqStep<P> = (Vec<(usize, SqMsg<P>)>, Option<Vec<RoutedMessage<P>>>);
+
+impl<P: RoutePayload> SquareRouter<P> {
+    /// Total communication rounds of the square algorithm (Theorem 3.7).
+    pub(crate) const ROUNDS: u32 = 16;
+
+    /// Creates the router for virtual node `vme` of a `vn = s²` clique.
+    /// `messages` carry virtual ids in `src`/`dst`; `tag` disambiguates
+    /// concurrent instances in the common-knowledge cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vn` is not a perfect square or a message is misaddressed.
+    pub(crate) fn new(vn: usize, vme: usize, messages: Vec<RoutedMessage<P>>, tag: u64) -> Self {
+        let s = isqrt(vn);
+        assert_eq!(s * s, vn, "SquareRouter requires a perfect square size");
+        let mut buckets: Vec<Vec<RoutedMessage<P>>> = vec![Vec::new(); s];
+        for m in messages {
+            assert_eq!(m.src.index(), vme, "message not owned by this node");
+            assert!(m.dst.index() < vn, "destination outside the instance");
+            buckets[m.dst.index() / s].push(m);
+        }
+        for b in &mut buckets {
+            b.sort_unstable_by_key(|x| x.key());
+        }
+        SquareRouter {
+            vn,
+            s,
+            vme,
+            a: vme / s,
+            r: vme % s,
+            tag,
+            call: 0,
+            buckets,
+            t_counts: vec![0; s * s],
+            set_plan: None,
+            ann2: None,
+            kx5: None,
+            held: Vec::new(),
+            ann3: None,
+            kx3: None,
+            sx: None,
+        }
+    }
+
+    fn my_group(&self) -> NodeGroup {
+        NodeGroup::contiguous(self.a * self.s, self.s)
+    }
+
+    fn scope(&self, label: &'static str) -> CommonScope {
+        CommonScope::new(label, self.tag)
+    }
+
+    /// Queues the Algorithm 2 Step 1a sends. `ctx` must be virtualized to
+    /// this instance (`ctx.n() == vn`, `ctx.me() == vme`).
+    pub(crate) fn activate(&mut self, ctx: &mut BaseCtx<'_>) -> Vec<(usize, SqMsg<P>)> {
+        debug_assert_eq!(ctx.n(), self.vn);
+        debug_assert_eq!(ctx.me().index(), self.vme);
+        let total: u64 = self.buckets.iter().map(|b| b.len() as u64).sum();
+        ctx.charge_work(total);
+        ctx.note_mem(5 * total);
+        // Send my count toward destination set i to the i-th member of my
+        // own set, which aggregates T[a][i].
+        (0..self.s)
+            .map(|i| {
+                (
+                    self.a * self.s + i,
+                    SqMsg::Cnt(self.buckets[i].len() as u64),
+                )
+            })
+            .collect()
+    }
+
+    /// Advances one round; see the module table for the schedule.
+    pub(crate) fn on_round(&mut self, ctx: &mut BaseCtx<'_>, inbox: Vec<(usize, SqMsg<P>)>) -> SqStep<P> {
+        debug_assert_eq!(ctx.n(), self.vn);
+        self.call += 1;
+        match self.call {
+            1 => (self.step1_aggregate(ctx, inbox), None),
+            2 => (self.step1_totals_then_announce(ctx, inbox), None),
+            3 => (self.drive_ann2(ctx, inbox, false), None),
+            4 => (self.drive_ann2(ctx, inbox, true), None),
+            5 => (self.drive_kx5(ctx, inbox, false), None),
+            6 => (self.drive_kx5(ctx, inbox, true), None),
+            7 => (self.step6_receive_then_announce(ctx, inbox), None),
+            8 => (self.drive_ann3(ctx, inbox, false), None),
+            9 => (self.drive_ann3(ctx, inbox, true), None),
+            10 => (self.drive_kx3(ctx, inbox, false), None),
+            11 => (self.drive_kx3(ctx, inbox, true), None),
+            12 => (self.step4_receive_then_subset(ctx, inbox), None),
+            13..=15 => (self.drive_sx(ctx, inbox), None),
+            16 => {
+                let (sends, out) = self.finish_sx(ctx, inbox);
+                (sends, Some(out))
+            }
+            _ => panic!("SquareRouter stepped past completion"),
+        }
+    }
+
+    /// Call 1: aggregate the counts addressed to me (I am the `r`-th
+    /// member of my set, so I collect `T[a][r]`) and broadcast the total.
+    fn step1_aggregate(&mut self, ctx: &mut BaseCtx<'_>, inbox: Vec<(usize, SqMsg<P>)>) -> Vec<(usize, SqMsg<P>)> {
+        let mut total = 0u64;
+        for (src, msg) in inbox {
+            let SqMsg::Cnt(c) = msg else {
+                panic!("unexpected message in Step 1a: {msg:?}");
+            };
+            debug_assert_eq!(src / self.s, self.a, "counts come from my own set");
+            total += c;
+        }
+        ctx.charge_work(self.s as u64);
+        (0..self.vn).map(|v| (v, SqMsg::Total(total))).collect()
+    }
+
+    /// Call 2: assemble the full `T` matrix, compute the global Step 2
+    /// plan, and launch the Step 3 announce.
+    fn step1_totals_then_announce(
+        &mut self,
+        ctx: &mut BaseCtx<'_>,
+        inbox: Vec<(usize, SqMsg<P>)>,
+    ) -> Vec<(usize, SqMsg<P>)> {
+        for (src, msg) in inbox {
+            let SqMsg::Total(t) = msg else {
+                panic!("unexpected message in Step 1b: {msg:?}");
+            };
+            // Sender src = (set a', rank i') announced T[a'][i'].
+            self.t_counts[src] = u32::try_from(t).expect("set totals fit u32");
+        }
+        let s = self.s;
+        let t_ref = self.t_counts.clone();
+        let plan: Arc<SetPlan> = ctx.common().get_or_compute(
+            self.scope("route.sq.setplan"),
+            hash_u32s(&self.t_counts),
+            move || build_set_plan(s, &t_ref),
+        );
+        ctx.charge_work(exact_coloring_work(plan.padded_edges, plan.degree as usize));
+        ctx.note_mem(plan.padded_edges as u64);
+        self.set_plan = Some(plan);
+
+        let values: Vec<u64> = self.buckets.iter().map(|b| b.len() as u64).collect();
+        let mut ann = GroupAnnounce::member(self.my_group(), self.r, values, self.scope("route.sq.ann2"));
+        let sends = ann.activate(ctx);
+        self.ann2 = Some(ann);
+        wrap(sends, SqMsg::Ann2)
+    }
+
+    fn drive_ann2(
+        &mut self,
+        ctx: &mut BaseCtx<'_>,
+        inbox: Vec<(usize, SqMsg<P>)>,
+        expect_done: bool,
+    ) -> Vec<(usize, SqMsg<P>)> {
+        let msgs = unwrap(inbox, |m| match m {
+            SqMsg::Ann2(x) => x,
+            other => panic!("unexpected message during Step 3 announce: {other:?}"),
+        });
+        let step = self.ann2.as_mut().expect("ann2 active").on_round(ctx, msgs);
+        if !expect_done {
+            debug_assert!(step.output.is_none());
+            return wrap(step.sends, SqMsg::Ann2);
+        }
+        let cnt = step.output.expect("announce completes on second round");
+        self.after_ann2(ctx, cnt)
+    }
+
+    /// Local Step 4 + launch of the Step 5 exchange.
+    fn after_ann2(&mut self, ctx: &mut BaseCtx<'_>, cnt: Vec<Vec<u64>>) -> Vec<(usize, SqMsg<P>)> {
+        let s = self.s;
+        let a = self.a;
+        let set_plan = self.set_plan.clone().expect("set plan computed at call 2");
+        let cnt_hash = {
+            let flat: Vec<u32> = cnt
+                .iter()
+                .flat_map(|row| row.iter().map(|&v| v as u32))
+                .collect();
+            hash_u32s(&flat)
+        };
+        let plan_ref = set_plan.clone();
+        let local: Arc<SetLocal> = ctx.common().get_or_compute(
+            CommonScope::new("route.sq.setlocal", combine(self.tag, a as u64)),
+            combine(set_plan.t_hash, cnt_hash),
+            move || build_set_local(s, a, &plan_ref, &cnt),
+        );
+        ctx.charge_work(local.work);
+        ctx.note_mem(local.d4.total() + local.colors4.len() as u64);
+
+        // Bind my own messages to Step 4 colors, producing the Step 5
+        // outgoing buckets (canonical (b, k) enumeration — identical to
+        // the one inside build_set_local).
+        let mut per_sigma = vec![0u32; s];
+        let mut outgoing: Vec<Vec<Inter<P>>> = vec![Vec::new(); s];
+        let mut moved = 0u64;
+        for b in 0..s {
+            let off = local.offsets[self.r * s + b];
+            for (k, m) in self.buckets[b].drain(..).enumerate() {
+                let e = set_plan.indexer.edge_id(a, b, (off + k as u64) as usize);
+                let sigma = (set_plan.colors[e] as usize) % s;
+                let k4 = per_sigma[sigma];
+                per_sigma[sigma] += 1;
+                let c4 = local.colors4[local.idx4.edge_id(self.r, sigma, k4 as usize)];
+                outgoing[(c4 as usize) % s].push(Inter {
+                    msg: m,
+                    set: sigma as u32,
+                });
+                moved += 1;
+            }
+        }
+        ctx.charge_work(moved);
+        let mut kx = KnownExchange::member(
+            self.my_group(),
+            local.e5.clone(),
+            outgoing,
+            self.scope("route.sq.kx5"),
+        );
+        let sends = kx.activate(ctx);
+        self.kx5 = Some(kx);
+        wrap(sends, SqMsg::Kx5)
+    }
+
+    fn drive_kx5(
+        &mut self,
+        ctx: &mut BaseCtx<'_>,
+        inbox: Vec<(usize, SqMsg<P>)>,
+        expect_done: bool,
+    ) -> Vec<(usize, SqMsg<P>)> {
+        let msgs = unwrap(inbox, |m| match m {
+            SqMsg::Kx5(x) => x,
+            other => panic!("unexpected message during Step 5 exchange: {other:?}"),
+        });
+        let step = self.kx5.as_mut().expect("kx5 active").on_round(ctx, msgs);
+        if !expect_done {
+            debug_assert!(step.output.is_none());
+            return wrap(step.sends, SqMsg::Kx5);
+        }
+        // Step 6: each node holds ≈ s messages per intermediate set σ;
+        // send the j-th (canonical order) to member j mod s of W_σ.
+        let received = step.output.expect("exchange completes on second round");
+        let s = self.s;
+        let mut by_sigma: Vec<Vec<Inter<P>>> = vec![Vec::new(); s];
+        for it in received {
+            by_sigma[it.set as usize].push(it);
+        }
+        let mut sends = Vec::new();
+        for (sigma, mut items) in by_sigma.into_iter().enumerate() {
+            items.sort_unstable_by_key(|x| x.msg.key());
+            debug_assert!(
+                items.len() <= 4 * s + 4,
+                "per-σ load {} exceeds the O(s) bound",
+                items.len()
+            );
+            for (j, it) in items.into_iter().enumerate() {
+                sends.push((sigma * s + (j % s), SqMsg::Move6(it)));
+            }
+        }
+        ctx.charge_work(sends.len() as u64);
+        sends
+    }
+
+    /// Call 7: collect Step 6 arrivals (I am now an intermediate holder
+    /// for my own set) and launch the Algorithm 1 Step 3 announce.
+    fn step6_receive_then_announce(
+        &mut self,
+        ctx: &mut BaseCtx<'_>,
+        inbox: Vec<(usize, SqMsg<P>)>,
+    ) -> Vec<(usize, SqMsg<P>)> {
+        let s = self.s;
+        self.held = vec![Vec::new(); s];
+        for (_, msg) in inbox {
+            let SqMsg::Move6(it) = msg else {
+                panic!("unexpected message in Step 6: {msg:?}");
+            };
+            debug_assert_eq!(it.set as usize, self.a, "Step 6 delivered to wrong set");
+            self.held[it.msg.dst.index() / s].push(it.msg);
+        }
+        let mut total = 0u64;
+        for bucket in &mut self.held {
+            bucket.sort_unstable_by_key(|x| x.key());
+            total += bucket.len() as u64;
+        }
+        ctx.charge_work(total);
+        ctx.note_mem(5 * total);
+        let values: Vec<u64> = self.held.iter().map(|b| b.len() as u64).collect();
+        let mut ann = GroupAnnounce::member(self.my_group(), self.r, values, self.scope("route.sq.ann3"));
+        let sends = ann.activate(ctx);
+        self.ann3 = Some(ann);
+        wrap(sends, SqMsg::Ann3)
+    }
+
+    fn drive_ann3(
+        &mut self,
+        ctx: &mut BaseCtx<'_>,
+        inbox: Vec<(usize, SqMsg<P>)>,
+        expect_done: bool,
+    ) -> Vec<(usize, SqMsg<P>)> {
+        let msgs = unwrap(inbox, |m| match m {
+            SqMsg::Ann3(x) => x,
+            other => panic!("unexpected message during Alg 1 Step 3 announce: {other:?}"),
+        });
+        let step = self.ann3.as_mut().expect("ann3 active").on_round(ctx, msgs);
+        if !expect_done {
+            debug_assert!(step.output.is_none());
+            return wrap(step.sends, SqMsg::Ann3);
+        }
+        let cnt = step.output.expect("announce completes on second round");
+        self.after_ann3(ctx, cnt)
+    }
+
+    /// Local chunking for Alg 1 Step 3, then launch its exchange: the
+    /// set's messages for each destination set `b` are split into `s`
+    /// nearly equal contiguous chunks, chunk `i` going to member `i`.
+    fn after_ann3(&mut self, ctx: &mut BaseCtx<'_>, cnt: Vec<Vec<u64>>) -> Vec<(usize, SqMsg<P>)> {
+        let s = self.s;
+        let mut d3 = DemandMatrix::new(s);
+        let mut prefixes = vec![0u64; s * s];
+        for b in 0..s {
+            let mut acc = 0u64;
+            for (rp, row) in cnt.iter().enumerate() {
+                prefixes[rp * s + b] = acc;
+                acc += row[b];
+            }
+            let total = acc;
+            if total == 0 {
+                continue;
+            }
+            let chunk = total.div_ceil(s as u64);
+            for rp in 0..s {
+                let lo = prefixes[rp * s + b];
+                let hi = lo + cnt[rp][b];
+                let mut p = lo;
+                while p < hi {
+                    let i = (p / chunk) as usize;
+                    let next = ((i as u64 + 1) * chunk).min(hi);
+                    d3.add(rp, i, (next - p) as u32);
+                    p = next;
+                }
+            }
+        }
+        ctx.charge_work((s * s) as u64 + d3.total());
+
+        let mut outgoing: Vec<Vec<RoutedMessage<P>>> = vec![Vec::new(); s];
+        for b in 0..s {
+            let total: u64 = cnt.iter().map(|row| row[b]).sum();
+            if total == 0 {
+                continue;
+            }
+            let chunk = total.div_ceil(s as u64);
+            let base = prefixes[self.r * s + b];
+            for (idx, m) in self.held[b].drain(..).enumerate() {
+                let i = ((base + idx as u64) / chunk) as usize;
+                outgoing[i].push(m);
+            }
+        }
+        let mut kx = KnownExchange::member(
+            self.my_group(),
+            d3,
+            outgoing,
+            self.scope("route.sq.kx3"),
+        );
+        let sends = kx.activate(ctx);
+        self.kx3 = Some(kx);
+        wrap(sends, SqMsg::Kx3)
+    }
+
+    fn drive_kx3(
+        &mut self,
+        ctx: &mut BaseCtx<'_>,
+        inbox: Vec<(usize, SqMsg<P>)>,
+        expect_done: bool,
+    ) -> Vec<(usize, SqMsg<P>)> {
+        let msgs = unwrap(inbox, |m| match m {
+            SqMsg::Kx3(x) => x,
+            other => panic!("unexpected message during Alg 1 Step 3 exchange: {other:?}"),
+        });
+        let step = self.kx3.as_mut().expect("kx3 active").on_round(ctx, msgs);
+        if !expect_done {
+            debug_assert!(step.output.is_none());
+            return wrap(step.sends, SqMsg::Kx3);
+        }
+        // Alg 1 Step 4: the j-th of my messages for destination set b
+        // goes to member j mod s of W_b.
+        let received = step.output.expect("exchange completes on second round");
+        let s = self.s;
+        let mut by_b: Vec<Vec<RoutedMessage<P>>> = vec![Vec::new(); s];
+        for m in received {
+            by_b[m.dst.index() / s].push(m);
+        }
+        let mut sends = Vec::new();
+        for (b, mut items) in by_b.into_iter().enumerate() {
+            items.sort_unstable_by_key(|x| x.key());
+            debug_assert!(
+                items.len() <= 4 * s + 4,
+                "per-set chunk {} exceeds the O(s) bound",
+                items.len()
+            );
+            for (j, m) in items.into_iter().enumerate() {
+                sends.push((b * s + (j % s), SqMsg::Move4(m)));
+            }
+        }
+        ctx.charge_work(sends.len() as u64);
+        sends
+    }
+
+    /// Call 12: collect Step 4 arrivals (all destined within my set) and
+    /// launch the final Corollary 3.4 exchange.
+    fn step4_receive_then_subset(
+        &mut self,
+        ctx: &mut BaseCtx<'_>,
+        inbox: Vec<(usize, SqMsg<P>)>,
+    ) -> Vec<(usize, SqMsg<P>)> {
+        let s = self.s;
+        let mut outgoing: Vec<Vec<RoutedMessage<P>>> = vec![Vec::new(); s];
+        for (_, msg) in inbox {
+            let SqMsg::Move4(m) = msg else {
+                panic!("unexpected message in Step 4: {msg:?}");
+            };
+            debug_assert_eq!(m.dst.index() / s, self.a, "Step 4 delivered to wrong set");
+            outgoing[m.dst.index() % s].push(m);
+        }
+        ctx.charge_work(outgoing.iter().map(|o| o.len() as u64).sum());
+        let mut sx = SubsetExchange::member(
+            self.my_group(),
+            self.r,
+            outgoing,
+            self.scope("route.sq.sx"),
+        );
+        let sends = sx.activate(ctx);
+        self.sx = Some(sx);
+        wrap(sends, SqMsg::Sx)
+    }
+
+    fn drive_sx(&mut self, ctx: &mut BaseCtx<'_>, inbox: Vec<(usize, SqMsg<P>)>) -> Vec<(usize, SqMsg<P>)> {
+        let msgs = unwrap(inbox, |m| match m {
+            SqMsg::Sx(x) => x,
+            other => panic!("unexpected message during Alg 1 Step 5: {other:?}"),
+        });
+        let step = self.sx.as_mut().expect("sx active").on_round(ctx, msgs);
+        debug_assert!(step.output.is_none());
+        wrap(step.sends, SqMsg::Sx)
+    }
+
+    fn finish_sx(
+        &mut self,
+        ctx: &mut BaseCtx<'_>,
+        inbox: Vec<(usize, SqMsg<P>)>,
+    ) -> (Vec<(usize, SqMsg<P>)>, Vec<RoutedMessage<P>>) {
+        let msgs = unwrap(inbox, |m| match m {
+            SqMsg::Sx(x) => x,
+            other => panic!("unexpected message during Alg 1 Step 5: {other:?}"),
+        });
+        let step = self.sx.as_mut().expect("sx active").on_round(ctx, msgs);
+        let delivered = step.output.expect("subset exchange completes on call 16");
+        debug_assert!(step.sends.is_empty());
+        debug_assert!(
+            delivered.iter().all(|m| m.dst.index() == self.vme),
+            "a message was delivered to the wrong node"
+        );
+        ctx.charge_work(delivered.len() as u64);
+        (Vec::new(), delivered)
+    }
+}
+
+fn wrap<P, M>(sends: Vec<(NodeId, M)>, f: impl Fn(M) -> SqMsg<P>) -> Vec<(usize, SqMsg<P>)> {
+    sends
+        .into_iter()
+        .map(|(dst, m)| (dst.index(), f(m)))
+        .collect()
+}
+
+fn unwrap<P, M>(inbox: Vec<(usize, SqMsg<P>)>, f: impl Fn(SqMsg<P>) -> M) -> Vec<(NodeId, M)> {
+    inbox
+        .into_iter()
+        .map(|(src, m)| (NodeId::new(src), f(m)))
+        .collect()
+}

@@ -1,0 +1,140 @@
+//! Key types for Problem 4.1.
+
+use cc_sim::util::word_bits;
+use cc_sim::{NodeId, Payload};
+
+/// A sort key tagged with its provenance.
+///
+/// The paper assumes w.l.o.g. that all keys are distinct, ordering
+/// duplicates "lexicographically by key, node whose input contains the
+/// key, and a local enumeration of identical keys at each node"
+/// (footnote 5). `TaggedKey` is that triple; all comparisons inside the
+/// sorting algorithms use it, so duplicate-heavy inputs stay balanced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaggedKey {
+    /// The key value. Must be less than `u64::MAX` (reserved sentinel).
+    pub key: u64,
+    /// Node whose input contained the key.
+    pub origin: NodeId,
+    /// Index of the key within its origin's input.
+    pub index_at_origin: u32,
+}
+
+impl TaggedKey {
+    /// Tags a raw key.
+    pub fn new(key: u64, origin: NodeId, index_at_origin: u32) -> Self {
+        TaggedKey {
+            key,
+            origin,
+            index_at_origin,
+        }
+    }
+}
+
+impl Payload for TaggedKey {
+    fn size_bits(&self, n: usize) -> u64 {
+        // key (two words) + origin + local index.
+        4 * word_bits(n)
+    }
+}
+
+/// Maximum keys bundled into one message (the paper's "bundling a constant
+/// number of keys in each message").
+pub const KEYS_PER_BATCH: usize = 4;
+
+/// A bundle of up to [`KEYS_PER_BATCH`] tagged keys travelling as one
+/// message payload.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KeyBatch {
+    /// The bundled keys.
+    pub keys: Vec<TaggedKey>,
+}
+
+impl KeyBatch {
+    /// Bundles `keys` (at most [`KEYS_PER_BATCH`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`KEYS_PER_BATCH`] keys are supplied.
+    pub fn new(keys: Vec<TaggedKey>) -> Self {
+        assert!(keys.len() <= KEYS_PER_BATCH, "key batch too large");
+        KeyBatch { keys }
+    }
+
+    /// Splits a key slice into batches.
+    pub fn split(keys: &[TaggedKey]) -> Vec<KeyBatch> {
+        keys.chunks(KEYS_PER_BATCH)
+            .map(|c| KeyBatch::new(c.to_vec()))
+            .collect()
+    }
+}
+
+impl Payload for KeyBatch {
+    fn size_bits(&self, n: usize) -> u64 {
+        let w = word_bits(n);
+        w + self
+            .keys
+            .iter()
+            .map(|k| k.size_bits(n))
+            .sum::<u64>()
+    }
+}
+
+/// A key bundle pinned to an absolute position in the global sorted order
+/// (used by the order-preserving redistribution steps).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct IndexedBatch {
+    /// Global rank of `keys[0]`.
+    pub start: u64,
+    /// The bundled keys (consecutive ranks).
+    pub keys: Vec<TaggedKey>,
+}
+
+impl Payload for IndexedBatch {
+    fn size_bits(&self, n: usize) -> u64 {
+        let w = word_bits(n);
+        2 * w + self.keys.iter().map(|k| k.size_bits(n)).sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tagged_keys_order_by_value_then_provenance() {
+        let a = TaggedKey::new(5, NodeId::new(1), 0);
+        let b = TaggedKey::new(5, NodeId::new(2), 0);
+        let c = TaggedKey::new(4, NodeId::new(9), 9);
+        assert!(c < a);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn batches_split_evenly() {
+        let keys: Vec<TaggedKey> = (0..10)
+            .map(|i| TaggedKey::new(i, NodeId::new(0), i as u32))
+            .collect();
+        let batches = KeyBatch::split(&keys);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].keys.len(), 4);
+        assert_eq!(batches[2].keys.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "key batch too large")]
+    fn rejects_oversized_batch() {
+        let keys: Vec<TaggedKey> = (0..5)
+            .map(|i| TaggedKey::new(i, NodeId::new(0), i as u32))
+            .collect();
+        let _ = KeyBatch::new(keys);
+    }
+
+    #[test]
+    fn payload_sizes_scale_with_content() {
+        let k = TaggedKey::new(1, NodeId::new(0), 0);
+        let small = KeyBatch::new(vec![k]);
+        let large = KeyBatch::new(vec![k; 4]);
+        assert!(large.size_bits(64) > small.size_bits(64));
+    }
+}

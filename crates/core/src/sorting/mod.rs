@@ -1,0 +1,24 @@
+//! Sorting on the congested clique (Problem 4.1, §4 of the paper).
+//!
+//! * [`SubsetSort`] — Algorithm 3: up to `≈ cap·|W|` keys sorted within a
+//!   `|W| ≈ √n` group in **10 rounds** (Lemma 4.4), 8 when the final
+//!   redistribution is skipped.
+//! * `sort_keys` — Algorithm 4 / Theorem 4.5: every node holds up to `n`
+//!   keys; after **37 rounds** node `i` holds the `i`-th batch of the
+//!   global sorted order.
+//! * Corollary 4.6 (duplicate-aware global indices), selection and mode
+//!   queries, and the §6.3 small-key protocol build on top.
+
+mod full_sort;
+mod indexed;
+mod keys;
+mod small_keys;
+mod subset_sort;
+
+pub use full_sort::{sort_keys, sort_with_spec, spec_for_sorting, FsMsg, FullSortMachine, SortOutcome};
+pub use indexed::{
+    global_indices, mode_query, select_rank, IndexOutcome, ModeOutcome, SelectOutcome,
+};
+pub use keys::{IndexedBatch, KeyBatch, TaggedKey, KEYS_PER_BATCH};
+pub use small_keys::{small_key_census, SmallKeyOutcome};
+pub use subset_sort::{A3Msg, SubsetSort, SubsetSortOutput};

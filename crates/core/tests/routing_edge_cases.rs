@@ -1,0 +1,184 @@
+//! Routing edge cases and failure injection across both router variants.
+
+use cc_core::routing::{
+    route_deterministic, route_optimized, route_with_spec, spec_for_routing, RoutedMessage,
+    RoutingInstance,
+};
+use cc_sim::{NodeId, Payload, SimError};
+
+#[test]
+fn every_size_from_4_to_30_full_load() {
+    for n in 4..=30usize {
+        let inst = RoutingInstance::from_demands(n, |_, _| 1).unwrap();
+        let det = route_deterministic(&inst).unwrap();
+        assert!(det.metrics.comm_rounds() <= 16, "det n={n}");
+        let opt = route_optimized(&inst).unwrap();
+        assert!(opt.metrics.comm_rounds() <= 12, "opt n={n}");
+    }
+}
+
+#[test]
+fn single_message_instances() {
+    for n in [4usize, 9, 10, 17] {
+        let inst = RoutingInstance::from_demands(n, |i, j| u32::from(i == 0 && j == n - 1)).unwrap();
+        let out = route_deterministic(&inst).unwrap();
+        assert_eq!(out.delivered[n - 1].len(), 1);
+        assert!(out.delivered[..n - 1].iter().all(Vec::is_empty));
+    }
+}
+
+#[test]
+fn all_messages_to_self() {
+    let n = 16;
+    let inst = RoutingInstance::from_demands(n, |i, j| u32::from(i == j) * n as u32).unwrap();
+    for out in [route_deterministic(&inst).unwrap(), route_optimized(&inst).unwrap()] {
+        for (k, d) in out.delivered.iter().enumerate() {
+            assert_eq!(d.len(), n);
+            assert!(d.iter().all(|m| m.src.index() == k && m.dst.index() == k));
+        }
+    }
+}
+
+#[test]
+fn one_hot_column_receiver() {
+    // Every node sends everything to node 0 — the maximal receive skew
+    // the instance bounds allow (1 message per sender).
+    let n = 20;
+    let inst = RoutingInstance::from_demands(n, |_, j| u32::from(j == 0)).unwrap();
+    let out = route_deterministic(&inst).unwrap();
+    assert_eq!(out.delivered[0].len(), n);
+}
+
+#[test]
+fn transpose_symmetry() {
+    // Routing the transpose demand delivers the transposed multiset.
+    let n = 9;
+    let inst = RoutingInstance::from_demands(n, |i, j| ((i * 3 + j) % 2) as u32).unwrap();
+    let tinst = RoutingInstance::from_demands(n, |i, j| ((j * 3 + i) % 2) as u32).unwrap();
+    let a = route_deterministic(&inst).unwrap();
+    let b = route_deterministic(&tinst).unwrap();
+    let sent_a: usize = a.delivered.iter().map(Vec::len).sum();
+    let sent_b: usize = b.delivered.iter().map(Vec::len).sum();
+    assert_eq!(sent_a, sent_b);
+}
+
+#[test]
+fn custom_payload_type_routes() {
+    #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    struct Pair(u32, u32);
+    impl Payload for Pair {
+        fn size_bits(&self, n: usize) -> u64 {
+            2 * cc_sim::util::word_bits(n)
+        }
+    }
+    let n = 9;
+    let sends: Vec<Vec<RoutedMessage<Pair>>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| {
+                    RoutedMessage::new(NodeId::new(i), NodeId::new(j), 0, Pair(i as u32, j as u32))
+                })
+                .collect()
+        })
+        .collect();
+    let inst = RoutingInstance::new(n, sends).unwrap();
+    let out = route_deterministic(&inst).unwrap();
+    for (k, d) in out.delivered.iter().enumerate() {
+        assert_eq!(d.len(), n);
+        assert!(d.iter().all(|m| m.payload.1 == k as u32));
+    }
+}
+
+#[test]
+fn budget_violation_is_surfaced_not_masked() {
+    // Starve the router: a 2-word budget cannot carry its envelopes.
+    let n = 16;
+    let inst = RoutingInstance::from_demands(n, |_, _| 1).unwrap();
+    let spec = spec_for_routing(n).with_budget_words(2);
+    let err = route_with_spec(&inst, spec).unwrap_err();
+    match err {
+        cc_core::CoreError::Sim(SimError::BudgetExceeded { .. }) => {}
+        other => panic!("expected budget violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn round_limit_is_surfaced() {
+    let n = 16;
+    let inst = RoutingInstance::from_demands(n, |_, _| 1).unwrap();
+    let spec = spec_for_routing(n).with_max_rounds(3);
+    let err = route_with_spec(&inst, spec).unwrap_err();
+    assert!(matches!(
+        err,
+        cc_core::CoreError::Sim(SimError::TooManyRounds { .. })
+    ));
+}
+
+#[test]
+fn metrics_conserve_messages_across_phases() {
+    // Every injected message is moved a bounded number of times: total
+    // engine messages stay within a small multiple of the instance size.
+    let n = 36;
+    let inst = RoutingInstance::from_demands(n, |_, _| 1).unwrap();
+    let out = route_deterministic(&inst).unwrap();
+    let injected = inst.total_messages() as u64;
+    assert!(out.metrics.total_messages() >= injected, "at least one hop each");
+    assert!(
+        out.metrics.total_messages() <= 64 * injected,
+        "{} engine messages for {} injected",
+        out.metrics.total_messages(),
+        injected
+    );
+}
+
+#[test]
+fn seq_numbers_allow_parallel_edges() {
+    // 5 distinct messages between the same ordered pair.
+    let n = 9;
+    let inst = RoutingInstance::from_demands(n, |i, j| {
+        if i == 2 && j == 7 {
+            5
+        } else {
+            0
+        }
+    })
+    .unwrap();
+    let out = route_deterministic(&inst).unwrap();
+    let seqs: Vec<u32> = out.delivered[7].iter().map(|m| m.seq).collect();
+    assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+}
+
+#[test]
+fn max_load_constructor_accepts_double_load() {
+    let n = 8;
+    // 2n messages per pair-row: valid only under the relaxed cap.
+    let sends: Vec<Vec<RoutedMessage>> = (0..n)
+        .map(|i| {
+            (0..2 * n)
+                .map(|k| {
+                    RoutedMessage::new(
+                        NodeId::new(i),
+                        NodeId::new(k % n),
+                        (k / n) as u32,
+                        k as u64,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    assert!(RoutingInstance::new(n, sends.clone()).is_err());
+    let inst = RoutingInstance::with_max_load(n, sends, 2 * n).unwrap();
+    let out = route_deterministic(&inst).unwrap();
+    assert!(out.metrics.comm_rounds() <= 16);
+    assert!(out.delivered.iter().all(|d| d.len() == 2 * n));
+}
+
+#[test]
+fn work_accounting_is_monotone_in_load() {
+    let n = 16;
+    let light = RoutingInstance::from_demands(n, |i, j| u32::from((i + j) % 8 == 0)).unwrap();
+    let heavy = RoutingInstance::from_demands(n, |_, _| 1).unwrap();
+    let wl = route_deterministic(&light).unwrap().metrics.max_node_steps();
+    let wh = route_deterministic(&heavy).unwrap().metrics.max_node_steps();
+    assert!(wh >= wl);
+}

@@ -1,0 +1,155 @@
+//! Sorting invariants: stability of provenance, batch contiguity, the
+//! Lemma 4.3 balance bound under adversarial duplication, and query
+//! consistency.
+
+use cc_core::sorting::{global_indices, mode_query, select_rank, sort_keys};
+use cc_sim::NodeId;
+
+fn keys_fn(n: usize, f: impl Fn(usize, usize) -> u64) -> Vec<Vec<u64>> {
+    (0..n).map(|i| (0..n).map(|j| f(i, j)).collect()).collect()
+}
+
+#[test]
+fn batches_are_contiguous_and_tagged() {
+    let n = 25;
+    let keys = keys_fn(n, |i, j| ((i * 97 + j * 31) % 512) as u64);
+    let out = sort_keys(&keys).unwrap();
+    // Offsets are exactly the prefix sums and every tag points at a real
+    // input position holding that very key.
+    let mut expect_offset = 0u64;
+    for (k, batch) in out.batches.iter().enumerate() {
+        if !batch.is_empty() {
+            assert_eq!(out.offsets[k], expect_offset, "node {k}");
+        }
+        expect_offset += batch.len() as u64;
+        for t in batch {
+            assert_eq!(keys[t.origin.index()][t.index_at_origin as usize], t.key);
+        }
+    }
+    assert_eq!(expect_offset, out.total);
+}
+
+#[test]
+fn provenance_is_a_permutation() {
+    // Every (origin, index) appears exactly once in the output.
+    let n = 16;
+    let keys = keys_fn(n, |i, j| ((i + j) % 4) as u64);
+    let out = sort_keys(&keys).unwrap();
+    let mut seen = vec![vec![false; n]; n];
+    for batch in &out.batches {
+        for t in batch {
+            let (o, i) = (t.origin.index(), t.index_at_origin as usize);
+            assert!(!seen[o][i], "duplicate provenance ({o}, {i})");
+            seen[o][i] = true;
+        }
+    }
+    assert!(seen.iter().flatten().all(|&b| b));
+}
+
+#[test]
+fn ties_break_by_origin_then_position() {
+    // Footnote 5's lexicographic order is visible in the output.
+    let n = 9;
+    let keys = keys_fn(n, |_, _| 7);
+    let out = sort_keys(&keys).unwrap();
+    let flat: Vec<(u64, NodeId, u32)> = out
+        .batches
+        .iter()
+        .flatten()
+        .map(|t| (t.key, t.origin, t.index_at_origin))
+        .collect();
+    let mut sorted = flat.clone();
+    sorted.sort_unstable();
+    assert_eq!(flat, sorted);
+}
+
+#[test]
+fn adversarial_duplicates_stay_balanced() {
+    // Two heavy values, everything else empty: no node's final batch may
+    // exceed ⌈total/n⌉ (the interval redistribution equalizes exactly).
+    let n = 16;
+    let keys = keys_fn(n, |i, _| (i % 2) as u64);
+    let out = sort_keys(&keys).unwrap();
+    let q = (out.total as usize).div_ceil(n);
+    for (k, b) in out.batches.iter().enumerate() {
+        assert!(b.len() <= q, "node {k} holds {} > q = {q}", b.len());
+    }
+}
+
+#[test]
+fn selection_against_reference_at_every_decile() {
+    let n = 12;
+    let keys = keys_fn(n, |i, j| ((i * 7919 + j * 104729) % 1000) as u64);
+    let mut all: Vec<u64> = keys.iter().flatten().copied().collect();
+    all.sort_unstable();
+    for d in 0..10 {
+        let rank = (d * all.len() / 10) as u64;
+        let sel = select_rank(&keys, rank).unwrap();
+        assert_eq!(sel.key, all[rank as usize], "decile {d}");
+    }
+}
+
+#[test]
+fn mode_tie_behavior_is_deterministic() {
+    // Two values with equal counts: the query must return one of them
+    // with the correct multiplicity, and repeat runs agree.
+    let n = 8;
+    let keys = keys_fn(n, |_, j| (j % 2) as u64);
+    let a = mode_query(&keys).unwrap();
+    let b = mode_query(&keys).unwrap();
+    assert_eq!((a.key, a.count), (b.key, b.count));
+    assert_eq!(a.count, (n * n / 2) as u64);
+    assert!(a.key <= 1);
+}
+
+#[test]
+fn indices_are_dense_over_distinct_values() {
+    let n = 12;
+    let keys = keys_fn(n, |i, j| ((i * j) % 9) as u64);
+    let out = global_indices(&keys).unwrap();
+    let mut distinct: Vec<u64> = keys.iter().flatten().copied().collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let max_idx = out.indices.iter().flatten().copied().max().unwrap();
+    assert_eq!(max_idx as usize, distinct.len() - 1);
+    // Index order respects key order.
+    for v in 0..n {
+        for (p, &k) in keys[v].iter().enumerate() {
+            let rank = distinct.binary_search(&k).unwrap() as u64;
+            assert_eq!(out.indices[v][p], rank, "node {v} pos {p}");
+        }
+    }
+}
+
+#[test]
+fn sorting_singletons_and_empties() {
+    // Only one node holds anything.
+    let n = 9;
+    let mut keys = vec![Vec::new(); n];
+    keys[4] = vec![3, 1, 2];
+    let out = sort_keys(&keys).unwrap();
+    let flat: Vec<u64> = out.batches.iter().flatten().map(|k| k.key).collect();
+    assert_eq!(flat, vec![1, 2, 3]);
+}
+
+#[test]
+fn sorting_is_deterministic() {
+    let n = 16;
+    let keys = keys_fn(n, |i, j| ((i * 13 + j * 29) % 64) as u64);
+    let a = sort_keys(&keys).unwrap();
+    let b = sort_keys(&keys).unwrap();
+    assert_eq!(a.batches, b.batches);
+    assert_eq!(a.metrics.total_bits(), b.metrics.total_bits());
+}
+
+#[test]
+fn round_count_is_input_independent() {
+    // The deterministic sort's round count may not leak anything about
+    // the data: all fully loaded inputs take the same number of rounds.
+    let n = 16;
+    let r1 = sort_keys(&keys_fn(n, |i, j| (i * n + j) as u64)).unwrap().metrics.comm_rounds();
+    let r2 = sort_keys(&keys_fn(n, |_, _| 0)).unwrap().metrics.comm_rounds();
+    let r3 = sort_keys(&keys_fn(n, |i, j| ((i ^ j) * 12345 % 77) as u64)).unwrap().metrics.comm_rounds();
+    assert_eq!(r1, r2);
+    assert_eq!(r2, r3);
+}

@@ -1,0 +1,237 @@
+//! Vector announcement within a group — the "each node announces … to all
+//! other nodes in W" steps of Algorithms 2 and 3, realized as a
+//! [`KnownExchange`] with a uniform demand matrix (2 rounds).
+
+use crate::demand::DemandMatrix;
+use crate::driver::{Driver, DriverStep};
+use crate::group::NodeGroup;
+use crate::known_exchange::{KnownExchange, KxMsg};
+use cc_sim::util::word_bits;
+use cc_sim::{BaseCtx, CommonScope, NodeId, Payload};
+
+/// One announced value: `(source member, vector index, value)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnnounceMsg {
+    /// Local index of the announcing member within the group.
+    pub src_local: u32,
+    /// Position of the value in the announced vector.
+    pub index: u32,
+    /// The value itself (counts or keys; at most two machine words).
+    pub value: u64,
+}
+
+impl Payload for AnnounceMsg {
+    fn size_bits(&self, n: usize) -> u64 {
+        // src + index + a two-word value.
+        4 * word_bits(n)
+    }
+}
+
+/// Every member of `W` disseminates a fixed-length vector of values to all
+/// members (2 rounds). Output on members: `values[src_local][index]`;
+/// non-members relay and receive an empty matrix.
+///
+/// # Preconditions (checked at activation)
+///
+/// `|W| · vector_len ≤ n` — the relay count of the underlying exchange
+/// (this is the `|W|² ≤ f·|W|` condition of Corollary 3.4 when
+/// `vector_len = |W|`).
+pub struct GroupAnnounce {
+    inner: KnownExchange<AnnounceMsg>,
+    group_len: usize,
+    vector_len: usize,
+    is_member: bool,
+}
+
+impl std::fmt::Debug for GroupAnnounce {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GroupAnnounce({} members × {} values)",
+            self.group_len, self.vector_len
+        )
+    }
+}
+
+impl GroupAnnounce {
+    /// Number of communication rounds this primitive takes.
+    pub const ROUNDS: u64 = 2;
+
+    /// Member-side driver: announce `my_values` (same length on every
+    /// member) to the whole group.
+    ///
+    /// # Panics
+    ///
+    /// Panics at activation if `me` is not in `group`.
+    pub fn member(
+        group: NodeGroup,
+        my_local: usize,
+        my_values: Vec<u64>,
+        scope: CommonScope,
+    ) -> Self {
+        let w = group.len();
+        let l = my_values.len();
+        let mut demands = DemandMatrix::new(w);
+        for i in 0..w {
+            for j in 0..w {
+                demands.set(i, j, l as u32);
+            }
+        }
+        let outgoing: Vec<Vec<AnnounceMsg>> = (0..w)
+            .map(|_| {
+                my_values
+                    .iter()
+                    .enumerate()
+                    .map(|(t, &value)| AnnounceMsg {
+                        src_local: my_local as u32,
+                        index: t as u32,
+                        value,
+                    })
+                    .collect()
+            })
+            .collect();
+        GroupAnnounce {
+            inner: KnownExchange::member(group, demands, outgoing, scope),
+            group_len: w,
+            vector_len: l,
+            is_member: true,
+        }
+    }
+
+    /// Relay-side driver for nodes outside the group.
+    pub fn relay_only() -> Self {
+        GroupAnnounce {
+            inner: KnownExchange::relay_only(),
+            group_len: 0,
+            vector_len: 0,
+            is_member: false,
+        }
+    }
+}
+
+impl Driver for GroupAnnounce {
+    type Msg = KxMsg<AnnounceMsg>;
+    /// `output[src_local][index] = value`; empty for non-members.
+    type Output = Vec<Vec<u64>>;
+
+    fn activate(&mut self, ctx: &mut BaseCtx<'_>) -> Vec<(NodeId, Self::Msg)> {
+        self.inner.activate(ctx)
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &mut BaseCtx<'_>,
+        inbox: Vec<(NodeId, Self::Msg)>,
+    ) -> DriverStep<Self::Msg, Self::Output> {
+        let step = self.inner.on_round(ctx, inbox);
+        match step.output {
+            None => DriverStep::sends(step.sends),
+            Some(received) => {
+                if !self.is_member {
+                    debug_assert!(received.is_empty());
+                    return DriverStep::done(Vec::new());
+                }
+                let mut matrix = vec![vec![0u64; self.vector_len]; self.group_len];
+                let mut seen = vec![vec![false; self.vector_len]; self.group_len];
+                for msg in received {
+                    let (s, t) = (msg.src_local as usize, msg.index as usize);
+                    assert!(
+                        s < self.group_len && t < self.vector_len,
+                        "announcement ({s}, {t}) out of range"
+                    );
+                    assert!(!seen[s][t], "duplicate announcement ({s}, {t})");
+                    seen[s][t] = true;
+                    matrix[s][t] = msg.value;
+                }
+                assert!(
+                    seen.iter().all(|row| row.iter().all(|&b| b)),
+                    "missing announcements"
+                );
+                ctx.charge_work((self.group_len * self.vector_len) as u64);
+                DriverStep::done(matrix)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::drive;
+    use cc_sim::{run_protocol, CliqueSpec};
+
+    #[test]
+    fn every_member_learns_all_vectors() {
+        let n = 9;
+        let group = NodeGroup::contiguous(3, 3);
+        let report = run_protocol(CliqueSpec::new(n).unwrap(), |me| {
+            if let Some(local) = group.local_index(me) {
+                let values: Vec<u64> = (0..3).map(|t| (local * 10 + t) as u64).collect();
+                drive(GroupAnnounce::member(
+                    group.clone(),
+                    local,
+                    values,
+                    CommonScope::new("test.ann", 0),
+                ))
+            } else {
+                drive(GroupAnnounce::relay_only())
+            }
+        })
+        .unwrap();
+        assert_eq!(report.metrics.comm_rounds(), 2);
+        for (v, matrix) in report.outputs.iter().enumerate() {
+            if (3..6).contains(&v) {
+                for s in 0..3 {
+                    for t in 0..3 {
+                        assert_eq!(matrix[s][t], (s * 10 + t) as u64);
+                    }
+                }
+            } else {
+                assert!(matrix.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_vectors() {
+        let n = 4;
+        let group = NodeGroup::whole_clique(n);
+        let report = run_protocol(CliqueSpec::new(n).unwrap(), |me| {
+            let local = group.local_index(me).unwrap();
+            drive(GroupAnnounce::member(
+                group.clone(),
+                local,
+                Vec::new(),
+                CommonScope::new("test.ann.empty", 0),
+            ))
+        })
+        .unwrap();
+        assert_eq!(report.metrics.comm_rounds(), 0);
+        for matrix in &report.outputs {
+            assert!(matrix.iter().all(Vec::is_empty));
+        }
+    }
+
+    #[test]
+    fn whole_clique_sqrt_vectors() {
+        // |W| = n = 9 announcing vectors of length... |W|·L ≤ n means L=1.
+        let n = 9;
+        let group = NodeGroup::whole_clique(n);
+        let report = run_protocol(CliqueSpec::new(n).unwrap(), |me| {
+            let local = group.local_index(me).unwrap();
+            drive(GroupAnnounce::member(
+                group.clone(),
+                local,
+                vec![me.raw() as u64 * 7],
+                CommonScope::new("test.ann.one", 0),
+            ))
+        })
+        .unwrap();
+        assert_eq!(report.metrics.comm_rounds(), 2);
+        for matrix in &report.outputs {
+            for (s, row) in matrix.iter().enumerate() {
+                assert_eq!(row, &vec![s as u64 * 7]);
+            }
+        }
+    }
+}

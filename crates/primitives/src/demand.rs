@@ -1,0 +1,139 @@
+use cc_sim::hash::hash_u32s;
+
+/// A square demand matrix over a node group: `get(i, j)` is the number of
+/// messages local member `i` must deliver to local member `j`.
+///
+/// This is the object that must become *common knowledge* within a group
+/// before Corollary 3.3 applies; its stable hash feeds the
+/// common-knowledge verification of the plan cache.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DemandMatrix {
+    size: usize,
+    counts: Vec<u32>,
+}
+
+impl DemandMatrix {
+    /// An all-zero `size × size` matrix.
+    pub fn new(size: usize) -> Self {
+        DemandMatrix {
+            size,
+            counts: vec![0; size * size],
+        }
+    }
+
+    /// Builds from row-major counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != size * size`.
+    pub fn from_counts(size: usize, counts: Vec<u32>) -> Self {
+        assert_eq!(counts.len(), size * size, "demand matrix shape mismatch");
+        DemandMatrix { size, counts }
+    }
+
+    /// Side length of the matrix (= group size).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Demand from local `i` to local `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> u32 {
+        self.counts[i * self.size + j]
+    }
+
+    /// Sets the demand from local `i` to local `j`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: u32) {
+        self.counts[i * self.size + j] = value;
+    }
+
+    /// Adds to the demand from local `i` to local `j`.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, delta: u32) {
+        self.counts[i * self.size + j] += delta;
+    }
+
+    /// Row-major view of the counts.
+    #[inline]
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Sum of row `i` (messages member `i` sends).
+    pub fn row_sum(&self, i: usize) -> u64 {
+        self.counts[i * self.size..(i + 1) * self.size]
+            .iter()
+            .map(|&c| u64::from(c))
+            .sum()
+    }
+
+    /// Sum of column `j` (messages member `j` receives).
+    pub fn col_sum(&self, j: usize) -> u64 {
+        (0..self.size).map(|i| u64::from(self.get(i, j))).sum()
+    }
+
+    /// The largest row or column sum — the minimum number of colors (and
+    /// relays) a [`KnownExchange`](crate::KnownExchange) needs.
+    pub fn max_line_sum(&self) -> u64 {
+        let mut rows = vec![0u64; self.size];
+        let mut cols = vec![0u64; self.size];
+        for i in 0..self.size {
+            for j in 0..self.size {
+                let c = u64::from(self.get(i, j));
+                rows[i] += c;
+                cols[j] += c;
+            }
+        }
+        rows.into_iter().chain(cols).max().unwrap_or(0)
+    }
+
+    /// Total demand.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|&c| u64::from(c)).sum()
+    }
+
+    /// Stable content hash (for common-knowledge scopes).
+    pub fn stable_hash(&self) -> u64 {
+        hash_u32s(&self.counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums() {
+        let m = DemandMatrix::from_counts(2, vec![1, 2, 3, 4]);
+        assert_eq!(m.row_sum(0), 3);
+        assert_eq!(m.row_sum(1), 7);
+        assert_eq!(m.col_sum(0), 4);
+        assert_eq!(m.col_sum(1), 6);
+        assert_eq!(m.max_line_sum(), 7);
+        assert_eq!(m.total(), 10);
+    }
+
+    #[test]
+    fn mutation() {
+        let mut m = DemandMatrix::new(3);
+        m.set(1, 2, 5);
+        m.add(1, 2, 2);
+        assert_eq!(m.get(1, 2), 7);
+        assert_eq!(m.total(), 7);
+    }
+
+    #[test]
+    fn hash_reflects_content() {
+        let a = DemandMatrix::from_counts(2, vec![1, 0, 0, 1]);
+        let b = DemandMatrix::from_counts(2, vec![0, 1, 1, 0]);
+        assert_ne!(a.stable_hash(), b.stable_hash());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn rejects_bad_shape() {
+        let _ = DemandMatrix::from_counts(2, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,106 @@
+use cc_sim::{BaseCtx, NodeId, Payload};
+
+/// A resumable sub-protocol: a per-node state machine a parent
+/// [`NodeMachine`](cc_sim::NodeMachine) advances one round at a time.
+///
+/// Lifecycle: the parent calls [`Driver::activate`] in the round it enters
+/// the phase (queuing the primitive's first-round sends), then
+/// [`Driver::on_round`] once per subsequent round with the messages that
+/// belong to this driver, until an output is produced. A `k`-round
+/// primitive produces its output exactly `k` rounds after activation, on
+/// *every* node simultaneously — which is what keeps all nodes' phase
+/// transitions in lockstep without any extra coordination.
+///
+/// Every node of the clique must run every driver: non-members of the
+/// primitive's group still participate as relays (the paper's schemes use
+/// all edges with at least one endpoint in `W`).
+pub trait Driver {
+    /// The driver's message type; the parent wraps it into its own enum.
+    type Msg: Payload;
+    /// Output delivered to every node when the primitive completes.
+    type Output;
+
+    /// Queues the first-round sends. Called exactly once.
+    fn activate(&mut self, ctx: &mut BaseCtx<'_>) -> Vec<(NodeId, Self::Msg)>;
+
+    /// Advances one round. `inbox` holds exactly the messages of this
+    /// driver delivered this round (the parent demultiplexes).
+    fn on_round(
+        &mut self,
+        ctx: &mut BaseCtx<'_>,
+        inbox: Vec<(NodeId, Self::Msg)>,
+    ) -> DriverStep<Self::Msg, Self::Output>;
+}
+
+/// One round's result from a [`Driver`].
+#[derive(Debug)]
+pub struct DriverStep<M, O> {
+    /// Messages to queue for the next round.
+    pub sends: Vec<(NodeId, M)>,
+    /// The output, in the final round.
+    pub output: Option<O>,
+}
+
+impl<M, O> DriverStep<M, O> {
+    /// A round that only sends.
+    pub fn sends(sends: Vec<(NodeId, M)>) -> Self {
+        DriverStep {
+            sends,
+            output: None,
+        }
+    }
+
+    /// The final round: deliver the output (with no further sends).
+    pub fn done(output: O) -> Self {
+        DriverStep {
+            sends: Vec::new(),
+            output: Some(output),
+        }
+    }
+}
+
+/// Runs a single driver as a standalone protocol: a convenience harness
+/// used by tests and benchmarks to measure a primitive's round count in
+/// isolation.
+///
+/// The returned machine implements [`NodeMachine`](cc_sim::NodeMachine)
+/// with the driver's message type and output.
+pub fn drive<D: Driver>(driver: D) -> DriverMachine<D> {
+    DriverMachine { driver }
+}
+
+/// Adapter turning a [`Driver`] into a complete
+/// [`NodeMachine`](cc_sim::NodeMachine); see [`drive`].
+#[derive(Debug)]
+pub struct DriverMachine<D> {
+    driver: D,
+}
+
+impl<D: Driver> cc_sim::NodeMachine for DriverMachine<D> {
+    type Msg = D::Msg;
+    type Output = D::Output;
+
+    fn on_start(&mut self, ctx: &mut cc_sim::Ctx<'_, Self::Msg>) {
+        let (base, outbox) = ctx.split();
+        for (dst, msg) in self.driver.activate(base) {
+            outbox.push((dst, msg));
+        }
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &mut cc_sim::Ctx<'_, Self::Msg>,
+        inbox: &mut cc_sim::Inbox<Self::Msg>,
+    ) -> cc_sim::Step<Self::Output> {
+        let msgs = inbox.take_all();
+        let (base, outbox) = ctx.split();
+        let step = self.driver.on_round(base, msgs);
+        for (dst, msg) in step.sends {
+            outbox.push((dst, msg));
+        }
+        match step.output {
+            Some(out) => cc_sim::Step::Done(out),
+            None => cc_sim::Step::Continue,
+        }
+    }
+}

@@ -1,0 +1,169 @@
+use cc_sim::hash::StableHasher;
+use cc_sim::NodeId;
+use std::hash::Hasher;
+
+/// An ordered group of clique nodes — the `W ⊆ V` of the paper's
+/// corollaries.
+///
+/// Members are kept in strictly increasing id order, so the *local index*
+/// (the "i-th node of W") is well defined and identical on every node.
+/// Most groups are contiguous blocks (`{(i−1)√n+1, …, i√n}` in the paper),
+/// but the general-`n` decomposition of Theorem 3.7 also uses
+/// non-contiguous groups.
+///
+/// ```rust
+/// use cc_primitives::NodeGroup;
+/// use cc_sim::NodeId;
+///
+/// let w = NodeGroup::contiguous(4, 3); // nodes {4, 5, 6}
+/// assert_eq!(w.len(), 3);
+/// assert_eq!(w.member(1), NodeId::new(5));
+/// assert_eq!(w.local_index(NodeId::new(6)), Some(2));
+/// assert_eq!(w.local_index(NodeId::new(7)), None);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct NodeGroup {
+    members: Vec<NodeId>,
+}
+
+impl NodeGroup {
+    /// The contiguous group `{start, start+1, …, start+len−1}`.
+    pub fn contiguous(start: usize, len: usize) -> Self {
+        NodeGroup {
+            members: (start..start + len).map(NodeId::new).collect(),
+        }
+    }
+
+    /// The whole clique `{0, …, n−1}`.
+    pub fn whole_clique(n: usize) -> Self {
+        Self::contiguous(0, n)
+    }
+
+    /// A group from explicit members.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `members` is strictly increasing (duplicates or
+    /// disorder would make local indices ambiguous across nodes).
+    pub fn from_members(members: Vec<NodeId>) -> Self {
+        assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "group members must be strictly increasing"
+        );
+        NodeGroup { members }
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` for the empty group.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member with local index `i` (the paper's "i-th node of W").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn member(&self, i: usize) -> NodeId {
+        self.members[i]
+    }
+
+    /// The local index of `node`, or `None` if it is not a member.
+    #[inline]
+    pub fn local_index(&self, node: NodeId) -> Option<usize> {
+        self.members.binary_search(&node).ok()
+    }
+
+    /// Whether `node` belongs to the group.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.local_index(node).is_some()
+    }
+
+    /// All members in increasing order.
+    #[inline]
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Iterates over the members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// A stable hash of the membership (for common-knowledge scopes).
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = StableHasher::new();
+        for m in &self.members {
+            h.write(&m.raw().to_le_bytes());
+        }
+        h.finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeGroup {
+    type Item = NodeId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, NodeId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.members.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_group() {
+        let w = NodeGroup::contiguous(2, 4);
+        assert_eq!(w.members().len(), 4);
+        assert_eq!(w.member(0), NodeId::new(2));
+        assert_eq!(w.member(3), NodeId::new(5));
+        assert!(w.contains(NodeId::new(3)));
+        assert!(!w.contains(NodeId::new(6)));
+    }
+
+    #[test]
+    fn local_indices_roundtrip() {
+        let w = NodeGroup::from_members(vec![NodeId::new(1), NodeId::new(5), NodeId::new(9)]);
+        for i in 0..w.len() {
+            assert_eq!(w.local_index(w.member(i)), Some(i));
+        }
+        assert_eq!(w.local_index(NodeId::new(2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_disorder() {
+        let _ = NodeGroup::from_members(vec![NodeId::new(5), NodeId::new(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_duplicates() {
+        let _ = NodeGroup::from_members(vec![NodeId::new(1), NodeId::new(1)]);
+    }
+
+    #[test]
+    fn hash_distinguishes_groups() {
+        let a = NodeGroup::contiguous(0, 3);
+        let b = NodeGroup::contiguous(1, 3);
+        assert_ne!(a.stable_hash(), b.stable_hash());
+        assert_eq!(a.stable_hash(), NodeGroup::contiguous(0, 3).stable_hash());
+    }
+
+    #[test]
+    fn empty_group() {
+        let w = NodeGroup::from_members(Vec::new());
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+    }
+}

@@ -1,0 +1,404 @@
+//! §6.2: known-pattern exchange with *headerless* messages.
+//!
+//! "With the additional assumption that nodes can identify the sender of
+//! a message even if the identifier is not included, this can be achieved
+//! if sources and destinations of messages are known in advance: We apply
+//! Corollary 3.3 and observe that because the communication pattern is
+//! known to all nodes, knowing the sender of a message is sufficient to
+//! perform the communication and infer the original source of each
+//! message at the destination."
+//!
+//! Concretely: when the demand matrix is known to *every* node (not just
+//! the group), messages carry **only their payload** — zero addressing
+//! bits. Relays map each incoming payload to its destination by replaying
+//! the shared König plan: the colors a relay serves are `≡ r (mod n)`,
+//! and a sender's messages arrive in ascending color order, so position
+//! identifies the edge. Destinations reconstruct provenance the same way.
+//! This is what makes `B ∈ O(M)` rounds-optimal for message size
+//! `M ∈ o(log n)` — demonstrated by experiment E16 with one-bit payloads.
+
+use crate::demand::DemandMatrix;
+use crate::driver::{Driver, DriverStep};
+use crate::group::NodeGroup;
+use cc_coloring::{
+    color_exact, exact_coloring_work, pad_demands_to_regular, BipartiteMultigraph, EdgeIndexer,
+};
+use cc_sim::hash::combine;
+use cc_sim::{BaseCtx, CommonScope, NodeId, Payload};
+use std::sync::Arc;
+
+/// A headerless message: the payload, nothing else.
+#[derive(Clone, Debug)]
+pub struct HxMsg<T>(pub T);
+
+impl<T: Payload> Payload for HxMsg<T> {
+    fn size_bits(&self, n: usize) -> u64 {
+        self.0.size_bits(n)
+    }
+}
+
+/// The shared plan: canonical edge order, colors, and the inverse maps
+/// every role needs to replay the pattern without headers.
+struct HxPlan {
+    indexer: EdgeIndexer,
+    colors: Vec<u32>,
+    edges: Vec<(u32, u32)>,
+    real: Vec<bool>,
+    degree: u64,
+    num_edges: usize,
+}
+
+fn build_hx_plan(group_len: usize, demands: &DemandMatrix) -> HxPlan {
+    let m = demands.max_line_sum();
+    if m == 0 {
+        return HxPlan {
+            indexer: EdgeIndexer::new(group_len, group_len, demands.counts()),
+            colors: Vec::new(),
+            edges: Vec::new(),
+            real: Vec::new(),
+            degree: 0,
+            num_edges: 0,
+        };
+    }
+    let m32 = u32::try_from(m).expect("line sums fit u32");
+    let extra = pad_demands_to_regular(group_len, group_len, demands.counts(), m32)
+        .expect("line sums bounded by m");
+    let padded: Vec<u32> = demands
+        .counts()
+        .iter()
+        .zip(&extra)
+        .map(|(a, b)| a + b)
+        .collect();
+    let graph = BipartiteMultigraph::from_demands(group_len, group_len, &padded)
+        .expect("shape is group × group");
+    let coloring = color_exact(&graph).expect("padded matrix is regular");
+    // Mark which canonical edges are real (the first `demands[i][j]` of
+    // every cell).
+    let mut real = vec![false; graph.num_edges()];
+    let indexer = EdgeIndexer::new(group_len, group_len, &padded);
+    for i in 0..group_len {
+        for j in 0..group_len {
+            for k in 0..demands.get(i, j) as usize {
+                real[indexer.edge_id(i, j, k)] = true;
+            }
+        }
+    }
+    HxPlan {
+        indexer,
+        colors: coloring.colors().to_vec(),
+        edges: graph.edges().to_vec(),
+        real,
+        degree: m,
+        num_edges: graph.num_edges(),
+    }
+}
+
+impl HxPlan {
+    /// Real edges with color ≡ `relay` (mod n) incident to left vertex
+    /// `i`, in ascending color order — the order sender `i` ships them to
+    /// that relay.
+    fn edges_for(
+        &self,
+        filter: impl Fn(usize, u32, u32) -> bool,
+        relay: usize,
+        n: usize,
+    ) -> Vec<(u32, usize)> {
+        let mut out: Vec<(u32, usize)> = (0..self.num_edges)
+            .filter(|&e| self.real[e])
+            .filter(|&e| (self.colors[e] as usize) % n == relay)
+            .filter(|&e| {
+                let (i, j) = self.edges[e];
+                filter(e, i, j)
+            })
+            .map(|e| (self.colors[e], e))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Corollary 3.3 with §6.2's headerless messages: 2 rounds, payload-only
+/// traffic, provenance reconstructed at the destination.
+///
+/// Unlike [`KnownExchange`](crate::KnownExchange), *every* node must be
+/// constructed with the (globally known) demand matrix, because relays
+/// replay the plan instead of reading headers.
+pub struct HeaderlessExchange<T> {
+    group: NodeGroup,
+    demands: DemandMatrix,
+    outgoing: Vec<Vec<T>>,
+    scope: CommonScope,
+    plan: Option<Arc<HxPlan>>,
+    call: u8,
+}
+
+impl<T> std::fmt::Debug for HeaderlessExchange<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HeaderlessExchange(call {})", self.call)
+    }
+}
+
+impl<T: Payload + Send + Sync + 'static> HeaderlessExchange<T> {
+    /// Number of communication rounds this primitive takes.
+    pub const ROUNDS: u64 = 2;
+
+    /// Creates the driver. `outgoing` is empty on non-members; `demands`
+    /// must be identical on every node (§6.2's "known in advance to all
+    /// nodes" precondition — verified through the plan cache).
+    pub fn new(
+        group: NodeGroup,
+        demands: DemandMatrix,
+        outgoing: Vec<Vec<T>>,
+        scope: CommonScope,
+    ) -> Self {
+        HeaderlessExchange {
+            group,
+            demands,
+            outgoing,
+            scope,
+            plan: None,
+            call: 0,
+        }
+    }
+
+    fn fetch_plan(&mut self, ctx: &mut BaseCtx<'_>) -> Arc<HxPlan> {
+        if let Some(p) = &self.plan {
+            return p.clone();
+        }
+        let plan_scope = CommonScope::new(
+            self.scope.label,
+            combine(self.scope.tag, self.group.stable_hash()),
+        );
+        let input_hash = combine(self.group.stable_hash(), self.demands.stable_hash());
+        let group_len = self.group.len();
+        let demands = self.demands.clone();
+        let plan: Arc<HxPlan> = ctx
+            .common()
+            .get_or_compute(plan_scope, input_hash, move || {
+                build_hx_plan(group_len, &demands)
+            });
+        ctx.charge_work(exact_coloring_work(plan.num_edges, plan.degree as usize));
+        self.plan = Some(plan.clone());
+        plan
+    }
+}
+
+impl<T: Payload + Send + Sync + 'static> Driver for HeaderlessExchange<T> {
+    type Msg = HxMsg<T>;
+    /// `(inferred source, payload)` pairs — provenance without headers.
+    type Output = Vec<(NodeId, T)>;
+
+    fn activate(&mut self, ctx: &mut BaseCtx<'_>) -> Vec<(NodeId, Self::Msg)> {
+        let plan = self.fetch_plan(ctx);
+        let Some(my_local) = self.group.local_index(ctx.me()) else {
+            return Vec::new();
+        };
+        assert_eq!(self.outgoing.len(), self.group.len());
+        let n = ctx.n();
+        assert!(
+            plan.degree <= crate::known_exchange::MAX_RELAY_FACTOR * n as u64,
+            "demands too concentrated for the relay space"
+        );
+        // Ship each of my real edges' payloads to its color relay, in
+        // ascending color order per relay (the order relays will replay).
+        let mut per_dst_count = vec![0usize; self.group.len()];
+        let mut labelled: Vec<(u32, usize, T)> = Vec::new(); // (color, dst_local, payload)
+        for (j, bucket) in self.outgoing.iter_mut().enumerate() {
+            for payload in bucket.drain(..) {
+                let k = per_dst_count[j];
+                per_dst_count[j] += 1;
+                let e = plan.indexer.edge_id(my_local, j, k);
+                labelled.push((plan.colors[e], j, payload));
+            }
+        }
+        labelled.sort_unstable_by_key(|&(c, _, _)| c);
+        ctx.charge_work(labelled.len() as u64);
+        labelled
+            .into_iter()
+            .map(|(c, _, payload)| (NodeId::new(c as usize % n), HxMsg(payload)))
+            .collect()
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &mut BaseCtx<'_>,
+        inbox: Vec<(NodeId, Self::Msg)>,
+    ) -> DriverStep<Self::Msg, Self::Output> {
+        self.call += 1;
+        let plan = self.fetch_plan(ctx);
+        let n = ctx.n();
+        match self.call {
+            1 => {
+                // Relay role: replay the plan. Messages from sender `s`
+                // arrived in ascending color order; pair them with my
+                // expected edges from `s`.
+                let me = ctx.me().index();
+                let mut per_sender: Vec<(NodeId, Vec<T>)> = Vec::new();
+                for (src, HxMsg(payload)) in inbox {
+                    match per_sender.last_mut() {
+                        Some((s, v)) if *s == src => v.push(payload),
+                        _ => per_sender.push((src, vec![payload])),
+                    }
+                }
+                let mut sends = Vec::new();
+                for (src, payloads) in per_sender {
+                    let i_local = self
+                        .group
+                        .local_index(src)
+                        .expect("headerless senders are members");
+                    let expected =
+                        plan.edges_for(|_, i, _| i as usize == i_local, me, n);
+                    assert_eq!(
+                        expected.len(),
+                        payloads.len(),
+                        "relay expectation mismatch from {src}"
+                    );
+                    for ((_, e), payload) in expected.into_iter().zip(payloads) {
+                        let (_, j) = plan.edges[e];
+                        sends.push((self.group.member(j as usize), HxMsg(payload)));
+                    }
+                }
+                ctx.charge_work(sends.len() as u64);
+                DriverStep::sends(sends)
+            }
+            2 => {
+                // Destination role: provenance by replay — from relay `r`
+                // I expect the colors ≡ r at my column, ascending.
+                let Some(my_local) = self.group.local_index(ctx.me()) else {
+                    debug_assert!(inbox.is_empty());
+                    return DriverStep::done(Vec::new());
+                };
+                let mut out = Vec::new();
+                let mut per_relay: Vec<(NodeId, Vec<T>)> = Vec::new();
+                for (src, HxMsg(payload)) in inbox {
+                    match per_relay.last_mut() {
+                        Some((s, v)) if *s == src => v.push(payload),
+                        _ => per_relay.push((src, vec![payload])),
+                    }
+                }
+                for (relay, payloads) in per_relay {
+                    let expected =
+                        plan.edges_for(|_, _, j| j as usize == my_local, relay.index(), n);
+                    assert_eq!(
+                        expected.len(),
+                        payloads.len(),
+                        "destination expectation mismatch from relay {relay}"
+                    );
+                    for ((_, e), payload) in expected.into_iter().zip(payloads) {
+                        let (i, _) = plan.edges[e];
+                        out.push((self.group.member(i as usize), payload));
+                    }
+                }
+                ctx.charge_work(out.len() as u64);
+                DriverStep::done(out)
+            }
+            _ => panic!("HeaderlessExchange stepped past completion"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::drive;
+    use cc_sim::{run_protocol, CliqueSpec};
+
+    /// A one-bit payload — §6.2's `M ∈ o(log n)` regime.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Bit(bool);
+    impl Payload for Bit {
+        fn size_bits(&self, _n: usize) -> u64 {
+            1
+        }
+    }
+
+    #[test]
+    fn one_bit_messages_with_provenance() {
+        let n = 16;
+        let group = NodeGroup::whole_clique(n);
+        let mut demands = DemandMatrix::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                demands.set(i, j, 1);
+            }
+        }
+        // Budget: 2 bits per edge per round suffices (≤ 2 colors per relay
+        // never happens here since m = n, so 1 bit does it — give 2).
+        let report = run_protocol(
+            CliqueSpec::new(n).unwrap().with_bits_per_edge(2),
+            |me| {
+                let outgoing: Vec<Vec<Bit>> =
+                    (0..n).map(|j| vec![Bit((me.index() + j) % 2 == 0)]).collect();
+                drive(HeaderlessExchange::new(
+                    group.clone(),
+                    demands.clone(),
+                    outgoing,
+                    CommonScope::new("test.hx", 0),
+                ))
+            },
+        )
+        .unwrap();
+        assert_eq!(report.metrics.comm_rounds(), 2);
+        assert_eq!(report.metrics.max_edge_bits(), 1);
+        for (j, out) in report.outputs.iter().enumerate() {
+            assert_eq!(out.len(), n);
+            for (src, bit) in out {
+                // Reconstructed provenance is exact: the payload matches
+                // what that source computed for me.
+                assert_eq!(bit, &Bit((src.index() + j) % 2 == 0), "src {src} → {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_known_pattern() {
+        let n = 9;
+        let group = NodeGroup::contiguous(0, 3);
+        let mut demands = DemandMatrix::new(3);
+        demands.set(0, 1, 4);
+        demands.set(1, 2, 4);
+        demands.set(2, 0, 4);
+        let report = run_protocol(
+            CliqueSpec::new(n).unwrap().with_bits_per_edge(8),
+            |me| {
+                let outgoing: Vec<Vec<Bit>> = match group.local_index(me) {
+                    Some(local) => (0..3)
+                        .map(|j| {
+                            (0..demands.get(local, j)).map(|k| Bit(k % 2 == 0)).collect()
+                        })
+                        .collect(),
+                    None => vec![Vec::new(); 3],
+                };
+                drive(HeaderlessExchange::new(
+                    group.clone(),
+                    demands.clone(),
+                    outgoing,
+                    CommonScope::new("test.hx.skew", 0),
+                ))
+            },
+        )
+        .unwrap();
+        assert_eq!(report.metrics.comm_rounds(), 2);
+        // Member 1 receives the 4 messages from member 0, etc.
+        assert_eq!(report.outputs[1].len(), 4);
+        assert!(report.outputs[1].iter().all(|(s, _)| s.index() == 0));
+        assert_eq!(report.outputs[0].len(), 4);
+        assert!(report.outputs[0].iter().all(|(s, _)| s.index() == 2));
+    }
+
+    #[test]
+    fn empty_pattern() {
+        let n = 4;
+        let group = NodeGroup::whole_clique(n);
+        let report = run_protocol(CliqueSpec::new(n).unwrap().with_bits_per_edge(1), |_| {
+            drive(HeaderlessExchange::<Bit>::new(
+                group.clone(),
+                DemandMatrix::new(n),
+                vec![Vec::new(); n],
+                CommonScope::new("test.hx.empty", 0),
+            ))
+        })
+        .unwrap();
+        assert_eq!(report.metrics.comm_rounds(), 0);
+    }
+}

@@ -1,0 +1,629 @@
+//! Corollary 3.3: two-round delivery of a commonly known, line-bounded
+//! demand pattern within a node group.
+//!
+//! All members of `W` know the demand matrix. They pad it to an
+//! `m`-regular multigraph (`m` = maximum row/column sum), compute the same
+//! König edge coloring locally, and send the message on each color-`c`
+//! edge to relay node `c mod n` in round 1. Because every color class is a
+//! perfect matching, relay `r` receives at most `⌈m/n⌉` messages per
+//! sender and holds at most `⌈m/n⌉` messages per destination, so round 2
+//! delivers everything directly. For `m ≤ n` this is exactly
+//! Corollary 3.3 (one message per edge); for slightly larger `m` — which
+//! arises under the paper's relaxed "at most n messages" semantics — the
+//! same two rounds go through with a constant-factor message-size
+//! increase, the device the paper invokes throughout ("we can increase
+//! message size by any constant factor"). Non-members participate only as
+//! relays — every edge used has at least one endpoint in `W`, so disjoint
+//! groups can run exchanges concurrently.
+
+use crate::demand::DemandMatrix;
+use crate::driver::{Driver, DriverStep};
+use crate::group::NodeGroup;
+use cc_coloring::{
+    color_exact, exact_coloring_work, pad_demands_to_regular, BipartiteMultigraph, EdgeIndexer,
+};
+use cc_sim::hash::combine;
+use cc_sim::util::word_bits;
+use cc_sim::{BaseCtx, CommonScope, NodeId, Payload};
+use std::sync::Arc;
+
+/// Messages of a [`KnownExchange`].
+#[derive(Clone, Debug)]
+pub enum KxMsg<T> {
+    /// Round-1 message: `payload` travels to a relay, tagged with its
+    /// final destination.
+    Relay {
+        /// Final destination the relay must forward to.
+        dst: NodeId,
+        /// The application payload.
+        payload: T,
+    },
+    /// Round-2 message: the relay's direct delivery.
+    Final {
+        /// The application payload.
+        payload: T,
+    },
+}
+
+impl<T: Payload> Payload for KxMsg<T> {
+    fn size_bits(&self, n: usize) -> u64 {
+        // 1 tag bit; relay legs carry the destination id.
+        match self {
+            KxMsg::Relay { payload, .. } => 1 + word_bits(n) + payload.size_bits(n),
+            KxMsg::Final { payload } => 1 + payload.size_bits(n),
+        }
+    }
+}
+
+/// Maximum tolerated ratio between a demand matrix's line sums and the
+/// clique size. Each unit above 1 costs one extra message per edge in both
+/// exchange rounds (still `O(log n)` bits for constant factors).
+pub const MAX_RELAY_FACTOR: u64 = 8;
+
+/// How the common-knowledge routing plan is computed.
+///
+/// `PerEdge` is the paper's basic scheme: one multigraph edge per message,
+/// colored exactly — `Θ(|messages|·log)` local computation. `Bundled` is
+/// the §5 scheme (footnote 3 spirit): messages of a cell are grouped into
+/// bundles of `⌈n/|W|⌉`, only the `O(n)`-edge bundle graph is colored, and
+/// a bundle's messages fan out over consecutive relays — `O(n log n)`
+/// local computation, at the cost of a small constant-factor increase in
+/// per-edge load.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExchangeStrategy {
+    /// One colored edge per message (exact Corollary 3.3).
+    PerEdge,
+    /// One colored edge per bundle of `⌈n/|W|⌉` messages (§5).
+    Bundled,
+}
+
+/// The routing schedule all members derive from common knowledge: one
+/// relay per canonical edge (or bundle) of the padded demand multigraph.
+#[derive(Debug)]
+struct KxPlan {
+    indexer: EdgeIndexer,
+    colors: Vec<u32>,
+    padded_edges: usize,
+    degree: u64,
+    /// Messages per colored edge (1 for per-edge plans).
+    bundle: u64,
+}
+
+impl KxPlan {
+    /// Relay node for the `k`-th payload of cell `(i, j)`.
+    fn relay(&self, i: usize, j: usize, k: usize, n: usize) -> NodeId {
+        let color = u64::from(self.colors[self.indexer.edge_id(i, j, k / self.bundle as usize)]);
+        let slot = (k as u64) % self.bundle;
+        NodeId::new(((color * self.bundle + slot) % n as u64) as usize)
+    }
+}
+
+fn color_padded(group_len: usize, counts: &[u32], m: u64) -> (EdgeIndexer, Vec<u32>, usize) {
+    let m32 = u32::try_from(m).expect("line sums fit u32");
+    let extra = pad_demands_to_regular(group_len, group_len, counts, m32)
+        .expect("line sums are <= m by construction");
+    let padded: Vec<u32> = counts.iter().zip(&extra).map(|(a, b)| a + b).collect();
+    let graph = BipartiteMultigraph::from_demands(group_len, group_len, &padded)
+        .expect("padded matrix has the declared shape");
+    let coloring = color_exact(&graph).expect("padded matrix is m-regular");
+    (
+        EdgeIndexer::new(group_len, group_len, &padded),
+        coloring.colors().to_vec(),
+        graph.num_edges(),
+    )
+}
+
+fn build_plan(group_len: usize, demands: &DemandMatrix, n: usize, strategy: ExchangeStrategy) -> KxPlan {
+    match strategy {
+        ExchangeStrategy::PerEdge => {
+            let m = demands.max_line_sum();
+            if m == 0 {
+                return KxPlan {
+                    indexer: EdgeIndexer::new(group_len, group_len, demands.counts()),
+                    colors: Vec::new(),
+                    padded_edges: 0,
+                    degree: 0,
+                    bundle: 1,
+                };
+            }
+            let (indexer, colors, padded_edges) = color_padded(group_len, demands.counts(), m);
+            KxPlan {
+                indexer,
+                colors,
+                padded_edges,
+                degree: m,
+                bundle: 1,
+            }
+        }
+        ExchangeStrategy::Bundled => {
+            let bundle = (n.div_ceil(group_len.max(1))).max(1) as u64;
+            let bundle_counts: Vec<u32> = demands
+                .counts()
+                .iter()
+                .map(|&c| (u64::from(c).div_ceil(bundle)) as u32)
+                .collect();
+            let bm = DemandMatrix::from_counts(group_len, bundle_counts);
+            let m = bm.max_line_sum();
+            if m == 0 {
+                return KxPlan {
+                    indexer: EdgeIndexer::new(group_len, group_len, bm.counts()),
+                    colors: Vec::new(),
+                    padded_edges: 0,
+                    degree: 0,
+                    bundle,
+                };
+            }
+            let (indexer, colors, padded_edges) = color_padded(group_len, bm.counts(), m);
+            KxPlan {
+                indexer,
+                colors,
+                padded_edges,
+                degree: m,
+                bundle,
+            }
+        }
+    }
+}
+
+enum Role<T> {
+    Member {
+        group: NodeGroup,
+        demands: DemandMatrix,
+        /// Outgoing payloads grouped by local destination index. The k-th
+        /// entry of `outgoing[j]` is the k-th parallel edge to `j` in the
+        /// canonical order — all members must use consistent local
+        /// orderings for their own messages (any fixed order works).
+        outgoing: Vec<Vec<T>>,
+        scope: CommonScope,
+        strategy: ExchangeStrategy,
+    },
+    /// Not a member: forwards relayed messages, outputs nothing.
+    Relay,
+}
+
+/// Corollary 3.3 as a [`Driver`]: 2 rounds, output `Vec<T>` of received
+/// payloads (empty on non-members).
+///
+/// # Preconditions (checked at activation)
+///
+/// * every row/column sum of `demands` is at most `n`;
+/// * member `i`'s `outgoing[j].len()` equals `demands.get(i, j)`.
+///
+/// Payloads must self-describe (carry source/sequence ids) if receivers
+/// need them: relays do not annotate provenance, mirroring the paper's
+/// messages which "explicitly contain these values".
+pub struct KnownExchange<T> {
+    role: Role<T>,
+    call: u8,
+    received: Vec<T>,
+}
+
+impl<T> std::fmt::Debug for KnownExchange<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let role = match &self.role {
+            Role::Member { group, .. } => format!("member of {} nodes", group.len()),
+            Role::Relay => "relay".to_owned(),
+        };
+        write!(f, "KnownExchange({role}, call {})", self.call)
+    }
+}
+
+impl<T: Payload + Send + Sync + 'static> KnownExchange<T> {
+    /// Number of communication rounds this primitive takes.
+    pub const ROUNDS: u64 = 2;
+
+    /// Creates the member-side driver. `outgoing[j]` holds this node's
+    /// payloads for the group's `j`-th member; `scope` identifies the
+    /// phase for the shared plan cache (per-group disambiguation is
+    /// automatic).
+    pub fn member(
+        group: NodeGroup,
+        demands: DemandMatrix,
+        outgoing: Vec<Vec<T>>,
+        scope: CommonScope,
+    ) -> Self {
+        Self::member_with_strategy(group, demands, outgoing, scope, ExchangeStrategy::PerEdge)
+    }
+
+    /// As [`KnownExchange::member`] with the §5 bundled plan: only the
+    /// `O(n)`-edge bundle graph is colored, keeping local computation in
+    /// `O(n log n)`.
+    pub fn member_bundled(
+        group: NodeGroup,
+        demands: DemandMatrix,
+        outgoing: Vec<Vec<T>>,
+        scope: CommonScope,
+    ) -> Self {
+        Self::member_with_strategy(group, demands, outgoing, scope, ExchangeStrategy::Bundled)
+    }
+
+    /// Member constructor with an explicit [`ExchangeStrategy`].
+    pub fn member_with_strategy(
+        group: NodeGroup,
+        demands: DemandMatrix,
+        outgoing: Vec<Vec<T>>,
+        scope: CommonScope,
+        strategy: ExchangeStrategy,
+    ) -> Self {
+        KnownExchange {
+            role: Role::Member {
+                group,
+                demands,
+                outgoing,
+                scope,
+                strategy,
+            },
+            call: 0,
+            received: Vec::new(),
+        }
+    }
+
+    /// Creates the relay-side driver for nodes outside the group.
+    pub fn relay_only() -> Self {
+        KnownExchange {
+            role: Role::Relay,
+            call: 0,
+            received: Vec::new(),
+        }
+    }
+}
+
+impl<T: Payload + Send + Sync + 'static> Driver for KnownExchange<T> {
+    type Msg = KxMsg<T>;
+    type Output = Vec<T>;
+
+    fn activate(&mut self, ctx: &mut BaseCtx<'_>) -> Vec<(NodeId, Self::Msg)> {
+        let Role::Member {
+            group,
+            demands,
+            outgoing,
+            scope,
+            strategy,
+        } = &mut self.role
+        else {
+            return Vec::new();
+        };
+        let me = ctx.me();
+        let my_local = group
+            .local_index(me)
+            .expect("member constructor used on a non-member node");
+        assert_eq!(
+            outgoing.len(),
+            group.len(),
+            "outgoing must have one bucket per group member"
+        );
+        for (j, bucket) in outgoing.iter().enumerate() {
+            assert_eq!(
+                bucket.len(),
+                demands.get(my_local, j) as usize,
+                "outgoing bucket {j} disagrees with the demand matrix"
+            );
+        }
+
+        let n = ctx.n();
+        let strategy = *strategy;
+        let plan_scope = CommonScope::new(scope.label, combine(scope.tag, group.stable_hash()));
+        let input_hash = combine(group.stable_hash(), demands.stable_hash());
+        let group_len = group.len();
+        let demands_ref = demands.clone();
+        let plan: Arc<KxPlan> = ctx
+            .common()
+            .get_or_compute(plan_scope, input_hash, move || {
+                build_plan(group_len, &demands_ref, n, strategy)
+            });
+        assert!(
+            plan.degree * plan.bundle <= MAX_RELAY_FACTOR * n as u64,
+            "relay space {}×{} exceeds {MAX_RELAY_FACTOR}·n = {} — demands too concentrated",
+            plan.degree,
+            plan.bundle,
+            MAX_RELAY_FACTOR * n as u64
+        );
+        // Charge the local cost of the coloring the node (conceptually)
+        // computed, plus a linear pass over its own messages.
+        ctx.charge_work(exact_coloring_work(
+            plan.padded_edges,
+            plan.degree as usize,
+        ));
+        ctx.note_mem(plan.padded_edges as u64 + demands.counts().len() as u64);
+
+        let mut sends = Vec::new();
+        for (j, bucket) in outgoing.iter_mut().enumerate() {
+            let dst = group.member(j);
+            for (k, payload) in bucket.drain(..).enumerate() {
+                sends.push((plan.relay(my_local, j, k, n), KxMsg::Relay { dst, payload }));
+            }
+        }
+        ctx.charge_work(sends.len() as u64);
+        sends
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &mut BaseCtx<'_>,
+        inbox: Vec<(NodeId, Self::Msg)>,
+    ) -> DriverStep<Self::Msg, Self::Output> {
+        self.call += 1;
+        match self.call {
+            1 => {
+                // Relay role (every node): forward to final destinations.
+                ctx.charge_work(inbox.len() as u64);
+                let sends = inbox
+                    .into_iter()
+                    .map(|(_, msg)| match msg {
+                        KxMsg::Relay { dst, payload } => (dst, KxMsg::Final { payload }),
+                        KxMsg::Final { .. } => {
+                            panic!("Final message arrived in the relay round")
+                        }
+                    })
+                    .collect();
+                DriverStep::sends(sends)
+            }
+            2 => {
+                ctx.charge_work(inbox.len() as u64);
+                self.received.reserve(inbox.len());
+                for (_, msg) in inbox {
+                    match msg {
+                        KxMsg::Final { payload } => self.received.push(payload),
+                        KxMsg::Relay { .. } => {
+                            panic!("Relay message arrived in the delivery round")
+                        }
+                    }
+                }
+                DriverStep::done(std::mem::take(&mut self.received))
+            }
+            _ => panic!("KnownExchange stepped past completion"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::drive;
+    use cc_sim::{run_protocol, CliqueSpec};
+
+    /// A self-describing test payload: (source, sequence).
+    #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+    struct Tag(u32, u32);
+
+    impl Payload for Tag {
+        fn size_bits(&self, n: usize) -> u64 {
+            2 * word_bits(n)
+        }
+    }
+
+    fn run_exchange(
+        n: usize,
+        group: NodeGroup,
+        demand_fn: impl Fn(usize, usize) -> u32,
+    ) -> (Vec<Vec<Tag>>, cc_sim::Metrics) {
+        let w = group.len();
+        let mut demands = DemandMatrix::new(w);
+        for i in 0..w {
+            for j in 0..w {
+                demands.set(i, j, demand_fn(i, j));
+            }
+        }
+        let report = run_protocol(CliqueSpec::new(n).unwrap(), |me| {
+            if let Some(my_local) = group.local_index(me) {
+                let outgoing: Vec<Vec<Tag>> = (0..w)
+                    .map(|j| {
+                        (0..demands.get(my_local, j))
+                            .map(|k| Tag(me.raw(), k))
+                            .collect()
+                    })
+                    .collect();
+                drive(KnownExchange::member(
+                    group.clone(),
+                    demands.clone(),
+                    outgoing,
+                    CommonScope::new("test.kx", 0),
+                ))
+            } else {
+                drive(KnownExchange::relay_only())
+            }
+        })
+        .unwrap();
+        (report.outputs, report.metrics)
+    }
+
+    #[test]
+    fn uniform_all_to_all_within_whole_clique() {
+        let n = 8;
+        let group = NodeGroup::whole_clique(n);
+        let (outputs, metrics) = run_exchange(n, group, |_, _| 1);
+        assert_eq!(metrics.comm_rounds(), 2);
+        for out in &outputs {
+            assert_eq!(out.len(), n);
+            // One message from every source.
+            let mut sources: Vec<u32> = out.iter().map(|t| t.0).collect();
+            sources.sort_unstable();
+            assert_eq!(sources, (0..n as u32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn skewed_but_balanced_demands() {
+        // Cyclic demands: i sends 4 messages to i+1 (mod w).
+        let n = 9;
+        let group = NodeGroup::contiguous(0, 3);
+        let (outputs, metrics) =
+            run_exchange(n, group.clone(), |i, j| if (i + 1) % 3 == j { 4 } else { 0 });
+        assert_eq!(metrics.comm_rounds(), 2);
+        for (v, out) in outputs.iter().enumerate() {
+            if let Some(local) = group.local_index(NodeId::new(v)) {
+                assert_eq!(out.len(), 4, "member {local} should receive 4");
+                let expected_src = group.member((local + 3 - 1) % 3).raw();
+                assert!(out.iter().all(|t| t.0 == expected_src));
+            } else {
+                assert!(out.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn subgroup_uses_outside_relays() {
+        // Group {3, 4, 5} in a 12-clique: relays are nodes 0..m.
+        let n = 12;
+        let group = NodeGroup::contiguous(3, 3);
+        let (outputs, metrics) = run_exchange(n, group, |_, _| 2);
+        assert_eq!(metrics.comm_rounds(), 2);
+        for (v, out) in outputs.iter().enumerate() {
+            if (3..6).contains(&v) {
+                assert_eq!(out.len(), 6);
+            } else {
+                assert!(out.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_demands_complete_without_traffic() {
+        let n = 4;
+        let group = NodeGroup::whole_clique(n);
+        let (outputs, metrics) = run_exchange(n, group, |_, _| 0);
+        assert_eq!(metrics.comm_rounds(), 0);
+        assert!(outputs.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn two_disjoint_groups_in_parallel() {
+        // Two groups exchanging concurrently, sharing relay nodes 0..m.
+        let n = 8;
+        let g1 = NodeGroup::contiguous(0, 4);
+        let g2 = NodeGroup::contiguous(4, 4);
+        let mk_demands = || {
+            let mut d = DemandMatrix::new(4);
+            for i in 0..4 {
+                for j in 0..4 {
+                    d.set(i, j, 2);
+                }
+            }
+            d
+        };
+        let report = run_protocol(CliqueSpec::new(n).unwrap(), |me| {
+            let (group, scope_tag) = if me.index() < 4 { (&g1, 1) } else { (&g2, 2) };
+            let local = group.local_index(me).unwrap();
+            let demands = mk_demands();
+            let outgoing: Vec<Vec<Tag>> = (0..4)
+                .map(|j| {
+                    (0..demands.get(local, j))
+                        .map(|k| Tag(me.raw(), k))
+                        .collect()
+                })
+                .collect();
+            drive(KnownExchange::member(
+                group.clone(),
+                demands,
+                outgoing,
+                CommonScope::new("test.parallel", scope_tag),
+            ))
+        })
+        .unwrap();
+        assert_eq!(report.metrics.comm_rounds(), 2);
+        for out in &report.outputs {
+            assert_eq!(out.len(), 8);
+        }
+    }
+
+    #[test]
+    fn bundled_strategy_delivers_identically() {
+        // Same workload through per-edge and bundled plans: identical
+        // multisets, identical round count.
+        let n = 16;
+        let group = NodeGroup::contiguous(0, 4);
+        let mut demands = DemandMatrix::new(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                demands.set(i, j, ((i * 3 + j * 5) % 4) as u32 + 1);
+            }
+        }
+        let run = |strategy: ExchangeStrategy| {
+            run_protocol(CliqueSpec::new(n).unwrap().with_budget_words(64), |me| {
+                if let Some(local) = group.local_index(me) {
+                    let outgoing: Vec<Vec<Tag>> = (0..4)
+                        .map(|j| {
+                            (0..demands.get(local, j))
+                                .map(|k| Tag(me.raw(), k))
+                                .collect()
+                        })
+                        .collect();
+                    drive(KnownExchange::member_with_strategy(
+                        group.clone(),
+                        demands.clone(),
+                        outgoing,
+                        CommonScope::new("test.kx.strat", strategy as u64),
+                        strategy,
+                    ))
+                } else {
+                    drive(KnownExchange::relay_only())
+                }
+            })
+            .unwrap()
+        };
+        let per_edge = run(ExchangeStrategy::PerEdge);
+        let bundled = run(ExchangeStrategy::Bundled);
+        assert_eq!(per_edge.metrics.comm_rounds(), 2);
+        assert_eq!(bundled.metrics.comm_rounds(), 2);
+        for (a, b) in per_edge.outputs.iter().zip(&bundled.outputs) {
+            let mut a = a.clone();
+            let mut b = b.clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn bundled_heavy_cells() {
+        // One cell dominates: bundles of ⌈n/|W|⌉ = 8 messages.
+        let n = 16;
+        let group = NodeGroup::contiguous(0, 2);
+        let mut demands = DemandMatrix::new(2);
+        demands.set(0, 1, 16);
+        demands.set(1, 0, 16);
+        let report = run_protocol(CliqueSpec::new(n).unwrap().with_budget_words(64), |me| {
+            if let Some(local) = group.local_index(me) {
+                let outgoing: Vec<Vec<Tag>> = (0..2)
+                    .map(|j| {
+                        (0..demands.get(local, j))
+                            .map(|k| Tag(me.raw(), k))
+                            .collect()
+                    })
+                    .collect();
+                drive(KnownExchange::member_bundled(
+                    group.clone(),
+                    demands.clone(),
+                    outgoing,
+                    CommonScope::new("test.kx.heavy", 0),
+                ))
+            } else {
+                drive(KnownExchange::relay_only())
+            }
+        })
+        .unwrap();
+        assert_eq!(report.metrics.comm_rounds(), 2);
+        assert_eq!(report.outputs[0].len(), 16);
+        assert_eq!(report.outputs[1].len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees with the demand matrix")]
+    fn validates_outgoing_against_demands() {
+        let n = 4;
+        let group = NodeGroup::whole_clique(n);
+        let mut demands = DemandMatrix::new(n);
+        demands.set(0, 1, 2);
+        demands.set(1, 0, 2); // balanced matrix, but node 0 sends nothing
+        let _ = run_protocol(CliqueSpec::new(n).unwrap(), |me| {
+            let outgoing: Vec<Vec<Tag>> = vec![Vec::new(); n];
+            let _ = me;
+            drive(KnownExchange::member(
+                group.clone(),
+                demands.clone(),
+                outgoing,
+                CommonScope::new("test.bad", 0),
+            ))
+        });
+    }
+}

@@ -1,0 +1,54 @@
+//! # cc-primitives — communication primitives of the congested clique
+//!
+//! The deterministic routing and sorting algorithms of Lenzen (PODC 2013)
+//! are built from a small set of constant-round communication patterns:
+//!
+//! * [`KnownExchange`] — **Corollary 3.3**: when the demand matrix within a
+//!   node group `W` is common knowledge and every row/column sum is at most
+//!   `m ≤ n`, all messages are delivered in **2 rounds** by coloring the
+//!   demand multigraph with `m` colors (König's theorem) and relaying each
+//!   color class through a distinct intermediate node.
+//! * [`SubsetExchange`] — **Corollary 3.4**: for `|W| ≤ √n` the demand
+//!   matrix is *not* known in advance; two rounds of count announcement
+//!   (itself a [`KnownExchange`]) establish it, then two more rounds
+//!   deliver — **4 rounds** total.
+//! * [`GroupAnnounce`] — each member of `W` disseminates a vector of
+//!   values to all members (the "announce counts" steps of Algorithms 2
+//!   and 3); a [`KnownExchange`] with a uniform demand matrix, 2 rounds.
+//! * [`RelayBroadcast`] — up to `n` globally slot-indexed items become
+//!   known to *every* node in 2 rounds (one relay per slot, then a
+//!   broadcast), used for delimiter announcement in Algorithm 4.
+//! * [`RoundRobinScatter`] — **Lemma 5.1**: an oblivious 2-round
+//!   redistribution that needs no counting announcements at all, at the
+//!   cost of only approximate balance (`≤ 2√n` per destination-set per
+//!   node); the workhorse of the computation-optimal §5 variant.
+//!
+//! All primitives are written as [`Driver`]s: resumable per-node state
+//! machines that a parent [`NodeMachine`](cc_sim::NodeMachine) advances one
+//! round at a time, wrapping their messages into its own message enum.
+//! Every node of the clique runs every driver (non-members participate as
+//! relays), which is exactly how the paper's algorithms use "edges with at
+//! least one endpoint in W".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod announce;
+mod demand;
+mod driver;
+mod group;
+mod headerless;
+mod known_exchange;
+mod relay_broadcast;
+mod scatter;
+mod subset_exchange;
+
+pub use announce::{AnnounceMsg, GroupAnnounce};
+pub use demand::DemandMatrix;
+pub use driver::{drive, Driver, DriverStep};
+pub use group::NodeGroup;
+pub use headerless::{HeaderlessExchange, HxMsg};
+pub use known_exchange::{ExchangeStrategy, KnownExchange, KxMsg, MAX_RELAY_FACTOR};
+pub use relay_broadcast::{RbMsg, RelayBroadcast};
+pub use scatter::{RoundRobinScatter, ScatterMsg};
+pub use subset_exchange::{SubsetExchange, SxMsg};

@@ -1,0 +1,195 @@
+//! Two-round global dissemination of up to `n` slot-indexed items.
+//!
+//! Used by Algorithm 4, Step 4 (delimiter announcement): each item with a
+//! globally unique slot `t < n` travels to relay node `t` in round 1; in
+//! round 2 relay `t` broadcasts it to all `n` nodes (one message per edge).
+//! After 2 rounds *every* node knows every item.
+
+use crate::driver::{Driver, DriverStep};
+use cc_sim::util::word_bits;
+use cc_sim::{BaseCtx, NodeId, Payload};
+
+/// Messages of a [`RelayBroadcast`].
+#[derive(Clone, Debug)]
+pub enum RbMsg<T> {
+    /// Round 1: item travels to its slot's relay.
+    ToRelay {
+        /// Globally unique slot index (`< n`), also the relay's node id.
+        slot: u32,
+        /// The item.
+        payload: T,
+    },
+    /// Round 2: the relay's broadcast.
+    Bcast {
+        /// The item's slot.
+        slot: u32,
+        /// The item.
+        payload: T,
+    },
+}
+
+impl<T: Payload> Payload for RbMsg<T> {
+    fn size_bits(&self, n: usize) -> u64 {
+        let (RbMsg::ToRelay { payload, .. } | RbMsg::Bcast { payload, .. }) = self;
+        1 + word_bits(n) + payload.size_bits(n)
+    }
+}
+
+/// Disseminates slot-indexed items to every node in 2 rounds; all nodes
+/// output the same slot-sorted item list.
+///
+/// Slots must be globally unique and `< n` (each slot is its own relay);
+/// uniqueness is the caller's responsibility — the deterministic
+/// algorithms derive slots from common knowledge, and the collection phase
+/// asserts no duplicates survived.
+pub struct RelayBroadcast<T> {
+    my_items: Vec<(u32, T)>,
+    call: u8,
+    collected: Vec<(u32, T)>,
+}
+
+impl<T> std::fmt::Debug for RelayBroadcast<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "RelayBroadcast({} items, call {})",
+            self.my_items.len(),
+            self.call
+        )
+    }
+}
+
+impl<T: Payload> RelayBroadcast<T> {
+    /// Number of communication rounds this primitive takes.
+    pub const ROUNDS: u64 = 2;
+
+    /// Creates the driver; `my_items` are this node's `(slot, item)`
+    /// pairs (empty on nodes with nothing to announce).
+    pub fn new(my_items: Vec<(u32, T)>) -> Self {
+        RelayBroadcast {
+            my_items,
+            call: 0,
+            collected: Vec::new(),
+        }
+    }
+}
+
+impl<T: Payload> Driver for RelayBroadcast<T> {
+    type Msg = RbMsg<T>;
+    /// All items in ascending slot order — identical on every node.
+    type Output = Vec<(u32, T)>;
+
+    fn activate(&mut self, ctx: &mut BaseCtx<'_>) -> Vec<(NodeId, Self::Msg)> {
+        let n = ctx.n();
+        ctx.charge_work(self.my_items.len() as u64);
+        self.my_items
+            .drain(..)
+            .map(|(slot, payload)| {
+                assert!((slot as usize) < n, "slot {slot} exceeds clique size {n}");
+                (NodeId::new(slot as usize), RbMsg::ToRelay { slot, payload })
+            })
+            .collect()
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &mut BaseCtx<'_>,
+        inbox: Vec<(NodeId, Self::Msg)>,
+    ) -> DriverStep<Self::Msg, Self::Output> {
+        self.call += 1;
+        match self.call {
+            1 => {
+                let n = ctx.n();
+                let mut sends = Vec::with_capacity(inbox.len() * n);
+                for (_, msg) in inbox {
+                    let RbMsg::ToRelay { slot, payload } = msg else {
+                        panic!("Bcast message arrived in the relay round");
+                    };
+                    debug_assert_eq!(slot as usize, ctx.me().index());
+                    for v in 0..n {
+                        sends.push((
+                            NodeId::new(v),
+                            RbMsg::Bcast {
+                                slot,
+                                payload: payload.clone(),
+                            },
+                        ));
+                    }
+                }
+                ctx.charge_work(sends.len() as u64);
+                DriverStep::sends(sends)
+            }
+            2 => {
+                for (_, msg) in inbox {
+                    let RbMsg::Bcast { slot, payload } = msg else {
+                        panic!("ToRelay message arrived in the collection round");
+                    };
+                    self.collected.push((slot, payload));
+                }
+                self.collected.sort_by_key(|&(slot, _)| slot);
+                assert!(
+                    self.collected.windows(2).all(|w| w[0].0 != w[1].0),
+                    "duplicate broadcast slots"
+                );
+                ctx.charge_work(self.collected.len() as u64);
+                DriverStep::done(std::mem::take(&mut self.collected))
+            }
+            _ => panic!("RelayBroadcast stepped past completion"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::drive;
+    use cc_sim::{run_protocol, CliqueSpec};
+
+    #[test]
+    fn all_nodes_learn_all_items() {
+        let n = 6;
+        // Node v announces one item in slot v with value v².
+        let report = run_protocol(CliqueSpec::new(n).unwrap(), |me| {
+            let v = me.raw();
+            drive(RelayBroadcast::new(vec![(v, u64::from(v) * u64::from(v))]))
+        })
+        .unwrap();
+        assert_eq!(report.metrics.comm_rounds(), 2);
+        for out in &report.outputs {
+            assert_eq!(out.len(), n);
+            for (t, &(slot, value)) in out.iter().enumerate() {
+                assert_eq!(slot as usize, t);
+                assert_eq!(value, (t * t) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_items_from_one_node() {
+        let n = 5;
+        let report = run_protocol(CliqueSpec::new(n).unwrap(), |me| {
+            let items = if me.index() == 2 {
+                vec![(0u32, 100u64), (3, 300), (4, 400)]
+            } else {
+                Vec::new()
+            };
+            drive(RelayBroadcast::new(items))
+        })
+        .unwrap();
+        assert_eq!(report.metrics.comm_rounds(), 2);
+        for out in &report.outputs {
+            assert_eq!(out, &vec![(0u32, 100u64), (3, 300), (4, 400)]);
+        }
+    }
+
+    #[test]
+    fn no_items_no_rounds() {
+        let n = 3;
+        let report = run_protocol(CliqueSpec::new(n).unwrap(), |_| {
+            drive(RelayBroadcast::<u64>::new(Vec::new()))
+        })
+        .unwrap();
+        assert_eq!(report.metrics.comm_rounds(), 0);
+        assert!(report.outputs.iter().all(Vec::is_empty));
+    }
+}

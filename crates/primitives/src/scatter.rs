@@ -1,0 +1,282 @@
+//! Lemma 5.1's oblivious round-robin redistribution.
+//!
+//! Each member of `W` sends its `j`-th message (in any caller-chosen
+//! order, typically sorted by destination set) through relay node `j` to
+//! member `W[(j + rank) mod |W|]`, where `rank` is the sender's own index
+//! in `W`. No counts are announced and no coloring is computed — the
+//! pattern is fixed — which is what brings the §5 variant's local
+//! computation down to `O(n)` for these steps. The price is approximate
+//! balance: if the group collectively holds at most `n` messages of a
+//! class, each member ends with fewer than `2·(n/|W|)` + 1 of that class
+//! (the `≤ 2√n` bound in Lemma 5.1).
+//!
+//! The rank offset in the target (absent from the paper's one-line sketch)
+//! is what keeps round 2 conflict-free: relay `j` receives exactly one
+//! message from each sender, and two senders of the same group always have
+//! different targets.
+
+use crate::driver::{Driver, DriverStep};
+use crate::group::NodeGroup;
+use cc_sim::util::word_bits;
+use cc_sim::{BaseCtx, NodeId, Payload};
+
+/// Messages of a [`RoundRobinScatter`].
+#[derive(Clone, Debug)]
+pub enum ScatterMsg<T> {
+    /// Round 1: to relay, tagged with the fixed target.
+    ToRelay {
+        /// The member the relay must forward to.
+        target: NodeId,
+        /// The payload.
+        payload: T,
+    },
+    /// Round 2: delivery to the target.
+    Final {
+        /// The payload.
+        payload: T,
+    },
+}
+
+impl<T: Payload> Payload for ScatterMsg<T> {
+    fn size_bits(&self, n: usize) -> u64 {
+        match self {
+            ScatterMsg::ToRelay { payload, .. } => 1 + word_bits(n) + payload.size_bits(n),
+            ScatterMsg::Final { payload } => 1 + payload.size_bits(n),
+        }
+    }
+}
+
+enum Role<T> {
+    Member {
+        group: NodeGroup,
+        messages: Vec<T>,
+    },
+    Relay,
+}
+
+/// Lemma 5.1 as a [`Driver`]: 2 rounds, oblivious (no planning), output
+/// `Vec<T>` of received payloads.
+///
+/// # Preconditions (checked at activation)
+///
+/// A member may scatter at most `n` messages (one per relay).
+pub struct RoundRobinScatter<T> {
+    role: Role<T>,
+    call: u8,
+    received: Vec<T>,
+}
+
+impl<T> std::fmt::Debug for RoundRobinScatter<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let role = match &self.role {
+            Role::Member { messages, .. } => format!("member with {} messages", messages.len()),
+            Role::Relay => "relay".to_owned(),
+        };
+        write!(f, "RoundRobinScatter({role}, call {})", self.call)
+    }
+}
+
+impl<T: Payload> RoundRobinScatter<T> {
+    /// Number of communication rounds this primitive takes.
+    pub const ROUNDS: u64 = 2;
+
+    /// Member-side driver: scatter `messages` (already in the caller's
+    /// canonical order) round-robin across `group`.
+    pub fn member(group: NodeGroup, messages: Vec<T>) -> Self {
+        RoundRobinScatter {
+            role: Role::Member { group, messages },
+            call: 0,
+            received: Vec::new(),
+        }
+    }
+
+    /// Relay-side driver for nodes outside the group.
+    pub fn relay_only() -> Self {
+        RoundRobinScatter {
+            role: Role::Relay,
+            call: 0,
+            received: Vec::new(),
+        }
+    }
+}
+
+impl<T: Payload> Driver for RoundRobinScatter<T> {
+    type Msg = ScatterMsg<T>;
+    type Output = Vec<T>;
+
+    fn activate(&mut self, ctx: &mut BaseCtx<'_>) -> Vec<(NodeId, Self::Msg)> {
+        let Role::Member { group, messages } = &mut self.role else {
+            return Vec::new();
+        };
+        let rank = group
+            .local_index(ctx.me())
+            .expect("member constructor used on a non-member node");
+        let n = ctx.n();
+        assert!(
+            messages.len() as u64 <= crate::known_exchange::MAX_RELAY_FACTOR * n as u64,
+            "a member can scatter at most O(n) messages, got {} for n = {n}",
+            messages.len()
+        );
+        let w = group.len();
+        ctx.charge_work(messages.len() as u64);
+        // Relay j % n: overflow beyond n messages wraps, costing one extra
+        // message per edge per factor (constant message-size growth).
+        messages
+            .drain(..)
+            .enumerate()
+            .map(|(j, payload)| {
+                let target = group.member((j + rank) % w);
+                (NodeId::new(j % n), ScatterMsg::ToRelay { target, payload })
+            })
+            .collect()
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &mut BaseCtx<'_>,
+        inbox: Vec<(NodeId, Self::Msg)>,
+    ) -> DriverStep<Self::Msg, Self::Output> {
+        self.call += 1;
+        match self.call {
+            1 => {
+                ctx.charge_work(inbox.len() as u64);
+                let sends = inbox
+                    .into_iter()
+                    .map(|(_, msg)| match msg {
+                        ScatterMsg::ToRelay { target, payload } => {
+                            (target, ScatterMsg::Final { payload })
+                        }
+                        ScatterMsg::Final { .. } => {
+                            panic!("Final message arrived in the relay round")
+                        }
+                    })
+                    .collect();
+                DriverStep::sends(sends)
+            }
+            2 => {
+                ctx.charge_work(inbox.len() as u64);
+                for (_, msg) in inbox {
+                    match msg {
+                        ScatterMsg::Final { payload } => self.received.push(payload),
+                        ScatterMsg::ToRelay { .. } => {
+                            panic!("ToRelay message arrived in the delivery round")
+                        }
+                    }
+                }
+                DriverStep::done(std::mem::take(&mut self.received))
+            }
+            _ => panic!("RoundRobinScatter stepped past completion"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::drive;
+    use cc_sim::{run_protocol, CliqueSpec};
+
+    #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+    struct Item {
+        class: u32,
+        src: u32,
+        seq: u32,
+    }
+
+    impl Payload for Item {
+        fn size_bits(&self, n: usize) -> u64 {
+            3 * word_bits(n)
+        }
+    }
+
+    #[test]
+    fn redistributes_all_messages_in_two_rounds() {
+        let n = 16;
+        let group = NodeGroup::whole_clique(n);
+        // Every node scatters n messages, class = destination-set style tag.
+        let report = run_protocol(CliqueSpec::new(n).unwrap(), |me| {
+            let msgs: Vec<Item> = (0..n as u32)
+                .map(|j| Item {
+                    class: j / 4,
+                    src: me.raw(),
+                    seq: j,
+                })
+                .collect();
+            drive(RoundRobinScatter::member(group.clone(), msgs))
+        })
+        .unwrap();
+        assert_eq!(report.metrics.comm_rounds(), 2);
+        let total: usize = report.outputs.iter().map(Vec::len).sum();
+        assert_eq!(total, n * n);
+        // Perfectly uniform input ⇒ perfectly uniform output.
+        for out in &report.outputs {
+            assert_eq!(out.len(), n);
+        }
+    }
+
+    #[test]
+    fn per_class_balance_bound_of_lemma_5_1() {
+        // The group holds exactly n messages of each class, sorted by
+        // class on every sender; after the scatter every member holds
+        // fewer than 2·(n/|W|) + 1 per class.
+        let n = 16;
+        let w = 4;
+        let group = NodeGroup::contiguous(0, w);
+        let report = run_protocol(CliqueSpec::new(n).unwrap(), |me| {
+            if group.contains(me) {
+                // Member v holds a skewed share: class c gets a chunk
+                // depending on v, but classes stay globally n each.
+                let mut msgs = Vec::new();
+                let shares = [
+                    [8usize, 4, 2, 2],
+                    [4, 8, 2, 2],
+                    [2, 2, 8, 4],
+                    [2, 2, 4, 8],
+                ];
+                let v = me.index();
+                for (c, &cnt) in shares[v].iter().enumerate() {
+                    for k in 0..cnt {
+                        msgs.push(Item {
+                            class: c as u32,
+                            src: me.raw(),
+                            seq: k as u32,
+                        });
+                    }
+                }
+                drive(RoundRobinScatter::member(group.clone(), msgs))
+            } else {
+                drive(RoundRobinScatter::relay_only())
+            }
+        })
+        .unwrap();
+        assert_eq!(report.metrics.comm_rounds(), 2);
+        let bound = 2 * (n / w) + 1; // < 2·(n/|W|) + 1 per class
+        for (v, out) in report.outputs.iter().enumerate() {
+            if v < w {
+                let mut per_class = [0usize; 4];
+                for item in out {
+                    per_class[item.class as usize] += 1;
+                }
+                for (c, &cnt) in per_class.iter().enumerate() {
+                    assert!(
+                        cnt < bound,
+                        "member {v} holds {cnt} of class {c}, bound {bound}"
+                    );
+                }
+            } else {
+                assert!(out.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn nothing_to_scatter() {
+        let n = 4;
+        let group = NodeGroup::whole_clique(n);
+        let report = run_protocol(CliqueSpec::new(n).unwrap(), |_| {
+            drive(RoundRobinScatter::<Item>::member(group.clone(), Vec::new()))
+        })
+        .unwrap();
+        assert_eq!(report.metrics.comm_rounds(), 0);
+    }
+}

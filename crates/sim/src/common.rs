@@ -1,0 +1,163 @@
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifies one shared deterministic computation.
+///
+/// Deterministic congested-clique algorithms frequently have *all* nodes of
+/// a group evaluate the same function of common knowledge (e.g. the König
+/// edge coloring of a globally announced demand multigraph in Algorithm 2,
+/// Step 2). A scope names one such evaluation site: a static label plus a
+/// dynamic tag (typically a phase number and a group index packed together).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CommonScope {
+    /// Static name of the computation site (e.g. `"alg2.step2.coloring"`).
+    pub label: &'static str,
+    /// Dynamic disambiguator: pack phase/group indices as needed.
+    pub tag: u64,
+}
+
+impl CommonScope {
+    /// Creates a scope.
+    pub fn new(label: &'static str, tag: u64) -> Self {
+        CommonScope { label, tag }
+    }
+}
+
+struct Entry {
+    input_hash: u64,
+    value: Arc<dyn Any + Send + Sync>,
+}
+
+/// Memoizes computations that are common knowledge across nodes, verifying
+/// the common-knowledge assumption at runtime.
+///
+/// The first node to evaluate a [`CommonScope`] computes the value; later
+/// nodes receive the cached [`Arc`]. Every caller supplies a hash of its
+/// *local view* of the input; if two nodes ever disagree, the protocol's
+/// common-knowledge assumption is broken and the cache panics with a
+/// diagnostic — a distributed-correctness assertion, not merely an
+/// optimization.
+///
+/// # Panics
+///
+/// [`CommonCache::get_or_compute`] panics if a second caller presents a
+/// different `input_hash` for the same scope, or if the cached value's type
+/// differs from the requested one.
+#[derive(Default)]
+pub struct CommonCache {
+    entries: Mutex<HashMap<CommonScope, Entry>>,
+}
+
+impl std::fmt::Debug for CommonCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.entries.lock().len();
+        write!(f, "CommonCache({n} entries)")
+    }
+}
+
+impl CommonCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the memoized value for `scope`, computing it with `compute`
+    /// on first use.
+    ///
+    /// `input_hash` must be a hash of the caller's local view of every
+    /// input that `compute` reads; see [`crate::hash`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-hash divergence between nodes (broken
+    /// common-knowledge assumption) or on a type mismatch for the scope.
+    pub fn get_or_compute<T, F>(&self, scope: CommonScope, input_hash: u64, compute: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let mut entries = self.entries.lock();
+        if let Some(entry) = entries.get(&scope) {
+            assert_eq!(
+                entry.input_hash, input_hash,
+                "common-knowledge divergence at {}#{:x}: a node supplied input hash {:#x}, \
+                 but the scope was first evaluated with {:#x}",
+                scope.label, scope.tag, input_hash, entry.input_hash
+            );
+            return entry
+                .value
+                .clone()
+                .downcast::<T>()
+                .unwrap_or_else(|_| panic!("type mismatch in common scope {}", scope.label));
+        }
+        let value: Arc<T> = Arc::new(compute());
+        entries.insert(
+            scope,
+            Entry {
+                input_hash,
+                value: value.clone(),
+            },
+        );
+        value
+    }
+
+    /// Number of distinct scopes evaluated so far.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Returns `true` if no scope has been evaluated.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn computes_once() {
+        let cache = CommonCache::new();
+        let calls = AtomicUsize::new(0);
+        let scope = CommonScope::new("test", 1);
+        for _ in 0..5 {
+            let v = cache.get_or_compute(scope, 42, || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                123u64
+            });
+            assert_eq!(*v, 123);
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_tags_are_distinct_scopes() {
+        let cache = CommonCache::new();
+        let a = cache.get_or_compute(CommonScope::new("t", 1), 0, || 1u64);
+        let b = cache.get_or_compute(CommonScope::new("t", 2), 0, || 2u64);
+        assert_eq!((*a, *b), (1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "common-knowledge divergence")]
+    fn detects_divergent_inputs() {
+        let cache = CommonCache::new();
+        let scope = CommonScope::new("diverge", 7);
+        let _ = cache.get_or_compute(scope, 1, || 0u64);
+        let _ = cache.get_or_compute(scope, 2, || 0u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn detects_type_mismatch() {
+        let cache = CommonCache::new();
+        let scope = CommonScope::new("ty", 0);
+        let _ = cache.get_or_compute(scope, 1, || 0u64);
+        let _: Arc<String> = cache.get_or_compute(scope, 1, || String::new());
+    }
+}

@@ -1,0 +1,711 @@
+use crate::common::CommonCache;
+use crate::error::SimError;
+use crate::inbox::Inbox;
+use crate::metrics::{Metrics, RoundMetrics};
+use crate::node::NodeId;
+use crate::payload::Payload;
+use crate::spec::CliqueSpec;
+use crate::work::WorkMeter;
+
+/// The result of a node's round handler.
+#[derive(Debug)]
+pub enum Step<O> {
+    /// The node continues into the next round.
+    Continue,
+    /// The node has produced its output and leaves the protocol. It must
+    /// not be sent any further messages.
+    Done(O),
+}
+
+/// The message-type-independent part of a node's per-round context:
+/// identity, round number, common-knowledge cache and work accounting.
+///
+/// Sub-protocol drivers (the communication primitives of `cc-primitives`)
+/// take a `&mut BaseCtx` so they can be composed under any parent message
+/// type.
+pub struct BaseCtx<'a> {
+    me: NodeId,
+    n: usize,
+    round: u64,
+    common: &'a CommonCache,
+    work: &'a mut WorkMeter,
+}
+
+impl<'a> BaseCtx<'a> {
+    /// This node's identity.
+    #[inline]
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Number of nodes in the clique.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The current round number (0 during [`NodeMachine::on_start`], then
+    /// 1, 2, … for successive communication rounds).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Iterates over all node ids of the clique, including `me`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n).map(NodeId::new)
+    }
+
+    /// The shared common-knowledge computation cache (see
+    /// [`CommonCache`]).
+    #[inline]
+    pub fn common(&self) -> &CommonCache {
+        self.common
+    }
+
+    /// Charges analytical local-computation steps to this node (see
+    /// [`WorkMeter`]).
+    #[inline]
+    pub fn charge_work(&mut self, steps: u64) {
+        self.work.charge(steps);
+    }
+
+    /// Notes this node's current live memory in machine words (high-water
+    /// mark is kept).
+    #[inline]
+    pub fn note_mem(&mut self, words: u64) {
+        self.work.note_mem(words);
+    }
+
+    /// Reborrows this context with the same identity (for handing to a
+    /// sub-protocol while retaining the original).
+    pub fn reborrow(&mut self) -> BaseCtx<'_> {
+        BaseCtx {
+            me: self.me,
+            n: self.n,
+            round: self.round,
+            common: self.common,
+            work: self.work,
+        }
+    }
+
+    /// Reborrows this context with a different identity and clique size,
+    /// for running a protocol instance embedded in a sub-clique (e.g. the
+    /// `⌊√n⌋²`-node instances of Theorem 3.7's general-`n` decomposition).
+    ///
+    /// The common-knowledge cache and work meter are shared with the
+    /// parent context; only `me`/`n` are overridden. The caller translates
+    /// message addresses between the virtual and global id spaces.
+    pub fn virtualized(&mut self, me: NodeId, n: usize) -> BaseCtx<'_> {
+        BaseCtx {
+            me,
+            n,
+            round: self.round,
+            common: self.common,
+            work: self.work,
+        }
+    }
+}
+
+/// Per-node view of the clique during one round, through which a node
+/// observes its identity, the round number, and sends messages.
+///
+/// A `Ctx` is handed to [`NodeMachine::on_start`] and
+/// [`NodeMachine::on_round`]; messages sent through it are delivered at the
+/// *next* synchronous round.
+pub struct Ctx<'a, M> {
+    base: BaseCtx<'a>,
+    outbox: &'a mut Vec<(NodeId, M)>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// This node's identity.
+    #[inline]
+    pub fn me(&self) -> NodeId {
+        self.base.me
+    }
+
+    /// Number of nodes in the clique.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.base.n
+    }
+
+    /// The current round number (0 during [`NodeMachine::on_start`], then
+    /// 1, 2, … for successive communication rounds).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.base.round
+    }
+
+    /// Iterates over all node ids of the clique, including `me`.
+    ///
+    /// Following the paper's convention (§2), nodes may send messages to
+    /// themselves like to any other node; self-messages traverse a
+    /// zero-cost loopback but are still counted and budget-checked like
+    /// edge messages for uniformity.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        self.base.nodes()
+    }
+
+    /// Queues `msg` for delivery to `dst` in the next round.
+    #[inline]
+    pub fn send(&mut self, dst: NodeId, msg: M) {
+        self.outbox.push((dst, msg));
+    }
+
+    /// Queues the same message for every node (including `me`).
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for v in 0..self.base.n {
+            self.outbox.push((NodeId::new(v), msg.clone()));
+        }
+    }
+
+    /// The shared common-knowledge computation cache (see
+    /// [`CommonCache`]).
+    #[inline]
+    pub fn common(&self) -> &CommonCache {
+        self.base.common
+    }
+
+    /// Charges analytical local-computation steps to this node (see
+    /// [`WorkMeter`]).
+    #[inline]
+    pub fn charge_work(&mut self, steps: u64) {
+        self.base.charge_work(steps);
+    }
+
+    /// Notes this node's current live memory in machine words (high-water
+    /// mark is kept).
+    #[inline]
+    pub fn note_mem(&mut self, words: u64) {
+        self.base.note_mem(words);
+    }
+
+    /// Borrows the message-type-independent context, for driving
+    /// sub-protocol primitives.
+    #[inline]
+    pub fn base(&mut self) -> &mut BaseCtx<'a> {
+        &mut self.base
+    }
+
+    /// Splits into the base context and the raw outbox, for drivers that
+    /// need to emit parent-wrapped messages while borrowing the base.
+    #[inline]
+    pub fn split(&mut self) -> (&mut BaseCtx<'a>, &mut Vec<(NodeId, M)>) {
+        (&mut self.base, self.outbox)
+    }
+
+    /// Assembles a context from a reborrowed base and an external outbox —
+    /// how a parent machine drives an embedded [`NodeMachine`] whose
+    /// message type it wraps (e.g. Algorithm 4 running the Theorem 3.7
+    /// router as its Step 6).
+    pub fn from_parts(base: BaseCtx<'a>, outbox: &'a mut Vec<(NodeId, M)>) -> Self {
+        Ctx { base, outbox }
+    }
+}
+
+/// A per-node protocol state machine.
+///
+/// One machine instance exists per node. The engine calls
+/// [`on_start`](NodeMachine::on_start) once before the first round, then
+/// [`on_round`](NodeMachine::on_round) once per synchronous round with the
+/// messages received in that round, until every machine returns
+/// [`Step::Done`].
+pub trait NodeMachine {
+    /// Message type exchanged by this protocol.
+    type Msg: Payload;
+    /// Per-node output produced on completion.
+    type Output;
+
+    /// Called once before the first round; typically queues the round-1
+    /// sends. The default does nothing.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Called once per round with this round's inbox. Messages queued on
+    /// `ctx` are delivered next round.
+    fn on_round(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg>,
+        inbox: &mut Inbox<Self::Msg>,
+    ) -> Step<Self::Output>;
+}
+
+/// The outcome of a completed run.
+#[derive(Debug)]
+pub struct RunReport<O> {
+    /// Per-node outputs, indexed by node id.
+    pub outputs: Vec<O>,
+    /// Communication and computation measurements.
+    pub metrics: Metrics,
+}
+
+enum Slot<O> {
+    Running,
+    Finished(O),
+}
+
+/// Executes a set of [`NodeMachine`]s in lock-step synchronous rounds on a
+/// congested clique, enforcing the per-edge bit budget.
+///
+/// See the [crate-level documentation](crate) for a complete example.
+pub struct Simulator<N: NodeMachine> {
+    spec: CliqueSpec,
+    machines: Vec<N>,
+    slots: Vec<Slot<N::Output>>,
+    common: CommonCache,
+}
+
+impl<N: NodeMachine> Simulator<N> {
+    /// Creates a simulator for `spec.n()` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NodeCountMismatch`] if `machines.len() != spec.n()`.
+    pub fn new(spec: CliqueSpec, machines: Vec<N>) -> Result<Self, SimError> {
+        if machines.len() != spec.n() {
+            return Err(SimError::NodeCountMismatch {
+                expected: spec.n(),
+                actual: machines.len(),
+            });
+        }
+        let slots = machines.iter().map(|_| Slot::Running).collect();
+        Ok(Simulator {
+            spec,
+            machines,
+            slots,
+            common: CommonCache::new(),
+        })
+    }
+
+    /// Runs the protocol to completion.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::BudgetExceeded`] — a directed edge carried more bits
+    ///   in one round than the spec allows.
+    /// * [`SimError::TooManyRounds`] — the configured round limit was hit.
+    /// * [`SimError::Stalled`] — a round passed with no messages and no
+    ///   node finishing.
+    /// * [`SimError::MessageToFinishedNode`] /
+    ///   [`SimError::DestinationOutOfRange`] — protocol addressing bugs.
+    pub fn run(mut self) -> Result<RunReport<N::Output>, SimError> {
+        let n = self.spec.n();
+        let mut metrics = Metrics::new(self.spec.records_edge_histogram(), n);
+        let mut outboxes: Vec<Vec<(NodeId, N::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+
+        // Round 0: start hooks queue the round-1 sends.
+        for (i, machine) in self.machines.iter_mut().enumerate() {
+            let mut ctx = Ctx {
+                base: BaseCtx {
+                    me: NodeId::new(i),
+                    n,
+                    round: 0,
+                    common: &self.common,
+                    work: metrics.node_work_mut(i),
+                },
+                outbox: &mut outboxes[i],
+            };
+            machine.on_start(&mut ctx);
+        }
+
+        let mut round: u64 = 0;
+        let mut silent_rounds: u64 = 0;
+        loop {
+            let all_done = self.slots.iter().all(|s| matches!(s, Slot::Finished(_)));
+            let any_in_flight = outboxes.iter().any(|o| !o.is_empty());
+            if all_done {
+                if any_in_flight {
+                    // Someone sent a message but everyone already finished.
+                    let (src, dst) = outboxes
+                        .iter()
+                        .enumerate()
+                        .find_map(|(i, o)| o.first().map(|(d, _)| (NodeId::new(i), *d)))
+                        .expect("any_in_flight implies a message exists");
+                    return Err(SimError::MessageToFinishedNode {
+                        round: round + 1,
+                        src,
+                        dst,
+                    });
+                }
+                break;
+            }
+
+            round += 1;
+            if round > self.spec.max_rounds() {
+                return Err(SimError::TooManyRounds {
+                    limit: self.spec.max_rounds(),
+                });
+            }
+
+            // Deliver: enforce per-edge budgets, account metrics.
+            let mut round_metrics = RoundMetrics::default();
+            let mut inboxes: Vec<Vec<(NodeId, N::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+            for src_idx in 0..n {
+                let mut batch = std::mem::take(&mut outboxes[src_idx]);
+                if batch.is_empty() {
+                    continue;
+                }
+                let src = NodeId::new(src_idx);
+                // Stable sort groups messages per destination while
+                // preserving per-destination send order.
+                batch.sort_by_key(|(dst, _)| *dst);
+                let i = 0;
+                while i < batch.len() {
+                    let dst = batch[i].0;
+                    if dst.index() >= n {
+                        return Err(SimError::DestinationOutOfRange {
+                            src,
+                            dst: dst.index(),
+                            n,
+                        });
+                    }
+                    let mut edge_bits = 0u64;
+                    let mut j = i;
+                    while j < batch.len() && batch[j].0 == dst {
+                        edge_bits += batch[j].1.size_bits(n);
+                        j += 1;
+                    }
+                    if edge_bits > self.spec.bits_per_edge() {
+                        return Err(SimError::BudgetExceeded {
+                            round,
+                            src,
+                            dst,
+                            bits: edge_bits,
+                            budget: self.spec.bits_per_edge(),
+                        });
+                    }
+                    if matches!(self.slots[dst.index()], Slot::Finished(_)) {
+                        return Err(SimError::MessageToFinishedNode { round, src, dst });
+                    }
+                    round_metrics.messages += (j - i) as u64;
+                    round_metrics.bits += edge_bits;
+                    round_metrics.busy_edges += 1;
+                    round_metrics.max_edge_bits = round_metrics.max_edge_bits.max(edge_bits);
+                    if let Some(h) = metrics.histogram_mut() {
+                        h.record(edge_bits);
+                    }
+                    for (d, msg) in batch.drain(i..j) {
+                        debug_assert_eq!(d, dst);
+                        inboxes[dst.index()].push((src, msg));
+                    }
+                    // After drain, element i is the next distinct destination.
+                }
+            }
+            let delivered_any = round_metrics.messages > 0;
+            metrics.push_round(round_metrics);
+
+            // Step every running node.
+            let mut completions = 0usize;
+            for i in 0..n {
+                if matches!(self.slots[i], Slot::Finished(_)) {
+                    debug_assert!(inboxes[i].is_empty());
+                    continue;
+                }
+                // Inboxes were filled in ascending src order already.
+                let mut inbox = Inbox::from_sorted(std::mem::take(&mut inboxes[i]));
+                let mut ctx = Ctx {
+                    base: BaseCtx {
+                        me: NodeId::new(i),
+                        n,
+                        round,
+                        common: &self.common,
+                        work: metrics.node_work_mut(i),
+                    },
+                    outbox: &mut outboxes[i],
+                };
+                match self.machines[i].on_round(&mut ctx, &mut inbox) {
+                    Step::Continue => {}
+                    Step::Done(out) => {
+                        self.slots[i] = Slot::Finished(out);
+                        completions += 1;
+                    }
+                }
+            }
+
+            if !delivered_any && completions == 0 {
+                silent_rounds += 1;
+                if silent_rounds > self.spec.max_silent_rounds() {
+                    let finished = self
+                        .slots
+                        .iter()
+                        .filter(|s| matches!(s, Slot::Finished(_)))
+                        .count();
+                    return Err(SimError::Stalled {
+                        round,
+                        finished,
+                        total: n,
+                    });
+                }
+            } else {
+                silent_rounds = 0;
+            }
+        }
+
+        let outputs = self
+            .slots
+            .into_iter()
+            .map(|s| match s {
+                Slot::Finished(o) => o,
+                Slot::Running => unreachable!("loop exits only when all nodes finished"),
+            })
+            .collect();
+        Ok(RunReport { outputs, metrics })
+    }
+}
+
+/// Convenience: builds machines with a closure of the node id and runs them.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from [`Simulator::new`] / [`Simulator::run`].
+pub fn run_protocol<N, F>(spec: CliqueSpec, make: F) -> Result<RunReport<N::Output>, SimError>
+where
+    N: NodeMachine,
+    F: FnMut(NodeId) -> N,
+{
+    let n = spec.n();
+    let machines = (0..n).map(NodeId::new).map(make).collect();
+    Simulator::new(spec, machines)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::word_bits;
+
+    /// All-to-all identity exchange: 1 round.
+    struct AllToAll;
+
+    impl NodeMachine for AllToAll {
+        type Msg = u64;
+        type Output = u64;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            let me = ctx.me().index() as u64;
+            ctx.broadcast(me);
+        }
+
+        fn on_round(&mut self, _ctx: &mut Ctx<'_, u64>, inbox: &mut Inbox<u64>) -> Step<u64> {
+            Step::Done(inbox.drain().map(|(_, m)| m).sum())
+        }
+    }
+
+    #[test]
+    fn all_to_all_takes_one_round() {
+        let n = 10;
+        let report = run_protocol(CliqueSpec::new(n).unwrap(), |_| AllToAll).unwrap();
+        assert_eq!(report.metrics.comm_rounds(), 1);
+        assert_eq!(report.metrics.total_messages(), (n * n) as u64);
+        let expected: u64 = (0..n as u64).sum();
+        assert!(report.outputs.iter().all(|&s| s == expected));
+    }
+
+    /// A two-phase protocol: ping a partner, then reply; checks round
+    /// counting and per-round metrics.
+    struct PingPong {
+        sent_reply: bool,
+    }
+
+    impl NodeMachine for PingPong {
+        type Msg = u64;
+        type Output = u64;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            let partner = NodeId::new((ctx.me().index() + 1) % ctx.n());
+            ctx.send(partner, 1);
+        }
+
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &mut Inbox<u64>) -> Step<u64> {
+            let got: u64 = inbox.drain().map(|(_, m)| m).sum();
+            if self.sent_reply {
+                return Step::Done(got);
+            }
+            self.sent_reply = true;
+            let partner = NodeId::new((ctx.me().index() + ctx.n() - 1) % ctx.n());
+            ctx.send(partner, got + 1);
+            Step::Continue
+        }
+    }
+
+    #[test]
+    fn ping_pong_takes_two_rounds() {
+        let n = 6;
+        let report =
+            run_protocol(CliqueSpec::new(n).unwrap(), |_| PingPong { sent_reply: false }).unwrap();
+        assert_eq!(report.metrics.comm_rounds(), 2);
+        assert!(report.outputs.iter().all(|&o| o == 2));
+    }
+
+    /// Over-budget sender triggers `BudgetExceeded`.
+    struct Flooder;
+
+    impl NodeMachine for Flooder {
+        type Msg = u64;
+        type Output = ();
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            // Send many words over a single edge.
+            for k in 0..64 {
+                ctx.send(NodeId::new(0), k);
+            }
+        }
+
+        fn on_round(&mut self, _ctx: &mut Ctx<'_, u64>, _inbox: &mut Inbox<u64>) -> Step<()> {
+            Step::Done(())
+        }
+    }
+
+    #[test]
+    fn budget_violation_is_detected() {
+        let n = 4;
+        let spec = CliqueSpec::new(n).unwrap().with_budget_words(8);
+        let err = run_protocol(spec, |_| Flooder).unwrap_err();
+        match err {
+            SimError::BudgetExceeded { bits, budget, .. } => {
+                assert_eq!(bits, 64 * word_bits(n));
+                assert_eq!(budget, 8 * word_bits(n));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    /// A protocol that never finishes and never sends: must stall, not hang.
+    struct Sleeper;
+
+    impl NodeMachine for Sleeper {
+        type Msg = u64;
+        type Output = ();
+
+        fn on_round(&mut self, _ctx: &mut Ctx<'_, u64>, _inbox: &mut Inbox<u64>) -> Step<()> {
+            Step::Continue
+        }
+    }
+
+    #[test]
+    fn silent_nonterminating_protocol_stalls() {
+        let err = run_protocol(CliqueSpec::new(3).unwrap(), |_| Sleeper).unwrap_err();
+        assert!(matches!(err, SimError::Stalled { .. }), "{err:?}");
+    }
+
+    /// Sending to a node that already finished is an addressing bug.
+    struct LateSender {
+        me: NodeId,
+    }
+
+    impl NodeMachine for LateSender {
+        type Msg = u64;
+        type Output = ();
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if self.me.index() == 1 {
+                ctx.send(NodeId::new(0), 7);
+            }
+        }
+
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &mut Inbox<u64>) -> Step<()> {
+            let _ = inbox.drain().count();
+            if self.me.index() == 0 {
+                // Node 0 finishes immediately.
+                return Step::Done(());
+            }
+            if ctx.round() == 2 {
+                return Step::Done(());
+            }
+            // Round 1: node 1 sends to the (about to be) finished node 0.
+            ctx.send(NodeId::new(0), 9);
+            Step::Continue
+        }
+    }
+
+    #[test]
+    fn message_to_finished_node_is_detected() {
+        let err = run_protocol(CliqueSpec::new(2).unwrap(), |me| LateSender { me }).unwrap_err();
+        assert!(matches!(err, SimError::MessageToFinishedNode { .. }), "{err:?}");
+    }
+
+    /// Out-of-range destinations are rejected.
+    struct WildSender;
+
+    impl NodeMachine for WildSender {
+        type Msg = u64;
+        type Output = ();
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.send(NodeId::new(ctx.n() + 5), 1);
+        }
+
+        fn on_round(&mut self, _ctx: &mut Ctx<'_, u64>, _inbox: &mut Inbox<u64>) -> Step<()> {
+            Step::Done(())
+        }
+    }
+
+    #[test]
+    fn out_of_range_destination_is_detected() {
+        let err = run_protocol(CliqueSpec::new(3).unwrap(), |_| WildSender).unwrap_err();
+        assert!(matches!(err, SimError::DestinationOutOfRange { .. }), "{err:?}");
+    }
+
+    /// A zero-communication protocol completes in zero communication rounds.
+    struct Loner;
+
+    impl NodeMachine for Loner {
+        type Msg = ();
+        type Output = u32;
+
+        fn on_round(&mut self, ctx: &mut Ctx<'_, ()>, _inbox: &mut Inbox<()>) -> Step<u32> {
+            Step::Done(ctx.me().raw())
+        }
+    }
+
+    #[test]
+    fn local_only_protocol_uses_zero_comm_rounds() {
+        let report = run_protocol(CliqueSpec::new(5).unwrap(), |_| Loner).unwrap();
+        assert_eq!(report.metrics.comm_rounds(), 0);
+        assert_eq!(report.outputs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn machine_count_must_match() {
+        let spec = CliqueSpec::new(3).unwrap();
+        let err = match Simulator::new(spec, vec![Loner, Loner]) {
+            Ok(_) => panic!("expected mismatch error"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, SimError::NodeCountMismatch { .. }));
+    }
+
+    #[test]
+    fn inbox_is_sorted_by_sender() {
+        struct Collector {
+            senders: Vec<usize>,
+        }
+        impl NodeMachine for Collector {
+            type Msg = u64;
+            type Output = Vec<usize>;
+
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+                ctx.send(NodeId::new(0), ctx.me().index() as u64);
+            }
+
+            fn on_round(
+                &mut self,
+                _ctx: &mut Ctx<'_, u64>,
+                inbox: &mut Inbox<u64>,
+            ) -> Step<Vec<usize>> {
+                self.senders = inbox.drain().map(|(s, _)| s.index()).collect();
+                Step::Done(std::mem::take(&mut self.senders))
+            }
+        }
+        let report = run_protocol(CliqueSpec::new(6).unwrap(), |_| Collector {
+            senders: Vec::new(),
+        })
+        .unwrap();
+        assert_eq!(report.outputs[0], vec![0, 1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,138 @@
+use crate::NodeId;
+use std::fmt;
+
+/// Errors produced by the simulator engine.
+///
+/// These correspond to violations of the congested-clique model (bandwidth,
+/// liveness) or misconfiguration; they are *not* recoverable conditions of a
+/// correct protocol, so most callers surface them with `?`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The per-directed-edge per-round bit budget was exceeded.
+    BudgetExceeded {
+        /// Communication round in which the violation occurred (1-based).
+        round: u64,
+        /// Sending endpoint of the violating edge.
+        src: NodeId,
+        /// Receiving endpoint of the violating edge.
+        dst: NodeId,
+        /// Bits the sender attempted to push over the edge this round.
+        bits: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// The run exceeded the configured maximum number of rounds.
+    TooManyRounds {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// No messages were sent and no node finished during a full round:
+    /// the protocol can make no further progress.
+    Stalled {
+        /// Round at which the stall was detected.
+        round: u64,
+        /// Number of nodes that had already produced output.
+        finished: usize,
+        /// Total number of nodes.
+        total: usize,
+    },
+    /// A message was addressed to a node that had already finished.
+    MessageToFinishedNode {
+        /// Communication round of the delivery attempt.
+        round: u64,
+        /// Sender.
+        src: NodeId,
+        /// The finished recipient.
+        dst: NodeId,
+    },
+    /// A message was addressed to a node outside `0..n`.
+    DestinationOutOfRange {
+        /// Sender.
+        src: NodeId,
+        /// The invalid destination index.
+        dst: usize,
+        /// Clique size.
+        n: usize,
+    },
+    /// The clique specification is invalid (e.g. `n == 0`).
+    InvalidSpec {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The number of machines supplied does not match the clique size.
+    NodeCountMismatch {
+        /// Clique size from the spec.
+        expected: usize,
+        /// Number of machines supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BudgetExceeded {
+                round,
+                src,
+                dst,
+                bits,
+                budget,
+            } => write!(
+                f,
+                "edge ({src} -> {dst}) carries {bits} bits in round {round}, budget is {budget}"
+            ),
+            SimError::TooManyRounds { limit } => {
+                write!(f, "protocol did not terminate within {limit} rounds")
+            }
+            SimError::Stalled {
+                round,
+                finished,
+                total,
+            } => write!(
+                f,
+                "protocol stalled in round {round} with {finished}/{total} nodes finished"
+            ),
+            SimError::MessageToFinishedNode { round, src, dst } => write!(
+                f,
+                "node {src} sent a message to node {dst} in round {round}, but {dst} had already finished"
+            ),
+            SimError::DestinationOutOfRange { src, dst, n } => write!(
+                f,
+                "node {src} addressed destination {dst}, outside the {n}-clique"
+            ),
+            SimError::InvalidSpec { reason } => write!(f, "invalid clique spec: {reason}"),
+            SimError::NodeCountMismatch { expected, actual } => write!(
+                f,
+                "spec declares {expected} nodes but {actual} machines were supplied"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::BudgetExceeded {
+            round: 3,
+            src: NodeId::new(1),
+            dst: NodeId::new(2),
+            bits: 99,
+            budget: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("99 bits"));
+        assert!(s.contains("round 3"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<SimError>();
+    }
+}

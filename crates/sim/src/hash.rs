@@ -1,0 +1,126 @@
+//! A small, dependency-free, *stable* 64-bit hash (FNV-1a).
+//!
+//! The simulator's [common-knowledge cache](crate::CommonCache) keys shared
+//! computations by a hash of each node's view of the input. The standard
+//! library's `DefaultHasher` is not guaranteed stable across releases, and
+//! the deterministic algorithms of the paper rely on all nodes agreeing on
+//! derived values, so we pin an explicit algorithm.
+
+use std::hash::Hasher;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A [`Hasher`] implementing 64-bit FNV-1a.
+///
+/// ```rust
+/// use std::hash::{Hash, Hasher};
+/// let mut h = cc_sim::hash::StableHasher::new();
+/// 42u64.hash(&mut h);
+/// let a = h.finish();
+/// let mut h2 = cc_sim::hash::StableHasher::new();
+/// 42u64.hash(&mut h2);
+/// assert_eq!(a, h2.finish());
+/// ```
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl StableHasher {
+    /// Creates a hasher in its initial state.
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Hashes anything `Hash` with the stable hasher.
+pub fn stable_hash<T: std::hash::Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = StableHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Hashes a slice of `u32` values (the common shape of demand matrices).
+pub fn hash_u32s(values: &[u32]) -> u64 {
+    let mut h = StableHasher::new();
+    for &v in values {
+        h.write(&v.to_le_bytes());
+    }
+    h.write_u8(0x5a);
+    h.finish()
+}
+
+/// Hashes a slice of `u64` values (the common shape of key sets).
+pub fn hash_u64s(values: &[u64]) -> u64 {
+    let mut h = StableHasher::new();
+    for &v in values {
+        h.write(&v.to_le_bytes());
+    }
+    h.write_u8(0xa5);
+    h.finish()
+}
+
+/// Combines two hashes order-dependently.
+pub fn combine(a: u64, b: u64) -> u64 {
+    let mut h = StableHasher::new();
+    h.write(&a.to_le_bytes());
+    h.write(&b.to_le_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_u32s(&[1, 2, 3]), hash_u32s(&[1, 2, 3]));
+        assert_eq!(hash_u64s(&[1, 2, 3]), hash_u64s(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn sensitive_to_order_and_content() {
+        assert_ne!(hash_u32s(&[1, 2, 3]), hash_u32s(&[3, 2, 1]));
+        assert_ne!(hash_u32s(&[1, 2, 3]), hash_u32s(&[1, 2, 4]));
+        assert_ne!(hash_u32s(&[]), hash_u32s(&[0]));
+    }
+
+    #[test]
+    fn u32_and_u64_views_differ() {
+        // Domain separation: the same numeric content hashed as different
+        // widths must not collide trivially.
+        assert_ne!(hash_u32s(&[7, 8]), hash_u64s(&[7, 8]));
+    }
+
+    #[test]
+    fn combine_is_order_dependent() {
+        assert_ne!(combine(1, 2), combine(2, 1));
+    }
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a of the empty input is the offset basis.
+        let h = StableHasher::new();
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+    }
+}

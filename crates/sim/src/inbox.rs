@@ -1,0 +1,103 @@
+use crate::NodeId;
+
+/// The messages a node received in the current round.
+///
+/// Messages are delivered in ascending order of sender id; multiple
+/// messages from the same sender (possible when the bit budget allows
+/// bundling) preserve their send order. This ordering is deterministic, so
+/// deterministic protocols are reproducible bit-for-bit.
+#[derive(Debug)]
+pub struct Inbox<M> {
+    items: Vec<(NodeId, M)>,
+}
+
+impl<M> Inbox<M> {
+    /// Creates an inbox from a pre-sorted delivery batch.
+    pub(crate) fn from_sorted(items: Vec<(NodeId, M)>) -> Self {
+        debug_assert!(items.windows(2).all(|w| w[0].0 <= w[1].0));
+        Inbox { items }
+    }
+
+    /// Creates an inbox from an unsorted batch, restoring sender order —
+    /// used by parent machines that demultiplex messages for an embedded
+    /// [`NodeMachine`](crate::NodeMachine).
+    pub fn from_messages(mut items: Vec<(NodeId, M)>) -> Self {
+        items.sort_by_key(|(src, _)| *src);
+        Inbox { items }
+    }
+
+    /// Number of messages received this round.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when nothing was received this round.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over `(sender, message)` pairs in sender order.
+    pub fn iter(&self) -> std::slice::Iter<'_, (NodeId, M)> {
+        self.items.iter()
+    }
+
+    /// Removes and returns all messages, in sender order.
+    ///
+    /// This is the normal consumption path: a round handler drains its
+    /// inbox, leaving it empty.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, (NodeId, M)> {
+        self.items.drain(..)
+    }
+
+    /// Removes and returns all messages as a vector.
+    pub fn take_all(&mut self) -> Vec<(NodeId, M)> {
+        std::mem::take(&mut self.items)
+    }
+}
+
+impl<'a, M> IntoIterator for &'a Inbox<M> {
+    type Item = &'a (NodeId, M);
+    type IntoIter = std::slice::Iter<'a, (NodeId, M)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl<M> IntoIterator for Inbox<M> {
+    type Item = (NodeId, M);
+    type IntoIter = std::vec::IntoIter<(NodeId, M)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_empties() {
+        let mut inbox = Inbox::from_sorted(vec![(NodeId::new(0), 1u64), (NodeId::new(2), 2)]);
+        assert_eq!(inbox.len(), 2);
+        let got: Vec<_> = inbox.drain().collect();
+        assert_eq!(got.len(), 2);
+        assert!(inbox.is_empty());
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let inbox = Inbox::from_sorted(vec![
+            (NodeId::new(0), 10u64),
+            (NodeId::new(0), 11),
+            (NodeId::new(3), 12),
+        ]);
+        let senders: Vec<usize> = inbox.iter().map(|(s, _)| s.index()).collect();
+        assert_eq!(senders, vec![0, 0, 3]);
+        let owned: Vec<u64> = inbox.into_iter().map(|(_, m)| m).collect();
+        assert_eq!(owned, vec![10, 11, 12]);
+    }
+}

@@ -1,0 +1,102 @@
+//! # cc-sim — a synchronous congested-clique simulator
+//!
+//! This crate implements the execution model of Lenzen's *Optimal
+//! Deterministic Routing and Sorting on the Congested Clique* (PODC 2013),
+//! §2: a fully connected system of `n` nodes computing in lock-step
+//! synchronous rounds, where in each round every ordered pair of nodes may
+//! exchange a message of `O(log n)` bits.
+//!
+//! The simulator is the *substrate* on which the routing and sorting
+//! algorithms of the paper (see the `cc-core` crate) are executed and
+//! measured. It enforces the model's only resource constraint — a
+//! per-directed-edge, per-round **bit budget** — and counts the quantities
+//! the paper's theorems are stated in: rounds, messages, and bits.
+//!
+//! ## Architecture
+//!
+//! * A protocol is implemented as a [`NodeMachine`]: a per-node state
+//!   machine whose [`NodeMachine::on_round`] is invoked once per synchronous
+//!   round with the messages received in that round.
+//! * The [`Simulator`] owns one machine per node, moves messages between
+//!   them, enforces the bit budget and records [`Metrics`].
+//! * Deterministic algorithms on the clique repeatedly evaluate *identical*
+//!   functions of common knowledge on every node (e.g. an edge coloring of a
+//!   globally known demand multigraph). The [`CommonCache`] memoizes such
+//!   computations across nodes while *verifying* that every participant
+//!   supplies bit-identical input — turning the common-knowledge assumption
+//!   into a runtime-checked invariant.
+//! * [`wire`] provides bit-exact encoding used by tests to validate that
+//!   declared [`Payload::size_bits`] values are honest upper bounds.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use cc_sim::{CliqueSpec, Ctx, Inbox, NodeId, NodeMachine, Payload, Simulator, Step};
+//!
+//! /// Every node sends its id to every other node and sums what it hears.
+//! struct SumIds;
+//!
+//! #[derive(Clone, Debug)]
+//! struct IdMsg(u64);
+//!
+//! impl Payload for IdMsg {
+//!     fn size_bits(&self, n: usize) -> u64 {
+//!         cc_sim::util::word_bits(n)
+//!     }
+//! }
+//!
+//! impl NodeMachine for SumIds {
+//!     type Msg = IdMsg;
+//!     type Output = u64;
+//!
+//!     fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+//!         for v in ctx.nodes() {
+//!             ctx.send(v, IdMsg(ctx.me().index() as u64));
+//!         }
+//!     }
+//!
+//!     fn on_round(
+//!         &mut self,
+//!         _ctx: &mut Ctx<'_, Self::Msg>,
+//!         inbox: &mut Inbox<Self::Msg>,
+//!     ) -> Step<Self::Output> {
+//!         Step::Done(inbox.drain().map(|(_, m)| m.0).sum())
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), cc_sim::SimError> {
+//! let n = 8;
+//! let machines = (0..n).map(|_| SumIds).collect();
+//! let report = Simulator::new(CliqueSpec::new(n)?, machines)?.run()?;
+//! assert_eq!(report.metrics.comm_rounds(), 1);
+//! assert!(report.outputs.iter().all(|&s| s == (0..n as u64).sum()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod common;
+mod engine;
+mod error;
+mod inbox;
+mod metrics;
+mod node;
+mod payload;
+mod spec;
+mod work;
+
+pub mod hash;
+pub mod util;
+pub mod wire;
+
+pub use common::{CommonCache, CommonScope};
+pub use engine::{run_protocol, BaseCtx, Ctx, NodeMachine, RunReport, Simulator, Step};
+pub use error::SimError;
+pub use inbox::Inbox;
+pub use metrics::{EdgeLoadHistogram, Metrics, RoundMetrics};
+pub use node::NodeId;
+pub use payload::Payload;
+pub use spec::{CliqueSpec, DEFAULT_BUDGET_WORDS, DEFAULT_MAX_ROUNDS, DEFAULT_MAX_SILENT_ROUNDS};
+pub use work::WorkMeter;

@@ -1,0 +1,216 @@
+use crate::work::WorkMeter;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-round communication statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoundMetrics {
+    /// Messages delivered in this round.
+    pub messages: u64,
+    /// Total bits delivered in this round.
+    pub bits: u64,
+    /// Maximum bits over any single directed edge in this round.
+    pub max_edge_bits: u64,
+    /// Number of distinct directed edges that carried at least one message.
+    pub busy_edges: u64,
+}
+
+/// Histogram of per-edge bit loads, aggregated over all rounds of a run.
+///
+/// Maps `bits carried by a directed edge in one round` to the number of
+/// (edge, round) pairs with that load. Idle edges are not recorded.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeLoadHistogram {
+    buckets: BTreeMap<u64, u64>,
+}
+
+impl EdgeLoadHistogram {
+    pub(crate) fn record(&mut self, bits: u64) {
+        *self.buckets.entry(bits).or_insert(0) += 1;
+    }
+
+    /// Iterates over `(bits, count)` pairs in increasing bit-load order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(&b, &c)| (b, c))
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Total number of busy (edge, round) observations.
+    pub fn total_observations(&self) -> u64 {
+        self.buckets.values().sum()
+    }
+
+    /// Maximum observed per-edge per-round load in bits.
+    pub fn max_load(&self) -> u64 {
+        self.buckets.keys().next_back().copied().unwrap_or(0)
+    }
+}
+
+/// Measurements of a complete protocol run.
+///
+/// Rounds, messages and bits are the currencies of the paper's theorems;
+/// [`Metrics::comm_rounds`] is the number the paper's round counts refer
+/// to (delivery phases in which at least one message was in flight —
+/// trailing local computation is free, as in the model).
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    per_round: Vec<RoundMetrics>,
+    comm_rounds: u64,
+    total_messages: u64,
+    total_bits: u64,
+    max_edge_bits: u64,
+    histogram: Option<EdgeLoadHistogram>,
+    node_work: Vec<WorkMeter>,
+}
+
+impl Metrics {
+    pub(crate) fn new(record_histogram: bool, n: usize) -> Self {
+        Metrics {
+            per_round: Vec::new(),
+            comm_rounds: 0,
+            total_messages: 0,
+            total_bits: 0,
+            max_edge_bits: 0,
+            histogram: record_histogram.then(EdgeLoadHistogram::default),
+            node_work: vec![WorkMeter::new(); n],
+        }
+    }
+
+    pub(crate) fn push_round(&mut self, round: RoundMetrics) {
+        if round.messages > 0 {
+            self.comm_rounds += 1;
+        }
+        self.total_messages += round.messages;
+        self.total_bits += round.bits;
+        self.max_edge_bits = self.max_edge_bits.max(round.max_edge_bits);
+        self.per_round.push(round);
+    }
+
+    pub(crate) fn histogram_mut(&mut self) -> Option<&mut EdgeLoadHistogram> {
+        self.histogram.as_mut()
+    }
+
+    pub(crate) fn node_work_mut(&mut self, node: usize) -> &mut WorkMeter {
+        &mut self.node_work[node]
+    }
+
+    /// Number of communication rounds: delivery phases that carried at
+    /// least one message. This is the quantity bounded by the paper's
+    /// theorems (16, 12, 10, 37, …).
+    #[inline]
+    pub fn comm_rounds(&self) -> u64 {
+        self.comm_rounds
+    }
+
+    /// Total messages delivered over the run.
+    #[inline]
+    pub fn total_messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    /// Total bits delivered over the run.
+    #[inline]
+    pub fn total_bits(&self) -> u64 {
+        self.total_bits
+    }
+
+    /// Maximum bits carried by any directed edge in any single round.
+    #[inline]
+    pub fn max_edge_bits(&self) -> u64 {
+        self.max_edge_bits
+    }
+
+    /// Per-round statistics, in round order (includes message-free trailing
+    /// rounds only if they occurred between communication rounds).
+    pub fn rounds(&self) -> &[RoundMetrics] {
+        &self.per_round
+    }
+
+    /// The per-edge load histogram, if recording was enabled in the spec.
+    pub fn edge_histogram(&self) -> Option<&EdgeLoadHistogram> {
+        self.histogram.as_ref()
+    }
+
+    /// Per-node work meters (analytical local-computation accounting).
+    pub fn node_work(&self) -> &[WorkMeter] {
+        &self.node_work
+    }
+
+    /// The maximum computational steps charged to any single node.
+    pub fn max_node_steps(&self) -> u64 {
+        self.node_work.iter().map(WorkMeter::steps).max().unwrap_or(0)
+    }
+
+    /// The maximum memory high-water mark (in words) over all nodes.
+    pub fn max_node_mem_words(&self) -> u64 {
+        self.node_work
+            .iter()
+            .map(WorkMeter::peak_mem_words)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} messages, {} bits, max edge load {} bits/round",
+            self.comm_rounds, self.total_messages, self.total_bits, self.max_edge_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_rounds_skip_silent_rounds() {
+        let mut m = Metrics::new(false, 2);
+        m.push_round(RoundMetrics {
+            messages: 5,
+            bits: 50,
+            max_edge_bits: 10,
+            busy_edges: 5,
+        });
+        m.push_round(RoundMetrics::default());
+        m.push_round(RoundMetrics {
+            messages: 1,
+            bits: 8,
+            max_edge_bits: 8,
+            busy_edges: 1,
+        });
+        assert_eq!(m.comm_rounds(), 2);
+        assert_eq!(m.total_messages(), 6);
+        assert_eq!(m.total_bits(), 58);
+        assert_eq!(m.max_edge_bits(), 10);
+        assert_eq!(m.rounds().len(), 3);
+    }
+
+    #[test]
+    fn histogram_records_loads() {
+        let mut h = EdgeLoadHistogram::default();
+        h.record(8);
+        h.record(8);
+        h.record(16);
+        assert_eq!(h.total_observations(), 3);
+        assert_eq!(h.max_load(), 16);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(8, 2), (16, 1)]);
+    }
+
+    #[test]
+    fn work_aggregates() {
+        let mut m = Metrics::new(false, 3);
+        m.node_work_mut(0).charge(5);
+        m.node_work_mut(2).charge(9);
+        m.node_work_mut(1).note_mem(44);
+        assert_eq!(m.max_node_steps(), 9);
+        assert_eq!(m.max_node_mem_words(), 44);
+    }
+}

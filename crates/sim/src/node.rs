@@ -1,0 +1,115 @@
+use std::fmt;
+
+/// Identifier of a node in the clique.
+///
+/// Internally zero-based: nodes of an `n`-clique are `0..n`. The paper uses
+/// `1..n`; the shift is purely cosmetic and confined to documentation.
+///
+/// `NodeId` is a plain index newtype ([C-NEWTYPE]); it orders and hashes as
+/// its index.
+///
+/// ```rust
+/// use cc_sim::NodeId;
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert!(NodeId::new(2) < v);
+/// ```
+///
+/// [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a zero-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32` (cliques larger than
+    /// 2^32 nodes are far outside simulable range).
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32"))
+    }
+
+    /// Returns the zero-based index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` representation (useful for wire encoding).
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> Self {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_index() {
+        for i in [0usize, 1, 7, 1023, u32::MAX as usize] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn orders_by_index() {
+        let mut v = vec![NodeId::new(5), NodeId::new(1), NodeId::new(3)];
+        v.sort();
+        assert_eq!(v, vec![NodeId::new(1), NodeId::new(3), NodeId::new(5)]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert_eq!(format!("{:?}", NodeId::new(4)), "n4");
+        assert_eq!(format!("{}", NodeId::new(4)), "4");
+    }
+
+    #[test]
+    #[should_panic(expected = "node index exceeds u32")]
+    fn rejects_oversized_index() {
+        let _ = NodeId::new(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn converts_via_from() {
+        let id: NodeId = 9u32.into();
+        let back: u32 = id.into();
+        assert_eq!(back, 9);
+        let idx: usize = id.into();
+        assert_eq!(idx, 9);
+    }
+}

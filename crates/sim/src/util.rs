@@ -1,0 +1,140 @@
+//! Small numeric utilities shared by the whole workspace.
+//!
+//! These are the arithmetic idioms of the paper: `⌈log₂ n⌉`-bit machine
+//! words, integer square roots for the `√n`-sized node subsets, and ceiling
+//! divisions for message bundling.
+
+/// Ceiling of the base-2 logarithm: the number of bits needed to represent
+/// values in `0..x` (with a minimum of 1 bit).
+///
+/// ```rust
+/// assert_eq!(cc_sim::util::ceil_log2(1), 1);
+/// assert_eq!(cc_sim::util::ceil_log2(2), 1);
+/// assert_eq!(cc_sim::util::ceil_log2(3), 2);
+/// assert_eq!(cc_sim::util::ceil_log2(1024), 10);
+/// assert_eq!(cc_sim::util::ceil_log2(1025), 11);
+/// ```
+#[inline]
+pub fn ceil_log2(x: usize) -> u32 {
+    if x <= 2 {
+        1
+    } else {
+        usize::BITS - (x - 1).leading_zeros()
+    }
+}
+
+/// The size in bits of one "machine word" of the model: `⌈log₂ n⌉` for an
+/// `n`-node clique, with a floor of 1.
+///
+/// The paper's messages consist of "a constant number of integer numbers
+/// that are polynomially bounded in n" (§2) — i.e. a constant number of
+/// these words.
+#[inline]
+pub fn word_bits(n: usize) -> u64 {
+    u64::from(ceil_log2(n.max(2)))
+}
+
+/// Integer square root: the largest `s` with `s·s <= x`.
+///
+/// ```rust
+/// assert_eq!(cc_sim::util::isqrt(0), 0);
+/// assert_eq!(cc_sim::util::isqrt(15), 3);
+/// assert_eq!(cc_sim::util::isqrt(16), 4);
+/// assert_eq!(cc_sim::util::isqrt(17), 4);
+/// ```
+#[inline]
+pub fn isqrt(x: usize) -> usize {
+    if x == 0 {
+        return 0;
+    }
+    let mut s = (x as f64).sqrt() as usize;
+    // Float sqrt can be off by one in either direction near perfect squares.
+    while s.saturating_mul(s) > x {
+        s -= 1;
+    }
+    while (s + 1).saturating_mul(s + 1) <= x {
+        s += 1;
+    }
+    s
+}
+
+/// Returns `true` when `x` is a perfect square.
+#[inline]
+pub fn is_square(x: usize) -> bool {
+    let s = isqrt(x);
+    s * s == x
+}
+
+/// Ceiling division of nonnegative integers.
+///
+/// ```rust
+/// assert_eq!(cc_sim::util::div_ceil(7, 3), 3);
+/// assert_eq!(cc_sim::util::div_ceil(6, 3), 2);
+/// assert_eq!(cc_sim::util::div_ceil(0, 3), 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+#[inline]
+pub fn div_ceil(a: usize, b: usize) -> usize {
+    assert!(b != 0, "division by zero");
+    a.div_ceil(b)
+}
+
+/// An analytical `k·⌈log₂ k⌉` cost (comparison sort of `k` items), used by
+/// the work-accounting model of Theorem 5.4 experiments.
+#[inline]
+pub fn sort_cost(k: usize) -> u64 {
+    (k as u64) * u64::from(ceil_log2(k.max(2)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_matches_naive() {
+        for x in 1..2000usize {
+            let naive = (1..=64)
+                .find(|&b| (1usize << b) >= x)
+                .expect("within u64 range") as u32;
+            assert_eq!(ceil_log2(x), naive.max(1), "x={x}");
+        }
+    }
+
+    #[test]
+    fn isqrt_exhaustive_small() {
+        for x in 0..100_000usize {
+            let s = isqrt(x);
+            assert!(s * s <= x, "x={x} s={s}");
+            assert!((s + 1) * (s + 1) > x, "x={x} s={s}");
+        }
+    }
+
+    #[test]
+    fn is_square_detects_squares() {
+        let squares: Vec<usize> = (0..200).map(|s| s * s).collect();
+        for x in 0..40_000 {
+            assert_eq!(is_square(x), squares.binary_search(&x).is_ok(), "x={x}");
+        }
+    }
+
+    #[test]
+    fn word_bits_has_floor_one() {
+        assert_eq!(word_bits(0), 1);
+        assert_eq!(word_bits(1), 1);
+        assert_eq!(word_bits(2), 1);
+        assert_eq!(word_bits(1024), 10);
+    }
+
+    #[test]
+    fn sort_cost_is_monotone() {
+        let mut prev = 0;
+        for k in 0..1000 {
+            let c = sort_cost(k);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Bit-exact message encoding.
+//!
+//! The congested-clique model is stated in *bits*, so the honest way to
+//! account for a message's size is to actually encode it. Protocol crates
+//! declare [`Payload::size_bits`](crate::Payload::size_bits) analytically
+//! (fields × widths); tests use this module to encode representative
+//! messages and assert that the declared sizes are true upper bounds.
+//!
+//! The format is a plain MSB-first bit stream of fixed-width unsigned
+//! fields; the reader must know the schema (as real routers would — the
+//! paper's messages are self-describing only through protocol phase).
+//!
+//! ```rust
+//! use cc_sim::wire::{BitReader, BitWriter};
+//!
+//! let mut w = BitWriter::new();
+//! w.write_bits(5, 3);
+//! w.write_bits(1023, 10);
+//! let buf = w.finish();
+//! let mut r = BitReader::new(&buf);
+//! assert_eq!(r.read_bits(3), Some(5));
+//! assert_eq!(r.read_bits(10), Some(1023));
+//! ```
+
+/// Serializes fixed-width unsigned fields into a bit stream.
+#[derive(Clone, Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    bit_len: u64,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `width` bits of `value`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or if `value` does not fit in `width` bits.
+    pub fn write_bits(&mut self, value: u64, width: u32) {
+        assert!(width <= 64, "width {width} exceeds 64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        for i in (0..width).rev() {
+            let bit = (value >> i) & 1;
+            let byte_idx = (self.bit_len / 8) as usize;
+            if byte_idx == self.buf.len() {
+                self.buf.push(0);
+            }
+            let off = 7 - (self.bit_len % 8) as u32;
+            if bit == 1 {
+                self.buf[byte_idx] |= 1 << off;
+            }
+            self.bit_len += 1;
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        self.bit_len
+    }
+
+    /// Finishes the stream, returning the backing bytes (last byte
+    /// zero-padded).
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Deserializes fixed-width unsigned fields from a bit stream.
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0 }
+    }
+
+    /// Reads `width` bits MSB-first, or `None` if the stream is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn read_bits(&mut self, width: u32) -> Option<u64> {
+        assert!(width <= 64, "width {width} exceeds 64");
+        if self.pos + u64::from(width) > (self.buf.len() as u64) * 8 {
+            return None;
+        }
+        let mut value = 0u64;
+        for _ in 0..width {
+            let byte_idx = (self.pos / 8) as usize;
+            let off = 7 - (self.pos % 8) as u32;
+            let bit = u64::from((self.buf[byte_idx] >> off) & 1);
+            value = (value << 1) | bit;
+            self.pos += 1;
+        }
+        Some(value)
+    }
+
+    /// Current read position in bits.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_mixed_widths() {
+        let fields: Vec<(u64, u32)> = vec![
+            (0, 1),
+            (1, 1),
+            (5, 3),
+            (255, 8),
+            (256, 9),
+            (0xdead_beef, 32),
+            (u64::MAX, 64),
+            (1, 17),
+        ];
+        let mut w = BitWriter::new();
+        for &(v, width) in &fields {
+            w.write_bits(v, width);
+        }
+        let expected_bits: u64 = fields.iter().map(|&(_, w)| u64::from(w)).sum();
+        assert_eq!(w.bit_len(), expected_bits);
+        let buf = w.finish();
+        assert_eq!(buf.len() as u64, expected_bits.div_ceil(8));
+        let mut r = BitReader::new(&buf);
+        for &(v, width) in &fields {
+            assert_eq!(r.read_bits(width), Some(v));
+        }
+        // 135 bits were written, so one zero padding bit remains in the
+        // final byte; reading past the buffer fails.
+        assert_eq!(r.read_bits(1), Some(0));
+        assert_eq!(r.read_bits(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn rejects_oversized_value() {
+        let mut w = BitWriter::new();
+        w.write_bits(8, 3);
+    }
+
+    #[test]
+    fn reader_detects_exhaustion() {
+        let mut w = BitWriter::new();
+        w.write_bits(3, 2);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.read_bits(2), Some(3));
+        // The padding bits exist in the byte but reading past the written
+        // length within the final byte is permitted (padding is zeros);
+        // reading past the buffer is not.
+        assert_eq!(r.read_bits(6), Some(0));
+        assert_eq!(r.read_bits(1), None);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        let buf = w.finish();
+        assert!(buf.is_empty());
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.read_bits(1), None);
+    }
+}

@@ -1,0 +1,199 @@
+//! # cc-workloads — instance generators for the experiments
+//!
+//! Routing workloads (Problem 3.1) and key distributions (Problem 4.1)
+//! used by the test suite and the benchmark harness. All generators are
+//! deterministic in their seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cc_core::routing::RoutingInstance;
+use cc_core::CoreError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A fully loaded, perfectly balanced random instance: the demand matrix
+/// is a sum of `n` random permutation matrices, so every node sends and
+/// receives exactly `n` messages (the canonical Problem 3.1 shape).
+///
+/// # Errors
+///
+/// Never fails for `n ≥ 1`; the signature matches the other generators.
+pub fn balanced_random(n: usize, seed: u64) -> Result<RoutingInstance, CoreError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut demands = vec![0u32; n * n];
+    let mut perm: Vec<usize> = (0..n).collect();
+    for _ in 0..n {
+        perm.shuffle(&mut rng);
+        for (i, &j) in perm.iter().enumerate() {
+            demands[i * n + j] += 1;
+        }
+    }
+    RoutingInstance::from_demands(n, |i, j| demands[i * n + j])
+}
+
+/// The identity-shifted permutation workload: node `i` sends one message
+/// to `(i + shift) mod n` — the lightest possible full-coverage load.
+///
+/// # Errors
+///
+/// Never fails for `n ≥ 1`.
+pub fn permutation(n: usize, shift: usize) -> Result<RoutingInstance, CoreError> {
+    RoutingInstance::from_demands(n, |i, j| u32::from((i + shift) % n == j))
+}
+
+/// The cyclic worst case for direct routing: all `n` messages of node `i`
+/// target node `i+1`.
+///
+/// # Errors
+///
+/// Never fails for `n ≥ 1`.
+pub fn cyclic_skew(n: usize) -> Result<RoutingInstance, CoreError> {
+    RoutingInstance::from_demands(n, |i, j| if (i + 1) % n == j { n as u32 } else { 0 })
+}
+
+/// Block-local traffic: node `i` spreads its messages over its own
+/// `√n`-block — stresses the within-set machinery.
+///
+/// # Errors
+///
+/// Never fails for `n ≥ 1`.
+pub fn block_skew(n: usize) -> Result<RoutingInstance, CoreError> {
+    let s = cc_sim::util::isqrt(n).max(1);
+    RoutingInstance::from_demands(n, |i, j| {
+        if i / s == j / s {
+            (n / s.min(n)) as u32
+        } else {
+            0
+        }
+    })
+}
+
+/// A sparse random instance: each node sends `load ≤ n` messages to
+/// uniformly random distinct-ish destinations, with receive caps enforced
+/// by rejection.
+///
+/// # Errors
+///
+/// Never fails for `n ≥ 1` and `load ≤ n`.
+pub fn sparse_random(n: usize, load: usize, seed: u64) -> Result<RoutingInstance, CoreError> {
+    assert!(load <= n, "load must be at most n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut demands = vec![0u32; n * n];
+    let mut receive = vec![0usize; n];
+    for i in 0..n {
+        let mut placed = 0;
+        let mut guard = 0;
+        while placed < load && guard < 64 * n {
+            let j = rng.gen_range(0..n);
+            guard += 1;
+            if receive[j] < n {
+                demands[i * n + j] += 1;
+                receive[j] += 1;
+                placed += 1;
+            }
+        }
+    }
+    RoutingInstance::from_demands(n, |i, j| demands[i * n + j])
+}
+
+/// Uniform random keys, `n` per node.
+pub fn uniform_keys(n: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..n).map(|_| rng.gen_range(0..u64::MAX - 1)).collect())
+        .collect()
+}
+
+/// Globally pre-sorted keys (node `i` already holds its final batch).
+pub fn sorted_keys(n: usize) -> Vec<Vec<u64>> {
+    (0..n)
+        .map(|i| (0..n).map(|j| (i * n + j) as u64).collect())
+        .collect()
+}
+
+/// Globally reverse-sorted keys.
+pub fn reverse_keys(n: usize) -> Vec<Vec<u64>> {
+    (0..n)
+        .map(|i| (0..n).map(|j| (n * n - i * n - j) as u64).collect())
+        .collect()
+}
+
+/// Heavy duplication: only `distinct` different values exist.
+pub fn duplicate_keys(n: usize, distinct: u64, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..n).map(|_| rng.gen_range(0..distinct.max(1))).collect())
+        .collect()
+}
+
+/// Zipf-flavoured skewed values (rank `r` drawn with weight `∝ 1/(r+1)`).
+pub fn zipf_keys(n: usize, universe: u64, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let harmonic: f64 = (1..=universe).map(|r| 1.0 / r as f64).sum();
+    (0..n)
+        .map(|_| {
+            (0..n)
+                .map(|_| {
+                    let target = rng.gen_range(0.0..harmonic);
+                    let mut acc = 0.0;
+                    for r in 1..=universe {
+                        acc += 1.0 / r as f64;
+                        if acc >= target {
+                            return r - 1;
+                        }
+                    }
+                    universe - 1
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_random_is_fully_loaded() {
+        let inst = balanced_random(12, 5).unwrap();
+        for v in 0..12 {
+            assert_eq!(inst.sends(v).len(), 12);
+        }
+        let recv = inst.expected_receives();
+        assert!(recv.iter().all(|r| r.len() == 12));
+    }
+
+    #[test]
+    fn generators_validate() {
+        assert!(permutation(7, 3).is_ok());
+        assert!(cyclic_skew(9).is_ok());
+        assert!(block_skew(16).is_ok());
+        assert!(sparse_random(10, 4, 1).is_ok());
+    }
+
+    #[test]
+    fn key_generators_shape() {
+        for keys in [
+            uniform_keys(8, 3),
+            sorted_keys(8),
+            reverse_keys(8),
+            duplicate_keys(8, 3, 1),
+            zipf_keys(8, 50, 2),
+        ] {
+            assert_eq!(keys.len(), 8);
+            assert!(keys.iter().all(|l| l.len() == 8));
+            assert!(keys.iter().flatten().all(|&k| k < u64::MAX));
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(uniform_keys(6, 9), uniform_keys(6, 9));
+        assert_eq!(
+            balanced_random(6, 9).unwrap(),
+            balanced_random(6, 9).unwrap()
+        );
+    }
+}
