@@ -2,7 +2,7 @@
 //! sorting. Both degrade to `Θ(n)` rounds on adversarial inputs — the
 //! gap that motivates the paper's constant-round algorithms.
 
-use cc_core::routing::{RoutedMessage, RoutePayload, RoutingInstance};
+use cc_core::routing::{RoutePayload, RoutedMessage, RoutingInstance};
 use cc_core::sorting::TaggedKey;
 use cc_core::CoreError;
 use cc_sim::util::word_bits;
@@ -34,7 +34,11 @@ impl<P: RoutePayload> NodeMachine for DirectMachine<P> {
         }
     }
 
-    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>, inbox: &mut Inbox<Self::Msg>) -> Step<Self::Output> {
+    fn on_round(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg>,
+        inbox: &mut Inbox<Self::Msg>,
+    ) -> Step<Self::Output> {
         self.call += 1;
         for (_, m) in inbox.drain() {
             self.delivered.push(m);
@@ -61,7 +65,9 @@ impl<P: RoutePayload> NodeMachine for DirectMachine<P> {
 /// # Errors
 ///
 /// Propagates simulation and verification failures.
-pub fn route_direct<P: RoutePayload>(instance: &RoutingInstance<P>) -> Result<DirectOutcome, CoreError> {
+pub fn route_direct<P: RoutePayload>(
+    instance: &RoutingInstance<P>,
+) -> Result<DirectOutcome, CoreError> {
     let n = instance.n();
     // The schedule length is the maximum pair multiplicity, which every
     // sender knows locally; the global max is what the run takes. For the
@@ -146,7 +152,11 @@ impl NodeMachine for GatherMachine {
         }
     }
 
-    fn on_round(&mut self, ctx: &mut Ctx<'_, GatherMsg>, inbox: &mut Inbox<GatherMsg>) -> Step<Self::Output> {
+    fn on_round(
+        &mut self,
+        ctx: &mut Ctx<'_, GatherMsg>,
+        inbox: &mut Inbox<GatherMsg>,
+    ) -> Step<Self::Output> {
         self.call += 1;
         for (_, msg) in inbox.drain() {
             match msg {
@@ -256,7 +266,9 @@ mod tests {
     #[test]
     fn gather_sort_takes_linear_rounds() {
         let n = 8;
-        let keys: Vec<Vec<u64>> = (0..n).map(|i| (0..n).map(|j| ((i * 7 + j) % 19) as u64).collect()).collect();
+        let keys: Vec<Vec<u64>> = (0..n)
+            .map(|i| (0..n).map(|j| ((i * 7 + j) % 19) as u64).collect())
+            .collect();
         let out = sort_gather(&keys).unwrap();
         assert!(out.metrics.comm_rounds() >= n as u64);
     }

@@ -6,10 +6,9 @@
 //! exactly `maxload_A + maxload_B`, the quantity randomized load
 //! balancing (Lenzen–Wattenhofer \[7\]) bounds with high probability.
 
+use cc_rand::DetRng;
 use cc_sim::util::word_bits;
 use cc_sim::{BaseCtx, NodeId, Payload};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Messages of the randomized exchange.
 #[derive(Clone, Debug)]
@@ -67,10 +66,12 @@ impl<P: Payload> RandExchange<P> {
     /// Creates the driver for `messages` = `(dst, payload)` pairs, with a
     /// per-node RNG seeded deterministically from `(seed, me)`.
     pub fn new(n: usize, me: NodeId, messages: Vec<(NodeId, P)>, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(me.raw() as u64 + 1)));
+        let mut rng = DetRng::seed_from_u64(
+            seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(me.raw() as u64 + 1)),
+        );
         let mut queues_a: Vec<Vec<(NodeId, P)>> = (0..n).map(|_| Vec::new()).collect();
         for (dst, payload) in messages {
-            let relay = rng.gen_range(0..n);
+            let relay = rng.gen_range_usize(0..n);
             queues_a[relay].push((dst, payload));
         }
         RandExchange {

@@ -20,7 +20,11 @@ impl<P: RoutePayload> NodeMachine for RandomRouterMachine<P> {
         }
     }
 
-    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>, inbox: &mut Inbox<Self::Msg>) -> Step<Self::Output> {
+    fn on_round(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg>,
+        inbox: &mut Inbox<Self::Msg>,
+    ) -> Step<Self::Output> {
         let msgs = inbox.take_all();
         let (base, outbox) = ctx.split();
         let (sends, out) = self.inner.on_round(base, msgs);
@@ -87,7 +91,11 @@ mod tests {
         let out = route_randomized(&instance, 7).unwrap();
         // Uniform load: each phase needs a handful of rounds whp.
         assert!(out.metrics.comm_rounds() >= 2);
-        assert!(out.metrics.comm_rounds() <= 16, "{}", out.metrics.comm_rounds());
+        assert!(
+            out.metrics.comm_rounds() <= 16,
+            "{}",
+            out.metrics.comm_rounds()
+        );
     }
 
     #[test]
@@ -104,8 +112,14 @@ mod tests {
     fn deterministic_per_seed() {
         let n = 9;
         let instance = RoutingInstance::from_demands(n, |_, _| 1).unwrap();
-        let a = route_randomized(&instance, 3).unwrap().metrics.comm_rounds();
-        let b = route_randomized(&instance, 3).unwrap().metrics.comm_rounds();
+        let a = route_randomized(&instance, 3)
+            .unwrap()
+            .metrics
+            .comm_rounds();
+        let b = route_randomized(&instance, 3)
+            .unwrap()
+            .metrics
+            .comm_rounds();
         assert_eq!(a, b);
     }
 

@@ -8,10 +8,9 @@ use crate::rand_exchange::{RandExchange, RxMsg};
 use cc_core::sorting::{KeyBatch, TaggedKey};
 use cc_core::CoreError;
 use cc_primitives::NodeGroup;
+use cc_rand::DetRng;
 use cc_sim::util::{isqrt, sort_cost, word_bits};
 use cc_sim::{CliqueSpec, Ctx, Inbox, Metrics, NodeId, NodeMachine, Payload, Simulator, Step};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Messages of the randomized sort.
 #[derive(Clone, Debug)]
@@ -139,13 +138,17 @@ impl NodeMachine for RandomSortMachine {
         self.keys.sort_unstable();
         ctx.charge_work(sort_cost(self.keys.len()));
         if !self.keys.is_empty() {
-            let mut rng = StdRng::seed_from_u64(self.seed ^ self.me.raw() as u64);
-            let pick = self.keys[rng.gen_range(0..self.keys.len())];
+            let mut rng = DetRng::seed_from_u64(self.seed ^ self.me.raw() as u64);
+            let pick = self.keys[rng.gen_range_usize(0..self.keys.len())];
             ctx.broadcast(RsMsg::Sample(pick));
         }
     }
 
-    fn on_round(&mut self, ctx: &mut Ctx<'_, RsMsg>, inbox: &mut Inbox<RsMsg>) -> Step<Self::Output> {
+    fn on_round(
+        &mut self,
+        ctx: &mut Ctx<'_, RsMsg>,
+        inbox: &mut Inbox<RsMsg>,
+    ) -> Step<Self::Output> {
         let mut samples = Vec::new();
         let mut rx1 = Vec::new();
         let mut subs = Vec::new();
@@ -167,11 +170,7 @@ impl NodeMachine for RandomSortMachine {
         match &mut self.phase {
             Phase::AwaitSamples => {
                 let splitters = pick_splitters(samples, self.num_groups);
-                let buckets = split_by(
-                    std::mem::take(&mut self.keys),
-                    &splitters,
-                    self.num_groups,
-                );
+                let buckets = split_by(std::mem::take(&mut self.keys), &splitters, self.num_groups);
                 let msgs = self.batch_to_groups(buckets);
                 let mut rx = RandExchange::new(self.n, self.me, msgs, self.seed ^ 0xA1);
                 let (base, outbox) = ctx.split();
@@ -191,8 +190,8 @@ impl NodeMachine for RandomSortMachine {
                     self.received = batches.into_iter().flat_map(|b| b.keys).collect();
                     if !self.received.is_empty() {
                         let mut rng =
-                            StdRng::seed_from_u64(self.seed ^ 0xB2 ^ self.me.raw() as u64);
-                        let pick = self.received[rng.gen_range(0..self.received.len())];
+                            DetRng::seed_from_u64(self.seed ^ 0xB2 ^ self.me.raw() as u64);
+                        let pick = self.received[rng.gen_range_usize(0..self.received.len())];
                         ctx.broadcast(RsMsg::Sub(pick));
                     }
                     self.phase = Phase::AwaitSub;
@@ -375,7 +374,9 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let n = 9;
-        let keys: Vec<Vec<u64>> = (0..n).map(|i| (0..n).map(|j| ((i + j * 3) % 11) as u64).collect()).collect();
+        let keys: Vec<Vec<u64>> = (0..n)
+            .map(|i| (0..n).map(|j| ((i + j * 3) % 11) as u64).collect())
+            .collect();
         let a = sort_randomized(&keys, 5).unwrap().metrics.comm_rounds();
         let b = sort_randomized(&keys, 5).unwrap().metrics.comm_rounds();
         assert_eq!(a, b);

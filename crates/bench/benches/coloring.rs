@@ -2,17 +2,14 @@
 //! scaling; the exact coloring is the O(|E| log Δ) workhorse of every
 //! routing plan).
 
+use cc_bench::harness::{self, Options};
 use cc_coloring::{color_alternating, color_exact, color_greedy, BipartiteMultigraph};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cc_rand::DetRng;
 
-fn regular_graph(v: usize, d: usize, seed: &mut u64) -> BipartiteMultigraph {
+fn regular_graph(v: usize, d: usize, rng: &mut DetRng) -> BipartiteMultigraph {
     let mut demands = vec![0u32; v * v];
     for _ in 0..d {
-        let mut perm: Vec<usize> = (0..v).collect();
-        for i in (1..v).rev() {
-            *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            perm.swap(i, (*seed >> 33) as usize % (i + 1));
-        }
+        let perm = rng.permutation(v);
         for (i, &j) in perm.iter().enumerate() {
             demands[i * v + j] += 1;
         }
@@ -20,28 +17,27 @@ fn regular_graph(v: usize, d: usize, seed: &mut u64) -> BipartiteMultigraph {
     BipartiteMultigraph::from_demands(v, v, &demands).unwrap()
 }
 
-fn bench_coloring(c: &mut Criterion) {
-    let mut group = c.benchmark_group("coloring");
-    group.sample_size(10);
-    let mut seed = 99u64;
+fn main() {
+    let opts = Options::from_env();
+    let mut rng = DetRng::seed_from_u64(99);
+    let mut entries = Vec::new();
     for (v, d) in [(16usize, 16usize), (32, 64), (64, 256)] {
-        let g = regular_graph(v, d, &mut seed);
-        group.bench_with_input(BenchmarkId::new("exact", format!("v{v}_d{d}")), &g, |b, g| {
-            b.iter(|| color_exact(g).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("greedy", format!("v{v}_d{d}")), &g, |b, g| {
-            b.iter(|| color_greedy(g))
-        });
+        let g = regular_graph(v, d, &mut rng);
+        entries.push(harness::bench("exact", v, &format!("d{d}"), &opts, || {
+            color_exact(&g).unwrap()
+        }));
+        entries.push(harness::bench("greedy", v, &format!("d{d}"), &opts, || {
+            color_greedy(&g)
+        }));
         if d <= 64 {
-            group.bench_with_input(
-                BenchmarkId::new("alternating", format!("v{v}_d{d}")),
-                &g,
-                |b, g| b.iter(|| color_alternating(g)),
-            );
+            entries.push(harness::bench(
+                "alternating",
+                v,
+                &format!("d{d}"),
+                &opts,
+                || color_alternating(&g),
+            ));
         }
     }
-    group.finish();
+    harness::write_json("coloring", &opts, &entries, &[]);
 }
-
-criterion_group!(benches, bench_coloring);
-criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! The engine benchmark behind the parallel zero-churn round engine:
+//! routing and sorting workloads executed under three `ExecMode`s —
+//!
+//! * `seed_reference` — the pre-optimization engine (comparison-sort
+//!   delivery with a quadratic drain, fresh allocations every round);
+//! * `sequential` — bucketed delivery + buffer reuse, one thread;
+//! * `parallel` — the same plus threaded node stepping (`Parallel { 0 }`
+//!   resolves to one worker per available core).
+//!
+//! Every mode produces bit-identical `RunReport`s (asserted here on the
+//! round counts); only wall-clock differs. Results land in
+//! `BENCH_engine.json` at the workspace root.
+
+use cc_bench::harness::{self, Options};
+use cc_core::routing::{route_optimized_with_spec, spec_for_optimized};
+use cc_core::sorting::{sort_with_spec, spec_for_sorting};
+use cc_sim::{run_protocol, CliqueSpec, Ctx, ExecMode, Inbox, NodeMachine, Step};
+use cc_workloads as wl;
+
+/// Heavy-fan-out delivery stress: every node broadcasts every round, so a
+/// round moves `n²` messages through the delivery path (the exact shape
+/// that made the seed engine's front-shifting drain quadratic).
+struct AllToAll {
+    rounds: u32,
+    done: u32,
+}
+
+impl NodeMachine for AllToAll {
+    type Msg = u64;
+    type Output = u64;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        ctx.broadcast(1);
+    }
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &mut Inbox<u64>) -> Step<u64> {
+        let sum: u64 = inbox.drain().map(|(_, m)| m).sum();
+        self.done += 1;
+        if self.done >= self.rounds {
+            return Step::Done(sum);
+        }
+        ctx.broadcast(1);
+        Step::Continue
+    }
+}
+
+const MODES: [(&str, ExecMode); 3] = [
+    ("seed_reference", ExecMode::SeedReference),
+    ("sequential", ExecMode::Sequential),
+    ("parallel", ExecMode::Parallel { threads: 0 }),
+];
+
+/// Benchmarks one workload under all three modes, asserting the modes
+/// agree on the observable round count, and records the two
+/// seed-vs-optimized speedups.
+fn bench_modes(
+    opts: &Options,
+    entries: &mut Vec<harness::Entry>,
+    speedups: &mut Vec<harness::Speedup>,
+    group: &str,
+    n: usize,
+    run: &mut dyn FnMut(ExecMode) -> u64,
+) {
+    let mut rounds = Vec::new();
+    let per_mode: Vec<harness::Entry> = MODES
+        .iter()
+        .map(|(name, mode)| harness::bench(group, n, name, opts, || rounds.push(run(*mode))))
+        .collect();
+    assert!(
+        rounds.windows(2).all(|w| w[0] == w[1]),
+        "{group} n={n}: modes disagreed on round count: {rounds:?}"
+    );
+    speedups.push(harness::speedup(&per_mode[0], &per_mode[1]));
+    speedups.push(harness::speedup(&per_mode[0], &per_mode[2]));
+    entries.extend(per_mode);
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let mut entries = Vec::new();
+    let mut speedups = Vec::new();
+
+    // Routing: the Theorem 5.4 (12-round) router on fully loaded balanced
+    // instances — the acceptance workload.
+    for n in [64usize, 256, 1024] {
+        let inst = wl::balanced_random(n, 42).unwrap();
+        bench_modes(
+            &opts,
+            &mut entries,
+            &mut speedups,
+            "route_optimized",
+            n,
+            &mut |mode| {
+                let out = route_optimized_with_spec(&inst, spec_for_optimized(n).with_exec(mode))
+                    .unwrap();
+                out.metrics.comm_rounds()
+            },
+        );
+    }
+
+    // Sorting: the Theorem 4.5 (37-round) sorter. n = 1024 sorts a million
+    // keys; skip it in quick mode to keep CI smoke runs short.
+    let sort_sizes: &[usize] = if opts.quick {
+        &[64, 256]
+    } else {
+        &[64, 256, 1024]
+    };
+    for &n in sort_sizes {
+        let keys = wl::uniform_keys(n, 5);
+        bench_modes(
+            &opts,
+            &mut entries,
+            &mut speedups,
+            "sort_keys",
+            n,
+            &mut |mode| {
+                let out = sort_with_spec(&keys, spec_for_sorting(n).with_exec(mode)).unwrap();
+                out.metrics.comm_rounds()
+            },
+        );
+    }
+
+    // Pure delivery stress: n² messages per round for 8 rounds.
+    for n in [64usize, 256, 1024] {
+        bench_modes(
+            &opts,
+            &mut entries,
+            &mut speedups,
+            "all_to_all_x8",
+            n,
+            &mut |mode| {
+                let report = run_protocol(CliqueSpec::new(n).unwrap().with_exec(mode), |_| {
+                    AllToAll { rounds: 8, done: 0 }
+                })
+                .unwrap();
+                report.metrics.comm_rounds()
+            },
+        );
+    }
+
+    harness::write_json("engine", &opts, &entries, &speedups);
+
+    // Surface the acceptance numbers directly in the output.
+    for s in &speedups {
+        if s.group == "route_optimized" && s.n == 1024 {
+            println!(
+                "route_optimized n=1024: {} is {:.2}x vs {}",
+                s.candidate, s.ratio, s.baseline
+            );
+        }
+    }
+}

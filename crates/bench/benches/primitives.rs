@@ -1,10 +1,10 @@
 //! Primitive round-trips: Corollary 3.3 and 3.4 exchanges (E3/E4
 //! wall-clock).
 
+use cc_bench::harness::{self, Options};
 use cc_primitives::{drive, DemandMatrix, KnownExchange, NodeGroup, SubsetExchange};
 use cc_sim::util::word_bits;
 use cc_sim::{run_protocol, CliqueSpec, CommonScope, Payload};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 #[derive(Clone, Debug)]
 struct Tag(u32, u32);
@@ -16,28 +16,36 @@ impl Payload for Tag {
     }
 }
 
-fn bench_primitives(c: &mut Criterion) {
-    let mut group = c.benchmark_group("primitives");
-    group.sample_size(10);
+fn main() {
+    let opts = Options::from_env();
+    let mut entries = Vec::new();
+    let mut tag = 0u64;
     for n in [64usize, 256] {
         let w = cc_sim::util::isqrt(n);
-        group.bench_with_input(BenchmarkId::new("known_exchange", n), &n, |b, &n| {
-            let grp = NodeGroup::contiguous(0, w);
-            let mut demands = DemandMatrix::new(w);
-            for i in 0..w {
-                for j in 0..w {
-                    demands.set(i, j, (n / w) as u32);
-                }
+        let grp = NodeGroup::contiguous(0, w);
+        let mut demands = DemandMatrix::new(w);
+        for i in 0..w {
+            for j in 0..w {
+                demands.set(i, j, (n / w) as u32);
             }
-            let mut tag = 0u64;
-            b.iter(|| {
+        }
+        entries.push(harness::bench(
+            "known_exchange",
+            n,
+            "default",
+            &opts,
+            || {
                 tag += 1;
                 let t = tag;
+                let grp = grp.clone();
+                let demands = demands.clone();
                 run_protocol(CliqueSpec::new(n).unwrap().with_budget_words(64), |me| {
                     if let Some(local) = grp.local_index(me) {
                         let outgoing: Vec<Vec<Tag>> = (0..w)
                             .map(|j| {
-                                (0..demands.get(local, j)).map(|k| Tag(me.raw(), k)).collect()
+                                (0..demands.get(local, j))
+                                    .map(|k| Tag(me.raw(), k))
+                                    .collect()
                             })
                             .collect();
                         drive(KnownExchange::member(
@@ -51,18 +59,26 @@ fn bench_primitives(c: &mut Criterion) {
                     }
                 })
                 .unwrap()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("subset_exchange", n), &n, |b, &n| {
-            let grp = NodeGroup::contiguous(0, w);
-            let mut tag = 0u64;
-            b.iter(|| {
+            },
+        ));
+        let grp2 = NodeGroup::contiguous(0, w);
+        entries.push(harness::bench(
+            "subset_exchange",
+            n,
+            "default",
+            &opts,
+            || {
                 tag += 1;
                 let t = tag;
+                let grp = grp2.clone();
                 run_protocol(CliqueSpec::new(n).unwrap().with_budget_words(64), |me| {
                     if let Some(local) = grp.local_index(me) {
                         let outgoing: Vec<Vec<Tag>> = (0..w)
-                            .map(|j| (0..((local + j) % w) as u32).map(|k| Tag(me.raw(), k)).collect())
+                            .map(|j| {
+                                (0..((local + j) % w) as u32)
+                                    .map(|k| Tag(me.raw(), k))
+                                    .collect()
+                            })
                             .collect();
                         drive(SubsetExchange::member(
                             grp.clone(),
@@ -75,11 +91,8 @@ fn bench_primitives(c: &mut Criterion) {
                     }
                 })
                 .unwrap()
-            })
-        });
+            },
+        ));
     }
-    group.finish();
+    harness::write_json("primitives", &opts, &entries, &[]);
 }
-
-criterion_group!(benches, bench_primitives);
-criterion_main!(benches);

@@ -3,27 +3,24 @@
 //! workload (regenerates the E1/E2/E9 measurements as wall-clock).
 
 use cc_baselines::route_randomized;
+use cc_bench::harness::{self, Options};
 use cc_core::routing::{route_deterministic, route_optimized};
 use cc_workloads as wl;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_routing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("routing");
-    group.sample_size(10);
+fn main() {
+    let opts = Options::from_env();
+    let mut entries = Vec::new();
     for n in [36usize, 64, 100] {
         let inst = wl::balanced_random(n, 42).unwrap();
-        group.bench_with_input(BenchmarkId::new("det16", n), &inst, |b, inst| {
-            b.iter(|| route_deterministic(inst).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("det12", n), &inst, |b, inst| {
-            b.iter(|| route_optimized(inst).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("randomized", n), &inst, |b, inst| {
-            b.iter(|| route_randomized(inst, 7).unwrap())
-        });
+        entries.push(harness::bench("det16", n, "default", &opts, || {
+            route_deterministic(&inst).unwrap()
+        }));
+        entries.push(harness::bench("det12", n, "default", &opts, || {
+            route_optimized(&inst).unwrap()
+        }));
+        entries.push(harness::bench("randomized", n, "default", &opts, || {
+            route_randomized(&inst, 7).unwrap()
+        }));
     }
-    group.finish();
+    harness::write_json("routing", &opts, &entries, &[]);
 }
-
-criterion_group!(benches, bench_routing);
-criterion_main!(benches);

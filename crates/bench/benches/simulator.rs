@@ -1,8 +1,8 @@
 //! Engine throughput: lock-step all-to-all delivery (message movement +
 //! budget enforcement dominate simulated wall-clock).
 
+use cc_bench::harness::{self, Options};
 use cc_sim::{run_protocol, CliqueSpec, Ctx, Inbox, NodeMachine, Step};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 struct AllToAll {
     rounds: u32,
@@ -28,22 +28,17 @@ impl NodeMachine for AllToAll {
     }
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
-    group.sample_size(10);
+fn main() {
+    let opts = Options::from_env();
+    let mut entries = Vec::new();
     for n in [64usize, 128, 256] {
-        group.bench_with_input(BenchmarkId::new("all_to_all_x8", n), &n, |b, &n| {
-            b.iter(|| {
-                run_protocol(CliqueSpec::new(n).unwrap(), |_| AllToAll {
-                    rounds: 8,
-                    done: 0,
-                })
-                .unwrap()
+        entries.push(harness::bench("all_to_all_x8", n, "default", &opts, || {
+            run_protocol(CliqueSpec::new(n).unwrap(), |_| AllToAll {
+                rounds: 8,
+                done: 0,
             })
-        });
+            .unwrap()
+        }));
     }
-    group.finish();
+    harness::write_json("simulator", &opts, &entries, &[]);
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

@@ -2,24 +2,21 @@
 //! randomized sample sort, plus the Algorithm 3 subset sort (E6/E7/E10).
 
 use cc_baselines::sort_randomized;
+use cc_bench::harness::{self, Options};
 use cc_core::sorting::sort_keys;
 use cc_workloads as wl;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_sorting(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sorting");
-    group.sample_size(10);
+fn main() {
+    let opts = Options::from_env();
+    let mut entries = Vec::new();
     for n in [16usize, 36, 64] {
         let keys = wl::uniform_keys(n, 5);
-        group.bench_with_input(BenchmarkId::new("det37", n), &keys, |b, keys| {
-            b.iter(|| sort_keys(keys).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("randomized", n), &keys, |b, keys| {
-            b.iter(|| sort_randomized(keys, 7).unwrap())
-        });
+        entries.push(harness::bench("det37", n, "default", &opts, || {
+            sort_keys(&keys).unwrap()
+        }));
+        entries.push(harness::bench("randomized", n, "default", &opts, || {
+            sort_randomized(&keys, 7).unwrap()
+        }));
     }
-    group.finish();
+    harness::write_json("sorting", &opts, &entries, &[]);
 }
-
-criterion_group!(benches, bench_sorting);
-criterion_main!(benches);

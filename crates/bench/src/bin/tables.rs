@@ -12,20 +12,52 @@ fn main() {
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |id: &str| all || args.iter().any(|a| a.eq_ignore_ascii_case(id));
     println!("# Lenzen (PODC 2013) — experiment tables");
-    if want("e1") { ex::e1(); }
-    if want("e2") { ex::e2(); }
-    if want("e3") { ex::e3(); }
-    if want("e4") { ex::e4(); }
-    if want("e5") { ex::e5(); }
-    if want("e6") { ex::e6(); }
-    if want("e7") { ex::e7(); }
-    if want("e8") { ex::e8(); }
-    if want("e9") { ex::e9(); }
-    if want("e10") { ex::e10(); }
-    if want("e11") { ex::e11(); }
-    if want("e12") { ex::e12(); }
-    if want("e13") { ex::e13(); }
-    if want("e14") { ex::e14(); }
-    if want("e15") { ex::e15(); }
-    if want("e16") { ex::e16(); }
+    if want("e1") {
+        ex::e1();
+    }
+    if want("e2") {
+        ex::e2();
+    }
+    if want("e3") {
+        ex::e3();
+    }
+    if want("e4") {
+        ex::e4();
+    }
+    if want("e5") {
+        ex::e5();
+    }
+    if want("e6") {
+        ex::e6();
+    }
+    if want("e7") {
+        ex::e7();
+    }
+    if want("e8") {
+        ex::e8();
+    }
+    if want("e9") {
+        ex::e9();
+    }
+    if want("e10") {
+        ex::e10();
+    }
+    if want("e11") {
+        ex::e11();
+    }
+    if want("e12") {
+        ex::e12();
+    }
+    if want("e13") {
+        ex::e13();
+    }
+    if want("e14") {
+        ex::e14();
+    }
+    if want("e15") {
+        ex::e15();
+    }
+    if want("e16") {
+        ex::e16();
+    }
 }

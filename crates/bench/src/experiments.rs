@@ -2,9 +2,7 @@
 
 use cc_baselines::{route_direct, route_randomized, sort_gather, sort_randomized};
 use cc_coloring::{color_alternating, color_exact, color_greedy, BipartiteMultigraph};
-use cc_core::routing::{
-    route_deterministic, route_optimized, spec_for_routing, RoutingInstance,
-};
+use cc_core::routing::{route_deterministic, route_optimized, spec_for_routing, RoutingInstance};
 use cc_core::sorting::{
     global_indices, mode_query, select_rank, small_key_census, sort_keys, SubsetSort,
 };
@@ -21,8 +19,14 @@ fn header(id: &str, claim: &str) {
 /// E1: Theorem 3.7 — deterministic routing takes at most 16 rounds for
 /// every workload and every n (square or not).
 pub fn e1() {
-    header("E1", "Thm 3.7: deterministic routing ≤ 16 rounds (paper: 16)");
-    println!("{:<10} {:>5} {:>7} {:>10} {:>14} {:>12}", "workload", "n", "rounds", "messages", "max edge bits", "budget bits");
+    header(
+        "E1",
+        "Thm 3.7: deterministic routing ≤ 16 rounds (paper: 16)",
+    );
+    println!(
+        "{:<10} {:>5} {:>7} {:>10} {:>14} {:>12}",
+        "workload", "n", "rounds", "messages", "max edge bits", "budget bits"
+    );
     for n in [16usize, 25, 64, 100, 144, 200, 256] {
         let cases: Vec<(&str, RoutingInstance)> = vec![
             ("balanced", wl::balanced_random(n, 42).unwrap()),
@@ -82,12 +86,12 @@ impl Payload for Tag {
 /// E3: Corollary 3.3 — known-pattern exchange in 2 rounds.
 pub fn e3() {
     header("E3", "Cor 3.3: known-demand exchange = 2 rounds (paper: 2)");
-    println!("{:<24} {:>5} {:>4} {:>7} {:>10}", "demand shape", "n", "|W|", "rounds", "messages");
+    println!(
+        "{:<24} {:>5} {:>4} {:>7} {:>10}",
+        "demand shape", "n", "|W|", "rounds", "messages"
+    );
     for (n, w) in [(16usize, 4usize), (64, 8), (64, 64), (256, 16)] {
-        for (name, f) in [
-            ("uniform 1/pair", 1u32),
-            ("uniform 2/pair", 2),
-        ] {
+        for (name, f) in [("uniform 1/pair", 1u32), ("uniform 2/pair", 2)] {
             let group = NodeGroup::contiguous(0, w);
             let demands = {
                 let mut d = DemandMatrix::new(w);
@@ -101,24 +105,25 @@ pub fn e3() {
             if demands.max_line_sum() > 8 * n as u64 {
                 continue;
             }
-            let report = run_protocol(
-                CliqueSpec::new(n).unwrap().with_budget_words(64),
-                |me| {
-                    if let Some(local) = group.local_index(me) {
-                        let outgoing: Vec<Vec<Tag>> = (0..w)
-                            .map(|j| (0..demands.get(local, j)).map(|k| Tag(me.raw(), k)).collect())
-                            .collect();
-                        drive(KnownExchange::member(
-                            group.clone(),
-                            demands.clone(),
-                            outgoing,
-                            CommonScope::new("bench.e3", (n * 64 + w) as u64),
-                        ))
-                    } else {
-                        drive(KnownExchange::relay_only())
-                    }
-                },
-            )
+            let report = run_protocol(CliqueSpec::new(n).unwrap().with_budget_words(64), |me| {
+                if let Some(local) = group.local_index(me) {
+                    let outgoing: Vec<Vec<Tag>> = (0..w)
+                        .map(|j| {
+                            (0..demands.get(local, j))
+                                .map(|k| Tag(me.raw(), k))
+                                .collect()
+                        })
+                        .collect();
+                    drive(KnownExchange::member(
+                        group.clone(),
+                        demands.clone(),
+                        outgoing,
+                        CommonScope::new("bench.e3", (n * 64 + w) as u64),
+                    ))
+                } else {
+                    drive(KnownExchange::relay_only())
+                }
+            })
             .unwrap();
             println!(
                 "{:<24} {:>5} {:>4} {:>7} {:>10}",
@@ -134,32 +139,32 @@ pub fn e3() {
 
 /// E4: Corollary 3.4 — unknown-demand subset exchange in 4 rounds.
 pub fn e4() {
-    header("E4", "Cor 3.4: subset exchange (|W| ≤ √n) = 4 rounds (paper: 4)");
+    header(
+        "E4",
+        "Cor 3.4: subset exchange (|W| ≤ √n) = 4 rounds (paper: 4)",
+    );
     println!("{:<5} {:>4} {:>7} {:>10}", "n", "|W|", "rounds", "messages");
     for (n, w) in [(16usize, 4usize), (64, 8), (144, 12), (256, 16)] {
         let group = NodeGroup::contiguous(0, w);
-        let report = run_protocol(
-            CliqueSpec::new(n).unwrap().with_budget_words(64),
-            |me| {
-                if let Some(local) = group.local_index(me) {
-                    let outgoing: Vec<Vec<Tag>> = (0..w)
-                        .map(|j| {
-                            (0..((local * 3 + j * 5) % w) as u32)
-                                .map(|k| Tag(me.raw(), k))
-                                .collect()
-                        })
-                        .collect();
-                    drive(SubsetExchange::member(
-                        group.clone(),
-                        local,
-                        outgoing,
-                        CommonScope::new("bench.e4", (n * 64 + w) as u64),
-                    ))
-                } else {
-                    drive(SubsetExchange::relay_only())
-                }
-            },
-        )
+        let report = run_protocol(CliqueSpec::new(n).unwrap().with_budget_words(64), |me| {
+            if let Some(local) = group.local_index(me) {
+                let outgoing: Vec<Vec<Tag>> = (0..w)
+                    .map(|j| {
+                        (0..((local * 3 + j * 5) % w) as u32)
+                            .map(|k| Tag(me.raw(), k))
+                            .collect()
+                    })
+                    .collect();
+                drive(SubsetExchange::member(
+                    group.clone(),
+                    local,
+                    outgoing,
+                    CommonScope::new("bench.e4", (n * 64 + w) as u64),
+                ))
+            } else {
+                drive(SubsetExchange::relay_only())
+            }
+        })
         .unwrap();
         println!(
             "{:<5} {:>4} {:>7} {:>10}",
@@ -173,17 +178,25 @@ pub fn e4() {
 
 /// E5: phase breakdown of Algorithm 1 (paper: 7 + 4 + 1 + 4 = 16).
 pub fn e5() {
-    header("E5", "Alg 1 phase budget: 7 (Alg 2) + 4 + 1 + 4 = 16 rounds");
+    header(
+        "E5",
+        "Alg 1 phase budget: 7 (Alg 2) + 4 + 1 + 4 = 16 rounds",
+    );
     // The engine measures totals; the breakdown is structural (fixed call
     // schedule), so we print the designed schedule and confirm the total.
-    println!("  Alg 2 (Step 2 of Alg 1):   rounds  1–7   (2 count + 2 announce + 2 exchange + 1 move)");
+    println!(
+        "  Alg 2 (Step 2 of Alg 1):   rounds  1–7   (2 count + 2 announce + 2 exchange + 1 move)"
+    );
     println!("  Alg 1 Step 3:              rounds  8–11  (2 announce + 2 exchange)");
     println!("  Alg 1 Step 4:              round   12    (direct move)");
     println!("  Alg 1 Step 5 (Cor 3.4):    rounds 13–16");
     for n in [64usize, 256] {
         let inst = wl::balanced_random(n, 1).unwrap();
         let out = route_deterministic(&inst).unwrap();
-        println!("  measured total (n = {n}): {} rounds", out.metrics.comm_rounds());
+        println!(
+            "  measured total (n = {n}): {} rounds",
+            out.metrics.comm_rounds()
+        );
         // Per-round traffic confirms every scheduled round carries load.
         let busy: Vec<u64> = out.metrics.rounds().iter().map(|r| r.messages).collect();
         println!("  per-round messages: {busy:?}");
@@ -192,8 +205,14 @@ pub fn e5() {
 
 /// E6: Theorem 4.5 — sorting in 37 rounds, with step breakdown.
 pub fn e6() {
-    header("E6", "Thm 4.5: sorting = 37 rounds (paper: 0+1+8+2+0+16+8+2)");
-    println!("{:<10} {:>5} {:>7} {:>10} {:>14}", "keys", "n", "rounds", "messages", "max edge bits");
+    header(
+        "E6",
+        "Thm 4.5: sorting = 37 rounds (paper: 0+1+8+2+0+16+8+2)",
+    );
+    println!(
+        "{:<10} {:>5} {:>7} {:>10} {:>14}",
+        "keys", "n", "rounds", "messages", "max edge bits"
+    );
     for n in [16usize, 36, 64, 100] {
         for (name, keys) in [
             ("uniform", wl::uniform_keys(n, 5)),
@@ -217,39 +236,42 @@ pub fn e6() {
 
 /// E7: Algorithm 3 in 10 rounds; Lemma 4.3's bucket bound < 4·cap.
 pub fn e7() {
-    header("E7", "Lemma 4.4: subset sort = 10 rounds; Lemma 4.3: bucket < 2·(2·cap)");
-    println!("{:<12} {:>5} {:>4} {:>7} {:>12} {:>10}", "keys", "n", "|W|", "rounds", "max bucket", "bound 4cap");
+    header(
+        "E7",
+        "Lemma 4.4: subset sort = 10 rounds; Lemma 4.3: bucket < 2·(2·cap)",
+    );
+    println!(
+        "{:<12} {:>5} {:>4} {:>7} {:>12} {:>10}",
+        "keys", "n", "|W|", "rounds", "max bucket", "bound 4cap"
+    );
     for (n, w) in [(16usize, 4usize), (64, 8), (256, 16)] {
         for (name, seed) in [("uniform", 3u64), ("dup-heavy", 4)] {
             let group = NodeGroup::contiguous(0, w);
             let cap = 2 * n;
-            let report = run_protocol(
-                CliqueSpec::new(n).unwrap().with_budget_words(512),
-                |me| {
-                    if let Some(local) = group.local_index(me) {
-                        let keys: Vec<cc_core::sorting::TaggedKey> = (0..cap)
-                            .map(|i| {
-                                let v = if name == "uniform" {
-                                    ((local * 7919 + i * 104729 + seed as usize) % 65536) as u64
-                                } else {
-                                    ((local + i) % 5) as u64
-                                };
-                                cc_core::sorting::TaggedKey::new(v, me, i as u32)
-                            })
-                            .collect();
-                        drive(SubsetSort::member(
-                            group.clone(),
-                            local,
-                            keys,
-                            cap,
-                            false,
-                            CommonScope::new("bench.e7", (n * 1024 + w) as u64 + seed),
-                        ))
-                    } else {
-                        drive(SubsetSort::relay_only(false))
-                    }
-                },
-            )
+            let report = run_protocol(CliqueSpec::new(n).unwrap().with_budget_words(512), |me| {
+                if let Some(local) = group.local_index(me) {
+                    let keys: Vec<cc_core::sorting::TaggedKey> = (0..cap)
+                        .map(|i| {
+                            let v = if name == "uniform" {
+                                ((local * 7919 + i * 104729 + seed as usize) % 65536) as u64
+                            } else {
+                                ((local + i) % 5) as u64
+                            };
+                            cc_core::sorting::TaggedKey::new(v, me, i as u32)
+                        })
+                        .collect();
+                    drive(SubsetSort::member(
+                        group.clone(),
+                        local,
+                        keys,
+                        cap,
+                        false,
+                        CommonScope::new("bench.e7", (n * 1024 + w) as u64 + seed),
+                    ))
+                } else {
+                    drive(SubsetSort::relay_only(false))
+                }
+            })
             .unwrap();
             let max_bucket = report
                 .outputs
@@ -272,8 +294,14 @@ pub fn e7() {
 
 /// E8: Corollary 4.6 — indices, selection, mode in O(1) rounds.
 pub fn e8() {
-    header("E8", "Cor 4.6: index variant + selection + mode = O(1) rounds");
-    println!("{:<10} {:>5} {:>14} {:>13} {:>11}", "keys", "n", "indices rounds", "select rounds", "mode rounds");
+    header(
+        "E8",
+        "Cor 4.6: index variant + selection + mode = O(1) rounds",
+    );
+    println!(
+        "{:<10} {:>5} {:>14} {:>13} {:>11}",
+        "keys", "n", "indices rounds", "select rounds", "mode rounds"
+    );
     for n in [16usize, 36, 64] {
         let keys = wl::duplicate_keys(n, 7, 9);
         let idx = global_indices(&keys).unwrap();
@@ -292,8 +320,14 @@ pub fn e8() {
 
 /// E9: the paper's §1 comparison for routing.
 pub fn e9() {
-    header("E9", "§1: randomized routing ≈ 2× faster (w.h.p.); direct = Θ(n) on skew");
-    println!("{:<10} {:>5} {:>9} {:>7} {:>11} {:>8}", "workload", "n", "det-16", "det-12", "randomized", "direct");
+    header(
+        "E9",
+        "§1: randomized routing ≈ 2× faster (w.h.p.); direct = Θ(n) on skew",
+    );
+    println!(
+        "{:<10} {:>5} {:>9} {:>7} {:>11} {:>8}",
+        "workload", "n", "det-16", "det-12", "randomized", "direct"
+    );
     for n in [16usize, 64, 144, 256] {
         for (name, inst) in [
             ("balanced", wl::balanced_random(n, 11).unwrap()),
@@ -313,8 +347,14 @@ pub fn e9() {
 
 /// E10: the comparison for sorting.
 pub fn e10() {
-    header("E10", "§1: randomized sorting ≈ 2× faster (w.h.p.); gather = Θ(n)");
-    println!("{:>5} {:>8} {:>11} {:>8}", "n", "det-37", "randomized", "gather");
+    header(
+        "E10",
+        "§1: randomized sorting ≈ 2× faster (w.h.p.); gather = Θ(n)",
+    );
+    println!(
+        "{:>5} {:>8} {:>11} {:>8}",
+        "n", "det-37", "randomized", "gather"
+    );
     for n in [16usize, 36, 64, 100] {
         let keys = wl::uniform_keys(n, 13);
         let det = sort_keys(&keys).unwrap().metrics.comm_rounds();
@@ -326,8 +366,14 @@ pub fn e10() {
 
 /// E11: §6.1 — large messages split into word-sized fragments.
 pub fn e11() {
-    header("E11", "§6.1: L-bit messages → ⌈L/word⌉ sequential instances (rounds scale linearly)");
-    println!("{:>5} {:>10} {:>11} {:>7}", "n", "frag count", "instances", "rounds");
+    header(
+        "E11",
+        "§6.1: L-bit messages → ⌈L/word⌉ sequential instances (rounds scale linearly)",
+    );
+    println!(
+        "{:>5} {:>10} {:>11} {:>7}",
+        "n", "frag count", "instances", "rounds"
+    );
     for n in [16usize, 64] {
         for frags in [1usize, 2, 4, 8] {
             // A message of frags·(2 words) is shipped as `frags` sequential
@@ -344,8 +390,14 @@ pub fn e11() {
 
 /// E12: §6.3 — small keys counted in 2 rounds with ≤ 2-bit messages.
 pub fn e12() {
-    header("E12", "§6.3: b-bit keys → 2 rounds, 1–2-bit messages (paper: 2)");
-    println!("{:>9} {:>7} {:>5} {:>7} {:>14} {:>10}", "key bits", "values", "n", "rounds", "max edge bits", "messages");
+    header(
+        "E12",
+        "§6.3: b-bit keys → 2 rounds, 1–2-bit messages (paper: 2)",
+    );
+    println!(
+        "{:>9} {:>7} {:>5} {:>7} {:>14} {:>10}",
+        "key bits", "values", "n", "rounds", "max edge bits", "messages"
+    );
     for (bits, n) in [(1u32, 128usize), (2, 512), (3, 1024)] {
         let keys: Vec<Vec<u64>> = (0..n)
             .map(|v| (0..n / 2).map(|i| ((v + i) % (1 << bits)) as u64).collect())
@@ -367,7 +419,10 @@ pub fn e12() {
 /// stays below 2Δ.
 pub fn e13() {
     header("E13", "Thm 3.2 / fn.3: exact = Δ colors, greedy ≤ 2Δ−1");
-    println!("{:>5} {:>5} {:>9} {:>11} {:>12} {:>12}", "|V|", "Δ", "edges", "exact", "alternating", "greedy");
+    println!(
+        "{:>5} {:>5} {:>9} {:>11} {:>12} {:>12}",
+        "|V|", "Δ", "edges", "exact", "alternating", "greedy"
+    );
     let mut seed = 0x12345u64;
     for (v, d) in [(8usize, 4usize), (16, 16), (32, 64), (64, 128)] {
         // d-regular via random permutation sums.
@@ -375,7 +430,9 @@ pub fn e13() {
         for _ in 0..d {
             let mut perm: Vec<usize> = (0..v).collect();
             for i in (1..v).rev() {
-                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 perm.swap(i, (seed >> 33) as usize % (i + 1));
             }
             for (i, &j) in perm.iter().enumerate() {
@@ -396,14 +453,17 @@ pub fn e13() {
             greedy
         );
         assert_eq!(exact as usize, d);
-        assert!(greedy as usize <= 2 * d - 1);
+        assert!((greedy as usize) < 2 * d);
     }
 }
 
 /// E14: per-edge load balance — the deterministic plans keep every edge
 /// at O(log n) bits, every round.
 pub fn e14() {
-    header("E14", "load balance: per-edge bit-load histogram (det routing)");
+    header(
+        "E14",
+        "load balance: per-edge bit-load histogram (det routing)",
+    );
     let n = 64;
     let inst = wl::balanced_random(n, 21).unwrap();
     let spec = spec_for_routing(n).with_edge_histogram(true);
@@ -414,7 +474,11 @@ pub fn e14() {
     for (bits, count) in hist.iter() {
         println!("{:>14} {:>16}", bits, count);
     }
-    println!("  max observed: {} bits (budget {})", hist.max_load(), spec_for_routing(n).bits_per_edge());
+    println!(
+        "  max observed: {} bits (budget {})",
+        hist.max_load(),
+        spec_for_routing(n).bits_per_edge()
+    );
 }
 
 /// Facade smoke run used by `tables all`.
@@ -422,7 +486,10 @@ pub fn facade_demo() {
     let clique = CongestedClique::new(25).unwrap();
     let inst = wl::permutation(25, 3).unwrap();
     let out = clique.route(&inst).unwrap();
-    println!("\nfacade: routed a permutation on n=25 in {} rounds", out.metrics.comm_rounds());
+    println!(
+        "\nfacade: routed a permutation on n=25 in {} rounds",
+        out.metrics.comm_rounds()
+    );
     let _ = isqrt(25);
 }
 
@@ -430,7 +497,10 @@ pub fn facade_demo() {
 /// 2-round delivery, an order of magnitude less planning work (the §5
 /// design choice isolated from the rest of the pipeline).
 pub fn e15() {
-    header("E15", "ablation: Cor 3.3 plan strategy — per-edge vs bundled (§5 / fn. 3)");
+    header(
+        "E15",
+        "ablation: Cor 3.3 plan strategy — per-edge vs bundled (§5 / fn. 3)",
+    );
     println!(
         "{:>5} {:>4} {:>10} | {:>8} {:>12} | {:>8} {:>12}",
         "n", "|W|", "messages", "pe rnds", "pe work", "bd rnds", "bd work"
@@ -445,36 +515,35 @@ pub fn e15() {
         }
         let mut results = Vec::new();
         for bundled in [false, true] {
-            let report = run_protocol(
-                CliqueSpec::new(n).unwrap().with_budget_words(64),
-                |me| {
-                    if let Some(local) = group.local_index(me) {
-                        let outgoing: Vec<Vec<Tag>> = (0..w)
-                            .map(|j| {
-                                (0..demands.get(local, j)).map(|k| Tag(me.raw(), k)).collect()
-                            })
-                            .collect();
-                        let scope = CommonScope::new("bench.e15", (n * 2 + bundled as usize) as u64);
-                        if bundled {
-                            drive(KnownExchange::member_bundled(
-                                group.clone(),
-                                demands.clone(),
-                                outgoing,
-                                scope,
-                            ))
-                        } else {
-                            drive(KnownExchange::member(
-                                group.clone(),
-                                demands.clone(),
-                                outgoing,
-                                scope,
-                            ))
-                        }
+            let report = run_protocol(CliqueSpec::new(n).unwrap().with_budget_words(64), |me| {
+                if let Some(local) = group.local_index(me) {
+                    let outgoing: Vec<Vec<Tag>> = (0..w)
+                        .map(|j| {
+                            (0..demands.get(local, j))
+                                .map(|k| Tag(me.raw(), k))
+                                .collect()
+                        })
+                        .collect();
+                    let scope = CommonScope::new("bench.e15", (n * 2 + bundled as usize) as u64);
+                    if bundled {
+                        drive(KnownExchange::member_bundled(
+                            group.clone(),
+                            demands.clone(),
+                            outgoing,
+                            scope,
+                        ))
                     } else {
-                        drive(KnownExchange::relay_only())
+                        drive(KnownExchange::member(
+                            group.clone(),
+                            demands.clone(),
+                            outgoing,
+                            scope,
+                        ))
                     }
-                },
-            )
+                } else {
+                    drive(KnownExchange::relay_only())
+                }
+            })
             .unwrap();
             results.push((
                 report.metrics.comm_rounds(),
@@ -492,8 +561,14 @@ pub fn e15() {
 /// E16: §6.2 — with globally known patterns, messages need *zero*
 /// addressing bits: one-bit payloads route in 2 rounds at 1 bit per edge.
 pub fn e16() {
-    header("E16", "§6.2: known patterns → headerless messages (B ∈ O(M), M = 1 bit)");
-    println!("{:>5} {:>7} {:>14} {:>10}", "n", "rounds", "max edge bits", "messages");
+    header(
+        "E16",
+        "§6.2: known patterns → headerless messages (B ∈ O(M), M = 1 bit)",
+    );
+    println!(
+        "{:>5} {:>7} {:>14} {:>10}",
+        "n", "rounds", "max edge bits", "messages"
+    );
     for n in [16usize, 64, 256] {
         let group = cc_primitives::NodeGroup::whole_clique(n);
         let mut demands = DemandMatrix::new(n);
@@ -510,8 +585,9 @@ pub fn e16() {
             }
         }
         let report = run_protocol(CliqueSpec::new(n).unwrap().with_bits_per_edge(2), |me| {
-            let outgoing: Vec<Vec<Bit>> =
-                (0..n).map(|j| vec![Bit((me.index() ^ j) % 2 == 0)]).collect();
+            let outgoing: Vec<Vec<Bit>> = (0..n)
+                .map(|j| vec![Bit((me.index() ^ j) % 2 == 0)])
+                .collect();
             drive(cc_primitives::HeaderlessExchange::new(
                 group.clone(),
                 demands.clone(),

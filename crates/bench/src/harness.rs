@@ -1,0 +1,209 @@
+//! A minimal wall-clock benchmark harness with JSON artifacts.
+//!
+//! The workspace builds fully offline, so criterion is unavailable; this
+//! module provides the subset the experiments need: warmup, repeated
+//! samples, median/min/mean statistics, human-readable progress lines and
+//! a machine-readable `BENCH_<name>.json` written at the workspace root.
+//!
+//! Quick mode (`--quick` argument or `CC_BENCH_QUICK=1`) drops to a
+//! single sample with no warmup, for CI smoke runs.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Re-export: keeps the optimizer from discarding benchmark results.
+pub use std::hint::black_box;
+
+/// Sampling configuration.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Timed samples per benchmark.
+    pub samples: usize,
+    /// Untimed warmup iterations per benchmark.
+    pub warmup: usize,
+    /// Whether quick mode was requested.
+    pub quick: bool,
+}
+
+impl Options {
+    /// Reads the configuration from the process arguments and environment
+    /// (`--quick` / `CC_BENCH_QUICK=1` select quick mode).
+    pub fn from_env() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var("CC_BENCH_QUICK").is_ok_and(|v| v == "1");
+        if quick {
+            Options {
+                samples: 1,
+                warmup: 0,
+                quick,
+            }
+        } else {
+            Options {
+                samples: 5,
+                warmup: 1,
+                quick,
+            }
+        }
+    }
+}
+
+/// One benchmark's timing record.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// Benchmark group (e.g. `route_optimized`).
+    pub group: String,
+    /// Problem size (clique nodes).
+    pub n: usize,
+    /// Variant within the group (e.g. `seed_reference`, `parallel`).
+    pub mode: String,
+    /// Timed samples, nanoseconds.
+    pub samples_ns: Vec<u128>,
+}
+
+impl Entry {
+    /// Median of the timed samples.
+    pub fn median_ns(&self) -> u128 {
+        let mut s = self.samples_ns.clone();
+        s.sort_unstable();
+        s[s.len() / 2]
+    }
+
+    /// Fastest timed sample.
+    pub fn min_ns(&self) -> u128 {
+        self.samples_ns.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Arithmetic mean of the timed samples.
+    pub fn mean_ns(&self) -> u128 {
+        if self.samples_ns.is_empty() {
+            return 0;
+        }
+        self.samples_ns.iter().sum::<u128>() / self.samples_ns.len() as u128
+    }
+}
+
+/// Times `f` under `opts`, printing one progress line, and returns the
+/// record.
+pub fn bench<T>(
+    group: &str,
+    n: usize,
+    mode: &str,
+    opts: &Options,
+    mut f: impl FnMut() -> T,
+) -> Entry {
+    for _ in 0..opts.warmup {
+        black_box(f());
+    }
+    let mut samples_ns = Vec::with_capacity(opts.samples);
+    for _ in 0..opts.samples.max(1) {
+        let t = Instant::now();
+        black_box(f());
+        samples_ns.push(t.elapsed().as_nanos());
+    }
+    let entry = Entry {
+        group: group.to_owned(),
+        n,
+        mode: mode.to_owned(),
+        samples_ns,
+    };
+    println!(
+        "{group:<24} n={n:<5} {mode:<16} median {:>12.3} ms  (min {:.3} ms, {} samples)",
+        entry.median_ns() as f64 / 1e6,
+        entry.min_ns() as f64 / 1e6,
+        entry.samples_ns.len(),
+    );
+    entry
+}
+
+/// A derived baseline-vs-candidate ratio (`>1` means the candidate is
+/// faster).
+#[derive(Clone, Debug)]
+pub struct Speedup {
+    /// Benchmark group.
+    pub group: String,
+    /// Problem size.
+    pub n: usize,
+    /// The mode measured as the denominator's owner (the slow reference).
+    pub baseline: String,
+    /// The mode whose time is the denominator.
+    pub candidate: String,
+    /// `baseline_median / candidate_median`.
+    pub ratio: f64,
+}
+
+/// Computes `baseline / candidate` from two entries' medians.
+pub fn speedup(baseline: &Entry, candidate: &Entry) -> Speedup {
+    Speedup {
+        group: candidate.group.clone(),
+        n: candidate.n,
+        baseline: baseline.mode.clone(),
+        candidate: candidate.mode.clone(),
+        ratio: baseline.median_ns() as f64 / candidate.median_ns().max(1) as f64,
+    }
+}
+
+/// The workspace root (two levels above `crates/bench`).
+pub fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Writes `BENCH_<name>.json` at the workspace root and returns its path.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written (benchmarks have no meaningful
+/// recovery path).
+pub fn write_json(name: &str, opts: &Options, entries: &[Entry], speedups: &[Speedup]) -> PathBuf {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"benchmark\": \"{}\",\n", json_escape(name)));
+    out.push_str(&format!("  \"quick\": {},\n", opts.quick));
+    out.push_str(&format!(
+        "  \"host_threads\": {},\n",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    ));
+    out.push_str(&format!(
+        "  \"parallel_feature\": {},\n",
+        cfg!(feature = "parallel")
+    ));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"group\": \"{}\", \"n\": {}, \"mode\": \"{}\", \"samples\": {}, \
+             \"median_ns\": {}, \"min_ns\": {}, \"mean_ns\": {}}}{}\n",
+            json_escape(&e.group),
+            e.n,
+            json_escape(&e.mode),
+            e.samples_ns.len(),
+            e.median_ns(),
+            e.min_ns(),
+            e.mean_ns(),
+            if i + 1 < entries.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"speedups\": [\n");
+    for (i, s) in speedups.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"group\": \"{}\", \"n\": {}, \"baseline\": \"{}\", \"candidate\": \"{}\", \
+             \"speedup\": {:.4}}}{}\n",
+            json_escape(&s.group),
+            s.n,
+            json_escape(&s.baseline),
+            json_escape(&s.candidate),
+            s.ratio,
+            if i + 1 < speedups.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = workspace_root().join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, out).expect("write benchmark artifact");
+    println!("wrote {}", path.display());
+    path
+}

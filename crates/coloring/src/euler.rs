@@ -144,7 +144,10 @@ fn euler_split(g: &BipartiteMultigraph, edge_ids: &[usize]) -> (Vec<usize>, Vec<
                 }
             }
         }
-        debug_assert!(circuit.len().is_multiple_of(2), "bipartite circuits have even length");
+        debug_assert!(
+            circuit.len().is_multiple_of(2),
+            "bipartite circuits have even length"
+        );
         for (i, &pos) in circuit.iter().enumerate() {
             if i % 2 == 0 {
                 half_a.push(edge_ids[pos as usize]);

@@ -188,10 +188,7 @@ mod tests {
             1, 0,
         ];
         let g = BipartiteMultigraph::from_demands(2, 2, &demands).unwrap();
-        assert_eq!(
-            perfect_matching(&g),
-            Err(ColoringError::NoPerfectMatching)
-        );
+        assert_eq!(perfect_matching(&g), Err(ColoringError::NoPerfectMatching));
     }
 
     #[test]

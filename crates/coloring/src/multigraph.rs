@@ -24,11 +24,7 @@ impl BipartiteMultigraph {
     ///
     /// Returns [`ColoringError::DimensionMismatch`] if
     /// `demands.len() != left * right`.
-    pub fn from_demands(
-        left: usize,
-        right: usize,
-        demands: &[u32],
-    ) -> Result<Self, ColoringError> {
+    pub fn from_demands(left: usize, right: usize, demands: &[u32]) -> Result<Self, ColoringError> {
         if demands.len() != left * right {
             return Err(ColoringError::DimensionMismatch {
                 left,

@@ -149,10 +149,7 @@ pub fn verify_proper(g: &BipartiteMultigraph, c: &EdgeColoring) -> Result<(), Ve
 ///
 /// Panics if the graph is not regular (callers verify exact colorings only
 /// on graphs they constructed as regular).
-pub fn verify_exact_regular(
-    g: &BipartiteMultigraph,
-    c: &EdgeColoring,
-) -> Result<(), VerifyError> {
+pub fn verify_exact_regular(g: &BipartiteMultigraph, c: &EdgeColoring) -> Result<(), VerifyError> {
     let d = g
         .regular_degree()
         .expect("verify_exact_regular requires a regular multigraph");

@@ -3,7 +3,10 @@ fn main() {
     for n in [64usize, 144, 256, 400, 576] {
         let inst = cc_core::routing::RoutingInstance::from_demands(n, |_, _| 1).unwrap();
         for (name, out) in [
-            ("basic", cc_core::routing::route_deterministic(&inst).unwrap()),
+            (
+                "basic",
+                cc_core::routing::route_deterministic(&inst).unwrap(),
+            ),
             ("opt  ", cc_core::routing::route_optimized(&inst).unwrap()),
         ] {
             let nlogn = (n as f64) * (n as f64).log2();

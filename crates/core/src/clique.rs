@@ -1,7 +1,5 @@
 use crate::error::CoreError;
-use crate::routing::{
-    route_deterministic, route_optimized, RouteOutcome, RoutingInstance,
-};
+use crate::routing::{route_deterministic, route_optimized, RouteOutcome, RoutingInstance};
 use crate::sorting::{
     global_indices, mode_query, select_rank, small_key_census, sort_keys, IndexOutcome,
     ModeOutcome, SelectOutcome, SmallKeyOutcome, SortOutcome,
@@ -148,7 +146,9 @@ mod tests {
     #[test]
     fn facade_sorts_and_queries() {
         let clique = CongestedClique::new(9).unwrap();
-        let keys: Vec<Vec<u64>> = (0..9).map(|i| (0..9).map(|j| ((i * 5 + j) % 13) as u64).collect()).collect();
+        let keys: Vec<Vec<u64>> = (0..9)
+            .map(|i| (0..9).map(|j| ((i * 5 + j) % 13) as u64).collect())
+            .collect();
         assert!(clique.sort(&keys).unwrap().metrics.comm_rounds() <= 37);
         assert!(clique.select(&keys, 40).is_ok());
         assert!(clique.mode(&keys).is_ok());

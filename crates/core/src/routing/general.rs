@@ -180,7 +180,10 @@ impl<P: RoutePayload> CrossRouter<P> {
                 let mut sx_a = match my_side {
                     Some((true, local)) => {
                         let mut outgoing = vec![Vec::new(); group_a.len()];
-                        for m in held.iter().filter(|m| self.side_of(m.dst.index()).map(|(a, _)| a) == Some(true)) {
+                        for m in held
+                            .iter()
+                            .filter(|m| self.side_of(m.dst.index()).map(|(a, _)| a) == Some(true))
+                        {
                             let (_, j) = self.side_of(m.dst.index()).expect("checked");
                             outgoing[j].push(m.clone());
                         }
@@ -196,7 +199,10 @@ impl<P: RoutePayload> CrossRouter<P> {
                 let mut sx_b = match my_side {
                     Some((false, local)) => {
                         let mut outgoing = vec![Vec::new(); group_b.len()];
-                        for m in held.iter().filter(|m| self.side_of(m.dst.index()).map(|(a, _)| a) == Some(false)) {
+                        for m in held
+                            .iter()
+                            .filter(|m| self.side_of(m.dst.index()).map(|(a, _)| a) == Some(false))
+                        {
                             let (_, j) = self.side_of(m.dst.index()).expect("checked");
                             outgoing[j].push(m.clone());
                         }
@@ -209,8 +215,16 @@ impl<P: RoutePayload> CrossRouter<P> {
                     }
                     _ => SubsetExchange::relay_only(),
                 };
-                sends.extend(sx_a.activate(ctx).into_iter().map(|(d, m)| (d, CxMsg::SxA(m))));
-                sends.extend(sx_b.activate(ctx).into_iter().map(|(d, m)| (d, CxMsg::SxB(m))));
+                sends.extend(
+                    sx_a.activate(ctx)
+                        .into_iter()
+                        .map(|(d, m)| (d, CxMsg::SxA(m))),
+                );
+                sends.extend(
+                    sx_b.activate(ctx)
+                        .into_iter()
+                        .map(|(d, m)| (d, CxMsg::SxB(m))),
+                );
                 self.sx_a = Some(sx_a);
                 self.sx_b = Some(sx_b);
                 (sends, None)
@@ -226,9 +240,17 @@ impl<P: RoutePayload> CrossRouter<P> {
                     }
                 }
                 let mut sends = Vec::new();
-                let step_a = self.sx_a.as_mut().expect("sx_a active").on_round(ctx, a_msgs);
+                let step_a = self
+                    .sx_a
+                    .as_mut()
+                    .expect("sx_a active")
+                    .on_round(ctx, a_msgs);
                 sends.extend(step_a.sends.into_iter().map(|(d, m)| (d, CxMsg::SxA(m))));
-                let step_b = self.sx_b.as_mut().expect("sx_b active").on_round(ctx, b_msgs);
+                let step_b = self
+                    .sx_b
+                    .as_mut()
+                    .expect("sx_b active")
+                    .on_round(ctx, b_msgs);
                 sends.extend(step_b.sends.into_iter().map(|(d, m)| (d, CxMsg::SxB(m))));
                 if let Some(out) = step_a.output {
                     self.delivered.extend(out);
@@ -347,7 +369,8 @@ impl<P: RoutePayload> RouterMachine<P> {
                 q2,
                 off2,
                 i1: in_v1.then(|| SquareRouter::new(q2, v, m1, cc_sim::hash::combine(tag, 1))),
-                i2: in_v2.then(|| SquareRouter::new(q2, v - off2, m2, cc_sim::hash::combine(tag, 2))),
+                i2: in_v2
+                    .then(|| SquareRouter::new(q2, v - off2, m2, cc_sim::hash::combine(tag, 2))),
                 cross: CrossRouter::new(a_side, b_side, mx, tag),
                 out1: None,
                 out2: None,
@@ -402,7 +425,11 @@ impl<P: RoutePayload> NodeMachine for RouterMachine<P> {
         }
     }
 
-    fn on_round(&mut self, ctx: &mut Ctx<'_, GMsg<P>>, inbox: &mut Inbox<GMsg<P>>) -> Step<Self::Output> {
+    fn on_round(
+        &mut self,
+        ctx: &mut Ctx<'_, GMsg<P>>,
+        inbox: &mut Inbox<GMsg<P>>,
+    ) -> Step<Self::Output> {
         match &mut self.inner {
             Inner::Tiny {
                 queues,

@@ -181,7 +181,11 @@ impl<P: Clone + std::fmt::Debug + PartialEq + Ord> RoutingInstance<P> {
     pub fn verify_delivery(&self, delivered: &[Vec<RoutedMessage<P>>]) -> Result<(), CoreError> {
         if delivered.len() != self.n {
             return Err(CoreError::VerificationFailed {
-                reason: format!("expected {} delivery lists, got {}", self.n, delivered.len()),
+                reason: format!(
+                    "expected {} delivery lists, got {}",
+                    self.n,
+                    delivered.len()
+                ),
             });
         }
         let expected = self.expected_receives();
@@ -283,14 +287,9 @@ mod tests {
         // Node i sends all n messages to i+1: the paper's worst case for
         // direct routing.
         let n = 8;
-        let inst = RoutingInstance::from_demands(n, |i, j| {
-            if (i + 1) % n == j {
-                n as u32
-            } else {
-                0
-            }
-        })
-        .unwrap();
+        let inst =
+            RoutingInstance::from_demands(n, |i, j| if (i + 1) % n == j { n as u32 } else { 0 })
+                .unwrap();
         assert_eq!(inst.total_messages(), n * n);
     }
 }

@@ -26,7 +26,6 @@ pub use general::{
 pub use instance::{RoutedMessage, RoutingInstance};
 pub use large::{route_large_messages, LargeMessage, LargeOutcome};
 pub use optimized::{
-    route_optimized, route_optimized_with_spec, spec_for_optimized, OGMsg, OptMsg,
-    OptRouterMachine,
+    route_optimized, route_optimized_with_spec, spec_for_optimized, OGMsg, OptMsg, OptRouterMachine,
 };
 pub use square::{Inter, RoutePayload, SqMsg};

@@ -26,8 +26,8 @@
 
 use crate::error::CoreError;
 use crate::routing::general::{CrossRouter, CxMsg, RouteOutcome};
-use crate::routing::square::RoutePayload;
 use crate::routing::instance::{RoutedMessage, RoutingInstance};
+use crate::routing::square::RoutePayload;
 use cc_coloring::{
     color_exact, exact_coloring_work, pad_demands_to_regular, BipartiteMultigraph, EdgeIndexer,
 };
@@ -140,7 +140,12 @@ pub(crate) struct OptSquareRouter<P = u64> {
 impl<P: RoutePayload> OptSquareRouter<P> {
     pub(crate) const ROUNDS: u32 = 12;
 
-    pub(crate) fn new(vn: usize, vme: usize, mut messages: Vec<RoutedMessage<P>>, tag: u64) -> Self {
+    pub(crate) fn new(
+        vn: usize,
+        vme: usize,
+        mut messages: Vec<RoutedMessage<P>>,
+        tag: u64,
+    ) -> Self {
         let s = isqrt(vn);
         assert_eq!(s * s, vn, "OptSquareRouter requires a perfect square size");
         let mut counts = vec![0u64; s];
@@ -196,7 +201,10 @@ impl<P: RoutePayload> OptSquareRouter<P> {
                     total += c;
                 }
                 ctx.charge_work(self.s as u64);
-                ((0..self.vn).map(|v| (v, OptMsg::Total(total))).collect(), None)
+                (
+                    (0..self.vn).map(|v| (v, OptMsg::Total(total))).collect(),
+                    None,
+                )
             }
             2 => {
                 for (src, msg) in inbox {
@@ -217,10 +225,8 @@ impl<P: RoutePayload> OptSquareRouter<P> {
                 self.plan = Some(plan);
                 // First scatter: messages already sorted by destination
                 // set — Lemma 5.1's required class order.
-                let mut sc = RoundRobinScatter::member(
-                    self.my_group(),
-                    std::mem::take(&mut self.messages),
-                );
+                let mut sc =
+                    RoundRobinScatter::member(self.my_group(), std::mem::take(&mut self.messages));
                 let sends = sc.activate(ctx);
                 self.sc1 = Some(sc);
                 (wrap(sends, OptMsg::Sc1), None)
@@ -549,7 +555,11 @@ impl<P: RoutePayload> NodeMachine for OptRouterMachine<P> {
         }
     }
 
-    fn on_round(&mut self, ctx: &mut Ctx<'_, OGMsg<P>>, inbox: &mut Inbox<OGMsg<P>>) -> Step<Self::Output> {
+    fn on_round(
+        &mut self,
+        ctx: &mut Ctx<'_, OGMsg<P>>,
+        inbox: &mut Inbox<OGMsg<P>>,
+    ) -> Step<Self::Output> {
         match &mut self.inner {
             OptInner::Tiny {
                 queues,

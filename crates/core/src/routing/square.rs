@@ -177,10 +177,7 @@ fn build_set_local(s: usize, a: usize, set_plan: &SetPlan, cnt: &[Vec<u64>]) -> 
         let graph = BipartiteMultigraph::from_demands(s, s, &padded).expect("shape is s × s");
         let coloring = color_exact(&graph).expect("padded matrix is m4-regular");
         work += exact_coloring_work(graph.num_edges(), m4 as usize);
-        (
-            EdgeIndexer::new(s, s, &padded),
-            coloring.colors().to_vec(),
-        )
+        (EdgeIndexer::new(s, s, &padded), coloring.colors().to_vec())
     };
     // Step 5 demands: member r' sends each message to the member indexed
     // by its Step 4 color mod s.
@@ -310,7 +307,11 @@ impl<P: RoutePayload> SquareRouter<P> {
     }
 
     /// Advances one round; see the module table for the schedule.
-    pub(crate) fn on_round(&mut self, ctx: &mut BaseCtx<'_>, inbox: Vec<(usize, SqMsg<P>)>) -> SqStep<P> {
+    pub(crate) fn on_round(
+        &mut self,
+        ctx: &mut BaseCtx<'_>,
+        inbox: Vec<(usize, SqMsg<P>)>,
+    ) -> SqStep<P> {
         debug_assert_eq!(ctx.n(), self.vn);
         self.call += 1;
         match self.call {
@@ -337,7 +338,11 @@ impl<P: RoutePayload> SquareRouter<P> {
 
     /// Call 1: aggregate the counts addressed to me (I am the `r`-th
     /// member of my set, so I collect `T[a][r]`) and broadcast the total.
-    fn step1_aggregate(&mut self, ctx: &mut BaseCtx<'_>, inbox: Vec<(usize, SqMsg<P>)>) -> Vec<(usize, SqMsg<P>)> {
+    fn step1_aggregate(
+        &mut self,
+        ctx: &mut BaseCtx<'_>,
+        inbox: Vec<(usize, SqMsg<P>)>,
+    ) -> Vec<(usize, SqMsg<P>)> {
         let mut total = 0u64;
         for (src, msg) in inbox {
             let SqMsg::Cnt(c) = msg else {
@@ -376,7 +381,8 @@ impl<P: RoutePayload> SquareRouter<P> {
         self.set_plan = Some(plan);
 
         let values: Vec<u64> = self.buckets.iter().map(|b| b.len() as u64).collect();
-        let mut ann = GroupAnnounce::member(self.my_group(), self.r, values, self.scope("route.sq.ann2"));
+        let mut ann =
+            GroupAnnounce::member(self.my_group(), self.r, values, self.scope("route.sq.ann2"));
         let sends = ann.activate(ctx);
         self.ann2 = Some(ann);
         wrap(sends, SqMsg::Ann2)
@@ -518,7 +524,8 @@ impl<P: RoutePayload> SquareRouter<P> {
         ctx.charge_work(total);
         ctx.note_mem(5 * total);
         let values: Vec<u64> = self.held.iter().map(|b| b.len() as u64).collect();
-        let mut ann = GroupAnnounce::member(self.my_group(), self.r, values, self.scope("route.sq.ann3"));
+        let mut ann =
+            GroupAnnounce::member(self.my_group(), self.r, values, self.scope("route.sq.ann3"));
         let sends = ann.activate(ctx);
         self.ann3 = Some(ann);
         wrap(sends, SqMsg::Ann3)
@@ -588,12 +595,8 @@ impl<P: RoutePayload> SquareRouter<P> {
                 outgoing[i].push(m);
             }
         }
-        let mut kx = KnownExchange::member(
-            self.my_group(),
-            d3,
-            outgoing,
-            self.scope("route.sq.kx3"),
-        );
+        let mut kx =
+            KnownExchange::member(self.my_group(), d3, outgoing, self.scope("route.sq.kx3"));
         let sends = kx.activate(ctx);
         self.kx3 = Some(kx);
         wrap(sends, SqMsg::Kx3)
@@ -655,18 +658,18 @@ impl<P: RoutePayload> SquareRouter<P> {
             outgoing[m.dst.index() % s].push(m);
         }
         ctx.charge_work(outgoing.iter().map(|o| o.len() as u64).sum());
-        let mut sx = SubsetExchange::member(
-            self.my_group(),
-            self.r,
-            outgoing,
-            self.scope("route.sq.sx"),
-        );
+        let mut sx =
+            SubsetExchange::member(self.my_group(), self.r, outgoing, self.scope("route.sq.sx"));
         let sends = sx.activate(ctx);
         self.sx = Some(sx);
         wrap(sends, SqMsg::Sx)
     }
 
-    fn drive_sx(&mut self, ctx: &mut BaseCtx<'_>, inbox: Vec<(usize, SqMsg<P>)>) -> Vec<(usize, SqMsg<P>)> {
+    fn drive_sx(
+        &mut self,
+        ctx: &mut BaseCtx<'_>,
+        inbox: Vec<(usize, SqMsg<P>)>,
+    ) -> Vec<(usize, SqMsg<P>)> {
         let msgs = unwrap(inbox, |m| match m {
             SqMsg::Sx(x) => x,
             other => panic!("unexpected message during Alg 1 Step 5: {other:?}"),

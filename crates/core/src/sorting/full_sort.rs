@@ -336,12 +336,7 @@ impl NodeMachine for FullSortMachine {
                     for (u, keys) in per_member.into_iter().enumerate() {
                         let dst = group.member(u);
                         for batch in KeyBatch::split(&keys) {
-                            msgs.push(RoutedMessage::new(
-                                self.me,
-                                dst,
-                                seq[dst.index()],
-                                batch,
-                            ));
+                            msgs.push(RoutedMessage::new(self.me, dst, seq[dst.index()], batch));
                             seq[dst.index()] += 1;
                         }
                     }
@@ -376,10 +371,8 @@ impl NodeMachine for FullSortMachine {
                         debug_assert_eq!(call, 27, "router finishes exactly at call 27");
                         // Step 7: sort within my group, skipping the final
                         // redistribution.
-                        let received: Vec<TaggedKey> = batches
-                            .into_iter()
-                            .flat_map(|m| m.payload.keys)
-                            .collect();
+                        let received: Vec<TaggedKey> =
+                            batches.into_iter().flat_map(|m| m.payload.keys).collect();
                         let my_group = self.group(self.group_of(self.me.index()));
                         let local = my_group
                             .local_index(self.me)
@@ -580,7 +573,10 @@ pub fn sort_with_spec(keys: &[Vec<u64>], spec: CliqueSpec) -> Result<SortOutcome
         let expected_offset: u64 = batches[..k].iter().map(|b| b.len() as u64).sum();
         if offsets[k] != expected_offset && !batches[k].is_empty() {
             return Err(CoreError::VerificationFailed {
-                reason: format!("node {k} reports offset {}, expected {expected_offset}", offsets[k]),
+                reason: format!(
+                    "node {k} reports offset {}, expected {expected_offset}",
+                    offsets[k]
+                ),
             });
         }
     }
@@ -650,7 +646,11 @@ mod tests {
     fn uneven_inputs() {
         let n = 9;
         let keys: Vec<Vec<u64>> = (0..n)
-            .map(|i| (0..(i * 2) % (n + 1)).map(|j| ((i + j * 31) % 64) as u64).collect())
+            .map(|i| {
+                (0..(i * 2) % (n + 1))
+                    .map(|j| ((i + j * 31) % 64) as u64)
+                    .collect()
+            })
             .collect();
         let out = sort_keys(&keys).unwrap();
         assert!(out.metrics.comm_rounds() <= 37);

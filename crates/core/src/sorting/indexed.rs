@@ -357,7 +357,10 @@ impl QueryMachine {
 
     /// Computes duplicate-aware indices for my batch and builds the
     /// route-home reports.
-    fn compute_index_reports(&mut self, ctx: &mut Ctx<'_, QMsg>) -> Vec<RoutedMessage<IndexReport>> {
+    fn compute_index_reports(
+        &mut self,
+        ctx: &mut Ctx<'_, QMsg>,
+    ) -> Vec<RoutedMessage<IndexReport>> {
         let batch = self.batch.as_ref().expect("sort completed");
         // Distinct values strictly before my batch, and whether my first
         // value already appeared.
@@ -585,7 +588,13 @@ mod tests {
     fn mode_finds_most_frequent() {
         let n = 9;
         // Value 3 appears most often.
-        let keys = keys_for(n, |i, j| if (i + j) % 3 == 0 { 3 } else { (i * n + j) as u64 + 100 });
+        let keys = keys_for(n, |i, j| {
+            if (i + j) % 3 == 0 {
+                3
+            } else {
+                (i * n + j) as u64 + 100
+            }
+        });
         let mut freq = std::collections::HashMap::new();
         for k in keys.iter().flatten() {
             *freq.entry(*k).or_insert(0u64) += 1;

@@ -72,11 +72,7 @@ impl KeyBatch {
 impl Payload for KeyBatch {
     fn size_bits(&self, n: usize) -> u64 {
         let w = word_bits(n);
-        w + self
-            .keys
-            .iter()
-            .map(|k| k.size_bits(n))
-            .sum::<u64>()
+        w + self.keys.iter().map(|k| k.size_bits(n)).sum::<u64>()
     }
 }
 

@@ -15,7 +15,9 @@ mod keys;
 mod small_keys;
 mod subset_sort;
 
-pub use full_sort::{sort_keys, sort_with_spec, spec_for_sorting, FsMsg, FullSortMachine, SortOutcome};
+pub use full_sort::{
+    sort_keys, sort_with_spec, spec_for_sorting, FsMsg, FullSortMachine, SortOutcome,
+};
 pub use indexed::{
     global_indices, mode_query, select_rank, IndexOutcome, ModeOutcome, SelectOutcome,
 };

@@ -14,9 +14,7 @@
 
 use crate::error::CoreError;
 use cc_sim::util::ceil_log2;
-use cc_sim::{
-    CliqueSpec, Ctx, Inbox, Metrics, NodeId, NodeMachine, Payload, Simulator, Step,
-};
+use cc_sim::{CliqueSpec, Ctx, Inbox, Metrics, NodeId, NodeMachine, Payload, Simulator, Step};
 
 /// Messages of the small-key census: presence bits and report bits.
 #[derive(Clone, Debug)]
@@ -90,7 +88,11 @@ impl NodeMachine for SmallKeyMachine {
         ctx.charge_work((self.num_values * self.l) as u64);
     }
 
-    fn on_round(&mut self, ctx: &mut Ctx<'_, SkMsg>, inbox: &mut Inbox<SkMsg>) -> Step<Self::Output> {
+    fn on_round(
+        &mut self,
+        ctx: &mut Ctx<'_, SkMsg>,
+        inbox: &mut Inbox<SkMsg>,
+    ) -> Step<Self::Output> {
         self.call += 1;
         match self.call {
             1 => {
@@ -150,18 +152,10 @@ impl NodeMachine for SmallKeyMachine {
                     }
                 }
                 self.totals = (0..self.num_values)
-                    .map(|kappa| {
-                        (0..self.l)
-                            .map(|i| q[kappa * self.l + i] << i)
-                            .sum()
-                    })
+                    .map(|kappa| (0..self.l).map(|i| q[kappa * self.l + i] << i).sum())
                     .collect();
                 self.prefix = (0..self.num_values)
-                    .map(|kappa| {
-                        (0..self.l)
-                            .map(|i| p[kappa * self.l + i] << i)
-                            .sum()
-                    })
+                    .map(|kappa| (0..self.l).map(|i| p[kappa * self.l + i] << i).sum())
                     .collect();
                 ctx.charge_work((self.num_values * self.l) as u64);
                 Step::Done((

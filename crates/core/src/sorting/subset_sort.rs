@@ -49,7 +49,7 @@ impl Payload for A3Msg {
 }
 
 /// What a member learns when the sort completes.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SubsetSortOutput {
     /// The keys this member holds, sorted. With `skip_final`, this is the
     /// member's *bucket* (rank-th delimiter range); otherwise it is the
@@ -204,7 +204,10 @@ impl SubsetSort {
 
 /// Packs a tagged key into the two announce words.
 fn pack_key(k: &TaggedKey) -> (u64, u64) {
-    (k.key, (u64::from(k.origin.raw()) << 32) | u64::from(k.index_at_origin))
+    (
+        k.key,
+        (u64::from(k.origin.raw()) << 32) | u64::from(k.index_at_origin),
+    )
 }
 
 fn unpack_key(key: u64, id: u64) -> TaggedKey {
@@ -248,12 +251,8 @@ impl Driver for SubsetSort {
                 count += 1;
             }
         }
-        let mut ann = GroupAnnounce::member(
-            group.clone(),
-            *my_local,
-            values,
-            Self::sel_scope(*scope),
-        );
+        let mut ann =
+            GroupAnnounce::member(group.clone(), *my_local, values, Self::sel_scope(*scope));
         let sends = ann.activate(ctx);
         self.ann_sel = Some(ann);
         wrap(sends, A3Msg::Sel)
@@ -271,10 +270,13 @@ impl Driver for SubsetSort {
                     .ann_sel
                     .as_mut()
                     .expect("sel announce active")
-                    .on_round(ctx, unwrap(inbox, |m| match m {
-                        A3Msg::Sel(x) => x,
-                        other => panic!("unexpected message in Step 2: {other:?}"),
-                    }));
+                    .on_round(
+                        ctx,
+                        unwrap(inbox, |m| match m {
+                            A3Msg::Sel(x) => x,
+                            other => panic!("unexpected message in Step 2: {other:?}"),
+                        }),
+                    );
                 DriverStep::sends(wrap(step.sends, A3Msg::Sel))
             }
             2 => {
@@ -282,10 +284,13 @@ impl Driver for SubsetSort {
                     .ann_sel
                     .as_mut()
                     .expect("sel announce active")
-                    .on_round(ctx, unwrap(inbox, |m| match m {
-                        A3Msg::Sel(x) => x,
-                        other => panic!("unexpected message in Step 2: {other:?}"),
-                    }));
+                    .on_round(
+                        ctx,
+                        unwrap(inbox, |m| match m {
+                            A3Msg::Sel(x) => x,
+                            other => panic!("unexpected message in Step 2: {other:?}"),
+                        }),
+                    );
                 let matrix = step.output.expect("announce completes on round 2");
                 let Role::Member {
                     group,
@@ -350,10 +355,13 @@ impl Driver for SubsetSort {
                     .ann_cnt
                     .as_mut()
                     .expect("cnt announce active")
-                    .on_round(ctx, unwrap(inbox, |m| match m {
-                        A3Msg::Cnt(x) => x,
-                        other => panic!("unexpected message in Step 5: {other:?}"),
-                    }));
+                    .on_round(
+                        ctx,
+                        unwrap(inbox, |m| match m {
+                            A3Msg::Cnt(x) => x,
+                            other => panic!("unexpected message in Step 5: {other:?}"),
+                        }),
+                    );
                 DriverStep::sends(wrap(step.sends, A3Msg::Cnt))
             }
             4 => {
@@ -361,10 +369,13 @@ impl Driver for SubsetSort {
                     .ann_cnt
                     .as_mut()
                     .expect("cnt announce active")
-                    .on_round(ctx, unwrap(inbox, |m| match m {
-                        A3Msg::Cnt(x) => x,
-                        other => panic!("unexpected message in Step 5: {other:?}"),
-                    }));
+                    .on_round(
+                        ctx,
+                        unwrap(inbox, |m| match m {
+                            A3Msg::Cnt(x) => x,
+                            other => panic!("unexpected message in Step 5: {other:?}"),
+                        }),
+                    );
                 let matrix = step.output.expect("announce completes on round 4");
                 let Role::Member {
                     group,
@@ -378,10 +389,7 @@ impl Driver for SubsetSort {
                     return DriverStep::sends(Vec::new());
                 };
                 let w = group.len();
-                let counts: Vec<Vec<u64>> = matrix
-                    .iter()
-                    .map(|row| row[..w].to_vec())
-                    .collect();
+                let counts: Vec<Vec<u64>> = matrix.iter().map(|row| row[..w].to_vec()).collect();
                 self.orig_counts = matrix.iter().map(|row| row[w]).collect();
                 // Step 6: ship bucket j to member j, keys bundled.
                 let mut outgoing: Vec<Vec<KeyBatch>> = vec![Vec::new(); w];
@@ -455,8 +463,7 @@ impl Driver for SubsetSort {
                 let w = group.len();
                 let counts = self.counts.as_ref().expect("counts from round 4");
                 // Step 7: sort the received bucket.
-                let mut bucket: Vec<TaggedKey> =
-                    batches.into_iter().flat_map(|b| b.keys).collect();
+                let mut bucket: Vec<TaggedKey> = batches.into_iter().flat_map(|b| b.keys).collect();
                 bucket.sort_unstable();
                 ctx.charge_work(sort_cost(bucket.len()));
                 ctx.note_mem(4 * bucket.len() as u64);
@@ -542,10 +549,13 @@ impl Driver for SubsetSort {
                     .redist
                     .as_mut()
                     .expect("redistribution active")
-                    .on_round(ctx, unwrap(inbox, |m| match m {
-                        A3Msg::Redist(x) => x,
-                        other => panic!("unexpected message in Step 8: {other:?}"),
-                    }));
+                    .on_round(
+                        ctx,
+                        unwrap(inbox, |m| match m {
+                            A3Msg::Redist(x) => x,
+                            other => panic!("unexpected message in Step 8: {other:?}"),
+                        }),
+                    );
                 DriverStep::sends(wrap(step.sends, A3Msg::Redist))
             }
             10 => {
@@ -553,10 +563,13 @@ impl Driver for SubsetSort {
                     .redist
                     .as_mut()
                     .expect("redistribution active")
-                    .on_round(ctx, unwrap(inbox, |m| match m {
-                        A3Msg::Redist(x) => x,
-                        other => panic!("unexpected message in Step 8: {other:?}"),
-                    }));
+                    .on_round(
+                        ctx,
+                        unwrap(inbox, |m| match m {
+                            A3Msg::Redist(x) => x,
+                            other => panic!("unexpected message in Step 8: {other:?}"),
+                        }),
+                    );
                 let mut batches = step.output.expect("redistribution completes on round 10");
                 let mut out = self.out.take().unwrap_or(SubsetSortOutput {
                     held: Vec::new(),
@@ -600,33 +613,34 @@ mod tests {
         skip_final: bool,
         keys_of: impl Fn(usize) -> Vec<u64>,
     ) -> (Vec<SubsetSortOutput>, cc_sim::Metrics) {
-        let report = run_protocol(
-            CliqueSpec::new(n).unwrap().with_budget_words(256),
-            |me| {
-                if let Some(local) = group.local_index(me) {
-                    let keys: Vec<TaggedKey> = keys_of(local)
-                        .into_iter()
-                        .enumerate()
-                        .map(|(i, k)| TaggedKey::new(k, me, i as u32))
-                        .collect();
-                    drive(SubsetSort::member(
-                        group.clone(),
-                        local,
-                        keys,
-                        cap,
-                        skip_final,
-                        CommonScope::new("test.a3", 0),
-                    ))
-                } else {
-                    drive(SubsetSort::relay_only(skip_final))
-                }
-            },
-        )
+        let report = run_protocol(CliqueSpec::new(n).unwrap().with_budget_words(256), |me| {
+            if let Some(local) = group.local_index(me) {
+                let keys: Vec<TaggedKey> = keys_of(local)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, k)| TaggedKey::new(k, me, i as u32))
+                    .collect();
+                drive(SubsetSort::member(
+                    group.clone(),
+                    local,
+                    keys,
+                    cap,
+                    skip_final,
+                    CommonScope::new("test.a3", 0),
+                ))
+            } else {
+                drive(SubsetSort::relay_only(skip_final))
+            }
+        })
         .unwrap();
         (report.outputs, report.metrics)
     }
 
-    fn assert_globally_sorted(group: &NodeGroup, outputs: &[SubsetSortOutput], expected: &mut Vec<u64>) {
+    fn assert_globally_sorted(
+        group: &NodeGroup,
+        outputs: &[SubsetSortOutput],
+        expected: &mut Vec<u64>,
+    ) {
         let mut all: Vec<(u64, TaggedKey)> = Vec::new();
         for v in group.iter() {
             let out = &outputs[v.index()];
@@ -650,7 +664,9 @@ mod tests {
         let n = 16;
         let group = NodeGroup::contiguous(0, 4);
         let keys_of = |local: usize| -> Vec<u64> {
-            (0..2 * n).map(|i| ((local * 37 + i * 101) % 997) as u64).collect()
+            (0..2 * n)
+                .map(|i| ((local * 37 + i * 101) % 997) as u64)
+                .collect()
         };
         let (outputs, metrics) = run_sort(n, group.clone(), 2 * n, false, keys_of);
         assert_eq!(metrics.comm_rounds(), 10);
@@ -699,7 +715,9 @@ mod tests {
         let n = 16;
         let group = NodeGroup::contiguous(4, 4);
         let keys_of = |local: usize| -> Vec<u64> {
-            (0..(local * 5) % (n + 1)).map(|i| (1000 - i * 3) as u64).collect()
+            (0..(local * 5) % (n + 1))
+                .map(|i| (1000 - i * 3) as u64)
+                .collect()
         };
         let (outputs, metrics) = run_sort(n, group.clone(), n, false, keys_of);
         assert!(metrics.comm_rounds() <= 10);

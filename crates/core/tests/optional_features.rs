@@ -63,9 +63,14 @@ fn facade_full_surface_smoke() {
 
     let inst = cc_core::routing::RoutingInstance::from_demands(n, |_, _| 1).unwrap();
     assert_eq!(clique.route(&inst).unwrap().metrics.comm_rounds(), 16);
-    assert_eq!(clique.route_optimized(&inst).unwrap().metrics.comm_rounds(), 12);
+    assert_eq!(
+        clique.route_optimized(&inst).unwrap().metrics.comm_rounds(),
+        12
+    );
 
-    let keys: Vec<Vec<u64>> = (0..n).map(|i| (0..n).map(|j| ((i * 3 + j) % 8) as u64).collect()).collect();
+    let keys: Vec<Vec<u64>> = (0..n)
+        .map(|i| (0..n).map(|j| ((i * 3 + j) % 8) as u64).collect())
+        .collect();
     let sorted = clique.sort(&keys).unwrap();
     assert_eq!(sorted.metrics.comm_rounds(), 37);
     let idx = clique.global_indices(&keys).unwrap();

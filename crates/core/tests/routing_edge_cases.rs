@@ -20,7 +20,8 @@ fn every_size_from_4_to_30_full_load() {
 #[test]
 fn single_message_instances() {
     for n in [4usize, 9, 10, 17] {
-        let inst = RoutingInstance::from_demands(n, |i, j| u32::from(i == 0 && j == n - 1)).unwrap();
+        let inst =
+            RoutingInstance::from_demands(n, |i, j| u32::from(i == 0 && j == n - 1)).unwrap();
         let out = route_deterministic(&inst).unwrap();
         assert_eq!(out.delivered[n - 1].len(), 1);
         assert!(out.delivered[..n - 1].iter().all(Vec::is_empty));
@@ -31,7 +32,10 @@ fn single_message_instances() {
 fn all_messages_to_self() {
     let n = 16;
     let inst = RoutingInstance::from_demands(n, |i, j| u32::from(i == j) * n as u32).unwrap();
-    for out in [route_deterministic(&inst).unwrap(), route_optimized(&inst).unwrap()] {
+    for out in [
+        route_deterministic(&inst).unwrap(),
+        route_optimized(&inst).unwrap(),
+    ] {
         for (k, d) in out.delivered.iter().enumerate() {
             assert_eq!(d.len(), n);
             assert!(d.iter().all(|m| m.src.index() == k && m.dst.index() == k));
@@ -122,7 +126,10 @@ fn metrics_conserve_messages_across_phases() {
     let inst = RoutingInstance::from_demands(n, |_, _| 1).unwrap();
     let out = route_deterministic(&inst).unwrap();
     let injected = inst.total_messages() as u64;
-    assert!(out.metrics.total_messages() >= injected, "at least one hop each");
+    assert!(
+        out.metrics.total_messages() >= injected,
+        "at least one hop each"
+    );
     assert!(
         out.metrics.total_messages() <= 64 * injected,
         "{} engine messages for {} injected",
@@ -135,14 +142,8 @@ fn metrics_conserve_messages_across_phases() {
 fn seq_numbers_allow_parallel_edges() {
     // 5 distinct messages between the same ordered pair.
     let n = 9;
-    let inst = RoutingInstance::from_demands(n, |i, j| {
-        if i == 2 && j == 7 {
-            5
-        } else {
-            0
-        }
-    })
-    .unwrap();
+    let inst =
+        RoutingInstance::from_demands(n, |i, j| if i == 2 && j == 7 { 5 } else { 0 }).unwrap();
     let out = route_deterministic(&inst).unwrap();
     let seqs: Vec<u32> = out.delivered[7].iter().map(|m| m.seq).collect();
     assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
@@ -156,12 +157,7 @@ fn max_load_constructor_accepts_double_load() {
         .map(|i| {
             (0..2 * n)
                 .map(|k| {
-                    RoutedMessage::new(
-                        NodeId::new(i),
-                        NodeId::new(k % n),
-                        (k / n) as u32,
-                        k as u64,
-                    )
+                    RoutedMessage::new(NodeId::new(i), NodeId::new(k % n), (k / n) as u32, k as u64)
                 })
                 .collect()
         })
@@ -178,7 +174,13 @@ fn work_accounting_is_monotone_in_load() {
     let n = 16;
     let light = RoutingInstance::from_demands(n, |i, j| u32::from((i + j) % 8 == 0)).unwrap();
     let heavy = RoutingInstance::from_demands(n, |_, _| 1).unwrap();
-    let wl = route_deterministic(&light).unwrap().metrics.max_node_steps();
-    let wh = route_deterministic(&heavy).unwrap().metrics.max_node_steps();
+    let wl = route_deterministic(&light)
+        .unwrap()
+        .metrics
+        .max_node_steps();
+    let wh = route_deterministic(&heavy)
+        .unwrap()
+        .metrics
+        .max_node_steps();
     assert!(wh >= wl);
 }

@@ -113,8 +113,8 @@ fn indices_are_dense_over_distinct_values() {
     let max_idx = out.indices.iter().flatten().copied().max().unwrap();
     assert_eq!(max_idx as usize, distinct.len() - 1);
     // Index order respects key order.
-    for v in 0..n {
-        for (p, &k) in keys[v].iter().enumerate() {
+    for (v, node_keys) in keys.iter().enumerate().take(n) {
+        for (p, &k) in node_keys.iter().enumerate() {
             let rank = distinct.binary_search(&k).unwrap() as u64;
             assert_eq!(out.indices[v][p], rank, "node {v} pos {p}");
         }
@@ -147,9 +147,18 @@ fn round_count_is_input_independent() {
     // The deterministic sort's round count may not leak anything about
     // the data: all fully loaded inputs take the same number of rounds.
     let n = 16;
-    let r1 = sort_keys(&keys_fn(n, |i, j| (i * n + j) as u64)).unwrap().metrics.comm_rounds();
-    let r2 = sort_keys(&keys_fn(n, |_, _| 0)).unwrap().metrics.comm_rounds();
-    let r3 = sort_keys(&keys_fn(n, |i, j| ((i ^ j) * 12345 % 77) as u64)).unwrap().metrics.comm_rounds();
+    let r1 = sort_keys(&keys_fn(n, |i, j| (i * n + j) as u64))
+        .unwrap()
+        .metrics
+        .comm_rounds();
+    let r2 = sort_keys(&keys_fn(n, |_, _| 0))
+        .unwrap()
+        .metrics
+        .comm_rounds();
+    let r3 = sort_keys(&keys_fn(n, |i, j| ((i ^ j) * 12345 % 77) as u64))
+        .unwrap()
+        .metrics
+        .comm_rounds();
     assert_eq!(r1, r2);
     assert_eq!(r2, r3);
 }

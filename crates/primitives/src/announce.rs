@@ -181,9 +181,9 @@ mod tests {
         assert_eq!(report.metrics.comm_rounds(), 2);
         for (v, matrix) in report.outputs.iter().enumerate() {
             if (3..6).contains(&v) {
-                for s in 0..3 {
-                    for t in 0..3 {
-                        assert_eq!(matrix[s][t], (s * 10 + t) as u64);
+                for (s, row) in matrix.iter().enumerate() {
+                    for (t, &cell) in row.iter().enumerate() {
+                        assert_eq!(cell, (s * 10 + t) as u64);
                     }
                 }
             } else {

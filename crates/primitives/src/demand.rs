@@ -79,11 +79,11 @@ impl DemandMatrix {
     pub fn max_line_sum(&self) -> u64 {
         let mut rows = vec![0u64; self.size];
         let mut cols = vec![0u64; self.size];
-        for i in 0..self.size {
-            for j in 0..self.size {
+        for (i, row) in rows.iter_mut().enumerate() {
+            for (j, col) in cols.iter_mut().enumerate() {
                 let c = u64::from(self.get(i, j));
-                rows[i] += c;
-                cols[j] += c;
+                *row += c;
+                *col += c;
             }
         }
         rows.into_iter().chain(cols).max().unwrap_or(0)

@@ -14,11 +14,15 @@ use cc_sim::{BaseCtx, NodeId, Payload};
 /// Every node of the clique must run every driver: non-members of the
 /// primitive's group still participate as relays (the paper's schemes use
 /// all edges with at least one endpoint in `W`).
-pub trait Driver {
+///
+/// Like [`NodeMachine`](cc_sim::NodeMachine), drivers and their messages
+/// and outputs are `Send`: a driver holds only its node's state, so the
+/// engine may step its host machine on any worker thread.
+pub trait Driver: Send {
     /// The driver's message type; the parent wraps it into its own enum.
     type Msg: Payload;
     /// Output delivered to every node when the primitive completes.
-    type Output;
+    type Output: Send;
 
     /// Queues the first-round sends. Called exactly once.
     fn activate(&mut self, ctx: &mut BaseCtx<'_>) -> Vec<(NodeId, Self::Msg)>;

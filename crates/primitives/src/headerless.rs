@@ -246,8 +246,7 @@ impl<T: Payload + Send + Sync + 'static> Driver for HeaderlessExchange<T> {
                         .group
                         .local_index(src)
                         .expect("headerless senders are members");
-                    let expected =
-                        plan.edges_for(|_, i, _| i as usize == i_local, me, n);
+                    let expected = plan.edges_for(|_, i, _| i as usize == i_local, me, n);
                     assert_eq!(
                         expected.len(),
                         payloads.len(),
@@ -324,19 +323,17 @@ mod tests {
         }
         // Budget: 2 bits per edge per round suffices (≤ 2 colors per relay
         // never happens here since m = n, so 1 bit does it — give 2).
-        let report = run_protocol(
-            CliqueSpec::new(n).unwrap().with_bits_per_edge(2),
-            |me| {
-                let outgoing: Vec<Vec<Bit>> =
-                    (0..n).map(|j| vec![Bit((me.index() + j) % 2 == 0)]).collect();
-                drive(HeaderlessExchange::new(
-                    group.clone(),
-                    demands.clone(),
-                    outgoing,
-                    CommonScope::new("test.hx", 0),
-                ))
-            },
-        )
+        let report = run_protocol(CliqueSpec::new(n).unwrap().with_bits_per_edge(2), |me| {
+            let outgoing: Vec<Vec<Bit>> = (0..n)
+                .map(|j| vec![Bit((me.index() + j) % 2 == 0)])
+                .collect();
+            drive(HeaderlessExchange::new(
+                group.clone(),
+                demands.clone(),
+                outgoing,
+                CommonScope::new("test.hx", 0),
+            ))
+        })
         .unwrap();
         assert_eq!(report.metrics.comm_rounds(), 2);
         assert_eq!(report.metrics.max_edge_bits(), 1);
@@ -358,25 +355,24 @@ mod tests {
         demands.set(0, 1, 4);
         demands.set(1, 2, 4);
         demands.set(2, 0, 4);
-        let report = run_protocol(
-            CliqueSpec::new(n).unwrap().with_bits_per_edge(8),
-            |me| {
-                let outgoing: Vec<Vec<Bit>> = match group.local_index(me) {
-                    Some(local) => (0..3)
-                        .map(|j| {
-                            (0..demands.get(local, j)).map(|k| Bit(k % 2 == 0)).collect()
-                        })
-                        .collect(),
-                    None => vec![Vec::new(); 3],
-                };
-                drive(HeaderlessExchange::new(
-                    group.clone(),
-                    demands.clone(),
-                    outgoing,
-                    CommonScope::new("test.hx.skew", 0),
-                ))
-            },
-        )
+        let report = run_protocol(CliqueSpec::new(n).unwrap().with_bits_per_edge(8), |me| {
+            let outgoing: Vec<Vec<Bit>> = match group.local_index(me) {
+                Some(local) => (0..3)
+                    .map(|j| {
+                        (0..demands.get(local, j))
+                            .map(|k| Bit(k % 2 == 0))
+                            .collect()
+                    })
+                    .collect(),
+                None => vec![Vec::new(); 3],
+            };
+            drive(HeaderlessExchange::new(
+                group.clone(),
+                demands.clone(),
+                outgoing,
+                CommonScope::new("test.hx.skew", 0),
+            ))
+        })
         .unwrap();
         assert_eq!(report.metrics.comm_rounds(), 2);
         // Member 1 receives the 4 messages from member 0, etc.

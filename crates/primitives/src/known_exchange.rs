@@ -113,7 +113,12 @@ fn color_padded(group_len: usize, counts: &[u32], m: u64) -> (EdgeIndexer, Vec<u
     )
 }
 
-fn build_plan(group_len: usize, demands: &DemandMatrix, n: usize, strategy: ExchangeStrategy) -> KxPlan {
+fn build_plan(
+    group_len: usize,
+    demands: &DemandMatrix,
+    n: usize,
+    strategy: ExchangeStrategy,
+) -> KxPlan {
     match strategy {
         ExchangeStrategy::PerEdge => {
             let m = demands.max_line_sum();
@@ -320,10 +325,7 @@ impl<T: Payload + Send + Sync + 'static> Driver for KnownExchange<T> {
         );
         // Charge the local cost of the coloring the node (conceptually)
         // computed, plus a linear pass over its own messages.
-        ctx.charge_work(exact_coloring_work(
-            plan.padded_edges,
-            plan.degree as usize,
-        ));
+        ctx.charge_work(exact_coloring_work(plan.padded_edges, plan.degree as usize));
         ctx.note_mem(plan.padded_edges as u64 + demands.counts().len() as u64);
 
         let mut sends = Vec::new();
@@ -448,7 +450,11 @@ mod tests {
         let n = 9;
         let group = NodeGroup::contiguous(0, 3);
         let (outputs, metrics) =
-            run_exchange(n, group.clone(), |i, j| if (i + 1) % 3 == j { 4 } else { 0 });
+            run_exchange(
+                n,
+                group.clone(),
+                |i, j| if (i + 1) % 3 == j { 4 } else { 0 },
+            );
         assert_eq!(metrics.comm_rounds(), 2);
         for (v, out) in outputs.iter().enumerate() {
             if let Some(local) = group.local_index(NodeId::new(v)) {

@@ -47,10 +47,7 @@ impl<T: Payload> Payload for ScatterMsg<T> {
 }
 
 enum Role<T> {
-    Member {
-        group: NodeGroup,
-        messages: Vec<T>,
-    },
+    Member { group: NodeGroup, messages: Vec<T> },
     Relay,
 }
 
@@ -227,12 +224,7 @@ mod tests {
                 // Member v holds a skewed share: class c gets a chunk
                 // depending on v, but classes stay globally n each.
                 let mut msgs = Vec::new();
-                let shares = [
-                    [8usize, 4, 2, 2],
-                    [4, 8, 2, 2],
-                    [2, 2, 8, 4],
-                    [2, 2, 4, 8],
-                ];
+                let shares = [[8usize, 4, 2, 2], [4, 8, 2, 2], [2, 2, 8, 4], [2, 2, 4, 8]];
                 let v = me.index();
                 for (c, &cnt) in shares[v].iter().enumerate() {
                     for k in 0..cnt {

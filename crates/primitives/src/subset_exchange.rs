@@ -185,7 +185,9 @@ impl<T: Payload + Send + Sync + 'static> SubsetExchange<T> {
     }
 }
 
-fn split_inbox<T>(inbox: Vec<(NodeId, SxMsg<T>)>) -> (Vec<(NodeId, KxMsg<CountMsg>)>, Vec<(NodeId, KxMsg<T>)>) {
+fn split_inbox<T>(
+    inbox: Vec<(NodeId, SxMsg<T>)>,
+) -> (Vec<(NodeId, KxMsg<CountMsg>)>, Vec<(NodeId, KxMsg<T>)>) {
     let mut counts = Vec::new();
     let mut data = Vec::new();
     for (src, msg) in inbox {
@@ -338,7 +340,9 @@ mod tests {
                         if j == local {
                             Vec::new()
                         } else {
-                            (0..(local + j + 1) as u32).map(|k| Tag(me.raw(), k)).collect()
+                            (0..(local + j + 1) as u32)
+                                .map(|k| Tag(me.raw(), k))
+                                .collect()
                         }
                     })
                     .collect();
@@ -410,28 +414,31 @@ mod tests {
         // message-size increase.
         let n = 9;
         let group = NodeGroup::contiguous(0, 6);
-        let report = run_protocol(
-            CliqueSpec::new(n).unwrap().with_budget_words(64),
-            |me| {
-                if let Some(local) = group.local_index(me) {
-                    let outgoing: Vec<Vec<Tag>> = (0..6)
-                        .map(|j| (0..((local + j) % 3) as u32).map(|k| Tag(me.raw(), k)).collect())
-                        .collect();
-                    drive(SubsetExchange::member(
-                        group.clone(),
-                        local,
-                        outgoing,
-                        CommonScope::new("test.sx.mid", 0),
-                    ))
-                } else {
-                    drive(SubsetExchange::relay_only())
-                }
-            },
-        )
+        let report = run_protocol(CliqueSpec::new(n).unwrap().with_budget_words(64), |me| {
+            if let Some(local) = group.local_index(me) {
+                let outgoing: Vec<Vec<Tag>> = (0..6)
+                    .map(|j| {
+                        (0..((local + j) % 3) as u32)
+                            .map(|k| Tag(me.raw(), k))
+                            .collect()
+                    })
+                    .collect();
+                drive(SubsetExchange::member(
+                    group.clone(),
+                    local,
+                    outgoing,
+                    CommonScope::new("test.sx.mid", 0),
+                ))
+            } else {
+                drive(SubsetExchange::relay_only())
+            }
+        })
         .unwrap();
         assert_eq!(report.metrics.comm_rounds(), 4);
         let total: usize = report.outputs.iter().map(Vec::len).sum();
-        let expected: usize = (0..6).map(|i| (0..6).map(|j| (i + j) % 3).sum::<usize>()).sum();
+        let expected: usize = (0..6)
+            .map(|i| (0..6).map(|j| (i + j) % 3).sum::<usize>())
+            .sum();
         assert_eq!(total, expected);
     }
 }

@@ -63,9 +63,7 @@ fn kx_msg_sizes_are_honest() {
     encode_unit(&mut wr, &Unit(55), n);
     assert!(wr.bit_len() <= relay.size_bits(n));
 
-    let fin = KxMsg::Final {
-        payload: Unit(55),
-    };
+    let fin = KxMsg::Final { payload: Unit(55) };
     let mut wr = BitWriter::new();
     wr.write_bits(1, 1);
     encode_unit(&mut wr, &Unit(55), n);
@@ -122,10 +120,10 @@ fn routed_message_size_is_honest() {
     put_node(&mut wr, m.dst, n);
     wr.write_bits(u64::from(m.seq), w(n));
     wr.write_bits(m.payload, 2 * w(n).max(32)); // payload: two words suffice for test values
-    // Declared: 3 words + payload (1 word for u64 default impl).
-    // Our encoding spends more on the payload than the declaration only
-    // if the payload exceeds one word — which the routing experiments'
-    // payloads do not; assert the header part.
+                                                // Declared: 3 words + payload (1 word for u64 default impl).
+                                                // Our encoding spends more on the payload than the declaration only
+                                                // if the payload exceeds one word — which the routing experiments'
+                                                // payloads do not; assert the header part.
     let header_bits = 3 * u64::from(w(n));
     assert!(header_bits <= m.size_bits(n));
 }

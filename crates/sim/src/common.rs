@@ -1,7 +1,6 @@
-use parking_lot::Mutex;
 use std::any::Any;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Identifies one shared deterministic computation.
 ///
@@ -52,7 +51,7 @@ pub struct CommonCache {
 
 impl std::fmt::Debug for CommonCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let n = self.entries.lock().len();
+        let n = self.lock_entries().len();
         write!(f, "CommonCache({n} entries)")
     }
 }
@@ -61,6 +60,13 @@ impl CommonCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Locks the entry map, recovering from poisoning: a panic while the
+    /// lock was held (e.g. a divergence assertion on another worker) must
+    /// not cascade into an unrelated panic message here.
+    fn lock_entries(&self) -> std::sync::MutexGuard<'_, HashMap<CommonScope, Entry>> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Returns the memoized value for `scope`, computing it with `compute`
@@ -78,7 +84,7 @@ impl CommonCache {
         T: Send + Sync + 'static,
         F: FnOnce() -> T,
     {
-        let mut entries = self.entries.lock();
+        let mut entries = self.lock_entries();
         if let Some(entry) = entries.get(&scope) {
             assert_eq!(
                 entry.input_hash, input_hash,
@@ -105,12 +111,12 @@ impl CommonCache {
 
     /// Number of distinct scopes evaluated so far.
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.lock_entries().len()
     }
 
     /// Returns `true` if no scope has been evaluated.
     pub fn is_empty(&self) -> bool {
-        self.entries.lock().is_empty()
+        self.lock_entries().is_empty()
     }
 }
 
@@ -158,6 +164,6 @@ mod tests {
         let cache = CommonCache::new();
         let scope = CommonScope::new("ty", 0);
         let _ = cache.get_or_compute(scope, 1, || 0u64);
-        let _: Arc<String> = cache.get_or_compute(scope, 1, || String::new());
+        let _: Arc<String> = cache.get_or_compute(scope, 1, String::new);
     }
 }

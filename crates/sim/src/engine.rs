@@ -4,7 +4,7 @@ use crate::inbox::Inbox;
 use crate::metrics::{Metrics, RoundMetrics};
 use crate::node::NodeId;
 use crate::payload::Payload;
-use crate::spec::CliqueSpec;
+use crate::spec::{CliqueSpec, ExecMode};
 use crate::work::WorkMeter;
 
 /// The result of a node's round handler.
@@ -155,13 +155,23 @@ impl<'a, M> Ctx<'a, M> {
     }
 
     /// Queues the same message for every node (including `me`).
+    ///
+    /// Performs `n - 1` clones: the original value travels to the last
+    /// node instead of being cloned a redundant `n`-th time, and the
+    /// outbox is grown once up front.
     pub fn broadcast(&mut self, msg: M)
     where
         M: Clone,
     {
-        for v in 0..self.base.n {
+        let n = self.base.n;
+        if n == 0 {
+            return;
+        }
+        self.outbox.reserve(n);
+        for v in 0..n - 1 {
             self.outbox.push((NodeId::new(v), msg.clone()));
         }
+        self.outbox.push((NodeId::new(n - 1), msg));
     }
 
     /// The shared common-knowledge computation cache (see
@@ -215,11 +225,17 @@ impl<'a, M> Ctx<'a, M> {
 /// [`on_round`](NodeMachine::on_round) once per synchronous round with the
 /// messages received in that round, until every machine returns
 /// [`Step::Done`].
-pub trait NodeMachine {
+///
+/// Machines, their messages and their outputs are `Send`: the engine's
+/// contract is that every node is an *independent* state machine touching
+/// only its own state, so a round may step disjoint subsets of nodes on
+/// different workers (see [`ExecMode`]). Shared deterministic computations
+/// go through the [`CommonCache`], which is synchronized.
+pub trait NodeMachine: Send {
     /// Message type exchanged by this protocol.
     type Msg: Payload;
     /// Per-node output produced on completion.
-    type Output;
+    type Output: Send;
 
     /// Called once before the first round; typically queues the round-1
     /// sends. The default does nothing.
@@ -237,7 +253,10 @@ pub trait NodeMachine {
 }
 
 /// The outcome of a completed run.
-#[derive(Debug)]
+///
+/// Compares by value (given `O: PartialEq`), so runs under different
+/// [`ExecMode`]s can be asserted bit-identical.
+#[derive(Debug, PartialEq)]
 pub struct RunReport<O> {
     /// Per-node outputs, indexed by node id.
     pub outputs: Vec<O>,
@@ -285,6 +304,14 @@ impl<N: NodeMachine> Simulator<N> {
 
     /// Runs the protocol to completion.
     ///
+    /// The execution mode comes from [`CliqueSpec::exec`]; every mode
+    /// produces a bit-identical [`RunReport`] for a deterministic
+    /// protocol. The hot path delivers messages with a single counting
+    /// pass per sender (destinations are perfect small keys, so no
+    /// comparison sort is needed), reuses inbox/outbox buffers across
+    /// rounds, and — under a parallel mode — steps disjoint node chunks
+    /// on scoped worker threads.
+    ///
     /// # Errors
     ///
     /// * [`SimError::BudgetExceeded`] — a directed edge carried more bits
@@ -294,7 +321,139 @@ impl<N: NodeMachine> Simulator<N> {
     ///   node finishing.
     /// * [`SimError::MessageToFinishedNode`] /
     ///   [`SimError::DestinationOutOfRange`] — protocol addressing bugs.
-    pub fn run(mut self) -> Result<RunReport<N::Output>, SimError> {
+    ///
+    /// Model violations are detected during the (always sequential)
+    /// delivery pass, scanning senders in ascending order and each
+    /// sender's destinations in ascending order — so the reported
+    /// violation is the lowest `(src, dst)` pair, independent of how many
+    /// stepping workers the mode resolves to.
+    pub fn run(self) -> Result<RunReport<N::Output>, SimError> {
+        if self.spec.exec() == ExecMode::SeedReference {
+            return self.run_seed_reference();
+        }
+        let threads = self.spec.exec().worker_threads(self.spec.n());
+        self.run_engine(threads)
+    }
+
+    /// The optimized engine: bucketed delivery, buffer reuse, and
+    /// `threads`-way chunked stepping (1 = sequential).
+    fn run_engine(mut self, threads: usize) -> Result<RunReport<N::Output>, SimError> {
+        let n = self.spec.n();
+        let mut metrics = Metrics::new(self.spec.records_edge_histogram(), 0);
+        let mut work: Vec<WorkMeter> = vec![WorkMeter::new(); n];
+        // Outboxes and inboxes are allocated once and recycled: `drain`
+        // and `clear` keep their capacity, so steady-state rounds allocate
+        // nothing for message movement.
+        let mut outboxes: Vec<Vec<(NodeId, N::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut inboxes: Vec<Vec<(NodeId, N::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut scratch = DeliveryScratch::new(n);
+
+        // Round 0: start hooks queue the round-1 sends.
+        for (i, machine) in self.machines.iter_mut().enumerate() {
+            let mut ctx = Ctx {
+                base: BaseCtx {
+                    me: NodeId::new(i),
+                    n,
+                    round: 0,
+                    common: &self.common,
+                    work: &mut work[i],
+                },
+                outbox: &mut outboxes[i],
+            };
+            machine.on_start(&mut ctx);
+        }
+
+        let mut round: u64 = 0;
+        let mut silent_rounds: u64 = 0;
+        loop {
+            let all_done = self.slots.iter().all(|s| matches!(s, Slot::Finished(_)));
+            if all_done {
+                // Someone sent a message but everyone already finished.
+                // Like every other violation, report the lowest (src, dst):
+                // the first nonempty outbox is the lowest sender, and its
+                // lowest queued destination names the edge.
+                if let Some((src, dst)) = outboxes
+                    .iter()
+                    .enumerate()
+                    .find_map(|(i, o)| o.iter().map(|(d, _)| *d).min().map(|d| (NodeId::new(i), d)))
+                {
+                    return Err(SimError::MessageToFinishedNode {
+                        round: round + 1,
+                        src,
+                        dst,
+                    });
+                }
+                break;
+            }
+
+            round += 1;
+            if round > self.spec.max_rounds() {
+                return Err(SimError::TooManyRounds {
+                    limit: self.spec.max_rounds(),
+                });
+            }
+
+            let round_metrics = deliver_round(
+                round,
+                &self.spec,
+                &self.slots,
+                &mut outboxes,
+                &mut inboxes,
+                &mut scratch,
+                &mut metrics,
+            )?;
+            let delivered_any = round_metrics.messages > 0;
+            metrics.push_round(round_metrics);
+
+            let completions = step_round(
+                round,
+                threads,
+                n,
+                &self.common,
+                &mut self.machines,
+                &mut self.slots,
+                &mut inboxes,
+                &mut outboxes,
+                &mut work,
+            );
+
+            if !delivered_any && completions == 0 {
+                silent_rounds += 1;
+                if silent_rounds > self.spec.max_silent_rounds() {
+                    let finished = self
+                        .slots
+                        .iter()
+                        .filter(|s| matches!(s, Slot::Finished(_)))
+                        .count();
+                    return Err(SimError::Stalled {
+                        round,
+                        finished,
+                        total: n,
+                    });
+                }
+            } else {
+                silent_rounds = 0;
+            }
+        }
+
+        metrics.set_node_work(work);
+        let outputs = self
+            .slots
+            .into_iter()
+            .map(|s| match s {
+                Slot::Finished(o) => o,
+                Slot::Running => unreachable!("loop exits only when all nodes finished"),
+            })
+            .collect();
+        Ok(RunReport { outputs, metrics })
+    }
+
+    /// The pre-optimization engine, kept verbatim as the benchmark
+    /// baseline ([`ExecMode::SeedReference`]): comparison-sort delivery
+    /// with a front-shifting `drain` (quadratic in per-source fan-out) and
+    /// fresh inbox allocations every round.
+    #[allow(clippy::needless_range_loop)] // preserved verbatim from the seed
+    fn run_seed_reference(mut self) -> Result<RunReport<N::Output>, SimError> {
         let n = self.spec.n();
         let mut metrics = Metrics::new(self.spec.records_edge_histogram(), n);
         let mut outboxes: Vec<Vec<(NodeId, N::Msg)>> = (0..n).map(|_| Vec::new()).collect();
@@ -459,6 +618,249 @@ impl<N: NodeMachine> Simulator<N> {
     }
 }
 
+/// Per-destination counting buffers, allocated once per run and zeroed via
+/// the `touched` list, so delivery does no per-round allocation and no
+/// comparison sorting.
+struct DeliveryScratch {
+    /// Bits queued to each destination by the sender being processed.
+    edge_bits: Vec<u64>,
+    /// Messages queued to each destination by the sender being processed.
+    msg_count: Vec<u64>,
+    /// Destinations the current sender actually touched.
+    touched: Vec<u32>,
+}
+
+impl DeliveryScratch {
+    fn new(n: usize) -> Self {
+        DeliveryScratch {
+            edge_bits: vec![0; n],
+            msg_count: vec![0; n],
+            touched: Vec::with_capacity(n),
+        }
+    }
+}
+
+/// Moves one round of messages from outboxes to inboxes with a counting
+/// pass per sender (destinations are perfect keys in `0..n`).
+///
+/// Senders are processed in ascending order and each sender's violations
+/// are resolved to the lowest failing destination, so the documented
+/// `Inbox` guarantee — ascending sender ids, per-sender send order —
+/// holds bit-for-bit, and the first model violation reported is the
+/// lowest `(src, dst)` pair, with the seed engine's per-edge precedence
+/// (out-of-range destinations order after all valid ones, budget before
+/// finished-node on the same edge).
+// The source index drives disjoint mutable borrows of `outboxes[src]` and
+// the destination inboxes; an iterator would hold the whole-slice borrow.
+#[allow(clippy::needless_range_loop)]
+fn deliver_round<M: Payload, O>(
+    round: u64,
+    spec: &CliqueSpec,
+    slots: &[Slot<O>],
+    outboxes: &mut [Vec<(NodeId, M)>],
+    inboxes: &mut [Vec<(NodeId, M)>],
+    scratch: &mut DeliveryScratch,
+    metrics: &mut Metrics,
+) -> Result<RoundMetrics, SimError> {
+    let n = spec.n();
+    let budget = spec.bits_per_edge();
+    let mut rm = RoundMetrics::default();
+    for src_idx in 0..n {
+        if outboxes[src_idx].is_empty() {
+            continue;
+        }
+        let src = NodeId::new(src_idx);
+
+        // Counting pass: bucket fan-out and bit loads by destination.
+        let mut min_out_of_range: Option<usize> = None;
+        for (dst, msg) in &outboxes[src_idx] {
+            let d = dst.index();
+            if d >= n {
+                min_out_of_range = Some(min_out_of_range.map_or(d, |m| m.min(d)));
+                continue;
+            }
+            if scratch.msg_count[d] == 0 {
+                scratch.touched.push(d as u32);
+            }
+            scratch.msg_count[d] += 1;
+            scratch.edge_bits[d] += msg.size_bits(n);
+        }
+        // Validation pass over the touched destinations (no sort needed:
+        // the reported violation is the *lowest* failing destination, and
+        // metric/histogram accumulation is order-insensitive — counters
+        // add, maxima max, the histogram is a multiset). On failure the
+        // whole run's metrics are discarded, so over-accumulating before
+        // spotting a violation is harmless.
+        let mut failure: Option<SimError> = None;
+        for &d32 in &scratch.touched {
+            let d = d32 as usize;
+            let bits = scratch.edge_bits[d];
+            let edge_failure = if bits > budget {
+                // Budget outranks finished-node on the same edge.
+                Some(SimError::BudgetExceeded {
+                    round,
+                    src,
+                    dst: NodeId::new(d),
+                    bits,
+                    budget,
+                })
+            } else if matches!(slots[d], Slot::Finished(_)) {
+                Some(SimError::MessageToFinishedNode {
+                    round,
+                    src,
+                    dst: NodeId::new(d),
+                })
+            } else {
+                None
+            };
+            if let Some(err) = edge_failure {
+                let lower = match &failure {
+                    Some(
+                        SimError::BudgetExceeded { dst, .. }
+                        | SimError::MessageToFinishedNode { dst, .. },
+                    ) => d < dst.index(),
+                    _ => true,
+                };
+                if lower {
+                    failure = Some(err);
+                }
+                continue;
+            }
+            rm.messages += scratch.msg_count[d];
+            rm.bits += bits;
+            rm.busy_edges += 1;
+            rm.max_edge_bits = rm.max_edge_bits.max(bits);
+            if let Some(h) = metrics.histogram_mut() {
+                h.record(bits);
+            }
+        }
+        if failure.is_none() {
+            // An out-of-range destination compares greater than every valid
+            // one (NodeId order), so it is only reported when no valid edge
+            // failed.
+            if let Some(d) = min_out_of_range {
+                failure = Some(SimError::DestinationOutOfRange { src, dst: d, n });
+            }
+        }
+
+        // Zero only the touched scratch entries before returning or moving
+        // on to the next sender.
+        for &d32 in &scratch.touched {
+            scratch.edge_bits[d32 as usize] = 0;
+            scratch.msg_count[d32 as usize] = 0;
+        }
+        scratch.touched.clear();
+        if let Some(err) = failure {
+            return Err(err);
+        }
+
+        // Move pass: straight into the destination inboxes, preserving
+        // per-destination send order; ascending `src_idx` keeps every
+        // inbox sorted by sender. `drain` retains the outbox capacity.
+        for (dst, msg) in outboxes[src_idx].drain(..) {
+            inboxes[dst.index()].push((src, msg));
+        }
+    }
+    Ok(rm)
+}
+
+/// Steps all running nodes for one round, chunked over `threads` workers
+/// (1 = in place on the calling thread). Returns the number of nodes that
+/// finished this round.
+#[allow(clippy::too_many_arguments)]
+fn step_round<N: NodeMachine>(
+    round: u64,
+    threads: usize,
+    n: usize,
+    common: &CommonCache,
+    machines: &mut [N],
+    slots: &mut [Slot<N::Output>],
+    inboxes: &mut [Vec<(NodeId, N::Msg)>],
+    outboxes: &mut [Vec<(NodeId, N::Msg)>],
+    work: &mut [WorkMeter],
+) -> usize {
+    #[cfg(feature = "parallel")]
+    if threads > 1 {
+        let chunk = n.div_ceil(threads);
+        return std::thread::scope(|scope| {
+            let chunks = machines
+                .chunks_mut(chunk)
+                .zip(slots.chunks_mut(chunk))
+                .zip(inboxes.chunks_mut(chunk))
+                .zip(outboxes.chunks_mut(chunk))
+                .zip(work.chunks_mut(chunk))
+                .enumerate();
+            let handles: Vec<_> = chunks
+                .map(|(ci, ((((mc, sc), ic), oc), wc))| {
+                    scope
+                        .spawn(move || step_chunk(ci * chunk, round, n, common, mc, sc, ic, oc, wc))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                })
+                .sum()
+        });
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = threads;
+    step_chunk(
+        0, round, n, common, machines, slots, inboxes, outboxes, work,
+    )
+}
+
+/// Steps one contiguous chunk of nodes (`base` = global index of the first
+/// node in the chunk). Each node touches only its own machine, slot,
+/// buffers and work meter, so disjoint chunks are safe to run on separate
+/// workers; the shared [`CommonCache`] is internally synchronized.
+#[allow(clippy::too_many_arguments)]
+fn step_chunk<N: NodeMachine>(
+    base: usize,
+    round: u64,
+    n: usize,
+    common: &CommonCache,
+    machines: &mut [N],
+    slots: &mut [Slot<N::Output>],
+    inboxes: &mut [Vec<(NodeId, N::Msg)>],
+    outboxes: &mut [Vec<(NodeId, N::Msg)>],
+    work: &mut [WorkMeter],
+) -> usize {
+    let mut completions = 0usize;
+    for k in 0..machines.len() {
+        if matches!(slots[k], Slot::Finished(_)) {
+            debug_assert!(inboxes[k].is_empty());
+            continue;
+        }
+        // Inboxes were filled in ascending src order already.
+        let mut inbox = Inbox::from_sorted(std::mem::take(&mut inboxes[k]));
+        let mut ctx = Ctx {
+            base: BaseCtx {
+                me: NodeId::new(base + k),
+                n,
+                round,
+                common,
+                work: &mut work[k],
+            },
+            outbox: &mut outboxes[k],
+        };
+        match machines[k].on_round(&mut ctx, &mut inbox) {
+            Step::Continue => {}
+            Step::Done(out) => {
+                slots[k] = Slot::Finished(out);
+                completions += 1;
+            }
+        }
+        // Recycle the inbox buffer (and its capacity) for the next round.
+        let mut items = inbox.into_items();
+        items.clear();
+        inboxes[k] = items;
+    }
+    completions
+}
+
 /// Convenience: builds machines with a closure of the node id and runs them.
 ///
 /// # Errors
@@ -536,8 +938,10 @@ mod tests {
     #[test]
     fn ping_pong_takes_two_rounds() {
         let n = 6;
-        let report =
-            run_protocol(CliqueSpec::new(n).unwrap(), |_| PingPong { sent_reply: false }).unwrap();
+        let report = run_protocol(CliqueSpec::new(n).unwrap(), |_| PingPong {
+            sent_reply: false,
+        })
+        .unwrap();
         assert_eq!(report.metrics.comm_rounds(), 2);
         assert!(report.outputs.iter().all(|&o| o == 2));
     }
@@ -626,7 +1030,10 @@ mod tests {
     #[test]
     fn message_to_finished_node_is_detected() {
         let err = run_protocol(CliqueSpec::new(2).unwrap(), |me| LateSender { me }).unwrap_err();
-        assert!(matches!(err, SimError::MessageToFinishedNode { .. }), "{err:?}");
+        assert!(
+            matches!(err, SimError::MessageToFinishedNode { .. }),
+            "{err:?}"
+        );
     }
 
     /// Out-of-range destinations are rejected.
@@ -648,7 +1055,10 @@ mod tests {
     #[test]
     fn out_of_range_destination_is_detected() {
         let err = run_protocol(CliqueSpec::new(3).unwrap(), |_| WildSender).unwrap_err();
-        assert!(matches!(err, SimError::DestinationOutOfRange { .. }), "{err:?}");
+        assert!(
+            matches!(err, SimError::DestinationOutOfRange { .. }),
+            "{err:?}"
+        );
     }
 
     /// A zero-communication protocol completes in zero communication rounds.

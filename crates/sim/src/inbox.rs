@@ -18,6 +18,13 @@ impl<M> Inbox<M> {
         Inbox { items }
     }
 
+    /// Returns the backing buffer so the engine can recycle its capacity
+    /// for the next round (any messages the handler left unread are
+    /// discarded by the engine's `clear`).
+    pub(crate) fn into_items(self) -> Vec<(NodeId, M)> {
+        self.items
+    }
+
     /// Creates an inbox from an unsorted batch, restoring sender order —
     /// used by parent machines that demultiplex messages for an embedded
     /// [`NodeMachine`](crate::NodeMachine).

@@ -28,6 +28,35 @@
 //! * [`wire`] provides bit-exact encoding used by tests to validate that
 //!   declared [`Payload::size_bits`] values are honest upper bounds.
 //!
+//! ## Execution modes, parallelism and determinism
+//!
+//! Rounds are embarrassingly parallel across nodes — each machine touches
+//! only its own state — and the engine exploits exactly that structure:
+//!
+//! * **Delivery** is a counting/bucket pass over destinations (`dst < n`
+//!   is a perfect small key): one pass buckets each sender's fan-out, one
+//!   pass validates budgets (tracking the lowest failing destination), one
+//!   pass moves messages straight into per-destination inbox buffers. No
+//!   comparison sort, no quadratic drain.
+//! * **Buffers are recycled**: outboxes, inboxes and the delivery scratch
+//!   are allocated once per run and keep their capacity across rounds, so
+//!   steady-state rounds perform no allocation for message movement.
+//! * **Stepping** runs `on_round` for disjoint chunks of nodes on scoped
+//!   worker threads when the `parallel` cargo feature (on by default) is
+//!   enabled and the selected [`ExecMode`] resolves to more than one
+//!   worker.
+//!
+//! Every mode — [`ExecMode::Sequential`], [`ExecMode::Parallel`], the
+//!   default [`ExecMode::Auto`], and even the retained benchmark baseline
+//!   [`ExecMode::SeedReference`] — produces **bit-identical**
+//!   [`RunReport`]s for deterministic protocols: inboxes deliver in
+//!   ascending sender order (per-sender send order preserved), per-node
+//!   work meters are indexed by node, and model violations are detected in
+//!   the sequential delivery pass so the lowest-`(src, dst)` violation is
+//!   reported regardless of worker interleaving. Select a mode with
+//!   [`CliqueSpec::with_exec`]; disabling the `parallel` feature removes
+//!   the threaded code entirely and every mode degrades to sequential.
+//!
 //! ## Example
 //!
 //! ```rust
@@ -98,5 +127,8 @@ pub use inbox::Inbox;
 pub use metrics::{EdgeLoadHistogram, Metrics, RoundMetrics};
 pub use node::NodeId;
 pub use payload::Payload;
-pub use spec::{CliqueSpec, DEFAULT_BUDGET_WORDS, DEFAULT_MAX_ROUNDS, DEFAULT_MAX_SILENT_ROUNDS};
+pub use spec::{
+    CliqueSpec, ExecMode, DEFAULT_BUDGET_WORDS, DEFAULT_MAX_ROUNDS, DEFAULT_MAX_SILENT_ROUNDS,
+    PARALLEL_AUTO_THRESHOLD, PARALLEL_MIN_CHUNK,
+};
 pub use work::WorkMeter;

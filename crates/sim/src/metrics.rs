@@ -15,6 +15,19 @@ pub struct RoundMetrics {
     pub busy_edges: u64,
 }
 
+impl RoundMetrics {
+    /// Merges another accumulator into this one: counters add, the
+    /// per-edge maximum is kept. Merging is associative and commutative —
+    /// [`Metrics`] folds every round into its run totals with it, and
+    /// partial accumulations combine to the same totals in any order.
+    pub fn merge(&mut self, other: &RoundMetrics) {
+        self.messages += other.messages;
+        self.bits += other.bits;
+        self.busy_edges += other.busy_edges;
+        self.max_edge_bits = self.max_edge_bits.max(other.max_edge_bits);
+    }
+}
+
 /// Histogram of per-edge bit loads, aggregated over all rounds of a run.
 ///
 /// Maps `bits carried by a directed edge in one round` to the number of
@@ -56,13 +69,15 @@ impl EdgeLoadHistogram {
 /// [`Metrics::comm_rounds`] is the number the paper's round counts refer
 /// to (delivery phases in which at least one message was in flight —
 /// trailing local computation is free, as in the model).
-#[derive(Clone, Debug, Default)]
+///
+/// `Metrics` compares by value, so two runs of the same deterministic
+/// protocol — under any [`ExecMode`](crate::ExecMode) — can be asserted
+/// identical with `==`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Metrics {
     per_round: Vec<RoundMetrics>,
     comm_rounds: u64,
-    total_messages: u64,
-    total_bits: u64,
-    max_edge_bits: u64,
+    totals: RoundMetrics,
     histogram: Option<EdgeLoadHistogram>,
     node_work: Vec<WorkMeter>,
 }
@@ -72,9 +87,7 @@ impl Metrics {
         Metrics {
             per_round: Vec::new(),
             comm_rounds: 0,
-            total_messages: 0,
-            total_bits: 0,
-            max_edge_bits: 0,
+            totals: RoundMetrics::default(),
             histogram: record_histogram.then(EdgeLoadHistogram::default),
             node_work: vec![WorkMeter::new(); n],
         }
@@ -84,9 +97,7 @@ impl Metrics {
         if round.messages > 0 {
             self.comm_rounds += 1;
         }
-        self.total_messages += round.messages;
-        self.total_bits += round.bits;
-        self.max_edge_bits = self.max_edge_bits.max(round.max_edge_bits);
+        self.totals.merge(&round);
         self.per_round.push(round);
     }
 
@@ -96,6 +107,12 @@ impl Metrics {
 
     pub(crate) fn node_work_mut(&mut self, node: usize) -> &mut WorkMeter {
         &mut self.node_work[node]
+    }
+
+    /// Installs the per-node work meters at the end of a run (the engine
+    /// owns them during the run so workers can step nodes concurrently).
+    pub(crate) fn set_node_work(&mut self, work: Vec<WorkMeter>) {
+        self.node_work = work;
     }
 
     /// Number of communication rounds: delivery phases that carried at
@@ -109,19 +126,19 @@ impl Metrics {
     /// Total messages delivered over the run.
     #[inline]
     pub fn total_messages(&self) -> u64 {
-        self.total_messages
+        self.totals.messages
     }
 
     /// Total bits delivered over the run.
     #[inline]
     pub fn total_bits(&self) -> u64 {
-        self.total_bits
+        self.totals.bits
     }
 
     /// Maximum bits carried by any directed edge in any single round.
     #[inline]
     pub fn max_edge_bits(&self) -> u64 {
-        self.max_edge_bits
+        self.totals.max_edge_bits
     }
 
     /// Per-round statistics, in round order (includes message-free trailing
@@ -142,7 +159,11 @@ impl Metrics {
 
     /// The maximum computational steps charged to any single node.
     pub fn max_node_steps(&self) -> u64 {
-        self.node_work.iter().map(WorkMeter::steps).max().unwrap_or(0)
+        self.node_work
+            .iter()
+            .map(WorkMeter::steps)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The maximum memory high-water mark (in words) over all nodes.
@@ -160,7 +181,7 @@ impl fmt::Display for Metrics {
         write!(
             f,
             "{} rounds, {} messages, {} bits, max edge load {} bits/round",
-            self.comm_rounds, self.total_messages, self.total_bits, self.max_edge_bits
+            self.comm_rounds, self.totals.messages, self.totals.bits, self.totals.max_edge_bits
         )
     }
 }
@@ -202,6 +223,29 @@ mod tests {
         assert_eq!(h.max_load(), 16);
         let pairs: Vec<_> = h.iter().collect();
         assert_eq!(pairs, vec![(8, 2), (16, 1)]);
+    }
+
+    #[test]
+    fn round_metrics_merge_is_commutative() {
+        let a = RoundMetrics {
+            messages: 3,
+            bits: 30,
+            max_edge_bits: 12,
+            busy_edges: 2,
+        };
+        let b = RoundMetrics {
+            messages: 5,
+            bits: 11,
+            max_edge_bits: 9,
+            busy_edges: 4,
+        };
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.messages, 8);
+        assert_eq!(ab.max_edge_bits, 12);
     }
 
     #[test]

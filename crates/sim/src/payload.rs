@@ -13,7 +13,11 @@ use crate::util::word_bits;
 /// encoding of the value (the [`wire`](crate::wire) module is used in tests
 /// to validate this). Sizes may depend on `n` because node identifiers and
 /// counts occupy `Θ(log n)` bits.
-pub trait Payload: Clone + std::fmt::Debug {
+///
+/// Payloads are `Send`: messages move between stepping workers when the
+/// engine runs nodes on multiple threads (see
+/// [`ExecMode`](crate::ExecMode)).
+pub trait Payload: Clone + std::fmt::Debug + Send {
     /// Number of bits this message occupies on an edge of an `n`-clique.
     fn size_bits(&self, n: usize) -> u64;
 }

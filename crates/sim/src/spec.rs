@@ -1,6 +1,84 @@
 use crate::error::SimError;
 use crate::util::word_bits;
 
+/// Cliques below this size never auto-select threaded stepping: a round of
+/// `on_round` calls on a few dozen nodes finishes faster than the worker
+/// hand-off costs.
+pub const PARALLEL_AUTO_THRESHOLD: usize = 128;
+
+/// Minimum nodes per worker chunk that [`ExecMode::Auto`] will schedule.
+///
+/// Workers are scoped threads spawned per round, so each one must carry
+/// enough `on_round` work to amortize its spawn/join cost; near the auto
+/// threshold this caps the worker count well below the core count (e.g.
+/// 128 nodes → at most 4 workers). Explicit [`ExecMode::Parallel`] counts
+/// are honored as given.
+pub const PARALLEL_MIN_CHUNK: usize = 32;
+
+/// How the engine executes a run.
+///
+/// Every mode produces **bit-identical** [`RunReport`](crate::RunReport)s
+/// for a deterministic protocol: message delivery is always performed on
+/// the driving thread in ascending sender order, node stepping touches
+/// only per-node state, and error precedence is fixed at the lowest
+/// `(src, dst)` violation — so the mode only changes wall-clock time,
+/// never observable behavior.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Threaded stepping when the `parallel` feature is enabled, the host
+    /// has more than one core, and the clique has at least
+    /// [`PARALLEL_AUTO_THRESHOLD`] nodes; sequential otherwise. The worker
+    /// count is capped so each chunk holds at least
+    /// [`PARALLEL_MIN_CHUNK`] nodes.
+    #[default]
+    Auto,
+    /// Single-threaded stepping (still uses the bucketed delivery path).
+    Sequential,
+    /// Step nodes on exactly `threads` workers (`0` = one per available
+    /// core). Without the `parallel` feature this degrades to
+    /// [`ExecMode::Sequential`].
+    Parallel {
+        /// Number of stepping workers; `0` selects one per available core.
+        threads: usize,
+    },
+    /// The pre-optimization engine: comparison-sort delivery with a
+    /// quadratic drain and fresh inbox allocations every round. Retained
+    /// solely as the benchmark baseline the optimized paths are measured
+    /// against; never use it for real runs.
+    SeedReference,
+}
+
+impl ExecMode {
+    /// The number of stepping workers this mode resolves to for an
+    /// `n`-node clique on this host (1 means sequential stepping).
+    pub fn worker_threads(self, n: usize) -> usize {
+        let cores = || {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        };
+        match self {
+            ExecMode::Sequential | ExecMode::SeedReference => 1,
+            ExecMode::Auto => {
+                if !cfg!(feature = "parallel") || n < PARALLEL_AUTO_THRESHOLD {
+                    1
+                } else {
+                    // Cap workers so every chunk amortizes its per-round
+                    // spawn cost (see PARALLEL_MIN_CHUNK).
+                    cores().min(n / PARALLEL_MIN_CHUNK).max(1)
+                }
+            }
+            ExecMode::Parallel { threads } => {
+                if !cfg!(feature = "parallel") {
+                    return 1;
+                }
+                let t = if threads == 0 { cores() } else { threads };
+                t.clamp(1, n.max(1))
+            }
+        }
+    }
+}
+
 /// Configuration of a simulated congested clique.
 ///
 /// Built with [`CliqueSpec::new`] and refined with the `with_*` builder
@@ -26,6 +104,7 @@ pub struct CliqueSpec {
     max_rounds: u64,
     max_silent_rounds: u64,
     record_edge_histogram: bool,
+    exec: ExecMode,
 }
 
 /// Default per-edge budget, in machine words of `⌈log₂ n⌉` bits.
@@ -65,6 +144,7 @@ impl CliqueSpec {
             max_rounds: DEFAULT_MAX_ROUNDS,
             max_silent_rounds: DEFAULT_MAX_SILENT_ROUNDS,
             record_edge_histogram: false,
+            exec: ExecMode::Auto,
         })
     }
 
@@ -106,6 +186,14 @@ impl CliqueSpec {
         self
     }
 
+    /// Selects the execution mode (see [`ExecMode`]). All modes are
+    /// observably identical; this only trades wall-clock time.
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Number of nodes in the clique.
     #[inline]
     pub fn n(&self) -> usize {
@@ -134,6 +222,12 @@ impl CliqueSpec {
     #[inline]
     pub fn records_edge_histogram(&self) -> bool {
         self.record_edge_histogram
+    }
+
+    /// The configured execution mode.
+    #[inline]
+    pub fn exec(&self) -> ExecMode {
+        self.exec
     }
 }
 
@@ -164,5 +258,27 @@ mod tests {
         assert_eq!(spec.bits_per_edge(), 7);
         assert_eq!(spec.max_rounds(), 3);
         assert!(!spec.records_edge_histogram());
+        assert_eq!(spec.exec(), ExecMode::Auto);
+        let spec = spec.with_exec(ExecMode::Sequential);
+        assert_eq!(spec.exec(), ExecMode::Sequential);
+    }
+
+    #[test]
+    fn exec_mode_resolution() {
+        assert_eq!(ExecMode::Sequential.worker_threads(1024), 1);
+        assert_eq!(ExecMode::SeedReference.worker_threads(1024), 1);
+        // Small cliques never auto-parallelize.
+        assert_eq!(
+            ExecMode::Auto.worker_threads(PARALLEL_AUTO_THRESHOLD - 1),
+            1
+        );
+        if cfg!(feature = "parallel") {
+            // Explicit thread counts are honored (clamped to n).
+            assert_eq!(ExecMode::Parallel { threads: 3 }.worker_threads(1024), 3);
+            assert_eq!(ExecMode::Parallel { threads: 64 }.worker_threads(8), 8);
+            assert!(ExecMode::Parallel { threads: 0 }.worker_threads(1024) >= 1);
+        } else {
+            assert_eq!(ExecMode::Parallel { threads: 3 }.worker_threads(1024), 1);
+        }
     }
 }

@@ -1,9 +1,7 @@
 //! Engine integration: multi-phase protocols, budget boundaries, the
 //! histogram, virtualized sub-cliques, and liveness guards.
 
-use cc_sim::{
-    run_protocol, CliqueSpec, Ctx, Inbox, NodeId, NodeMachine, Payload, SimError, Step,
-};
+use cc_sim::{run_protocol, CliqueSpec, Ctx, Inbox, NodeId, NodeMachine, Payload, SimError, Step};
 
 /// A configurable k-phase all-to-all: phase t sends (t+1) words per edge.
 struct Phased {
@@ -220,9 +218,11 @@ fn common_cache_divergence_panics_inside_protocol() {
             // Each node claims a different "common" input — the cache
             // must catch the second caller.
             let bad_hash = self.me.raw() as u64;
-            let _ = ctx
-                .common()
-                .get_or_compute(cc_sim::CommonScope::new("diverge", 0), bad_hash, || 1u32);
+            let _ = ctx.common().get_or_compute(
+                cc_sim::CommonScope::new("diverge", 0),
+                bad_hash,
+                || 1u32,
+            );
             Step::Done(())
         }
     }

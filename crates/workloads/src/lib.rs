@@ -9,9 +9,7 @@
 
 use cc_core::routing::RoutingInstance;
 use cc_core::CoreError;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use cc_rand::DetRng;
 
 /// A fully loaded, perfectly balanced random instance: the demand matrix
 /// is a sum of `n` random permutation matrices, so every node sends and
@@ -21,11 +19,11 @@ use rand::{Rng, SeedableRng};
 ///
 /// Never fails for `n ≥ 1`; the signature matches the other generators.
 pub fn balanced_random(n: usize, seed: u64) -> Result<RoutingInstance, CoreError> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut demands = vec![0u32; n * n];
     let mut perm: Vec<usize> = (0..n).collect();
     for _ in 0..n {
-        perm.shuffle(&mut rng);
+        rng.shuffle(&mut perm);
         for (i, &j) in perm.iter().enumerate() {
             demands[i * n + j] += 1;
         }
@@ -79,14 +77,14 @@ pub fn block_skew(n: usize) -> Result<RoutingInstance, CoreError> {
 /// Never fails for `n ≥ 1` and `load ≤ n`.
 pub fn sparse_random(n: usize, load: usize, seed: u64) -> Result<RoutingInstance, CoreError> {
     assert!(load <= n, "load must be at most n");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut demands = vec![0u32; n * n];
     let mut receive = vec![0usize; n];
     for i in 0..n {
         let mut placed = 0;
         let mut guard = 0;
         while placed < load && guard < 64 * n {
-            let j = rng.gen_range(0..n);
+            let j = rng.gen_range_usize(0..n);
             guard += 1;
             if receive[j] < n {
                 demands[i * n + j] += 1;
@@ -100,9 +98,9 @@ pub fn sparse_random(n: usize, load: usize, seed: u64) -> Result<RoutingInstance
 
 /// Uniform random keys, `n` per node.
 pub fn uniform_keys(n: usize, seed: u64) -> Vec<Vec<u64>> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     (0..n)
-        .map(|_| (0..n).map(|_| rng.gen_range(0..u64::MAX - 1)).collect())
+        .map(|_| (0..n).map(|_| rng.gen_range_u64(0..u64::MAX - 1)).collect())
         .collect()
 }
 
@@ -122,21 +120,25 @@ pub fn reverse_keys(n: usize) -> Vec<Vec<u64>> {
 
 /// Heavy duplication: only `distinct` different values exist.
 pub fn duplicate_keys(n: usize, distinct: u64, seed: u64) -> Vec<Vec<u64>> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     (0..n)
-        .map(|_| (0..n).map(|_| rng.gen_range(0..distinct.max(1))).collect())
+        .map(|_| {
+            (0..n)
+                .map(|_| rng.gen_range_u64(0..distinct.max(1)))
+                .collect()
+        })
         .collect()
 }
 
 /// Zipf-flavoured skewed values (rank `r` drawn with weight `∝ 1/(r+1)`).
 pub fn zipf_keys(n: usize, universe: u64, seed: u64) -> Vec<Vec<u64>> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let harmonic: f64 = (1..=universe).map(|r| 1.0 / r as f64).sum();
     (0..n)
         .map(|_| {
             (0..n)
                 .map(|_| {
-                    let target = rng.gen_range(0.0..harmonic);
+                    let target = rng.gen_range_f64(0.0..harmonic);
                     let mut acc = 0.0;
                     for r in 1..=universe {
                         acc += 1.0 / r as f64;

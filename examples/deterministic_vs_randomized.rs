@@ -22,27 +22,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opt = route_optimized(&instance)?;
     let rnd = baselines::route_randomized(&instance, 99)?;
     let dir = baselines::route_direct(&instance)?;
-    println!("  deterministic (Thm 3.7): {:>3} rounds", det.metrics.comm_rounds());
-    println!("  work-optimal  (Thm 5.4): {:>3} rounds", opt.metrics.comm_rounds());
-    println!("  randomized    ([7])    : {:>3} rounds  (≈ 2× faster, w.h.p. only)", rnd.metrics.comm_rounds());
-    println!("  direct (no relays)     : {:>3} rounds", dir.metrics.comm_rounds());
+    println!(
+        "  deterministic (Thm 3.7): {:>3} rounds",
+        det.metrics.comm_rounds()
+    );
+    println!(
+        "  work-optimal  (Thm 5.4): {:>3} rounds",
+        opt.metrics.comm_rounds()
+    );
+    println!(
+        "  randomized    ([7])    : {:>3} rounds  (≈ 2× faster, w.h.p. only)",
+        rnd.metrics.comm_rounds()
+    );
+    println!(
+        "  direct (no relays)     : {:>3} rounds",
+        dir.metrics.comm_rounds()
+    );
 
     println!("\n== routing, n = {n}, cyclic worst case (all messages to one neighbour) ==");
     let skew = workloads::cyclic_skew(n)?;
     let det = route_deterministic(&skew)?;
     let rnd = baselines::route_randomized(&skew, 99)?;
     let dir = baselines::route_direct(&skew)?;
-    println!("  deterministic (Thm 3.7): {:>3} rounds", det.metrics.comm_rounds());
-    println!("  randomized    ([7])    : {:>3} rounds", rnd.metrics.comm_rounds());
-    println!("  direct (no relays)     : {:>3} rounds   <- Θ(n): why relaying matters", dir.metrics.comm_rounds());
+    println!(
+        "  deterministic (Thm 3.7): {:>3} rounds",
+        det.metrics.comm_rounds()
+    );
+    println!(
+        "  randomized    ([7])    : {:>3} rounds",
+        rnd.metrics.comm_rounds()
+    );
+    println!(
+        "  direct (no relays)     : {:>3} rounds   <- Θ(n): why relaying matters",
+        dir.metrics.comm_rounds()
+    );
 
     println!("\n== sorting, n = {n}, {} uniform keys ==", n * n);
     let keys = workloads::uniform_keys(n, 5);
     let det = sort_keys(&keys)?;
     let rnd = baselines::sort_randomized(&keys, 99)?;
     let gat = baselines::sort_gather(&keys)?;
-    println!("  deterministic (Thm 4.5): {:>3} rounds", det.metrics.comm_rounds());
-    println!("  randomized    ([12])   : {:>3} rounds  (≈ 2× faster, w.h.p. only)", rnd.metrics.comm_rounds());
-    println!("  gather at one node     : {:>3} rounds   <- Θ(n)", gat.metrics.comm_rounds());
+    println!(
+        "  deterministic (Thm 4.5): {:>3} rounds",
+        det.metrics.comm_rounds()
+    );
+    println!(
+        "  randomized    ([12])   : {:>3} rounds  (≈ 2× faster, w.h.p. only)",
+        rnd.metrics.comm_rounds()
+    );
+    println!(
+        "  gather at one node     : {:>3} rounds   <- Θ(n)",
+        gat.metrics.comm_rounds()
+    );
     Ok(())
 }

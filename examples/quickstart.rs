@@ -10,7 +10,10 @@ use congested_clique::{workloads, CongestedClique};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 64;
     let clique = CongestedClique::new(n)?;
-    println!("congested clique with n = {n} nodes (groups of √n = {})\n", clique.sqrt_n());
+    println!(
+        "congested clique with n = {n} nodes (groups of √n = {})\n",
+        clique.sqrt_n()
+    );
 
     // --- Routing (Problem 3.1) -------------------------------------------
     // Every node is source and destination of exactly n messages.
@@ -42,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sorted.total,
         sorted.metrics.comm_rounds()
     );
-    let first = sorted.batches.first().and_then(|b| b.first()).map(|k| k.key);
+    let first = sorted
+        .batches
+        .first()
+        .and_then(|b| b.first())
+        .map(|k| k.key);
     let last = sorted.batches.last().and_then(|b| b.last()).map(|k| k.key);
     println!("  node 0 now holds the smallest keys (min = {first:?}), node {} the largest (max = {last:?})", n - 1);
 
