@@ -1,15 +1,23 @@
 //! The engine benchmark behind the parallel zero-churn round engine:
-//! routing and sorting workloads executed under three `ExecMode`s —
+//! routing and sorting workloads executed under four `ExecMode`s —
 //!
 //! * `seed_reference` — the pre-optimization engine (comparison-sort
 //!   delivery with a quadratic drain, fresh allocations every round);
 //! * `sequential` — bucketed delivery + buffer reuse, one thread;
-//! * `parallel` — the same plus threaded node stepping (`Parallel { 0 }`
-//!   resolves to one worker per available core).
+//! * `spawn_parallel` — threaded stepping with scoped workers spawned
+//!   and joined *every round* (the pre-pool parallel engine, retained as
+//!   a baseline);
+//! * `parallel` — the persistent worker pool: workers spawned once per
+//!   run, parked between rounds (`{ threads: 0 }` resolves to one worker
+//!   per available core).
 //!
-//! Every mode produces bit-identical `RunReport`s (asserted here on the
-//! round counts); only wall-clock differs. Results land in
-//! `BENCH_engine.json` at the workspace root.
+//! The `spawn_parallel`-vs-`parallel` speedup rows isolate exactly what
+//! the pool buys: the per-round hand-off cost. Every mode produces
+//! bit-identical `RunReport`s (asserted here on the round counts); only
+//! wall-clock differs. Results land in `BENCH_engine.json` at the
+//! workspace root; each entry records host cores, the resolved worker
+//! count and the quick flag, so 1-core quick artifacts are
+//! self-identifying.
 
 use cc_bench::harness::{self, Options};
 use cc_core::routing::{route_optimized_with_spec, spec_for_optimized};
@@ -44,15 +52,16 @@ impl NodeMachine for AllToAll {
     }
 }
 
-const MODES: [(&str, ExecMode); 3] = [
+const MODES: [(&str, ExecMode); 4] = [
     ("seed_reference", ExecMode::SeedReference),
     ("sequential", ExecMode::Sequential),
+    ("spawn_parallel", ExecMode::SpawnParallel { threads: 0 }),
     ("parallel", ExecMode::Parallel { threads: 0 }),
 ];
 
-/// Benchmarks one workload under all three modes, asserting the modes
-/// agree on the observable round count, and records the two
-/// seed-vs-optimized speedups.
+/// Benchmarks one workload under all four modes, asserting the modes
+/// agree on the observable round count, and records the
+/// seed-vs-optimized and pool-vs-spawn speedups.
 fn bench_modes(
     opts: &Options,
     entries: &mut Vec<harness::Entry>,
@@ -64,19 +73,31 @@ fn bench_modes(
     let mut rounds = Vec::new();
     let per_mode: Vec<harness::Entry> = MODES
         .iter()
-        .map(|(name, mode)| harness::bench(group, n, name, opts, || rounds.push(run(*mode))))
+        .map(|(name, mode)| {
+            let mut entry = harness::bench(group, n, name, opts, || rounds.push(run(*mode)));
+            entry.worker_threads = Some(mode.worker_threads(n));
+            entry
+        })
         .collect();
     assert!(
         rounds.windows(2).all(|w| w[0] == w[1]),
         "{group} n={n}: modes disagreed on round count: {rounds:?}"
     );
     speedups.push(harness::speedup(&per_mode[0], &per_mode[1]));
-    speedups.push(harness::speedup(&per_mode[0], &per_mode[2]));
+    speedups.push(harness::speedup(&per_mode[0], &per_mode[3]));
+    // Pool vs per-round spawn: the hand-off cost the pool eliminates.
+    speedups.push(harness::speedup(&per_mode[2], &per_mode[3]));
     entries.extend(per_mode);
 }
 
 fn main() {
     let opts = Options::from_env();
+    let host_cores = harness::host_cores();
+    println!(
+        "host: {host_cores} hardware thread(s); quick={}; parallel modes resolve \
+         `threads: 0` to {host_cores} worker(s)",
+        opts.quick
+    );
     let mut entries = Vec::new();
     let mut speedups = Vec::new();
 
@@ -146,6 +167,14 @@ fn main() {
             println!(
                 "route_optimized n=1024: {} is {:.2}x vs {}",
                 s.candidate, s.ratio, s.baseline
+            );
+        }
+        // The pool's acceptance regime: profitable parallelism *below*
+        // the old spawn-amortization threshold.
+        if s.n == 256 && s.baseline == "spawn_parallel" {
+            println!(
+                "{} n=256: pooled {} is {:.2}x vs per-round {}",
+                s.group, s.candidate, s.ratio, s.baseline
             );
         }
     }

@@ -14,6 +14,13 @@ use std::time::Instant;
 /// Re-export: keeps the optimizer from discarding benchmark results.
 pub use std::hint::black_box;
 
+/// The host's available hardware parallelism (1 when undetectable) —
+/// the single source for both the printed host summaries and the
+/// `host_cores` fields of the JSON artifacts.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// Sampling configuration.
 #[derive(Clone, Debug)]
 pub struct Options {
@@ -56,6 +63,11 @@ pub struct Entry {
     pub n: usize,
     /// Variant within the group (e.g. `seed_reference`, `parallel`).
     pub mode: String,
+    /// The number of stepping workers the variant's `ExecMode` resolved
+    /// to on this host for this `n`, when the benchmark records it —
+    /// this is what makes 1-core `parallel` rows self-identifying as
+    /// re-measurements of the sequential engine.
+    pub worker_threads: Option<usize>,
     /// Timed samples, nanoseconds.
     pub samples_ns: Vec<u128>,
 }
@@ -104,6 +116,7 @@ pub fn bench<T>(
         group: group.to_owned(),
         n,
         mode: mode.to_owned(),
+        worker_threads: None,
         samples_ns,
     };
     println!(
@@ -160,26 +173,34 @@ fn json_escape(s: &str) -> String {
 /// Panics if the file cannot be written (benchmarks have no meaningful
 /// recovery path).
 pub fn write_json(name: &str, opts: &Options, entries: &[Entry], speedups: &[Speedup]) -> PathBuf {
+    let host_cores = host_cores();
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"benchmark\": \"{}\",\n", json_escape(name)));
     out.push_str(&format!("  \"quick\": {},\n", opts.quick));
-    out.push_str(&format!(
-        "  \"host_threads\": {},\n",
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-    ));
+    out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     out.push_str(&format!(
         "  \"parallel_feature\": {},\n",
         cfg!(feature = "parallel")
     ));
     out.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
+        // Every entry carries the harness metadata needed to interpret it
+        // in isolation: host core count, the worker count its mode
+        // resolved to (when recorded), and whether it was a quick run.
+        let worker_threads = e
+            .worker_threads
+            .map_or(String::new(), |t| format!(", \"worker_threads\": {t}"));
         out.push_str(&format!(
-            "    {{\"group\": \"{}\", \"n\": {}, \"mode\": \"{}\", \"samples\": {}, \
+            "    {{\"group\": \"{}\", \"n\": {}, \"mode\": \"{}\", \"host_cores\": {}, \
+             \"quick\": {}{}, \"samples\": {}, \
              \"median_ns\": {}, \"min_ns\": {}, \"mean_ns\": {}}}{}\n",
             json_escape(&e.group),
             e.n,
             json_escape(&e.mode),
+            host_cores,
+            opts.quick,
+            worker_threads,
             e.samples_ns.len(),
             e.median_ns(),
             e.min_ns(),

@@ -1,6 +1,6 @@
 use std::any::Any;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Identifies one shared deterministic computation.
 ///
@@ -24,10 +24,21 @@ impl CommonScope {
     }
 }
 
-struct Entry {
+/// The computed value of one scope plus the input hash it was computed
+/// from.
+///
+/// Stored behind a per-scope `OnceLock`: the map lock is only held long
+/// enough to find or insert the slot, while the (potentially
+/// heavyweight) compute runs under the slot's own initialization lock —
+/// so *distinct* scopes compute concurrently and racing callers of the
+/// *same* scope still compute exactly once.
+struct SlotValue {
     input_hash: u64,
     value: Arc<dyn Any + Send + Sync>,
 }
+
+/// One scope's compute-once cell.
+type ScopeSlot = OnceLock<SlotValue>;
 
 /// Memoizes computations that are common knowledge across nodes, verifying
 /// the common-knowledge assumption at runtime.
@@ -39,6 +50,13 @@ struct Entry {
 /// diagnostic — a distributed-correctness assertion, not merely an
 /// optimization.
 ///
+/// Internally the cache is two-level: a short-lived map lock resolves a
+/// scope to its per-scope once-slot, and the compute closure runs under
+/// that slot alone. Under parallel stepping, distinct heavyweight scopes
+/// (e.g. the per-group König colorings of one round of Algorithm 2) are
+/// therefore evaluated concurrently on different workers instead of
+/// serializing on a single cache-wide lock.
+///
 /// # Panics
 ///
 /// [`CommonCache::get_or_compute`] panics if a second caller presents a
@@ -46,12 +64,12 @@ struct Entry {
 /// differs from the requested one.
 #[derive(Default)]
 pub struct CommonCache {
-    entries: Mutex<HashMap<CommonScope, Entry>>,
+    entries: Mutex<HashMap<CommonScope, Arc<ScopeSlot>>>,
 }
 
 impl std::fmt::Debug for CommonCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let n = self.lock_entries().len();
+        let n = self.len();
         write!(f, "CommonCache({n} entries)")
     }
 }
@@ -62,10 +80,10 @@ impl CommonCache {
         Self::default()
     }
 
-    /// Locks the entry map, recovering from poisoning: a panic while the
-    /// lock was held (e.g. a divergence assertion on another worker) must
-    /// not cascade into an unrelated panic message here.
-    fn lock_entries(&self) -> std::sync::MutexGuard<'_, HashMap<CommonScope, Entry>> {
+    /// Locks the scope map, recovering from poisoning: a panic elsewhere
+    /// (e.g. a divergence assertion on another worker) must not cascade
+    /// into an unrelated panic message here.
+    fn lock_entries(&self) -> std::sync::MutexGuard<'_, HashMap<CommonScope, Arc<ScopeSlot>>> {
         self.entries.lock().unwrap_or_else(|e| e.into_inner())
     }
 
@@ -74,6 +92,10 @@ impl CommonCache {
     ///
     /// `input_hash` must be a hash of the caller's local view of every
     /// input that `compute` reads; see [`crate::hash`].
+    ///
+    /// Only the scope-to-slot lookup takes the cache-wide lock; the
+    /// compute itself synchronizes per scope, so concurrent callers of
+    /// different scopes never wait on each other.
     ///
     /// # Panics
     ///
@@ -84,39 +106,35 @@ impl CommonCache {
         T: Send + Sync + 'static,
         F: FnOnce() -> T,
     {
-        let mut entries = self.lock_entries();
-        if let Some(entry) = entries.get(&scope) {
-            assert_eq!(
-                entry.input_hash, input_hash,
-                "common-knowledge divergence at {}#{:x}: a node supplied input hash {:#x}, \
-                 but the scope was first evaluated with {:#x}",
-                scope.label, scope.tag, input_hash, entry.input_hash
-            );
-            return entry
-                .value
-                .clone()
-                .downcast::<T>()
-                .unwrap_or_else(|_| panic!("type mismatch in common scope {}", scope.label));
-        }
-        let value: Arc<T> = Arc::new(compute());
-        entries.insert(
-            scope,
-            Entry {
-                input_hash,
-                value: value.clone(),
-            },
+        let slot = self.lock_entries().entry(scope).or_default().clone();
+        let filled = slot.get_or_init(|| SlotValue {
+            input_hash,
+            value: Arc::new(compute()),
+        });
+        assert_eq!(
+            filled.input_hash, input_hash,
+            "common-knowledge divergence at {}#{:x}: a node supplied input hash {:#x}, \
+             but the scope was first evaluated with {:#x}",
+            scope.label, scope.tag, input_hash, filled.input_hash
         );
-        value
+        filled
+            .value
+            .clone()
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("type mismatch in common scope {}", scope.label))
     }
 
     /// Number of distinct scopes evaluated so far.
     pub fn len(&self) -> usize {
-        self.lock_entries().len()
+        self.lock_entries()
+            .values()
+            .filter(|slot| slot.get().is_some())
+            .count()
     }
 
     /// Returns `true` if no scope has been evaluated.
     pub fn is_empty(&self) -> bool {
-        self.lock_entries().is_empty()
+        self.len() == 0
     }
 }
 
@@ -124,6 +142,7 @@ impl CommonCache {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
 
     #[test]
     fn computes_once() {
@@ -165,5 +184,51 @@ mod tests {
         let scope = CommonScope::new("ty", 0);
         let _ = cache.get_or_compute(scope, 1, || 0u64);
         let _: Arc<String> = cache.get_or_compute(scope, 1, String::new);
+    }
+
+    /// Two workers evaluating *different* scopes must both be inside their
+    /// compute closures at the same time: the barrier rendezvous deadlocks
+    /// under a cache that runs computes while holding the map lock.
+    #[test]
+    fn distinct_scopes_compute_concurrently() {
+        let cache = CommonCache::new();
+        let barrier = Barrier::new(2);
+        std::thread::scope(|s| {
+            for tag in 0..2u64 {
+                let (cache, barrier) = (&cache, &barrier);
+                s.spawn(move || {
+                    let v = cache.get_or_compute(CommonScope::new("concurrent", tag), tag, || {
+                        barrier.wait();
+                        tag * 10
+                    });
+                    assert_eq!(*v, tag * 10);
+                });
+            }
+        });
+        assert_eq!(cache.len(), 2);
+    }
+
+    /// Racing callers of the *same* scope still compute exactly once; the
+    /// loser blocks on the slot and receives the winner's value.
+    #[test]
+    fn same_scope_race_computes_once() {
+        let cache = CommonCache::new();
+        let calls = AtomicUsize::new(0);
+        let barrier = Barrier::new(4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (cache, calls, barrier) = (&cache, &calls, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    let v = cache.get_or_compute(CommonScope::new("race", 0), 9, || {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        77u64
+                    });
+                    assert_eq!(*v, 77);
+                });
+            }
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.len(), 1);
     }
 }

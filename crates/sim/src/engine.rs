@@ -264,9 +264,118 @@ pub struct RunReport<O> {
     pub metrics: Metrics,
 }
 
-enum Slot<O> {
+pub(crate) enum Slot<O> {
     Running,
     Finished(O),
+}
+
+/// One worker's share of the engine state: a contiguous range of nodes
+/// (`base..base + len`) together with everything a round of `on_round`
+/// calls touches — machines, completion slots, message buffers and work
+/// meters.
+///
+/// Chunks are the unit of hand-off to the stepping workers: the driving
+/// thread owns every chunk during delivery and sends ownership to the
+/// worker pool for the stepping half of a round (see
+/// [`WorkerPool`](crate::pool::WorkerPool)). A chunk is a handful of `Vec`
+/// headers, so moving one through a channel costs a small memcpy — no
+/// per-node cloning and no allocation.
+pub(crate) struct NodeChunk<N: NodeMachine> {
+    /// Global node id of the first node in this chunk.
+    pub(crate) base: usize,
+    pub(crate) machines: Vec<N>,
+    pub(crate) slots: Vec<Slot<N::Output>>,
+    pub(crate) inboxes: Vec<Vec<(NodeId, N::Msg)>>,
+    pub(crate) outboxes: Vec<Vec<(NodeId, N::Msg)>>,
+    pub(crate) work: Vec<WorkMeter>,
+}
+
+impl<N: NodeMachine> NodeChunk<N> {
+    fn new(base: usize, machines: Vec<N>) -> Self {
+        let len = machines.len();
+        NodeChunk {
+            base,
+            machines,
+            slots: (0..len).map(|_| Slot::Running).collect(),
+            inboxes: (0..len).map(|_| Vec::new()).collect(),
+            outboxes: (0..len).map(|_| Vec::new()).collect(),
+            work: vec![WorkMeter::new(); len],
+        }
+    }
+
+    /// An empty chunk left behind while the real one is out on a worker.
+    /// Allocation-free: empty `Vec`s don't allocate.
+    #[cfg(feature = "parallel")]
+    pub(crate) fn placeholder() -> Self {
+        NodeChunk {
+            base: 0,
+            machines: Vec::new(),
+            slots: Vec::new(),
+            inboxes: Vec::new(),
+            outboxes: Vec::new(),
+            work: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Runs the round-0 `on_start` hooks for every node in the chunk.
+    fn start(&mut self, n: usize, common: &CommonCache) {
+        for k in 0..self.machines.len() {
+            let mut ctx = Ctx {
+                base: BaseCtx {
+                    me: NodeId::new(self.base + k),
+                    n,
+                    round: 0,
+                    common,
+                    work: &mut self.work[k],
+                },
+                outbox: &mut self.outboxes[k],
+            };
+            self.machines[k].on_start(&mut ctx);
+        }
+    }
+
+    /// Steps every running node in the chunk for one round. Each node
+    /// touches only its own machine, slot, buffers and work meter, so
+    /// disjoint chunks are safe to run on separate workers; the shared
+    /// [`CommonCache`] is internally synchronized. Returns the number of
+    /// nodes that finished this round.
+    pub(crate) fn step(&mut self, round: u64, n: usize, common: &CommonCache) -> usize {
+        let mut completions = 0usize;
+        for k in 0..self.machines.len() {
+            if matches!(self.slots[k], Slot::Finished(_)) {
+                debug_assert!(self.inboxes[k].is_empty());
+                continue;
+            }
+            // Inboxes were filled in ascending src order already.
+            let mut inbox = Inbox::from_sorted(std::mem::take(&mut self.inboxes[k]));
+            let mut ctx = Ctx {
+                base: BaseCtx {
+                    me: NodeId::new(self.base + k),
+                    n,
+                    round,
+                    common,
+                    work: &mut self.work[k],
+                },
+                outbox: &mut self.outboxes[k],
+            };
+            match self.machines[k].on_round(&mut ctx, &mut inbox) {
+                Step::Continue => {}
+                Step::Done(out) => {
+                    self.slots[k] = Slot::Finished(out);
+                    completions += 1;
+                }
+            }
+            // Recycle the inbox buffer (and its capacity) for the next round.
+            let mut items = inbox.into_items();
+            items.clear();
+            self.inboxes[k] = items;
+        }
+        completions
+    }
 }
 
 /// Executes a set of [`NodeMachine`]s in lock-step synchronous rounds on a
@@ -276,7 +385,6 @@ enum Slot<O> {
 pub struct Simulator<N: NodeMachine> {
     spec: CliqueSpec,
     machines: Vec<N>,
-    slots: Vec<Slot<N::Output>>,
     common: CommonCache,
 }
 
@@ -293,11 +401,9 @@ impl<N: NodeMachine> Simulator<N> {
                 actual: machines.len(),
             });
         }
-        let slots = machines.iter().map(|_| Slot::Running).collect();
         Ok(Simulator {
             spec,
             machines,
-            slots,
             common: CommonCache::new(),
         })
     }
@@ -310,7 +416,8 @@ impl<N: NodeMachine> Simulator<N> {
     /// pass per sender (destinations are perfect small keys, so no
     /// comparison sort is needed), reuses inbox/outbox buffers across
     /// rounds, and — under a parallel mode — steps disjoint node chunks
-    /// on scoped worker threads.
+    /// on a pool of persistent workers that are spawned once per run and
+    /// parked between rounds.
     ///
     /// # Errors
     ///
@@ -326,126 +433,84 @@ impl<N: NodeMachine> Simulator<N> {
     /// delivery pass, scanning senders in ascending order and each
     /// sender's destinations in ascending order — so the reported
     /// violation is the lowest `(src, dst)` pair, independent of how many
-    /// stepping workers the mode resolves to.
+    /// stepping workers the mode resolves to. Messages still queued when
+    /// every node has finished follow the same rule: the lowest-id sender
+    /// is reported with its lowest queued in-range destination
+    /// ([`SimError::MessageToFinishedNode`]), or — when every queued
+    /// destination is out of range — with its lowest out-of-range one
+    /// ([`SimError::DestinationOutOfRange`]).
     pub fn run(self) -> Result<RunReport<N::Output>, SimError> {
-        if self.spec.exec() == ExecMode::SeedReference {
+        let mode = self.spec.exec();
+        if mode == ExecMode::SeedReference {
             return self.run_seed_reference();
         }
-        let threads = self.spec.exec().worker_threads(self.spec.n());
-        self.run_engine(threads)
+        let threads = mode.worker_threads(self.spec.n());
+        let spawn_per_round = matches!(mode, ExecMode::SpawnParallel { .. });
+        self.run_engine(threads, spawn_per_round)
     }
 
     /// The optimized engine: bucketed delivery, buffer reuse, and
-    /// `threads`-way chunked stepping (1 = sequential).
-    fn run_engine(mut self, threads: usize) -> Result<RunReport<N::Output>, SimError> {
-        let n = self.spec.n();
-        let mut metrics = Metrics::new(self.spec.records_edge_histogram(), 0);
-        let mut work: Vec<WorkMeter> = vec![WorkMeter::new(); n];
-        // Outboxes and inboxes are allocated once and recycled: `drain`
-        // and `clear` keep their capacity, so steady-state rounds allocate
-        // nothing for message movement.
-        let mut outboxes: Vec<Vec<(NodeId, N::Msg)>> = (0..n).map(|_| Vec::new()).collect();
-        let mut inboxes: Vec<Vec<(NodeId, N::Msg)>> = (0..n).map(|_| Vec::new()).collect();
-        let mut scratch = DeliveryScratch::new(n);
-
-        // Round 0: start hooks queue the round-1 sends.
-        for (i, machine) in self.machines.iter_mut().enumerate() {
-            let mut ctx = Ctx {
-                base: BaseCtx {
-                    me: NodeId::new(i),
-                    n,
-                    round: 0,
-                    common: &self.common,
-                    work: &mut work[i],
-                },
-                outbox: &mut outboxes[i],
-            };
-            machine.on_start(&mut ctx);
+    /// `threads`-way chunked stepping (1 = sequential, inline).
+    ///
+    /// Parallel stepping hands the chunks to a persistent
+    /// [`WorkerPool`](crate::pool::WorkerPool) — workers are spawned once
+    /// here and parked between rounds — unless `spawn_per_round` selects
+    /// the retained [`ExecMode::SpawnParallel`] benchmark baseline, which
+    /// spawns and joins scoped workers every round.
+    fn run_engine(
+        self,
+        threads: usize,
+        spawn_per_round: bool,
+    ) -> Result<RunReport<N::Output>, SimError> {
+        let Simulator {
+            spec,
+            machines,
+            common,
+            ..
+        } = self;
+        let n = spec.n();
+        let split = ChunkSplit::new(n, threads);
+        let mut remaining = machines.into_iter();
+        let mut chunks: Vec<NodeChunk<N>> = Vec::with_capacity(split.count());
+        let mut base = 0;
+        for len in split.sizes() {
+            chunks.push(NodeChunk::new(base, remaining.by_ref().take(len).collect()));
+            base += len;
         }
+        debug_assert_eq!(base, n);
 
-        let mut round: u64 = 0;
-        let mut silent_rounds: u64 = 0;
-        loop {
-            let all_done = self.slots.iter().all(|s| matches!(s, Slot::Finished(_)));
-            if all_done {
-                // Someone sent a message but everyone already finished.
-                // Like every other violation, report the lowest (src, dst):
-                // the first nonempty outbox is the lowest sender, and its
-                // lowest queued destination names the edge.
-                if let Some((src, dst)) = outboxes
-                    .iter()
-                    .enumerate()
-                    .find_map(|(i, o)| o.iter().map(|(d, _)| *d).min().map(|d| (NodeId::new(i), d)))
-                {
-                    return Err(SimError::MessageToFinishedNode {
-                        round: round + 1,
-                        src,
-                        dst,
-                    });
-                }
-                break;
-            }
-
-            round += 1;
-            if round > self.spec.max_rounds() {
-                return Err(SimError::TooManyRounds {
-                    limit: self.spec.max_rounds(),
+        #[cfg(feature = "parallel")]
+        if chunks.len() > 1 {
+            if spawn_per_round {
+                // Benchmark baseline: per-round scoped spawn/join, the
+                // stepping strategy the persistent pool replaced.
+                return run_rounds(&spec, &common, chunks, split, |round, chunks, common| {
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = chunks
+                            .iter_mut()
+                            .map(|c| scope.spawn(move || c.step(round, n, common)))
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| {
+                                h.join()
+                                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                            })
+                            .sum()
+                    })
                 });
             }
-
-            let round_metrics = deliver_round(
-                round,
-                &self.spec,
-                &self.slots,
-                &mut outboxes,
-                &mut inboxes,
-                &mut scratch,
-                &mut metrics,
-            )?;
-            let delivered_any = round_metrics.messages > 0;
-            metrics.push_round(round_metrics);
-
-            let completions = step_round(
-                round,
-                threads,
-                n,
-                &self.common,
-                &mut self.machines,
-                &mut self.slots,
-                &mut inboxes,
-                &mut outboxes,
-                &mut work,
-            );
-
-            if !delivered_any && completions == 0 {
-                silent_rounds += 1;
-                if silent_rounds > self.spec.max_silent_rounds() {
-                    let finished = self
-                        .slots
-                        .iter()
-                        .filter(|s| matches!(s, Slot::Finished(_)))
-                        .count();
-                    return Err(SimError::Stalled {
-                        round,
-                        finished,
-                        total: n,
-                    });
-                }
-            } else {
-                silent_rounds = 0;
-            }
+            return std::thread::scope(|scope| {
+                let mut pool = crate::pool::WorkerPool::new(scope, chunks.len(), n, &common);
+                run_rounds(&spec, &common, chunks, split, |round, chunks, _| {
+                    pool.step_round(round, chunks)
+                })
+            });
         }
-
-        metrics.set_node_work(work);
-        let outputs = self
-            .slots
-            .into_iter()
-            .map(|s| match s {
-                Slot::Finished(o) => o,
-                Slot::Running => unreachable!("loop exits only when all nodes finished"),
-            })
-            .collect();
-        Ok(RunReport { outputs, metrics })
+        let _ = spawn_per_round; // single chunk (or no `parallel` feature): stepped inline
+        run_rounds(&spec, &common, chunks, split, |round, chunks, common| {
+            chunks.iter_mut().map(|c| c.step(round, n, common)).sum()
+        })
     }
 
     /// The pre-optimization engine, kept verbatim as the benchmark
@@ -456,6 +521,7 @@ impl<N: NodeMachine> Simulator<N> {
     fn run_seed_reference(mut self) -> Result<RunReport<N::Output>, SimError> {
         let n = self.spec.n();
         let mut metrics = Metrics::new(self.spec.records_edge_histogram(), n);
+        let mut slots: Vec<Slot<N::Output>> = (0..n).map(|_| Slot::Running).collect();
         let mut outboxes: Vec<Vec<(NodeId, N::Msg)>> = (0..n).map(|_| Vec::new()).collect();
 
         // Round 0: start hooks queue the round-1 sends.
@@ -476,21 +542,18 @@ impl<N: NodeMachine> Simulator<N> {
         let mut round: u64 = 0;
         let mut silent_rounds: u64 = 0;
         loop {
-            let all_done = self.slots.iter().all(|s| matches!(s, Slot::Finished(_)));
-            let any_in_flight = outboxes.iter().any(|o| !o.is_empty());
+            let all_done = slots.iter().all(|s| matches!(s, Slot::Finished(_)));
             if all_done {
-                if any_in_flight {
-                    // Someone sent a message but everyone already finished.
-                    let (src, dst) = outboxes
-                        .iter()
-                        .enumerate()
-                        .find_map(|(i, o)| o.first().map(|(d, _)| (NodeId::new(i), *d)))
-                        .expect("any_in_flight implies a message exists");
-                    return Err(SimError::MessageToFinishedNode {
-                        round: round + 1,
-                        src,
-                        dst,
-                    });
+                // Someone sent a message but everyone already finished.
+                // Classified exactly like the optimized engine, so both
+                // engines report the identical error (see
+                // `final_round_violation`).
+                if let Some(err) = final_round_violation(
+                    round,
+                    n,
+                    outboxes.iter().enumerate().map(|(i, o)| (i, o.as_slice())),
+                ) {
+                    return Err(err);
                 }
                 break;
             }
@@ -539,7 +602,7 @@ impl<N: NodeMachine> Simulator<N> {
                             budget: self.spec.bits_per_edge(),
                         });
                     }
-                    if matches!(self.slots[dst.index()], Slot::Finished(_)) {
+                    if matches!(slots[dst.index()], Slot::Finished(_)) {
                         return Err(SimError::MessageToFinishedNode { round, src, dst });
                     }
                     round_metrics.messages += (j - i) as u64;
@@ -562,7 +625,7 @@ impl<N: NodeMachine> Simulator<N> {
             // Step every running node.
             let mut completions = 0usize;
             for i in 0..n {
-                if matches!(self.slots[i], Slot::Finished(_)) {
+                if matches!(slots[i], Slot::Finished(_)) {
                     debug_assert!(inboxes[i].is_empty());
                     continue;
                 }
@@ -581,7 +644,7 @@ impl<N: NodeMachine> Simulator<N> {
                 match self.machines[i].on_round(&mut ctx, &mut inbox) {
                     Step::Continue => {}
                     Step::Done(out) => {
-                        self.slots[i] = Slot::Finished(out);
+                        slots[i] = Slot::Finished(out);
                         completions += 1;
                     }
                 }
@@ -590,8 +653,7 @@ impl<N: NodeMachine> Simulator<N> {
             if !delivered_any && completions == 0 {
                 silent_rounds += 1;
                 if silent_rounds > self.spec.max_silent_rounds() {
-                    let finished = self
-                        .slots
+                    let finished = slots
                         .iter()
                         .filter(|s| matches!(s, Slot::Finished(_)))
                         .count();
@@ -606,8 +668,7 @@ impl<N: NodeMachine> Simulator<N> {
             }
         }
 
-        let outputs = self
-            .slots
+        let outputs = slots
             .into_iter()
             .map(|s| match s {
                 Slot::Finished(o) => o,
@@ -616,6 +677,202 @@ impl<N: NodeMachine> Simulator<N> {
             .collect();
         Ok(RunReport { outputs, metrics })
     }
+}
+
+/// The fixed partition of `n` nodes into `count` contiguous chunks,
+/// balanced so the chunk count always equals the worker count the
+/// [`ExecMode`] resolved to: the first `n % count` chunks hold one node
+/// more than the rest. Provides the O(1) global-id → (chunk, offset)
+/// mapping the delivery pass needs.
+#[derive(Clone, Copy)]
+struct ChunkSplit {
+    /// Number of chunks.
+    count: usize,
+    /// Chunks `0..big` hold `big_size` nodes; the rest hold `big_size - 1`.
+    big: usize,
+    /// `⌈n / count⌉`, the size of the first `big` chunks.
+    big_size: usize,
+    /// `big * big_size`: the first global id in the smaller chunks' range.
+    big_span: usize,
+}
+
+impl ChunkSplit {
+    fn new(n: usize, workers: usize) -> Self {
+        let count = workers.clamp(1, n.max(1));
+        let big = n % count;
+        let big_size = n / count + 1;
+        ChunkSplit {
+            count,
+            big,
+            big_size,
+            big_span: big * big_size,
+        }
+    }
+
+    fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Chunk sizes in chunk order (they sum to `n`).
+    fn sizes(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.count).map(|ci| {
+            if ci < self.big {
+                self.big_size
+            } else {
+                self.big_size - 1
+            }
+        })
+    }
+
+    /// Maps a global node id to its `(chunk, offset)` coordinates.
+    #[inline]
+    fn locate(&self, d: usize) -> (usize, usize) {
+        if self.count == 1 {
+            (0, d)
+        } else if d < self.big_span {
+            (d / self.big_size, d % self.big_size)
+        } else {
+            let d = d - self.big_span;
+            let small_size = self.big_size - 1;
+            (self.big + d / small_size, d % small_size)
+        }
+    }
+}
+
+/// The optimized engine's round loop, generic over the stepping strategy:
+/// `step` runs `on_round` for every running node across all chunks and
+/// returns the number of completions. Delivery, violation detection and
+/// metrics always run on the driving thread, in ascending node order, so
+/// every stepping strategy observes — and produces — identical state.
+fn run_rounds<N: NodeMachine>(
+    spec: &CliqueSpec,
+    common: &CommonCache,
+    mut chunks: Vec<NodeChunk<N>>,
+    split: ChunkSplit,
+    mut step: impl FnMut(u64, &mut [NodeChunk<N>], &CommonCache) -> usize,
+) -> Result<RunReport<N::Output>, SimError> {
+    let n = spec.n();
+    let mut metrics = Metrics::new(spec.records_edge_histogram(), 0);
+    let mut scratch = DeliveryScratch::new(n);
+
+    // Round 0: start hooks queue the round-1 sends.
+    for chunk in chunks.iter_mut() {
+        chunk.start(n, common);
+    }
+
+    let mut round: u64 = 0;
+    let mut silent_rounds: u64 = 0;
+    loop {
+        let all_done = chunks
+            .iter()
+            .all(|c| c.slots.iter().all(|s| matches!(s, Slot::Finished(_))));
+        if all_done {
+            // Someone sent a message but everyone already finished.
+            if let Some(err) = final_round_violation(
+                round,
+                n,
+                chunks.iter().flat_map(|c| {
+                    c.outboxes
+                        .iter()
+                        .enumerate()
+                        .map(|(k, o)| (c.base + k, o.as_slice()))
+                }),
+            ) {
+                return Err(err);
+            }
+            break;
+        }
+
+        round += 1;
+        if round > spec.max_rounds() {
+            return Err(SimError::TooManyRounds {
+                limit: spec.max_rounds(),
+            });
+        }
+
+        let round_metrics =
+            deliver_round(round, spec, &mut chunks, &split, &mut scratch, &mut metrics)?;
+        let delivered_any = round_metrics.messages > 0;
+        metrics.push_round(round_metrics);
+
+        let completions = step(round, &mut chunks, common);
+
+        if !delivered_any && completions == 0 {
+            silent_rounds += 1;
+            if silent_rounds > spec.max_silent_rounds() {
+                let finished = chunks
+                    .iter()
+                    .flat_map(|c| c.slots.iter())
+                    .filter(|s| matches!(s, Slot::Finished(_)))
+                    .count();
+                return Err(SimError::Stalled {
+                    round,
+                    finished,
+                    total: n,
+                });
+            }
+        } else {
+            silent_rounds = 0;
+        }
+    }
+
+    let mut work = Vec::with_capacity(n);
+    let mut outputs = Vec::with_capacity(n);
+    for chunk in chunks {
+        work.extend(chunk.work);
+        for slot in chunk.slots {
+            match slot {
+                Slot::Finished(o) => outputs.push(o),
+                Slot::Running => unreachable!("loop exits only when all nodes finished"),
+            }
+        }
+    }
+    metrics.set_node_work(work);
+    Ok(RunReport { outputs, metrics })
+}
+
+/// Classifies messages still queued once every node has finished,
+/// honoring the engine-wide lowest-`(src, dst)` precedence: the lowest-id
+/// sender with a nonempty outbox is reported, with its lowest queued
+/// in-range destination ([`SimError::MessageToFinishedNode`] — any
+/// in-range destination is by definition a finished node here). When that
+/// sender queued *only* out-of-range destinations, the violation is an
+/// addressing bug, not a late send, and is classified as
+/// [`SimError::DestinationOutOfRange`] on the lowest such destination —
+/// matching the delivery pass, where out-of-range destinations order
+/// after all in-range ones of the same sender.
+fn final_round_violation<'a, M: 'a>(
+    round: u64,
+    n: usize,
+    outboxes: impl Iterator<Item = (usize, &'a [(NodeId, M)])>,
+) -> Option<SimError> {
+    for (src_idx, queued) in outboxes {
+        if queued.is_empty() {
+            continue;
+        }
+        let src = NodeId::new(src_idx);
+        let min_in_range = queued
+            .iter()
+            .map(|(dst, _)| *dst)
+            .filter(|dst| dst.index() < n)
+            .min();
+        return Some(match min_in_range {
+            Some(dst) => SimError::MessageToFinishedNode {
+                round: round + 1,
+                src,
+                dst,
+            },
+            None => {
+                let dst = queued
+                    .iter()
+                    .map(|(dst, _)| dst.index())
+                    .min()
+                    .expect("outbox is nonempty");
+                SimError::DestinationOutOfRange { src, dst, n }
+            }
+        });
+    }
+    None
 }
 
 /// Per-destination counting buffers, allocated once per run and zeroed via
@@ -650,215 +907,130 @@ impl DeliveryScratch {
 /// lowest `(src, dst)` pair, with the seed engine's per-edge precedence
 /// (out-of-range destinations order after all valid ones, budget before
 /// finished-node on the same edge).
-// The source index drives disjoint mutable borrows of `outboxes[src]` and
-// the destination inboxes; an iterator would hold the whole-slice borrow.
-#[allow(clippy::needless_range_loop)]
-fn deliver_round<M: Payload, O>(
+///
+/// State is chunked for worker hand-off; [`ChunkSplit::locate`] maps a
+/// global node id to its chunk coordinates in O(1) (the single-chunk
+/// sequential layout skips the division).
+fn deliver_round<N: NodeMachine>(
     round: u64,
     spec: &CliqueSpec,
-    slots: &[Slot<O>],
-    outboxes: &mut [Vec<(NodeId, M)>],
-    inboxes: &mut [Vec<(NodeId, M)>],
+    chunks: &mut [NodeChunk<N>],
+    split: &ChunkSplit,
     scratch: &mut DeliveryScratch,
     metrics: &mut Metrics,
 ) -> Result<RoundMetrics, SimError> {
     let n = spec.n();
     let budget = spec.bits_per_edge();
+    let locate = |d: usize| split.locate(d);
     let mut rm = RoundMetrics::default();
-    for src_idx in 0..n {
-        if outboxes[src_idx].is_empty() {
-            continue;
-        }
-        let src = NodeId::new(src_idx);
-
-        // Counting pass: bucket fan-out and bit loads by destination.
-        let mut min_out_of_range: Option<usize> = None;
-        for (dst, msg) in &outboxes[src_idx] {
-            let d = dst.index();
-            if d >= n {
-                min_out_of_range = Some(min_out_of_range.map_or(d, |m| m.min(d)));
+    for ci in 0..chunks.len() {
+        let base = chunks[ci].base;
+        for li in 0..chunks[ci].len() {
+            if chunks[ci].outboxes[li].is_empty() {
                 continue;
             }
-            if scratch.msg_count[d] == 0 {
-                scratch.touched.push(d as u32);
-            }
-            scratch.msg_count[d] += 1;
-            scratch.edge_bits[d] += msg.size_bits(n);
-        }
-        // Validation pass over the touched destinations (no sort needed:
-        // the reported violation is the *lowest* failing destination, and
-        // metric/histogram accumulation is order-insensitive — counters
-        // add, maxima max, the histogram is a multiset). On failure the
-        // whole run's metrics are discarded, so over-accumulating before
-        // spotting a violation is harmless.
-        let mut failure: Option<SimError> = None;
-        for &d32 in &scratch.touched {
-            let d = d32 as usize;
-            let bits = scratch.edge_bits[d];
-            let edge_failure = if bits > budget {
-                // Budget outranks finished-node on the same edge.
-                Some(SimError::BudgetExceeded {
-                    round,
-                    src,
-                    dst: NodeId::new(d),
-                    bits,
-                    budget,
-                })
-            } else if matches!(slots[d], Slot::Finished(_)) {
-                Some(SimError::MessageToFinishedNode {
-                    round,
-                    src,
-                    dst: NodeId::new(d),
-                })
-            } else {
-                None
-            };
-            if let Some(err) = edge_failure {
-                let lower = match &failure {
-                    Some(
-                        SimError::BudgetExceeded { dst, .. }
-                        | SimError::MessageToFinishedNode { dst, .. },
-                    ) => d < dst.index(),
-                    _ => true,
-                };
-                if lower {
-                    failure = Some(err);
+            let src = NodeId::new(base + li);
+            // Take the outbox so pushes into this chunk's inboxes don't
+            // alias it; its (capacity-retaining) return happens after the
+            // move pass.
+            let mut batch = std::mem::take(&mut chunks[ci].outboxes[li]);
+
+            // Counting pass: bucket fan-out and bit loads by destination.
+            let mut min_out_of_range: Option<usize> = None;
+            for (dst, msg) in &batch {
+                let d = dst.index();
+                if d >= n {
+                    min_out_of_range = Some(min_out_of_range.map_or(d, |m| m.min(d)));
+                    continue;
                 }
-                continue;
+                if scratch.msg_count[d] == 0 {
+                    scratch.touched.push(d as u32);
+                }
+                scratch.msg_count[d] += 1;
+                scratch.edge_bits[d] += msg.size_bits(n);
             }
-            rm.messages += scratch.msg_count[d];
-            rm.bits += bits;
-            rm.busy_edges += 1;
-            rm.max_edge_bits = rm.max_edge_bits.max(bits);
-            if let Some(h) = metrics.histogram_mut() {
-                h.record(bits);
+            // Validation pass over the touched destinations (no sort needed:
+            // the reported violation is the *lowest* failing destination, and
+            // metric/histogram accumulation is order-insensitive — counters
+            // add, maxima max, the histogram is a multiset). On failure the
+            // whole run's metrics are discarded, so over-accumulating before
+            // spotting a violation is harmless.
+            let mut failure: Option<SimError> = None;
+            for &d32 in &scratch.touched {
+                let d = d32 as usize;
+                let bits = scratch.edge_bits[d];
+                let (dci, dli) = locate(d);
+                let edge_failure = if bits > budget {
+                    // Budget outranks finished-node on the same edge.
+                    Some(SimError::BudgetExceeded {
+                        round,
+                        src,
+                        dst: NodeId::new(d),
+                        bits,
+                        budget,
+                    })
+                } else if matches!(chunks[dci].slots[dli], Slot::Finished(_)) {
+                    Some(SimError::MessageToFinishedNode {
+                        round,
+                        src,
+                        dst: NodeId::new(d),
+                    })
+                } else {
+                    None
+                };
+                if let Some(err) = edge_failure {
+                    let lower = match &failure {
+                        Some(
+                            SimError::BudgetExceeded { dst, .. }
+                            | SimError::MessageToFinishedNode { dst, .. },
+                        ) => d < dst.index(),
+                        _ => true,
+                    };
+                    if lower {
+                        failure = Some(err);
+                    }
+                    continue;
+                }
+                rm.messages += scratch.msg_count[d];
+                rm.bits += bits;
+                rm.busy_edges += 1;
+                rm.max_edge_bits = rm.max_edge_bits.max(bits);
+                if let Some(h) = metrics.histogram_mut() {
+                    h.record(bits);
+                }
             }
-        }
-        if failure.is_none() {
-            // An out-of-range destination compares greater than every valid
-            // one (NodeId order), so it is only reported when no valid edge
-            // failed.
-            if let Some(d) = min_out_of_range {
-                failure = Some(SimError::DestinationOutOfRange { src, dst: d, n });
+            if failure.is_none() {
+                // An out-of-range destination compares greater than every valid
+                // one (NodeId order), so it is only reported when no valid edge
+                // failed.
+                if let Some(d) = min_out_of_range {
+                    failure = Some(SimError::DestinationOutOfRange { src, dst: d, n });
+                }
             }
-        }
 
-        // Zero only the touched scratch entries before returning or moving
-        // on to the next sender.
-        for &d32 in &scratch.touched {
-            scratch.edge_bits[d32 as usize] = 0;
-            scratch.msg_count[d32 as usize] = 0;
-        }
-        scratch.touched.clear();
-        if let Some(err) = failure {
-            return Err(err);
-        }
+            // Zero only the touched scratch entries before returning or moving
+            // on to the next sender.
+            for &d32 in &scratch.touched {
+                scratch.edge_bits[d32 as usize] = 0;
+                scratch.msg_count[d32 as usize] = 0;
+            }
+            scratch.touched.clear();
+            if let Some(err) = failure {
+                return Err(err);
+            }
 
-        // Move pass: straight into the destination inboxes, preserving
-        // per-destination send order; ascending `src_idx` keeps every
-        // inbox sorted by sender. `drain` retains the outbox capacity.
-        for (dst, msg) in outboxes[src_idx].drain(..) {
-            inboxes[dst.index()].push((src, msg));
+            // Move pass: straight into the destination inboxes, preserving
+            // per-destination send order; ascending global node order keeps
+            // every inbox sorted by sender. `drain` retains the outbox
+            // capacity for the round's sends.
+            for (dst, msg) in batch.drain(..) {
+                let (dci, dli) = locate(dst.index());
+                chunks[dci].inboxes[dli].push((src, msg));
+            }
+            chunks[ci].outboxes[li] = batch;
         }
     }
     Ok(rm)
-}
-
-/// Steps all running nodes for one round, chunked over `threads` workers
-/// (1 = in place on the calling thread). Returns the number of nodes that
-/// finished this round.
-#[allow(clippy::too_many_arguments)]
-fn step_round<N: NodeMachine>(
-    round: u64,
-    threads: usize,
-    n: usize,
-    common: &CommonCache,
-    machines: &mut [N],
-    slots: &mut [Slot<N::Output>],
-    inboxes: &mut [Vec<(NodeId, N::Msg)>],
-    outboxes: &mut [Vec<(NodeId, N::Msg)>],
-    work: &mut [WorkMeter],
-) -> usize {
-    #[cfg(feature = "parallel")]
-    if threads > 1 {
-        let chunk = n.div_ceil(threads);
-        return std::thread::scope(|scope| {
-            let chunks = machines
-                .chunks_mut(chunk)
-                .zip(slots.chunks_mut(chunk))
-                .zip(inboxes.chunks_mut(chunk))
-                .zip(outboxes.chunks_mut(chunk))
-                .zip(work.chunks_mut(chunk))
-                .enumerate();
-            let handles: Vec<_> = chunks
-                .map(|(ci, ((((mc, sc), ic), oc), wc))| {
-                    scope
-                        .spawn(move || step_chunk(ci * chunk, round, n, common, mc, sc, ic, oc, wc))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
-                })
-                .sum()
-        });
-    }
-    #[cfg(not(feature = "parallel"))]
-    let _ = threads;
-    step_chunk(
-        0, round, n, common, machines, slots, inboxes, outboxes, work,
-    )
-}
-
-/// Steps one contiguous chunk of nodes (`base` = global index of the first
-/// node in the chunk). Each node touches only its own machine, slot,
-/// buffers and work meter, so disjoint chunks are safe to run on separate
-/// workers; the shared [`CommonCache`] is internally synchronized.
-#[allow(clippy::too_many_arguments)]
-fn step_chunk<N: NodeMachine>(
-    base: usize,
-    round: u64,
-    n: usize,
-    common: &CommonCache,
-    machines: &mut [N],
-    slots: &mut [Slot<N::Output>],
-    inboxes: &mut [Vec<(NodeId, N::Msg)>],
-    outboxes: &mut [Vec<(NodeId, N::Msg)>],
-    work: &mut [WorkMeter],
-) -> usize {
-    let mut completions = 0usize;
-    for k in 0..machines.len() {
-        if matches!(slots[k], Slot::Finished(_)) {
-            debug_assert!(inboxes[k].is_empty());
-            continue;
-        }
-        // Inboxes were filled in ascending src order already.
-        let mut inbox = Inbox::from_sorted(std::mem::take(&mut inboxes[k]));
-        let mut ctx = Ctx {
-            base: BaseCtx {
-                me: NodeId::new(base + k),
-                n,
-                round,
-                common,
-                work: &mut work[k],
-            },
-            outbox: &mut outboxes[k],
-        };
-        match machines[k].on_round(&mut ctx, &mut inbox) {
-            Step::Continue => {}
-            Step::Done(out) => {
-                slots[k] = Slot::Finished(out);
-                completions += 1;
-            }
-        }
-        // Recycle the inbox buffer (and its capacity) for the next round.
-        let mut items = inbox.into_items();
-        items.clear();
-        inboxes[k] = items;
-    }
-    completions
 }
 
 /// Convenience: builds machines with a closure of the node id and runs them.
@@ -1078,6 +1250,34 @@ mod tests {
         let report = run_protocol(CliqueSpec::new(5).unwrap(), |_| Loner).unwrap();
         assert_eq!(report.metrics.comm_rounds(), 0);
         assert_eq!(report.outputs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn chunk_split_is_balanced_and_exact() {
+        for n in [1usize, 2, 7, 8, 23, 64, 1024] {
+            for workers in [1usize, 2, 3, 5, 7, 48, 2000] {
+                let split = ChunkSplit::new(n, workers);
+                // The chunk count must equal the resolved worker count —
+                // this is what the benchmark metadata records.
+                assert_eq!(split.count(), workers.clamp(1, n));
+                let sizes: Vec<usize> = split.sizes().collect();
+                assert_eq!(sizes.iter().sum::<usize>(), n, "n={n} workers={workers}");
+                assert!(sizes.iter().all(|&s| s >= 1));
+                assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+                // `locate` inverts the partition bounds exactly.
+                let mut base = 0;
+                for (ci, &len) in sizes.iter().enumerate() {
+                    for off in 0..len {
+                        assert_eq!(
+                            split.locate(base + off),
+                            (ci, off),
+                            "n={n} workers={workers}"
+                        );
+                    }
+                    base += len;
+                }
+            }
+        }
     }
 
     #[test]

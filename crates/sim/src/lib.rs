@@ -41,19 +41,30 @@
 //! * **Buffers are recycled**: outboxes, inboxes and the delivery scratch
 //!   are allocated once per run and keep their capacity across rounds, so
 //!   steady-state rounds perform no allocation for message movement.
-//! * **Stepping** runs `on_round` for disjoint chunks of nodes on scoped
-//!   worker threads when the `parallel` cargo feature (on by default) is
-//!   enabled and the selected [`ExecMode`] resolves to more than one
-//!   worker.
+//! * **Stepping** runs `on_round` for disjoint chunks of nodes on a
+//!   **persistent worker pool** when the `parallel` cargo feature (on by
+//!   default) is enabled and the selected [`ExecMode`] resolves to more
+//!   than one worker: workers are spawned once per run, parked on their
+//!   job channel between rounds, and each round receive ownership of
+//!   their node chunk (a few `Vec` headers), step it, and hand it back.
+//!   The per-round hand-off is a channel send instead of a thread
+//!   spawn/join, so even small cliques parallelize profitably (see
+//!   [`PARALLEL_AUTO_THRESHOLD`] and [`PARALLEL_MIN_CHUNK`]).
 //!
 //! Every mode — [`ExecMode::Sequential`], [`ExecMode::Parallel`], the
-//!   default [`ExecMode::Auto`], and even the retained benchmark baseline
-//!   [`ExecMode::SeedReference`] — produces **bit-identical**
-//!   [`RunReport`]s for deterministic protocols: inboxes deliver in
-//!   ascending sender order (per-sender send order preserved), per-node
-//!   work meters are indexed by node, and model violations are detected in
-//!   the sequential delivery pass so the lowest-`(src, dst)` violation is
-//!   reported regardless of worker interleaving. Select a mode with
+//!   default [`ExecMode::Auto`], and the retained benchmark baselines
+//!   [`ExecMode::SpawnParallel`] (per-round scoped spawn, the pool's
+//!   predecessor) and [`ExecMode::SeedReference`] (the pre-optimization
+//!   engine) — produces **bit-identical** [`RunReport`]s for
+//!   deterministic protocols: inboxes deliver in ascending sender order
+//!   (per-sender send order preserved), per-node work meters are indexed
+//!   by node, and model violations are detected in the sequential
+//!   delivery pass so the lowest-`(src, dst)` violation is reported
+//!   regardless of worker interleaving — including messages still queued
+//!   when every node has finished, which are classified as
+//!   [`SimError::MessageToFinishedNode`] at the lowest in-range
+//!   destination or [`SimError::DestinationOutOfRange`] when the sender
+//!   queued only out-of-range destinations. Select a mode with
 //!   [`CliqueSpec::with_exec`]; disabling the `parallel` feature removes
 //!   the threaded code entirely and every mode degrades to sequential.
 //!
@@ -113,6 +124,8 @@ mod inbox;
 mod metrics;
 mod node;
 mod payload;
+#[cfg(feature = "parallel")]
+mod pool;
 mod spec;
 mod work;
 

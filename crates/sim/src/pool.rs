@@ -1,0 +1,193 @@
+//! A persistent stepping-worker pool, spawned once per run and parked
+//! between rounds.
+//!
+//! The engine's rounds are embarrassingly parallel across nodes, but the
+//! previous parallel engine paid `workers × thread spawn/join` every
+//! round, which is why small cliques could not parallelize profitably
+//! (the old `PARALLEL_MIN_CHUNK` of 32 existed solely to amortize spawn
+//! cost). This pool replaces the per-round spawn with a per-round
+//! *hand-off*: workers are spawned once inside the run's thread scope,
+//! block on their job channel between rounds (a futex park — no
+//! spinning), and each round receive *ownership* of their
+//! [`NodeChunk`] — a handful of `Vec` headers — step it, and send it
+//! back.
+//!
+//! Moving ownership through channels, rather than lending `&mut` chunk
+//! slices to long-lived workers, is what keeps the pool within the
+//! crate's `#![forbid(unsafe_code)]`: a scoped worker cannot safely hold
+//! a fresh per-round mutable borrow, but it can own the chunk outright
+//! for the duration of the step. The driving thread gets every chunk
+//! back before delivery, so the sequential delivery pass — where all
+//! determinism-relevant ordering and violation detection happens — is
+//! untouched.
+//!
+//! Determinism: chunk boundaries are fixed for the whole run, results are
+//! written back by chunk index (arrival order is irrelevant), and the
+//! per-round completion count is a sum over chunks, so the pool is
+//! observably identical to sequential stepping.
+
+use std::any::Any;
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::{Scope, ScopedJoinHandle};
+
+use crate::common::CommonCache;
+use crate::engine::{NodeChunk, NodeMachine};
+
+/// One round's hand-off to a worker: the chunk travels by value.
+struct Job<N: NodeMachine> {
+    round: u64,
+    index: usize,
+    chunk: NodeChunk<N>,
+}
+
+/// What a worker sends back for one job.
+///
+/// Panics inside `on_round` (a protocol bug, or a [`CommonCache`]
+/// divergence assertion) are caught on the worker and reported as an
+/// explicit outcome rather than killing the worker thread: the driver
+/// would otherwise block forever on its result channel, since the
+/// *other* parked workers keep their senders alive and a receiver only
+/// errors once every sender is gone. The driver re-raises the payload,
+/// so the caller observes the same panic it would have seen under
+/// sequential stepping.
+enum StepOutcome<N: NodeMachine> {
+    Stepped {
+        index: usize,
+        chunk: NodeChunk<N>,
+        completions: usize,
+    },
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// The pool: one parked worker per chunk, alive for the whole run.
+///
+/// Created inside the engine's `std::thread::scope` so workers may borrow
+/// the run's [`CommonCache`]; dropping the pool (or the scope unwinding)
+/// closes the job channels, which wakes every worker and lets the scope
+/// join them.
+pub(crate) struct WorkerPool<'scope, N: NodeMachine> {
+    job_txs: Vec<Sender<Job<N>>>,
+    results: Receiver<StepOutcome<N>>,
+    handles: Vec<ScopedJoinHandle<'scope, ()>>,
+}
+
+impl<'scope, N: NodeMachine> WorkerPool<'scope, N> {
+    /// Spawns `workers` stepping workers on `scope`. Each worker loops:
+    /// park on the job channel, step the received chunk, send it back.
+    pub(crate) fn new<'env>(
+        scope: &'scope Scope<'scope, 'env>,
+        workers: usize,
+        n: usize,
+        common: &'env CommonCache,
+    ) -> Self
+    where
+        N: 'env,
+    {
+        let (result_tx, results) = channel::<StepOutcome<N>>();
+        let mut job_txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (job_tx, job_rx) = channel::<Job<N>>();
+            let result_tx = result_tx.clone();
+            handles.push(scope.spawn(move || {
+                while let Ok(Job {
+                    round,
+                    index,
+                    mut chunk,
+                }) = job_rx.recv()
+                {
+                    // AssertUnwindSafe: on a caught panic the chunk is
+                    // dropped and the driver aborts the whole run, so no
+                    // code observes the possibly-inconsistent state.
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        let completions = chunk.step(round, n, common);
+                        (chunk, completions)
+                    }));
+                    let (outcome, poisoned) = match outcome {
+                        Ok((chunk, completions)) => (
+                            StepOutcome::Stepped {
+                                index,
+                                chunk,
+                                completions,
+                            },
+                            false,
+                        ),
+                        Err(payload) => (StepOutcome::Panicked(payload), true),
+                    };
+                    // A send error means the driving thread is gone (it
+                    // panicked and is unwinding the scope); exit quietly.
+                    if result_tx.send(outcome).is_err() || poisoned {
+                        break;
+                    }
+                }
+            }));
+            job_txs.push(job_tx);
+        }
+        WorkerPool {
+            job_txs,
+            results,
+            handles,
+        }
+    }
+
+    /// Steps one round: hands each chunk to its worker, collects every
+    /// chunk back (written in place by index), and returns the total
+    /// number of nodes that finished this round.
+    ///
+    /// On return the caller owns all chunks again, so the subsequent
+    /// delivery pass runs with no synchronization at all. If a worker's
+    /// `on_round` panicked, the panic is re-raised here on the driving
+    /// thread after the pool has been torn down.
+    pub(crate) fn step_round(&mut self, round: u64, chunks: &mut [NodeChunk<N>]) -> usize {
+        debug_assert_eq!(chunks.len(), self.job_txs.len());
+        for (index, (slot, job_tx)) in chunks.iter_mut().zip(&self.job_txs).enumerate() {
+            let chunk = std::mem::replace(slot, NodeChunk::placeholder());
+            if job_tx
+                .send(Job {
+                    round,
+                    index,
+                    chunk,
+                })
+                .is_err()
+            {
+                self.abort(None);
+            }
+        }
+        let mut completions = 0usize;
+        for _ in 0..chunks.len() {
+            match self.results.recv() {
+                Ok(StepOutcome::Stepped {
+                    index,
+                    chunk,
+                    completions: c,
+                }) => {
+                    chunks[index] = chunk;
+                    completions += c;
+                }
+                Ok(StepOutcome::Panicked(payload)) => self.abort(Some(payload)),
+                Err(_) => self.abort(None),
+            }
+        }
+        completions
+    }
+
+    /// Tears the pool down after a worker reported a panic (or vanished):
+    /// wake every parked worker so it exits, join them all, and re-raise
+    /// the panic payload on the driving thread. Workers never block on
+    /// the (unbounded) result channel, so joining cannot deadlock.
+    fn abort(&mut self, mut payload: Option<Box<dyn Any + Send>>) -> ! {
+        self.job_txs.clear();
+        for handle in self.handles.drain(..) {
+            if let Err(p) = handle.join() {
+                // Uncaught worker panic — can't happen while `step` runs
+                // under `catch_unwind`, but keep the payload if it does.
+                payload.get_or_insert(p);
+            }
+        }
+        match payload {
+            Some(p) => std::panic::resume_unwind(p),
+            None => unreachable!("a pool worker disconnected without panicking"),
+        }
+    }
+}

@@ -4,16 +4,21 @@ use crate::util::word_bits;
 /// Cliques below this size never auto-select threaded stepping: a round of
 /// `on_round` calls on a few dozen nodes finishes faster than the worker
 /// hand-off costs.
-pub const PARALLEL_AUTO_THRESHOLD: usize = 128;
+///
+/// Workers are persistent and parked between rounds (see the engine's
+/// worker pool), so the hand-off is a channel send rather than a thread
+/// spawn — which is why this threshold sits well below the 128 nodes the
+/// per-round spawn/join engine needed.
+pub const PARALLEL_AUTO_THRESHOLD: usize = 64;
 
 /// Minimum nodes per worker chunk that [`ExecMode::Auto`] will schedule.
 ///
-/// Workers are scoped threads spawned per round, so each one must carry
-/// enough `on_round` work to amortize its spawn/join cost; near the auto
-/// threshold this caps the worker count well below the core count (e.g.
-/// 128 nodes → at most 4 workers). Explicit [`ExecMode::Parallel`] counts
-/// are honored as given.
-pub const PARALLEL_MIN_CHUNK: usize = 32;
+/// Workers are spawned once per run and parked between rounds, so a chunk
+/// only has to amortize a channel hand-off (microseconds), not a thread
+/// spawn/join — hence 8 nodes per worker instead of the 32 the
+/// spawn-per-round engine required. Explicit [`ExecMode::Parallel`]
+/// counts are honored as given.
+pub const PARALLEL_MIN_CHUNK: usize = 8;
 
 /// How the engine executes a run.
 ///
@@ -34,10 +39,21 @@ pub enum ExecMode {
     Auto,
     /// Single-threaded stepping (still uses the bucketed delivery path).
     Sequential,
-    /// Step nodes on exactly `threads` workers (`0` = one per available
-    /// core). Without the `parallel` feature this degrades to
-    /// [`ExecMode::Sequential`].
+    /// Step nodes on exactly `threads` persistent pooled workers (`0` =
+    /// one per available core); workers are spawned once per run and
+    /// parked between rounds. Without the `parallel` feature this
+    /// degrades to [`ExecMode::Sequential`].
     Parallel {
+        /// Number of stepping workers; `0` selects one per available core.
+        threads: usize,
+    },
+    /// The pre-pool parallel engine: `threads` scoped workers spawned and
+    /// joined *every round* instead of drawn from the persistent pool.
+    /// Retained solely as a benchmark baseline so the pool's per-round
+    /// hand-off advantage stays measurable (`cargo bench -p cc-bench
+    /// --bench engine`); never use it for real runs. Resolves its worker
+    /// count exactly like [`ExecMode::Parallel`].
+    SpawnParallel {
         /// Number of stepping workers; `0` selects one per available core.
         threads: usize,
     },
@@ -64,11 +80,11 @@ impl ExecMode {
                     1
                 } else {
                     // Cap workers so every chunk amortizes its per-round
-                    // spawn cost (see PARALLEL_MIN_CHUNK).
+                    // hand-off cost (see PARALLEL_MIN_CHUNK).
                     cores().min(n / PARALLEL_MIN_CHUNK).max(1)
                 }
             }
-            ExecMode::Parallel { threads } => {
+            ExecMode::Parallel { threads } | ExecMode::SpawnParallel { threads } => {
                 if !cfg!(feature = "parallel") {
                     return 1;
                 }
@@ -277,8 +293,17 @@ mod tests {
             assert_eq!(ExecMode::Parallel { threads: 3 }.worker_threads(1024), 3);
             assert_eq!(ExecMode::Parallel { threads: 64 }.worker_threads(8), 8);
             assert!(ExecMode::Parallel { threads: 0 }.worker_threads(1024) >= 1);
+            // The spawn-per-round baseline resolves exactly like Parallel.
+            assert_eq!(
+                ExecMode::SpawnParallel { threads: 3 }.worker_threads(1024),
+                3
+            );
         } else {
             assert_eq!(ExecMode::Parallel { threads: 3 }.worker_threads(1024), 1);
+            assert_eq!(
+                ExecMode::SpawnParallel { threads: 3 }.worker_threads(1024),
+                1
+            );
         }
     }
 }

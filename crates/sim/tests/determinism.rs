@@ -17,7 +17,52 @@ fn all_modes() -> Vec<ExecMode> {
         ExecMode::Parallel { threads: 2 },
         ExecMode::Parallel { threads: 5 },
         ExecMode::Parallel { threads: 0 },
+        ExecMode::SpawnParallel { threads: 2 },
     ]
+}
+
+/// The mode matrix of the error-path determinism suite: for a protocol
+/// that violates the model, every mode must return the *identical*
+/// [`SimError`] value — same variant, same fields — because violations
+/// are resolved at the lowest `(src, dst)` pair independent of stepping.
+fn error_modes() -> Vec<ExecMode> {
+    vec![
+        ExecMode::Auto,
+        ExecMode::Sequential,
+        ExecMode::Parallel { threads: 2 },
+        ExecMode::Parallel { threads: 3 },
+        ExecMode::SpawnParallel { threads: 2 },
+        ExecMode::SeedReference,
+    ]
+}
+
+/// Runs `make` under every error-suite mode and returns the per-mode
+/// errors, asserting the run really failed.
+fn errors_for<N: NodeMachine>(
+    base: CliqueSpec,
+    make: impl Fn(NodeId) -> N + Copy,
+) -> Vec<(ExecMode, SimError)> {
+    error_modes()
+        .into_iter()
+        .map(|mode| {
+            let err = match run_protocol(base.clone().with_exec(mode), make) {
+                Err(err) => err,
+                Ok(_) => panic!("expected a model violation under {mode:?}"),
+            };
+            (mode, err)
+        })
+        .collect()
+}
+
+/// Asserts every mode produced the same error value as the first.
+fn assert_errors_identical(errors: &[(ExecMode, SimError)]) {
+    let (first_mode, first) = &errors[0];
+    for (mode, err) in &errors[1..] {
+        assert_eq!(
+            first, err,
+            "error diverged between {first_mode:?} and {mode:?}"
+        );
+    }
 }
 
 fn reports_for<N: NodeMachine>(
@@ -286,22 +331,17 @@ impl NodeMachine for PartingShot {
 
 #[test]
 fn sends_in_the_final_round_report_lowest_src_dst() {
-    // The seed engine reported this corner in send order; the optimized
-    // engine extends the lowest-(src, dst) guarantee to it, so only the
-    // non-baseline modes are asserted here.
-    for mode in [
-        ExecMode::Sequential,
-        ExecMode::Auto,
-        ExecMode::Parallel { threads: 2 },
-    ] {
-        let err =
-            run_protocol(CliqueSpec::new(6).unwrap().with_exec(mode), |_| PartingShot).unwrap_err();
-        match err {
-            SimError::MessageToFinishedNode { src, dst, .. } => {
-                assert_eq!((src.index(), dst.index()), (0, 2), "mode {mode:?}");
-            }
-            other => panic!("unexpected error {other:?} under {mode:?}"),
+    // The seed engine used to report this corner in send order (the
+    // first-queued destination); both engines now honor the documented
+    // lowest-(src, dst) guarantee, so the full mode matrix — including
+    // SeedReference — must agree on the exact error value.
+    let errors = errors_for(CliqueSpec::new(6).unwrap(), |_| PartingShot);
+    assert_errors_identical(&errors);
+    match &errors[0].1 {
+        SimError::MessageToFinishedNode { round, src, dst } => {
+            assert_eq!((*round, src.index(), dst.index()), (2, 0, 2));
         }
+        other => panic!("unexpected error {other:?}"),
     }
 }
 
@@ -381,4 +421,239 @@ fn staggered_completion_identical_across_modes() {
     let reports = reports_for(CliqueSpec::new(23).unwrap(), |_| Staggered);
     assert_all_identical(&reports);
     assert_eq!(reports[0].outputs[22], 23);
+}
+
+// ---------------------------------------------------------------------------
+// Error-path determinism suite: every mode must return the identical
+// `SimError` *value* — not just the same variant — for each violation
+// class, including the cases where only the lowest-(src, dst) precedence
+// rule disambiguates between several simultaneous violations.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn budget_exceeded_error_identical_across_modes() {
+    let errors = errors_for(CliqueSpec::new(12).unwrap().with_budget_words(8), |_| {
+        DoubleViolator
+    });
+    assert_errors_identical(&errors);
+    match &errors[0].1 {
+        SimError::BudgetExceeded {
+            round, src, dst, ..
+        } => {
+            assert_eq!((*round, src.index(), dst.index()), (1, 2, 4));
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn destination_out_of_range_error_identical_across_modes() {
+    let errors = errors_for(CliqueSpec::new(5).unwrap(), |_| WildPair);
+    assert_errors_identical(&errors);
+    match &errors[0].1 {
+        SimError::DestinationOutOfRange { src, dst, n } => {
+            assert_eq!((src.index(), *dst, *n), (1, 7, 5));
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+/// Several nodes violate in the same final round, each on several
+/// destinations queued in descending order: node 4 queues {5, 1} and
+/// node 2 queues {9, 3}. Send order would report (4, 5) first and
+/// per-sender order would report (2, 9); only the lowest-(src, dst) rule
+/// yields (2, 3) — which every mode must agree on exactly.
+struct FinalRoundChaos;
+
+impl NodeMachine for FinalRoundChaos {
+    type Msg = u64;
+    type Output = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        ctx.send(ctx.me(), 1);
+    }
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &mut Inbox<u64>) -> Step<()> {
+        let _ = inbox.drain().count();
+        match ctx.me().index() {
+            4 => {
+                ctx.send(NodeId::new(5), 7);
+                ctx.send(NodeId::new(1), 7);
+            }
+            2 => {
+                ctx.send(NodeId::new(9), 7);
+                ctx.send(NodeId::new(3), 7);
+            }
+            _ => {}
+        }
+        Step::Done(())
+    }
+}
+
+#[test]
+fn multi_violation_resolved_by_lowest_src_dst_in_every_mode() {
+    let errors = errors_for(CliqueSpec::new(10).unwrap(), |_| FinalRoundChaos);
+    assert_errors_identical(&errors);
+    match &errors[0].1 {
+        SimError::MessageToFinishedNode { round, src, dst } => {
+            assert_eq!((*round, src.index(), dst.index()), (2, 2, 3));
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+/// Every node finishes in round 1 while node 1's final handler queues
+/// messages *only* to out-of-range destinations (n+3 first, then n+1).
+/// There is no finished in-range recipient to blame, so the violation
+/// must be classified as `DestinationOutOfRange` — on the lowest invalid
+/// destination — in every mode (regression: both engines used to emit
+/// `MessageToFinishedNode` with a nonsensical `dst ≥ n` here).
+struct PartingWildShot;
+
+impl NodeMachine for PartingWildShot {
+    type Msg = u64;
+    type Output = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        ctx.send(ctx.me(), 1);
+    }
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &mut Inbox<u64>) -> Step<()> {
+        let _ = inbox.drain().count();
+        if ctx.me().index() == 1 {
+            ctx.send(NodeId::new(ctx.n() + 3), 7);
+            ctx.send(NodeId::new(ctx.n() + 1), 7);
+        }
+        Step::Done(())
+    }
+}
+
+#[test]
+fn final_round_out_of_range_classified_in_every_mode() {
+    let errors = errors_for(CliqueSpec::new(6).unwrap(), |_| PartingWildShot);
+    assert_errors_identical(&errors);
+    match &errors[0].1 {
+        SimError::DestinationOutOfRange { src, dst, n } => {
+            assert_eq!((src.index(), *dst, *n), (1, 7, 6));
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+/// Mixed final round: node 2 queues only out-of-range destinations while
+/// node 4 queues an in-range one. Senders are scanned in ascending order
+/// — exactly like the delivery pass — so node 2's addressing bug is
+/// reported even though node 4's violation has the "stronger" variant.
+struct MixedFinalRound;
+
+impl NodeMachine for MixedFinalRound {
+    type Msg = u64;
+    type Output = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        ctx.send(ctx.me(), 1);
+    }
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &mut Inbox<u64>) -> Step<()> {
+        let _ = inbox.drain().count();
+        match ctx.me().index() {
+            2 => ctx.send(NodeId::new(ctx.n() + 2), 7),
+            4 => ctx.send(NodeId::new(0), 7),
+            _ => {}
+        }
+        Step::Done(())
+    }
+}
+
+#[test]
+fn final_round_scans_senders_ascending_in_every_mode() {
+    let errors = errors_for(CliqueSpec::new(8).unwrap(), |_| MixedFinalRound);
+    assert_errors_identical(&errors);
+    match &errors[0].1 {
+        SimError::DestinationOutOfRange { src, dst, n } => {
+            assert_eq!((src.index(), *dst, *n), (2, 10, 8));
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+/// Nodes 2.. finish in round 1; nodes 0 and 1 keep running but go silent,
+/// so the engine must declare a stall with identical round/finished/total
+/// accounting in every mode.
+struct SilentMinority;
+
+impl NodeMachine for SilentMinority {
+    type Msg = u64;
+    type Output = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        ctx.send(ctx.me(), 1);
+    }
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &mut Inbox<u64>) -> Step<()> {
+        let _ = inbox.drain().count();
+        if ctx.me().index() >= 2 {
+            return Step::Done(());
+        }
+        Step::Continue
+    }
+}
+
+#[test]
+fn stalled_error_identical_across_modes() {
+    let n = 9;
+    let errors = errors_for(
+        CliqueSpec::new(n).unwrap().with_max_silent_rounds(3),
+        |_| SilentMinority,
+    );
+    assert_errors_identical(&errors);
+    match &errors[0].1 {
+        SimError::Stalled {
+            round,
+            finished,
+            total,
+        } => {
+            // Round 1 delivers and completes n-2 nodes; rounds 2-4 are
+            // silent (tolerated); round 5 exceeds the limit.
+            assert_eq!((*round, *finished, *total), (5, n - 2, n));
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+/// An in-flight violation (not the final-round corner): node 1 keeps
+/// sending to node 0 after node 0 finished, detected during delivery.
+struct LateToFinished;
+
+impl NodeMachine for LateToFinished {
+    type Msg = u64;
+    type Output = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        ctx.send(ctx.me(), 1);
+    }
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &mut Inbox<u64>) -> Step<()> {
+        let _ = inbox.drain().count();
+        if ctx.me().index() == 0 {
+            return Step::Done(());
+        }
+        if ctx.me().index() == 1 {
+            ctx.send(NodeId::new(0), 9);
+        }
+        ctx.send(ctx.me(), 1);
+        Step::Continue
+    }
+}
+
+#[test]
+fn message_to_finished_node_error_identical_across_modes() {
+    let errors = errors_for(CliqueSpec::new(4).unwrap(), |_| LateToFinished);
+    assert_errors_identical(&errors);
+    match &errors[0].1 {
+        SimError::MessageToFinishedNode { round, src, dst } => {
+            assert_eq!((*round, src.index(), dst.index()), (2, 1, 0));
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
 }

@@ -251,3 +251,51 @@ fn self_messages_are_budgeted_and_counted() {
     assert_eq!(report.metrics.total_messages(), 4);
     assert!(report.outputs.iter().all(|&x| x == 42));
 }
+
+/// A panic inside `on_round` on a pooled worker must propagate to the
+/// caller — with the original payload — not deadlock the driving thread
+/// waiting for a result that will never arrive (regression: the pool's
+/// result channel only errors once *every* worker is gone, and the
+/// surviving parked workers keep theirs alive).
+#[test]
+fn worker_panic_propagates_under_pooled_stepping() {
+    use cc_sim::ExecMode;
+
+    struct Bomb;
+    impl NodeMachine for Bomb {
+        type Msg = u64;
+        type Output = ();
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.send(ctx.me(), 1);
+        }
+
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &mut Inbox<u64>) -> Step<()> {
+            let _ = inbox.drain().count();
+            if ctx.me().index() == 0 {
+                panic!("node 0 exploded");
+            }
+            ctx.send(ctx.me(), 1);
+            Step::Continue
+        }
+    }
+
+    // 8 nodes on 4 workers: node 0 panics in round 1 while the other
+    // three workers' nodes are still mid-protocol. (Without the
+    // `parallel` feature this degrades to sequential, where propagation
+    // is trivially direct — the assertion still holds.)
+    let result = std::panic::catch_unwind(|| {
+        let _ = run_protocol(
+            CliqueSpec::new(8)
+                .unwrap()
+                .with_exec(ExecMode::Parallel { threads: 4 }),
+            |_| Bomb,
+        );
+    });
+    let payload = result.expect_err("protocol panic must propagate, not deadlock");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert!(
+        msg.contains("node 0 exploded"),
+        "unexpected payload: {msg:?}"
+    );
+}

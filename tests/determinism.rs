@@ -16,8 +16,10 @@ fn modes() -> Vec<ExecMode> {
     vec![
         ExecMode::SeedReference,
         ExecMode::Sequential,
+        ExecMode::Auto,
         ExecMode::Parallel { threads: 2 },
         ExecMode::Parallel { threads: 0 },
+        ExecMode::SpawnParallel { threads: 2 },
     ]
 }
 
