@@ -18,10 +18,16 @@
 //! workspace root; each entry records host cores, the resolved worker
 //! count and the quick flag, so 1-core quick artifacts are
 //! self-identifying.
+//!
+//! A final `session_throughput` experiment measures the session layer:
+//! a batch of mixed route/sort queries answered on one persistent
+//! `CliqueService` (threads and arenas reused across queries) vs the
+//! stateless facade building a fresh simulator per query.
 
 use cc_bench::harness::{self, Options};
 use cc_core::routing::{route_optimized_with_spec, spec_for_optimized};
 use cc_core::sorting::{sort_with_spec, spec_for_sorting};
+use cc_core::{CliqueService, CongestedClique};
 use cc_sim::{run_protocol, CliqueSpec, Ctx, ExecMode, Inbox, NodeMachine, Step};
 use cc_workloads as wl;
 
@@ -159,6 +165,65 @@ fn main() {
         );
     }
 
+    // Session throughput: `queries` successive mixed route/sort queries
+    // answered by one persistent `CliqueService` (threads and arenas
+    // reused across queries) vs by the stateless facade (a fresh
+    // simulator per query). Both run under `ExecMode::Auto`; the
+    // per-query answers are asserted identical, so the rows isolate pure
+    // setup amortization.
+    let queries = if opts.quick { 4usize } else { 8 };
+    for n in [64usize, 256] {
+        let inst = wl::balanced_random(n, 42).unwrap();
+        let keys = wl::uniform_keys(n, 5);
+        let mut rounds_seen: Vec<u64> = Vec::new();
+        let fresh = {
+            let mut entry =
+                harness::bench("session_throughput", n, "fresh_simulator", &opts, || {
+                    let clique = CongestedClique::new(n).unwrap();
+                    let mut rounds = 0u64;
+                    for q in 0..queries {
+                        rounds += if q % 2 == 0 {
+                            clique.route_optimized(&inst).unwrap().metrics.comm_rounds()
+                        } else {
+                            clique.sort(&keys).unwrap().metrics.comm_rounds()
+                        };
+                    }
+                    rounds_seen.push(rounds);
+                    rounds
+                });
+            entry.worker_threads = Some(ExecMode::Auto.worker_threads(n));
+            entry
+        };
+        let session = {
+            let mut entry = harness::bench("session_throughput", n, "session", &opts, || {
+                let mut service = CliqueService::new(n).unwrap();
+                let mut rounds = 0u64;
+                for q in 0..queries {
+                    rounds += if q % 2 == 0 {
+                        service
+                            .route_optimized(&inst)
+                            .unwrap()
+                            .metrics
+                            .comm_rounds()
+                    } else {
+                        service.sort(&keys).unwrap().metrics.comm_rounds()
+                    };
+                }
+                rounds_seen.push(rounds);
+                rounds
+            });
+            entry.worker_threads = Some(ExecMode::Auto.worker_threads(n));
+            entry
+        };
+        assert!(
+            rounds_seen.windows(2).all(|w| w[0] == w[1]),
+            "session_throughput n={n}: substrates disagreed on rounds: {rounds_seen:?}"
+        );
+        speedups.push(harness::speedup(&fresh, &session));
+        entries.push(fresh);
+        entries.push(session);
+    }
+
     harness::write_json("engine", &opts, &entries, &speedups);
 
     // Surface the acceptance numbers directly in the output.
@@ -175,6 +240,15 @@ fn main() {
             println!(
                 "{} n=256: pooled {} is {:.2}x vs per-round {}",
                 s.group, s.candidate, s.ratio, s.baseline
+            );
+        }
+        // The session layer's acceptance regime: batched queries on one
+        // persistent session vs a fresh simulator per query.
+        if s.group == "session_throughput" {
+            println!(
+                "session_throughput n={}: one session answering {queries} mixed queries is \
+                 {:.2}x vs fresh simulators",
+                s.n, s.ratio
             );
         }
     }

@@ -1,10 +1,16 @@
 //! Primitive round-trips: Corollary 3.3 and 3.4 exchanges (E3/E4
-//! wall-clock).
+//! wall-clock). Each group is measured twice — `default` builds a fresh
+//! simulator per exchange, `session` answers every exchange on one
+//! persistent `CliqueSession` via `drive_protocol_on` — so the artifact
+//! shows what the session layer amortizes for 2–4-round primitives,
+//! where per-run setup is proportionally largest.
 
 use cc_bench::harness::{self, Options};
-use cc_primitives::{drive, DemandMatrix, KnownExchange, NodeGroup, SubsetExchange};
+use cc_primitives::{
+    drive, drive_protocol_on, DemandMatrix, KnownExchange, NodeGroup, SubsetExchange,
+};
 use cc_sim::util::word_bits;
-use cc_sim::{run_protocol, CliqueSpec, CommonScope, Payload};
+use cc_sim::{run_protocol, CliqueSession, CliqueSpec, CommonScope, Payload};
 
 #[derive(Clone, Debug)]
 struct Tag(u32, u32);
@@ -19,7 +25,9 @@ impl Payload for Tag {
 fn main() {
     let opts = Options::from_env();
     let mut entries = Vec::new();
+    let mut speedups = Vec::new();
     let mut tag = 0u64;
+    let mut session = CliqueSession::new();
     for n in [64usize, 256] {
         let w = cc_sim::util::isqrt(n);
         let grp = NodeGroup::contiguous(0, w);
@@ -29,17 +37,41 @@ fn main() {
                 demands.set(i, j, (n / w) as u32);
             }
         }
-        entries.push(harness::bench(
-            "known_exchange",
-            n,
-            "default",
-            &opts,
-            || {
-                tag += 1;
-                let t = tag;
-                let grp = grp.clone();
-                let demands = demands.clone();
-                run_protocol(CliqueSpec::new(n).unwrap().with_budget_words(64), |me| {
+        let known_fresh = harness::bench("known_exchange", n, "default", &opts, || {
+            tag += 1;
+            let t = tag;
+            let grp = grp.clone();
+            let demands = demands.clone();
+            run_protocol(CliqueSpec::new(n).unwrap().with_budget_words(64), |me| {
+                if let Some(local) = grp.local_index(me) {
+                    let outgoing: Vec<Vec<Tag>> = (0..w)
+                        .map(|j| {
+                            (0..demands.get(local, j))
+                                .map(|k| Tag(me.raw(), k))
+                                .collect()
+                        })
+                        .collect();
+                    drive(KnownExchange::member(
+                        grp.clone(),
+                        demands.clone(),
+                        outgoing,
+                        CommonScope::new("bench.kx", t),
+                    ))
+                } else {
+                    drive(KnownExchange::relay_only())
+                }
+            })
+            .unwrap()
+        });
+        let known_session = harness::bench("known_exchange", n, "session", &opts, || {
+            tag += 1;
+            let t = tag;
+            let grp = grp.clone();
+            let demands = demands.clone();
+            drive_protocol_on(
+                &mut session,
+                CliqueSpec::new(n).unwrap().with_budget_words(64),
+                |me| {
                     if let Some(local) = grp.local_index(me) {
                         let outgoing: Vec<Vec<Tag>> = (0..w)
                             .map(|j| {
@@ -48,30 +80,56 @@ fn main() {
                                     .collect()
                             })
                             .collect();
-                        drive(KnownExchange::member(
+                        KnownExchange::member(
                             grp.clone(),
                             demands.clone(),
                             outgoing,
                             CommonScope::new("bench.kx", t),
-                        ))
+                        )
                     } else {
-                        drive(KnownExchange::relay_only())
+                        KnownExchange::relay_only()
                     }
-                })
-                .unwrap()
-            },
-        ));
+                },
+            )
+            .unwrap()
+        });
+        speedups.push(harness::speedup(&known_fresh, &known_session));
+        entries.push(known_fresh);
+        entries.push(known_session);
         let grp2 = NodeGroup::contiguous(0, w);
-        entries.push(harness::bench(
-            "subset_exchange",
-            n,
-            "default",
-            &opts,
-            || {
-                tag += 1;
-                let t = tag;
-                let grp = grp2.clone();
-                run_protocol(CliqueSpec::new(n).unwrap().with_budget_words(64), |me| {
+        let subset_fresh = harness::bench("subset_exchange", n, "default", &opts, || {
+            tag += 1;
+            let t = tag;
+            let grp = grp2.clone();
+            run_protocol(CliqueSpec::new(n).unwrap().with_budget_words(64), |me| {
+                if let Some(local) = grp.local_index(me) {
+                    let outgoing: Vec<Vec<Tag>> = (0..w)
+                        .map(|j| {
+                            (0..((local + j) % w) as u32)
+                                .map(|k| Tag(me.raw(), k))
+                                .collect()
+                        })
+                        .collect();
+                    drive(SubsetExchange::member(
+                        grp.clone(),
+                        local,
+                        outgoing,
+                        CommonScope::new("bench.sx", t),
+                    ))
+                } else {
+                    drive(SubsetExchange::relay_only())
+                }
+            })
+            .unwrap()
+        });
+        let subset_session = harness::bench("subset_exchange", n, "session", &opts, || {
+            tag += 1;
+            let t = tag;
+            let grp = grp2.clone();
+            drive_protocol_on(
+                &mut session,
+                CliqueSpec::new(n).unwrap().with_budget_words(64),
+                |me| {
                     if let Some(local) = grp.local_index(me) {
                         let outgoing: Vec<Vec<Tag>> = (0..w)
                             .map(|j| {
@@ -80,19 +138,22 @@ fn main() {
                                     .collect()
                             })
                             .collect();
-                        drive(SubsetExchange::member(
+                        SubsetExchange::member(
                             grp.clone(),
                             local,
                             outgoing,
                             CommonScope::new("bench.sx", t),
-                        ))
+                        )
                     } else {
-                        drive(SubsetExchange::relay_only())
+                        SubsetExchange::relay_only()
                     }
-                })
-                .unwrap()
-            },
-        ));
+                },
+            )
+            .unwrap()
+        });
+        speedups.push(harness::speedup(&subset_fresh, &subset_session));
+        entries.push(subset_fresh);
+        entries.push(subset_session);
     }
-    harness::write_json("primitives", &opts, &entries, &[]);
+    harness::write_json("primitives", &opts, &entries, &speedups);
 }

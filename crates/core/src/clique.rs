@@ -39,7 +39,7 @@ impl CongestedClique {
         isqrt(self.n)
     }
 
-    fn check(&self, instance_n: usize) -> Result<(), CoreError> {
+    pub(crate) fn check(&self, instance_n: usize) -> Result<(), CoreError> {
         if instance_n != self.n {
             return Err(CoreError::invalid(format!(
                 "instance is for n = {instance_n}, clique has n = {}",

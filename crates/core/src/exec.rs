@@ -1,0 +1,45 @@
+//! The single executor path behind every protocol entry point.
+//!
+//! Each protocol module used to hand-roll its own `spec → machines → run`
+//! plumbing against a fresh [`Simulator`]; this module is the one place
+//! that decision now lives. A driver function takes an [`Exec`] and calls
+//! [`Exec::run`]: the stateless facade passes [`Exec::OneShot`], while
+//! [`CliqueService`](crate::CliqueService) passes its persistent
+//! [`CliqueSession`] so consecutive queries reuse worker threads and
+//! message arenas. Both arms are observably identical — the session's
+//! contract is bit-identical [`RunReport`]s — so protocol code never
+//! needs to know which substrate it is running on.
+
+use cc_sim::{CliqueSession, CliqueSpec, NodeMachine, RunReport, SimError, Simulator};
+
+/// Which simulation substrate a protocol run executes on.
+pub(crate) enum Exec<'s> {
+    /// A fresh [`Simulator`] per run: threads and arenas live for one run.
+    OneShot,
+    /// A caller-owned persistent session: threads and arenas are reused
+    /// across runs (see [`CliqueSession`]).
+    Session(&'s mut CliqueSession),
+}
+
+impl Exec<'_> {
+    /// Runs `machines` under `spec` on the selected substrate.
+    ///
+    /// The `'static` bounds come from [`CliqueSession::run`] (session
+    /// workers outlive any single run); every protocol machine in this
+    /// crate owns its state, so they are vacuous here.
+    pub(crate) fn run<N>(
+        &mut self,
+        spec: CliqueSpec,
+        machines: Vec<N>,
+    ) -> Result<RunReport<N::Output>, SimError>
+    where
+        N: NodeMachine + 'static,
+        N::Msg: 'static,
+        N::Output: 'static,
+    {
+        match self {
+            Exec::OneShot => Simulator::new(spec, machines)?.run(),
+            Exec::Session(session) => session.run(spec, machines),
+        }
+    }
+}

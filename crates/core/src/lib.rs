@@ -21,7 +21,15 @@
 //! `O(log n)`-bit budget and counts the communication rounds the paper's
 //! theorems bound.
 //!
-//! The [`CongestedClique`] facade bundles the common entry points:
+//! Two facades bundle the common entry points: the stateless
+//! [`CongestedClique`] (a fresh simulator per call) and the stateful
+//! [`CliqueService`] (one persistent `cc_sim::CliqueSession` answering
+//! every call, amortizing thread and arena setup across queries —
+//! bit-identical answers, see [`CliqueService`]). Both expose `route`,
+//! `route_optimized`, `sort`, `global_indices`, `select`, `mode` and
+//! `small_key_census` through one shared internal executor path.
+//!
+//! The stateless facade:
 //!
 //! ```rust
 //! use cc_core::CongestedClique;
@@ -44,9 +52,12 @@
 
 mod clique;
 mod error;
+mod exec;
+mod service;
 
 pub mod routing;
 pub mod sorting;
 
 pub use clique::CongestedClique;
 pub use error::CoreError;
+pub use service::CliqueService;

@@ -16,11 +16,12 @@
 //! at most `n ≤ 3` rounds, trivially within the 16-round bound.
 
 use crate::error::CoreError;
+use crate::exec::Exec;
 use crate::routing::instance::{RoutedMessage, RoutingInstance};
 use crate::routing::square::{RoutePayload, SqMsg, SquareRouter};
 use cc_primitives::{Driver, SubsetExchange, SxMsg};
 use cc_sim::util::{is_square, isqrt, word_bits};
-use cc_sim::{CliqueSpec, Ctx, Inbox, Metrics, NodeId, NodeMachine, Payload, Simulator, Step};
+use cc_sim::{CliqueSpec, Ctx, Inbox, Metrics, NodeId, NodeMachine, Payload, Step};
 
 /// Messages of the V1/V2/V3 cross procedure.
 #[derive(Clone, Debug)]
@@ -610,11 +611,27 @@ pub fn route_with_spec<P: RoutePayload>(
     instance: &RoutingInstance<P>,
     spec: CliqueSpec,
 ) -> Result<RouteOutcome<P>, CoreError> {
+    route_with_exec(instance, spec, Exec::OneShot)
+}
+
+/// The driver behind both [`route_with_spec`] (one-shot) and
+/// [`CliqueService::route`](crate::CliqueService::route) (persistent
+/// session): builds the per-node machines, runs them on `exec`, and
+/// verifies the delivery.
+///
+/// # Errors
+///
+/// See [`route_deterministic`].
+pub(crate) fn route_with_exec<P: RoutePayload>(
+    instance: &RoutingInstance<P>,
+    spec: CliqueSpec,
+    mut exec: Exec<'_>,
+) -> Result<RouteOutcome<P>, CoreError> {
     let n = instance.n();
     let machines = (0..n)
         .map(|v| RouterMachine::new(instance, NodeId::new(v)))
         .collect();
-    let report = Simulator::new(spec, machines)?.run()?;
+    let report = exec.run(spec, machines)?;
     let mut delivered = report.outputs;
     for d in &mut delivered {
         d.sort_unstable_by_key(|x| x.key());

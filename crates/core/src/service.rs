@@ -1,0 +1,227 @@
+//! A persistent query service over the paper's protocols.
+//!
+//! [`CongestedClique`](crate::CongestedClique) is stateless: every call
+//! builds a fresh simulator — new worker threads, new message arenas.
+//! [`CliqueService`] is the long-lived counterpart for the
+//! repeated-invocation regime (cf. Chang–Huang–Su, *Deterministic
+//! Expander Routing*: one routing substrate serving many successive
+//! instances): it owns a [`CliqueSession`] and answers every query on it,
+//! so threads and arenas are reused across calls — across *different*
+//! protocols, too, since the session's workers are type-erased.
+//!
+//! Determinism carries over unchanged: each answer is bit-identical to
+//! the one the stateless facade would produce, because the session's
+//! contract is bit-identical [`RunReport`](cc_sim::RunReport)s and the
+//! protocol drivers are literally the same functions (see
+//! [`Exec`](crate::exec::Exec)).
+
+use crate::error::CoreError;
+use crate::exec::Exec;
+use crate::routing::{
+    route_optimized_with_exec, route_with_exec, spec_for_optimized, spec_for_routing, RouteOutcome,
+    RoutingInstance,
+};
+use crate::sorting::{
+    global_indices_with_exec, mode_query_with_exec, select_rank_with_exec,
+    small_key_census_with_exec, sort_with_exec, spec_for_sorting, IndexOutcome, ModeOutcome,
+    SelectOutcome, SmallKeyOutcome, SortOutcome,
+};
+use crate::CongestedClique;
+use cc_sim::{CliqueSession, SessionStats};
+
+/// A stateful facade answering routing/sorting/selection queries on one
+/// persistent [`CliqueSession`].
+///
+/// Prefer this over [`CongestedClique`] whenever more than a handful of
+/// queries hit the same clique size: Lenzen's protocols are
+/// constant-round, so for small `n` the per-run setup a fresh simulator
+/// pays (thread spawns, arena allocations) is a dominant cost that the
+/// service amortizes away. For a single query, or when `&self` access
+/// matters (the service's methods take `&mut self` because the session
+/// mutates its arenas), the stateless facade remains the right tool.
+///
+/// ```rust
+/// use cc_core::CliqueService;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut service = CliqueService::new(16)?;
+/// let instance = cc_core::routing::RoutingInstance::from_demands(16, |_, _| 1)?;
+/// for _ in 0..3 {
+///     let outcome = service.route(&instance)?;
+///     assert!(outcome.metrics.comm_rounds() <= 16);
+/// }
+/// let keys: Vec<Vec<u64>> = (0..16).map(|i| vec![i as u64]).collect();
+/// let sorted = service.sort(&keys)?;
+/// assert_eq!(sorted.total, 16);
+/// assert_eq!(service.stats().completed(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CliqueService {
+    clique: CongestedClique,
+    session: CliqueSession,
+}
+
+impl CliqueService {
+    /// Creates a service for an `n`-node clique. Worker threads are
+    /// spawned lazily by the first query whose
+    /// [`ExecMode`](cc_sim::ExecMode) resolves to more than one worker.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `n == 0`.
+    pub fn new(n: usize) -> Result<Self, CoreError> {
+        Ok(CliqueService {
+            clique: CongestedClique::new(n)?,
+            session: CliqueSession::new(),
+        })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.clique.n()
+    }
+
+    /// Aggregate counters over every query answered so far.
+    #[inline]
+    pub fn stats(&self) -> &SessionStats {
+        self.session.stats()
+    }
+
+    /// As [`CongestedClique::route`], on the persistent session.
+    ///
+    /// # Errors
+    ///
+    /// See [`CongestedClique::route`].
+    pub fn route(&mut self, instance: &RoutingInstance) -> Result<RouteOutcome, CoreError> {
+        self.clique.check(instance.n())?;
+        route_with_exec(
+            instance,
+            spec_for_routing(instance.n()),
+            Exec::Session(&mut self.session),
+        )
+    }
+
+    /// As [`CongestedClique::route_optimized`], on the persistent session.
+    ///
+    /// # Errors
+    ///
+    /// See [`CongestedClique::route_optimized`].
+    pub fn route_optimized(
+        &mut self,
+        instance: &RoutingInstance,
+    ) -> Result<RouteOutcome, CoreError> {
+        self.clique.check(instance.n())?;
+        route_optimized_with_exec(
+            instance,
+            spec_for_optimized(instance.n()),
+            Exec::Session(&mut self.session),
+        )
+    }
+
+    /// As [`CongestedClique::sort`], on the persistent session.
+    ///
+    /// # Errors
+    ///
+    /// See [`CongestedClique::sort`].
+    pub fn sort(&mut self, keys: &[Vec<u64>]) -> Result<SortOutcome, CoreError> {
+        self.clique.check(keys.len())?;
+        sort_with_exec(
+            keys,
+            spec_for_sorting(keys.len()),
+            Exec::Session(&mut self.session),
+        )
+    }
+
+    /// As [`CongestedClique::global_indices`], on the persistent session.
+    ///
+    /// # Errors
+    ///
+    /// See [`CongestedClique::global_indices`].
+    pub fn global_indices(&mut self, keys: &[Vec<u64>]) -> Result<IndexOutcome, CoreError> {
+        self.clique.check(keys.len())?;
+        global_indices_with_exec(keys, Exec::Session(&mut self.session))
+    }
+
+    /// As [`CongestedClique::select`], on the persistent session.
+    ///
+    /// # Errors
+    ///
+    /// See [`CongestedClique::select`].
+    pub fn select(&mut self, keys: &[Vec<u64>], rank: u64) -> Result<SelectOutcome, CoreError> {
+        self.clique.check(keys.len())?;
+        select_rank_with_exec(keys, rank, Exec::Session(&mut self.session))
+    }
+
+    /// As [`CongestedClique::mode`], on the persistent session.
+    ///
+    /// # Errors
+    ///
+    /// See [`CongestedClique::mode`].
+    pub fn mode(&mut self, keys: &[Vec<u64>]) -> Result<ModeOutcome, CoreError> {
+        self.clique.check(keys.len())?;
+        mode_query_with_exec(keys, Exec::Session(&mut self.session))
+    }
+
+    /// As [`CongestedClique::small_key_census`], on the persistent
+    /// session.
+    ///
+    /// # Errors
+    ///
+    /// See [`CongestedClique::small_key_census`].
+    pub fn small_key_census(
+        &mut self,
+        keys: &[Vec<u64>],
+        key_bits: u32,
+    ) -> Result<SmallKeyOutcome, CoreError> {
+        self.clique.check(keys.len())?;
+        small_key_census_with_exec(keys, key_bits, Exec::Session(&mut self.session))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_reuses_one_session_across_protocols() {
+        let n = 9;
+        let mut service = CliqueService::new(n).unwrap();
+        let inst = RoutingInstance::from_demands(n, |_, _| 1).unwrap();
+        let keys: Vec<Vec<u64>> = (0..n)
+            .map(|i| (0..n).map(|j| ((i * 5 + j) % 13) as u64).collect())
+            .collect();
+        assert!(service.route(&inst).unwrap().metrics.comm_rounds() <= 16);
+        assert!(
+            service
+                .route_optimized(&inst)
+                .unwrap()
+                .metrics
+                .comm_rounds()
+                <= 12
+        );
+        assert!(service.sort(&keys).unwrap().metrics.comm_rounds() <= 37);
+        assert!(service.select(&keys, 40).is_ok());
+        assert!(service.mode(&keys).is_ok());
+        assert!(service.global_indices(&keys).is_ok());
+        assert_eq!(service.stats().completed(), 6);
+        assert_eq!(service.stats().failed(), 0);
+    }
+
+    #[test]
+    fn service_rejects_mismatched_instances_like_the_facade() {
+        let mut service = CliqueService::new(9).unwrap();
+        let inst = RoutingInstance::from_demands(4, |_, _| 1).unwrap();
+        assert!(service.route(&inst).is_err());
+        assert!(service.sort(&vec![vec![]; 4]).is_err());
+        // Facade-level rejections never reach the session.
+        assert_eq!(service.stats().runs(), 0);
+    }
+
+    #[test]
+    fn service_rejects_empty_clique() {
+        assert!(CliqueService::new(0).is_err());
+    }
+}

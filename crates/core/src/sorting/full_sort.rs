@@ -27,14 +27,13 @@
 //! the paper's "work with subsets of size ⌊√n⌋" remark.
 
 use crate::error::CoreError;
+use crate::exec::Exec;
 use crate::routing::{GMsg, RoutedMessage, RouterMachine};
 use crate::sorting::keys::{KeyBatch, TaggedKey};
 use crate::sorting::subset_sort::{A3Msg, SubsetSort};
 use cc_primitives::{Driver, NodeGroup, RbMsg, RelayBroadcast};
 use cc_sim::util::{isqrt, sort_cost, word_bits};
-use cc_sim::{
-    CliqueSpec, CommonScope, Ctx, Inbox, Metrics, NodeId, NodeMachine, Payload, Simulator, Step,
-};
+use cc_sim::{CliqueSpec, CommonScope, Ctx, Inbox, Metrics, NodeId, NodeMachine, Payload, Step};
 
 /// Messages of the full sort.
 #[derive(Clone, Debug)]
@@ -526,6 +525,20 @@ pub fn sort_keys(keys: &[Vec<u64>]) -> Result<SortOutcome, CoreError> {
 ///
 /// See [`sort_keys`].
 pub fn sort_with_spec(keys: &[Vec<u64>], spec: CliqueSpec) -> Result<SortOutcome, CoreError> {
+    sort_with_exec(keys, spec, Exec::OneShot)
+}
+
+/// The shared driver: one-shot and session execution differ only in the
+/// [`Exec`] passed here.
+///
+/// # Errors
+///
+/// See [`sort_keys`].
+pub(crate) fn sort_with_exec(
+    keys: &[Vec<u64>],
+    spec: CliqueSpec,
+    mut exec: Exec<'_>,
+) -> Result<SortOutcome, CoreError> {
     let n = keys.len();
     if n == 0 {
         return Err(CoreError::invalid("at least one node required"));
@@ -544,7 +557,7 @@ pub fn sort_with_spec(keys: &[Vec<u64>], spec: CliqueSpec) -> Result<SortOutcome
     let machines = (0..n)
         .map(|v| FullSortMachine::new(n, NodeId::new(v), keys[v].clone()))
         .collect();
-    let report = Simulator::new(spec, machines)?.run()?;
+    let report = exec.run(spec, machines)?;
     let batches: Vec<Vec<TaggedKey>> = report.outputs.iter().map(|b| b.keys.clone()).collect();
     let offsets: Vec<u64> = report.outputs.iter().map(|b| b.offset).collect();
 

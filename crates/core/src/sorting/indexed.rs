@@ -15,10 +15,11 @@
 //!   to the keys' origins via Theorem 3.7: 37 + 1 + 16 = 54 rounds.
 
 use crate::error::CoreError;
+use crate::exec::Exec;
 use crate::routing::{GMsg, RoutedMessage, RouterMachine};
 use crate::sorting::full_sort::{spec_for_sorting, FsMsg, FullSortMachine, NodeBatch};
 use cc_sim::util::word_bits;
-use cc_sim::{Ctx, Inbox, Metrics, NodeId, NodeMachine, Payload, Simulator, Step};
+use cc_sim::{Ctx, Inbox, Metrics, NodeId, NodeMachine, Payload, Step};
 
 /// Per-batch boundary summary broadcast after the sort.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -440,7 +441,11 @@ pub struct ModeOutcome {
     pub metrics: Metrics,
 }
 
-fn run_query(keys: &[Vec<u64>], query: Query) -> Result<(Vec<QueryAnswer>, Metrics), CoreError> {
+fn run_query(
+    keys: &[Vec<u64>],
+    query: Query,
+    mut exec: Exec<'_>,
+) -> Result<(Vec<QueryAnswer>, Metrics), CoreError> {
     let n = keys.len();
     if n == 0 {
         return Err(CoreError::invalid("at least one node required"));
@@ -448,7 +453,7 @@ fn run_query(keys: &[Vec<u64>], query: Query) -> Result<(Vec<QueryAnswer>, Metri
     let machines = (0..n)
         .map(|v| QueryMachine::new(n, NodeId::new(v), keys[v].clone(), query.clone()))
         .collect();
-    let report = Simulator::new(spec_for_sorting(n), machines)?.run()?;
+    let report = exec.run(spec_for_sorting(n), machines)?;
     Ok((report.outputs, report.metrics))
 }
 
@@ -459,7 +464,15 @@ fn run_query(keys: &[Vec<u64>], query: Query) -> Result<(Vec<QueryAnswer>, Metri
 ///
 /// Propagates instance validation and simulation failures.
 pub fn global_indices(keys: &[Vec<u64>]) -> Result<IndexOutcome, CoreError> {
-    let (answers, metrics) = run_query(keys, Query::Indices)?;
+    global_indices_with_exec(keys, Exec::OneShot)
+}
+
+/// The shared driver behind [`global_indices`]; see [`Exec`].
+pub(crate) fn global_indices_with_exec(
+    keys: &[Vec<u64>],
+    exec: Exec<'_>,
+) -> Result<IndexOutcome, CoreError> {
+    let (answers, metrics) = run_query(keys, Query::Indices, exec)?;
     let indices = answers
         .into_iter()
         .map(|a| match a {
@@ -477,13 +490,22 @@ pub fn global_indices(keys: &[Vec<u64>]) -> Result<IndexOutcome, CoreError> {
 ///
 /// Rejects out-of-range ranks; propagates simulation failures.
 pub fn select_rank(keys: &[Vec<u64>], rank: u64) -> Result<SelectOutcome, CoreError> {
+    select_rank_with_exec(keys, rank, Exec::OneShot)
+}
+
+/// The shared driver behind [`select_rank`]; see [`Exec`].
+pub(crate) fn select_rank_with_exec(
+    keys: &[Vec<u64>],
+    rank: u64,
+    exec: Exec<'_>,
+) -> Result<SelectOutcome, CoreError> {
     let total: u64 = keys.iter().map(|l| l.len() as u64).sum();
     if rank >= total {
         return Err(CoreError::invalid(format!(
             "rank {rank} out of range (total {total})"
         )));
     }
-    let (answers, metrics) = run_query(keys, Query::Select(rank))?;
+    let (answers, metrics) = run_query(keys, Query::Select(rank), exec)?;
     let key = match answers.first() {
         Some(QueryAnswer::Selected(k)) => *k,
         other => panic!("unexpected answer {other:?}"),
@@ -501,11 +523,19 @@ pub fn select_rank(keys: &[Vec<u64>], rank: u64) -> Result<SelectOutcome, CoreEr
 ///
 /// Rejects empty inputs; propagates simulation failures.
 pub fn mode_query(keys: &[Vec<u64>]) -> Result<ModeOutcome, CoreError> {
+    mode_query_with_exec(keys, Exec::OneShot)
+}
+
+/// The shared driver behind [`mode_query`]; see [`Exec`].
+pub(crate) fn mode_query_with_exec(
+    keys: &[Vec<u64>],
+    exec: Exec<'_>,
+) -> Result<ModeOutcome, CoreError> {
     let total: u64 = keys.iter().map(|l| l.len() as u64).sum();
     if total == 0 {
         return Err(CoreError::invalid("mode of an empty multiset"));
     }
-    let (answers, metrics) = run_query(keys, Query::Mode)?;
+    let (answers, metrics) = run_query(keys, Query::Mode, exec)?;
     let (key, count) = match answers.first() {
         Some(QueryAnswer::Mode(k, c)) => (*k, *c),
         other => panic!("unexpected answer {other:?}"),

@@ -15,12 +15,15 @@ mod keys;
 mod small_keys;
 mod subset_sort;
 
+pub(crate) use full_sort::sort_with_exec;
 pub use full_sort::{
     sort_keys, sort_with_spec, spec_for_sorting, FsMsg, FullSortMachine, SortOutcome,
 };
 pub use indexed::{
     global_indices, mode_query, select_rank, IndexOutcome, ModeOutcome, SelectOutcome,
 };
+pub(crate) use indexed::{global_indices_with_exec, mode_query_with_exec, select_rank_with_exec};
 pub use keys::{IndexedBatch, KeyBatch, TaggedKey, KEYS_PER_BATCH};
+pub(crate) use small_keys::small_key_census_with_exec;
 pub use small_keys::{small_key_census, SmallKeyOutcome};
 pub use subset_sort::{A3Msg, SubsetSort, SubsetSortOutput};

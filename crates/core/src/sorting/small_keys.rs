@@ -13,8 +13,9 @@
 //! assign every one of its own copies its global index.
 
 use crate::error::CoreError;
+use crate::exec::Exec;
 use cc_sim::util::ceil_log2;
-use cc_sim::{CliqueSpec, Ctx, Inbox, Metrics, NodeId, NodeMachine, Payload, Simulator, Step};
+use cc_sim::{CliqueSpec, Ctx, Inbox, Metrics, NodeId, NodeMachine, Payload, Step};
 
 /// Messages of the small-key census: presence bits and report bits.
 #[derive(Clone, Debug)]
@@ -192,6 +193,20 @@ pub struct SmallKeyOutcome {
 /// block assignment needs that many dedicated nodes) or out-of-domain
 /// keys; propagates simulation failures.
 pub fn small_key_census(keys: &[Vec<u64>], key_bits: u32) -> Result<SmallKeyOutcome, CoreError> {
+    small_key_census_with_exec(keys, key_bits, Exec::OneShot)
+}
+
+/// The shared driver: one-shot and session execution differ only in the
+/// [`Exec`] passed here.
+///
+/// # Errors
+///
+/// See [`small_key_census`].
+pub(crate) fn small_key_census_with_exec(
+    keys: &[Vec<u64>],
+    key_bits: u32,
+    mut exec: Exec<'_>,
+) -> Result<SmallKeyOutcome, CoreError> {
     let n = keys.len();
     if n == 0 {
         return Err(CoreError::invalid("at least one node required"));
@@ -240,7 +255,7 @@ pub fn small_key_census(keys: &[Vec<u64>], key_bits: u32) -> Result<SmallKeyOutc
         .expect("n >= 1")
         .with_bits_per_edge(2)
         .with_max_rounds(8);
-    let report = Simulator::new(spec, machines)?.run()?;
+    let report = exec.run(spec, machines)?;
     let totals = report.outputs[0].0.clone();
     for (v, (t, _)) in report.outputs.iter().enumerate() {
         if t != &totals {

@@ -1,4 +1,4 @@
-use cc_sim::{BaseCtx, NodeId, Payload};
+use cc_sim::{BaseCtx, CliqueSession, CliqueSpec, NodeId, Payload, RunReport, SimError};
 
 /// A resumable sub-protocol: a per-node state machine a parent
 /// [`NodeMachine`](cc_sim::NodeMachine) advances one round at a time.
@@ -73,6 +73,31 @@ pub fn drive<D: Driver>(driver: D) -> DriverMachine<D> {
     DriverMachine { driver }
 }
 
+/// Runs one driver per node as a standalone protocol on a persistent
+/// [`CliqueSession`] — the session-flavored counterpart of wrapping
+/// [`drive`] in [`cc_sim::run_protocol`]. Tests and benchmarks that
+/// measure a primitive's rounds *repeatedly* use this so consecutive
+/// measurements reuse the session's worker threads and message arenas;
+/// the report is bit-identical to a one-shot run (the session's
+/// contract).
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from [`CliqueSession::run`].
+pub fn drive_protocol_on<D, F>(
+    session: &mut CliqueSession,
+    spec: CliqueSpec,
+    mut make: F,
+) -> Result<RunReport<D::Output>, SimError>
+where
+    D: Driver + 'static,
+    D::Msg: 'static,
+    D::Output: 'static,
+    F: FnMut(NodeId) -> D,
+{
+    session.run_protocol(spec, |me| drive(make(me)))
+}
+
 /// Adapter turning a [`Driver`] into a complete
 /// [`NodeMachine`](cc_sim::NodeMachine); see [`drive`].
 #[derive(Debug)]
@@ -106,5 +131,47 @@ impl<D: Driver> cc_sim::NodeMachine for DriverMachine<D> {
             Some(out) => cc_sim::Step::Done(out),
             None => cc_sim::Step::Continue,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One-round driver: broadcast my id, output the ids heard.
+    struct Roll {
+        me: NodeId,
+    }
+
+    impl Driver for Roll {
+        type Msg = u64;
+        type Output = Vec<u64>;
+
+        fn activate(&mut self, ctx: &mut BaseCtx<'_>) -> Vec<(NodeId, u64)> {
+            ctx.nodes().map(|v| (v, self.me.index() as u64)).collect()
+        }
+
+        fn on_round(
+            &mut self,
+            _ctx: &mut BaseCtx<'_>,
+            inbox: Vec<(NodeId, u64)>,
+        ) -> DriverStep<u64, Vec<u64>> {
+            DriverStep::done(inbox.into_iter().map(|(_, m)| m).collect())
+        }
+    }
+
+    /// The session harness answers exactly like the one-shot harness, and
+    /// keeps doing so when reused.
+    #[test]
+    fn session_harness_matches_one_shot() {
+        let n = 6;
+        let spec = || CliqueSpec::new(n).unwrap();
+        let one_shot = cc_sim::run_protocol(spec(), |me| drive(Roll { me })).unwrap();
+        let mut session = CliqueSession::new();
+        for _ in 0..3 {
+            let on_session = drive_protocol_on(&mut session, spec(), |me| Roll { me }).unwrap();
+            assert_eq!(one_shot, on_session);
+        }
+        assert_eq!(session.stats().completed(), 3);
     }
 }

@@ -45,7 +45,7 @@ mod subset_exchange;
 
 pub use announce::{AnnounceMsg, GroupAnnounce};
 pub use demand::DemandMatrix;
-pub use driver::{drive, Driver, DriverStep};
+pub use driver::{drive, drive_protocol_on, Driver, DriverStep};
 pub use group::NodeGroup;
 pub use headerless::{HeaderlessExchange, HxMsg};
 pub use known_exchange::{ExchangeStrategy, KnownExchange, KxMsg, MAX_RELAY_FACTOR};

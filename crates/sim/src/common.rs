@@ -124,6 +124,18 @@ impl CommonCache {
             .unwrap_or_else(|_| panic!("type mismatch in common scope {}", scope.label))
     }
 
+    /// Forgets every memoized scope while keeping the map's allocation.
+    ///
+    /// A [`CliqueSession`](crate::CliqueSession) calls this between runs:
+    /// each protocol run must start from an empty cache — both for the
+    /// determinism contract (a reused session is bit-identical to a fresh
+    /// [`Simulator`](crate::Simulator)) and for correctness, since two
+    /// runs may evaluate the same [`CommonScope`] from *different* inputs,
+    /// which within one run would (rightly) trip the divergence assertion.
+    pub fn reset(&self) {
+        self.lock_entries().clear();
+    }
+
     /// Number of distinct scopes evaluated so far.
     pub fn len(&self) -> usize {
         self.lock_entries()
@@ -157,6 +169,19 @@ mod tests {
             assert_eq!(*v, 123);
         }
         assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn reset_forgets_scopes_and_divergence_history() {
+        let cache = CommonCache::new();
+        let scope = CommonScope::new("reset", 3);
+        assert_eq!(*cache.get_or_compute(scope, 1, || 10u64), 10);
+        cache.reset();
+        assert!(cache.is_empty());
+        // A different input hash for the same scope is fine after reset —
+        // it's a new run; the recompute actually happens.
+        assert_eq!(*cache.get_or_compute(scope, 2, || 20u64), 20);
         assert_eq!(cache.len(), 1);
     }
 

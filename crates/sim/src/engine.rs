@@ -291,15 +291,34 @@ pub(crate) struct NodeChunk<N: NodeMachine> {
 }
 
 impl<N: NodeMachine> NodeChunk<N> {
-    fn new(base: usize, machines: Vec<N>) -> Self {
+    /// Builds a chunk, drawing inbox/outbox buffers from `pile` — a stash
+    /// of cleared, capacity-retaining vectors recycled from earlier runs
+    /// (see [`CliqueSession`](crate::CliqueSession)). One-shot runs pass
+    /// an empty pile and allocate lazily as rounds fill the buffers.
+    pub(crate) fn new(
+        base: usize,
+        machines: Vec<N>,
+        pile: &mut Vec<Vec<(NodeId, N::Msg)>>,
+    ) -> Self {
         let len = machines.len();
         NodeChunk {
             base,
             machines,
             slots: (0..len).map(|_| Slot::Running).collect(),
-            inboxes: (0..len).map(|_| Vec::new()).collect(),
-            outboxes: (0..len).map(|_| Vec::new()).collect(),
+            inboxes: (0..len).map(|_| pile.pop().unwrap_or_default()).collect(),
+            outboxes: (0..len).map(|_| pile.pop().unwrap_or_default()).collect(),
             work: vec![WorkMeter::new(); len],
+        }
+    }
+
+    /// Returns every message buffer (cleared, capacity intact) to `pile`
+    /// so the next run on the same session skips the warm-up allocations.
+    /// Works on failed runs too: buffers may still hold undelivered
+    /// messages, which are dropped here.
+    pub(crate) fn recycle_into(&mut self, pile: &mut Vec<Vec<(NodeId, N::Msg)>>) {
+        for mut buf in self.inboxes.drain(..).chain(self.outboxes.drain(..)) {
+            buf.clear();
+            pile.push(buf);
         }
     }
 
@@ -470,213 +489,221 @@ impl<N: NodeMachine> Simulator<N> {
         } = self;
         let n = spec.n();
         let split = ChunkSplit::new(n, threads);
-        let mut remaining = machines.into_iter();
-        let mut chunks: Vec<NodeChunk<N>> = Vec::with_capacity(split.count());
-        let mut base = 0;
-        for len in split.sizes() {
-            chunks.push(NodeChunk::new(base, remaining.by_ref().take(len).collect()));
-            base += len;
-        }
-        debug_assert_eq!(base, n);
+        let mut chunks = build_chunks(machines, &split, &mut Vec::new());
+        let mut scratch = DeliveryScratch::new(n);
 
         #[cfg(feature = "parallel")]
         if chunks.len() > 1 {
             if spawn_per_round {
                 // Benchmark baseline: per-round scoped spawn/join, the
                 // stepping strategy the persistent pool replaced.
-                return run_rounds(&spec, &common, chunks, split, |round, chunks, common| {
-                    std::thread::scope(|scope| {
-                        let handles: Vec<_> = chunks
-                            .iter_mut()
-                            .map(|c| scope.spawn(move || c.step(round, n, common)))
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| {
-                                h.join()
-                                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
-                            })
-                            .sum()
-                    })
-                });
+                return run_rounds(
+                    &spec,
+                    &common,
+                    &mut chunks,
+                    split,
+                    &mut scratch,
+                    step_spawning_per_round(n),
+                );
             }
             return std::thread::scope(|scope| {
                 let mut pool = crate::pool::WorkerPool::new(scope, chunks.len(), n, &common);
-                run_rounds(&spec, &common, chunks, split, |round, chunks, _| {
-                    pool.step_round(round, chunks)
-                })
+                run_rounds(
+                    &spec,
+                    &common,
+                    &mut chunks,
+                    split,
+                    &mut scratch,
+                    |round, chunks, _| pool.step_round(round, chunks),
+                )
             });
         }
         let _ = spawn_per_round; // single chunk (or no `parallel` feature): stepped inline
-        run_rounds(&spec, &common, chunks, split, |round, chunks, common| {
-            chunks.iter_mut().map(|c| c.step(round, n, common)).sum()
-        })
+        run_rounds(
+            &spec,
+            &common,
+            &mut chunks,
+            split,
+            &mut scratch,
+            step_inline(n),
+        )
     }
 
-    /// The pre-optimization engine, kept verbatim as the benchmark
-    /// baseline ([`ExecMode::SeedReference`]): comparison-sort delivery
-    /// with a front-shifting `drain` (quadratic in per-source fan-out) and
-    /// fresh inbox allocations every round.
-    #[allow(clippy::needless_range_loop)] // preserved verbatim from the seed
-    fn run_seed_reference(mut self) -> Result<RunReport<N::Output>, SimError> {
-        let n = self.spec.n();
-        let mut metrics = Metrics::new(self.spec.records_edge_histogram(), n);
-        let mut slots: Vec<Slot<N::Output>> = (0..n).map(|_| Slot::Running).collect();
-        let mut outboxes: Vec<Vec<(NodeId, N::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+    /// The pre-optimization engine; see [`run_seed`].
+    fn run_seed_reference(self) -> Result<RunReport<N::Output>, SimError> {
+        run_seed(&self.spec, self.machines, &self.common)
+    }
+}
 
-        // Round 0: start hooks queue the round-1 sends.
-        for (i, machine) in self.machines.iter_mut().enumerate() {
+/// The pre-optimization engine, kept verbatim as the benchmark baseline
+/// ([`ExecMode::SeedReference`]): comparison-sort delivery with a
+/// front-shifting `drain` (quadratic in per-source fan-out) and fresh
+/// inbox allocations every round. A free function so both the one-shot
+/// [`Simulator`] and a [`CliqueSession`](crate::CliqueSession) can select
+/// the mode.
+#[allow(clippy::needless_range_loop)] // preserved verbatim from the seed
+pub(crate) fn run_seed<N: NodeMachine>(
+    spec: &CliqueSpec,
+    mut machines: Vec<N>,
+    common: &CommonCache,
+) -> Result<RunReport<N::Output>, SimError> {
+    let n = spec.n();
+    let mut metrics = Metrics::new(spec.records_edge_histogram(), n);
+    let mut slots: Vec<Slot<N::Output>> = (0..n).map(|_| Slot::Running).collect();
+    let mut outboxes: Vec<Vec<(NodeId, N::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+
+    // Round 0: start hooks queue the round-1 sends.
+    for (i, machine) in machines.iter_mut().enumerate() {
+        let mut ctx = Ctx {
+            base: BaseCtx {
+                me: NodeId::new(i),
+                n,
+                round: 0,
+                common,
+                work: metrics.node_work_mut(i),
+            },
+            outbox: &mut outboxes[i],
+        };
+        machine.on_start(&mut ctx);
+    }
+
+    let mut round: u64 = 0;
+    let mut silent_rounds: u64 = 0;
+    loop {
+        let all_done = slots.iter().all(|s| matches!(s, Slot::Finished(_)));
+        if all_done {
+            // Someone sent a message but everyone already finished.
+            // Classified exactly like the optimized engine, so both
+            // engines report the identical error (see
+            // `final_round_violation`).
+            if let Some(err) = final_round_violation(
+                round,
+                n,
+                outboxes.iter().enumerate().map(|(i, o)| (i, o.as_slice())),
+            ) {
+                return Err(err);
+            }
+            break;
+        }
+
+        round += 1;
+        if round > spec.max_rounds() {
+            return Err(SimError::TooManyRounds {
+                limit: spec.max_rounds(),
+            });
+        }
+
+        // Deliver: enforce per-edge budgets, account metrics.
+        let mut round_metrics = RoundMetrics::default();
+        let mut inboxes: Vec<Vec<(NodeId, N::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+        for src_idx in 0..n {
+            let mut batch = std::mem::take(&mut outboxes[src_idx]);
+            if batch.is_empty() {
+                continue;
+            }
+            let src = NodeId::new(src_idx);
+            // Stable sort groups messages per destination while
+            // preserving per-destination send order.
+            batch.sort_by_key(|(dst, _)| *dst);
+            let i = 0;
+            while i < batch.len() {
+                let dst = batch[i].0;
+                if dst.index() >= n {
+                    return Err(SimError::DestinationOutOfRange {
+                        src,
+                        dst: dst.index(),
+                        n,
+                    });
+                }
+                let mut edge_bits = 0u64;
+                let mut j = i;
+                while j < batch.len() && batch[j].0 == dst {
+                    edge_bits += batch[j].1.size_bits(n);
+                    j += 1;
+                }
+                if edge_bits > spec.bits_per_edge() {
+                    return Err(SimError::BudgetExceeded {
+                        round,
+                        src,
+                        dst,
+                        bits: edge_bits,
+                        budget: spec.bits_per_edge(),
+                    });
+                }
+                if matches!(slots[dst.index()], Slot::Finished(_)) {
+                    return Err(SimError::MessageToFinishedNode { round, src, dst });
+                }
+                round_metrics.messages += (j - i) as u64;
+                round_metrics.bits += edge_bits;
+                round_metrics.busy_edges += 1;
+                round_metrics.max_edge_bits = round_metrics.max_edge_bits.max(edge_bits);
+                if let Some(h) = metrics.histogram_mut() {
+                    h.record(edge_bits);
+                }
+                for (d, msg) in batch.drain(i..j) {
+                    debug_assert_eq!(d, dst);
+                    inboxes[dst.index()].push((src, msg));
+                }
+                // After drain, element i is the next distinct destination.
+            }
+        }
+        let delivered_any = round_metrics.messages > 0;
+        metrics.push_round(round_metrics);
+
+        // Step every running node.
+        let mut completions = 0usize;
+        for i in 0..n {
+            if matches!(slots[i], Slot::Finished(_)) {
+                debug_assert!(inboxes[i].is_empty());
+                continue;
+            }
+            // Inboxes were filled in ascending src order already.
+            let mut inbox = Inbox::from_sorted(std::mem::take(&mut inboxes[i]));
             let mut ctx = Ctx {
                 base: BaseCtx {
                     me: NodeId::new(i),
                     n,
-                    round: 0,
-                    common: &self.common,
+                    round,
+                    common,
                     work: metrics.node_work_mut(i),
                 },
                 outbox: &mut outboxes[i],
             };
-            machine.on_start(&mut ctx);
+            match machines[i].on_round(&mut ctx, &mut inbox) {
+                Step::Continue => {}
+                Step::Done(out) => {
+                    slots[i] = Slot::Finished(out);
+                    completions += 1;
+                }
+            }
         }
 
-        let mut round: u64 = 0;
-        let mut silent_rounds: u64 = 0;
-        loop {
-            let all_done = slots.iter().all(|s| matches!(s, Slot::Finished(_)));
-            if all_done {
-                // Someone sent a message but everyone already finished.
-                // Classified exactly like the optimized engine, so both
-                // engines report the identical error (see
-                // `final_round_violation`).
-                if let Some(err) = final_round_violation(
+        if !delivered_any && completions == 0 {
+            silent_rounds += 1;
+            if silent_rounds > spec.max_silent_rounds() {
+                let finished = slots
+                    .iter()
+                    .filter(|s| matches!(s, Slot::Finished(_)))
+                    .count();
+                return Err(SimError::Stalled {
                     round,
-                    n,
-                    outboxes.iter().enumerate().map(|(i, o)| (i, o.as_slice())),
-                ) {
-                    return Err(err);
-                }
-                break;
-            }
-
-            round += 1;
-            if round > self.spec.max_rounds() {
-                return Err(SimError::TooManyRounds {
-                    limit: self.spec.max_rounds(),
+                    finished,
+                    total: n,
                 });
             }
-
-            // Deliver: enforce per-edge budgets, account metrics.
-            let mut round_metrics = RoundMetrics::default();
-            let mut inboxes: Vec<Vec<(NodeId, N::Msg)>> = (0..n).map(|_| Vec::new()).collect();
-            for src_idx in 0..n {
-                let mut batch = std::mem::take(&mut outboxes[src_idx]);
-                if batch.is_empty() {
-                    continue;
-                }
-                let src = NodeId::new(src_idx);
-                // Stable sort groups messages per destination while
-                // preserving per-destination send order.
-                batch.sort_by_key(|(dst, _)| *dst);
-                let i = 0;
-                while i < batch.len() {
-                    let dst = batch[i].0;
-                    if dst.index() >= n {
-                        return Err(SimError::DestinationOutOfRange {
-                            src,
-                            dst: dst.index(),
-                            n,
-                        });
-                    }
-                    let mut edge_bits = 0u64;
-                    let mut j = i;
-                    while j < batch.len() && batch[j].0 == dst {
-                        edge_bits += batch[j].1.size_bits(n);
-                        j += 1;
-                    }
-                    if edge_bits > self.spec.bits_per_edge() {
-                        return Err(SimError::BudgetExceeded {
-                            round,
-                            src,
-                            dst,
-                            bits: edge_bits,
-                            budget: self.spec.bits_per_edge(),
-                        });
-                    }
-                    if matches!(slots[dst.index()], Slot::Finished(_)) {
-                        return Err(SimError::MessageToFinishedNode { round, src, dst });
-                    }
-                    round_metrics.messages += (j - i) as u64;
-                    round_metrics.bits += edge_bits;
-                    round_metrics.busy_edges += 1;
-                    round_metrics.max_edge_bits = round_metrics.max_edge_bits.max(edge_bits);
-                    if let Some(h) = metrics.histogram_mut() {
-                        h.record(edge_bits);
-                    }
-                    for (d, msg) in batch.drain(i..j) {
-                        debug_assert_eq!(d, dst);
-                        inboxes[dst.index()].push((src, msg));
-                    }
-                    // After drain, element i is the next distinct destination.
-                }
-            }
-            let delivered_any = round_metrics.messages > 0;
-            metrics.push_round(round_metrics);
-
-            // Step every running node.
-            let mut completions = 0usize;
-            for i in 0..n {
-                if matches!(slots[i], Slot::Finished(_)) {
-                    debug_assert!(inboxes[i].is_empty());
-                    continue;
-                }
-                // Inboxes were filled in ascending src order already.
-                let mut inbox = Inbox::from_sorted(std::mem::take(&mut inboxes[i]));
-                let mut ctx = Ctx {
-                    base: BaseCtx {
-                        me: NodeId::new(i),
-                        n,
-                        round,
-                        common: &self.common,
-                        work: metrics.node_work_mut(i),
-                    },
-                    outbox: &mut outboxes[i],
-                };
-                match self.machines[i].on_round(&mut ctx, &mut inbox) {
-                    Step::Continue => {}
-                    Step::Done(out) => {
-                        slots[i] = Slot::Finished(out);
-                        completions += 1;
-                    }
-                }
-            }
-
-            if !delivered_any && completions == 0 {
-                silent_rounds += 1;
-                if silent_rounds > self.spec.max_silent_rounds() {
-                    let finished = slots
-                        .iter()
-                        .filter(|s| matches!(s, Slot::Finished(_)))
-                        .count();
-                    return Err(SimError::Stalled {
-                        round,
-                        finished,
-                        total: n,
-                    });
-                }
-            } else {
-                silent_rounds = 0;
-            }
+        } else {
+            silent_rounds = 0;
         }
-
-        let outputs = slots
-            .into_iter()
-            .map(|s| match s {
-                Slot::Finished(o) => o,
-                Slot::Running => unreachable!("loop exits only when all nodes finished"),
-            })
-            .collect();
-        Ok(RunReport { outputs, metrics })
     }
+
+    let outputs = slots
+        .into_iter()
+        .map(|s| match s {
+            Slot::Finished(o) => o,
+            Slot::Running => unreachable!("loop exits only when all nodes finished"),
+        })
+        .collect();
+    Ok(RunReport { outputs, metrics })
 }
 
 /// The fixed partition of `n` nodes into `count` contiguous chunks,
@@ -685,7 +712,7 @@ impl<N: NodeMachine> Simulator<N> {
 /// more than the rest. Provides the O(1) global-id → (chunk, offset)
 /// mapping the delivery pass needs.
 #[derive(Clone, Copy)]
-struct ChunkSplit {
+pub(crate) struct ChunkSplit {
     /// Number of chunks.
     count: usize,
     /// Chunks `0..big` hold `big_size` nodes; the rest hold `big_size - 1`.
@@ -697,7 +724,7 @@ struct ChunkSplit {
 }
 
 impl ChunkSplit {
-    fn new(n: usize, workers: usize) -> Self {
+    pub(crate) fn new(n: usize, workers: usize) -> Self {
         let count = workers.clamp(1, n.max(1));
         let big = n % count;
         let big_size = n / count + 1;
@@ -739,21 +766,81 @@ impl ChunkSplit {
     }
 }
 
+/// Partitions `machines` into the contiguous chunks of `split`, drawing
+/// message buffers from `pile` (see [`NodeChunk::new`]).
+pub(crate) fn build_chunks<N: NodeMachine>(
+    machines: Vec<N>,
+    split: &ChunkSplit,
+    pile: &mut Vec<Vec<(NodeId, N::Msg)>>,
+) -> Vec<NodeChunk<N>> {
+    let mut remaining = machines.into_iter();
+    let mut chunks: Vec<NodeChunk<N>> = Vec::with_capacity(split.count());
+    let mut base = 0;
+    for len in split.sizes() {
+        chunks.push(NodeChunk::new(
+            base,
+            remaining.by_ref().take(len).collect(),
+            pile,
+        ));
+        base += len;
+    }
+    debug_assert!(remaining.next().is_none());
+    chunks
+}
+
+/// The single-worker stepping strategy: every chunk is stepped inline on
+/// the driving thread.
+pub(crate) fn step_inline<N: NodeMachine>(
+    n: usize,
+) -> impl FnMut(u64, &mut [NodeChunk<N>], &CommonCache) -> usize {
+    move |round, chunks, common| chunks.iter_mut().map(|c| c.step(round, n, common)).sum()
+}
+
+/// The retained [`ExecMode::SpawnParallel`] benchmark baseline: scoped
+/// workers spawned and joined *every round* — the stepping strategy the
+/// persistent pools replaced.
+#[cfg(feature = "parallel")]
+pub(crate) fn step_spawning_per_round<N: NodeMachine>(
+    n: usize,
+) -> impl FnMut(u64, &mut [NodeChunk<N>], &CommonCache) -> usize {
+    move |round, chunks, common| {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter_mut()
+                .map(|c| scope.spawn(move || c.step(round, n, common)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                })
+                .sum()
+        })
+    }
+}
+
 /// The optimized engine's round loop, generic over the stepping strategy:
 /// `step` runs `on_round` for every running node across all chunks and
 /// returns the number of completions. Delivery, violation detection and
 /// metrics always run on the driving thread, in ascending node order, so
 /// every stepping strategy observes — and produces — identical state.
-fn run_rounds<N: NodeMachine>(
+///
+/// Chunks are borrowed, not consumed: on return — success or failure —
+/// the caller still owns every chunk and can recycle its message buffers
+/// into a session pile ([`NodeChunk::recycle_into`]). On success the
+/// outputs and work meters have been drained out of the chunks into the
+/// returned [`RunReport`].
+pub(crate) fn run_rounds<N: NodeMachine>(
     spec: &CliqueSpec,
     common: &CommonCache,
-    mut chunks: Vec<NodeChunk<N>>,
+    chunks: &mut [NodeChunk<N>],
     split: ChunkSplit,
+    scratch: &mut DeliveryScratch,
     mut step: impl FnMut(u64, &mut [NodeChunk<N>], &CommonCache) -> usize,
 ) -> Result<RunReport<N::Output>, SimError> {
     let n = spec.n();
     let mut metrics = Metrics::new(spec.records_edge_histogram(), 0);
-    let mut scratch = DeliveryScratch::new(n);
 
     // Round 0: start hooks queue the round-1 sends.
     for chunk in chunks.iter_mut() {
@@ -790,12 +877,11 @@ fn run_rounds<N: NodeMachine>(
             });
         }
 
-        let round_metrics =
-            deliver_round(round, spec, &mut chunks, &split, &mut scratch, &mut metrics)?;
+        let round_metrics = deliver_round(round, spec, chunks, &split, scratch, &mut metrics)?;
         let delivered_any = round_metrics.messages > 0;
         metrics.push_round(round_metrics);
 
-        let completions = step(round, &mut chunks, common);
+        let completions = step(round, chunks, common);
 
         if !delivered_any && completions == 0 {
             silent_rounds += 1;
@@ -818,9 +904,9 @@ fn run_rounds<N: NodeMachine>(
 
     let mut work = Vec::with_capacity(n);
     let mut outputs = Vec::with_capacity(n);
-    for chunk in chunks {
-        work.extend(chunk.work);
-        for slot in chunk.slots {
+    for chunk in chunks.iter_mut() {
+        work.append(&mut chunk.work);
+        for slot in chunk.slots.drain(..) {
             match slot {
                 Slot::Finished(o) => outputs.push(o),
                 Slot::Running => unreachable!("loop exits only when all nodes finished"),
@@ -875,10 +961,12 @@ fn final_round_violation<'a, M: 'a>(
     None
 }
 
-/// Per-destination counting buffers, allocated once per run and zeroed via
-/// the `touched` list, so delivery does no per-round allocation and no
-/// comparison sorting.
-struct DeliveryScratch {
+/// Per-destination counting buffers, allocated once per run — or once per
+/// [`CliqueSession`](crate::CliqueSession), which keeps one across runs —
+/// and zeroed via the `touched` list, so delivery does no per-round
+/// allocation and no comparison sorting.
+#[derive(Default)]
+pub(crate) struct DeliveryScratch {
     /// Bits queued to each destination by the sender being processed.
     edge_bits: Vec<u64>,
     /// Messages queued to each destination by the sender being processed.
@@ -888,12 +976,33 @@ struct DeliveryScratch {
 }
 
 impl DeliveryScratch {
-    fn new(n: usize) -> Self {
-        DeliveryScratch {
-            edge_bits: vec![0; n],
-            msg_count: vec![0; n],
-            touched: Vec::with_capacity(n),
+    pub(crate) fn new(n: usize) -> Self {
+        let mut scratch = DeliveryScratch::default();
+        scratch.reset(n);
+        scratch
+    }
+
+    /// Re-sizes the counting buffers for an `n`-node run, keeping their
+    /// allocations. The per-sender zeroing discipline (only `touched`
+    /// entries are ever nonzero, and they are cleared before the sender
+    /// finishes — including on the [`SimError`] paths) means entries are
+    /// normally already zero, so growing or shrinking never needs a full
+    /// memset. The exception is a *panic* escaping mid-delivery (e.g. a
+    /// user [`Payload::size_bits`] unwinding out of the counting pass),
+    /// which leaves the entries recorded in `touched` dirty; they are
+    /// zeroed here so a recovered session never carries stale counters —
+    /// which would silently skip validation and metrics for those
+    /// destinations — into its next run.
+    pub(crate) fn reset(&mut self, n: usize) {
+        for &d in &self.touched {
+            self.edge_bits[d as usize] = 0;
+            self.msg_count[d as usize] = 0;
         }
+        self.touched.clear();
+        debug_assert!(self.edge_bits.iter().all(|&b| b == 0));
+        debug_assert!(self.msg_count.iter().all(|&c| c == 0));
+        self.edge_bits.resize(n, 0);
+        self.msg_count.resize(n, 0);
     }
 }
 

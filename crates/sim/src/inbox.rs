@@ -28,8 +28,16 @@ impl<M> Inbox<M> {
     /// Creates an inbox from an unsorted batch, restoring sender order —
     /// used by parent machines that demultiplex messages for an embedded
     /// [`NodeMachine`](crate::NodeMachine).
+    ///
+    /// Parent-machine demux is a hot path and its batches usually arrive
+    /// already in sender order (the engine delivers that way), so an O(m)
+    /// sortedness check skips the sort entirely in the common case. When a
+    /// sort is needed it is *stable*, preserving each sender's send order
+    /// — the same guarantee the engine's delivery gives.
     pub fn from_messages(mut items: Vec<(NodeId, M)>) -> Self {
-        items.sort_by_key(|(src, _)| *src);
+        if items.windows(2).any(|w| w[0].0 > w[1].0) {
+            items.sort_by_key(|(src, _)| *src);
+        }
         Inbox { items }
     }
 
@@ -93,6 +101,50 @@ mod tests {
         let got: Vec<_> = inbox.drain().collect();
         assert_eq!(got.len(), 2);
         assert!(inbox.is_empty());
+    }
+
+    /// `from_messages` order semantics are unchanged by the already-sorted
+    /// fast path: ascending sender ids, and within one sender the original
+    /// send order — on sorted input, on input needing a (stable) sort, and
+    /// on every rotation between the two.
+    #[test]
+    fn from_messages_orders_by_sender_preserving_send_order() {
+        // Payload encodes (sender, sequence-within-sender) so the expected
+        // stable order is recomputable independently.
+        let batch: Vec<(NodeId, u64)> = vec![
+            (NodeId::new(2), 200),
+            (NodeId::new(0), 100),
+            (NodeId::new(2), 201),
+            (NodeId::new(1), 150),
+            (NodeId::new(0), 101),
+            (NodeId::new(2), 202),
+        ];
+        for rot in 0..batch.len() {
+            let mut rotated = batch.clone();
+            rotated.rotate_left(rot);
+            let mut expected = rotated.clone();
+            // A stable sort is the documented semantics.
+            expected.sort_by_key(|(src, _)| *src);
+            let inbox = Inbox::from_messages(rotated);
+            let got: Vec<(NodeId, u64)> = inbox.into_iter().collect();
+            assert_eq!(got, expected, "rotation {rot}");
+        }
+    }
+
+    /// Already-sorted input (the fast path) comes back exactly as given,
+    /// including duplicate senders.
+    #[test]
+    fn from_messages_keeps_sorted_input_verbatim() {
+        let sorted: Vec<(NodeId, u64)> = vec![
+            (NodeId::new(0), 1),
+            (NodeId::new(0), 2),
+            (NodeId::new(3), 3),
+            (NodeId::new(3), 4),
+            (NodeId::new(7), 5),
+        ];
+        let got: Vec<(NodeId, u64)> = Inbox::from_messages(sorted.clone()).into_iter().collect();
+        assert_eq!(got, sorted);
+        assert!(Inbox::<u64>::from_messages(Vec::new()).is_empty());
     }
 
     #[test]

@@ -18,7 +18,13 @@
 //!   machine whose [`NodeMachine::on_round`] is invoked once per synchronous
 //!   round with the messages received in that round.
 //! * The [`Simulator`] owns one machine per node, moves messages between
-//!   them, enforces the bit budget and records [`Metrics`].
+//!   them, enforces the bit budget and records [`Metrics`]. It is
+//!   one-shot; a [`CliqueSession`] is the reusable counterpart that keeps
+//!   worker threads, message arenas and caches alive *across* runs —
+//!   prefer it when many (even heterogeneous) protocol runs share one
+//!   process, e.g. a query service (see [`CliqueSession`]). Reuse is
+//!   observably free: a warm session is bit-identical to a fresh
+//!   simulator in every [`ExecMode`].
 //! * Deterministic algorithms on the clique repeatedly evaluate *identical*
 //!   functions of common knowledge on every node (e.g. an edge coloring of a
 //!   globally known demand multigraph). The [`CommonCache`] memoizes such
@@ -49,7 +55,11 @@
 //!   their node chunk (a few `Vec` headers), step it, and hand it back.
 //!   The per-round hand-off is a channel send instead of a thread
 //!   spawn/join, so even small cliques parallelize profitably (see
-//!   [`PARALLEL_AUTO_THRESHOLD`] and [`PARALLEL_MIN_CHUNK`]).
+//!   [`PARALLEL_AUTO_THRESHOLD`] and [`PARALLEL_MIN_CHUNK`]). Under a
+//!   [`CliqueSession`] the pool outlives the *run* too: session workers
+//!   are type-erased and parked between runs, so a batch of protocol
+//!   runs — even of different protocols — spawns no threads at all after
+//!   the first.
 //!
 //! Every mode — [`ExecMode::Sequential`], [`ExecMode::Parallel`], the
 //!   default [`ExecMode::Auto`], and the retained benchmark baselines
@@ -126,6 +136,7 @@ mod node;
 mod payload;
 #[cfg(feature = "parallel")]
 mod pool;
+mod session;
 mod spec;
 mod work;
 
@@ -140,6 +151,7 @@ pub use inbox::Inbox;
 pub use metrics::{EdgeLoadHistogram, Metrics, RoundMetrics};
 pub use node::NodeId;
 pub use payload::Payload;
+pub use session::{BatchReport, CliqueSession, SessionStats};
 pub use spec::{
     CliqueSpec, ExecMode, DEFAULT_BUDGET_WORDS, DEFAULT_MAX_ROUNDS, DEFAULT_MAX_SILENT_ROUNDS,
     PARALLEL_AUTO_THRESHOLD, PARALLEL_MIN_CHUNK,

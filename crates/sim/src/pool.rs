@@ -1,5 +1,8 @@
-//! A persistent stepping-worker pool, spawned once per run and parked
-//! between rounds.
+//! Persistent stepping-worker pools: [`WorkerPool`], spawned once per
+//! [`Simulator`](crate::Simulator) run and parked between rounds, and
+//! [`SessionPool`], spawned once per
+//! [`CliqueSession`](crate::CliqueSession) and parked between *runs* —
+//! so a batch of protocol runs never respawns a thread.
 //!
 //! The engine's rounds are embarrassingly parallel across nodes, but the
 //! previous parallel engine paid `workers × thread spawn/join` every
@@ -188,6 +191,161 @@ impl<'scope, N: NodeMachine> WorkerPool<'scope, N> {
         match payload {
             Some(p) => std::panic::resume_unwind(p),
             None => unreachable!("a pool worker disconnected without panicking"),
+        }
+    }
+}
+
+/// A type-erased stepping job: owns its chunk, steps it, and reports
+/// through a channel baked into the closure. Boxing is what lets one pool
+/// of OS threads serve *every* protocol type a session runs — the worker
+/// loop never learns the machine type.
+type SessionJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// The session-lifetime worker pool: threads are spawned on first
+/// parallel use of a [`CliqueSession`](crate::CliqueSession), parked on
+/// their job channel between rounds *and between runs*, and joined when
+/// the session drops.
+///
+/// Unlike [`WorkerPool`] — whose scoped workers are typed by the protocol
+/// and may borrow the run's [`CommonCache`] — session workers are
+/// `'static` and execute boxed jobs, so consecutive runs of *different*
+/// protocols reuse the same threads. The cost is one small closure
+/// allocation per chunk per round and an `Arc` on the cache; the saving
+/// is `workers × thread spawn/join` per run, the dominant setup cost of
+/// constant-round protocols on small cliques.
+///
+/// Determinism is inherited from the same argument as [`WorkerPool`]:
+/// chunk boundaries are fixed, results are written back by chunk index,
+/// and all delivery/validation stays on the driving thread.
+#[derive(Default)]
+pub(crate) struct SessionPool {
+    job_txs: Vec<Sender<SessionJob>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl SessionPool {
+    /// Number of live workers.
+    pub(crate) fn workers(&self) -> usize {
+        self.job_txs.len()
+    }
+
+    /// Grows the pool to at least `count` parked workers. Never shrinks:
+    /// a session that once ran a wide clique keeps its threads for the
+    /// next wide run, which is the point of the session.
+    pub(crate) fn ensure_workers(&mut self, count: usize) {
+        while self.job_txs.len() < count {
+            let (job_tx, job_rx) = channel::<SessionJob>();
+            let handle = std::thread::Builder::new()
+                .name(format!("cc-session-{}", self.job_txs.len()))
+                .spawn(move || {
+                    while let Ok(job) = job_rx.recv() {
+                        job();
+                    }
+                })
+                .expect("spawn session stepping worker");
+            self.handles.push(handle);
+            self.job_txs.push(job_tx);
+        }
+    }
+
+    /// Steps one round of `chunks` on the session workers; the semantics
+    /// mirror [`WorkerPool::step_round`] exactly (ownership hand-off,
+    /// write-back by index, caught panics re-raised on the driving
+    /// thread), so a reused session steps bit-identically to a fresh
+    /// simulator.
+    ///
+    /// A worker that catches a panic stays parked and reusable — only the
+    /// panicking *run* is lost, not the session.
+    pub(crate) fn step_round<N>(
+        &mut self,
+        round: u64,
+        n: usize,
+        common: &std::sync::Arc<CommonCache>,
+        chunks: &mut [NodeChunk<N>],
+    ) -> usize
+    where
+        N: NodeMachine + 'static,
+        N::Msg: 'static,
+        N::Output: 'static,
+    {
+        self.ensure_workers(chunks.len());
+        let (result_tx, results) = channel::<StepOutcome<N>>();
+        for (index, (slot, job_tx)) in chunks.iter_mut().zip(&self.job_txs).enumerate() {
+            let mut chunk = std::mem::replace(slot, NodeChunk::placeholder());
+            let common = std::sync::Arc::clone(common);
+            let result_tx = result_tx.clone();
+            let job: SessionJob = Box::new(move || {
+                // AssertUnwindSafe: on a caught panic the chunk is dropped
+                // and the driver aborts the run, so no code observes the
+                // possibly-inconsistent state (same argument as
+                // `WorkerPool`).
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let completions = chunk.step(round, n, &common);
+                    (chunk, completions)
+                }));
+                let outcome = match outcome {
+                    Ok((chunk, completions)) => StepOutcome::Stepped {
+                        index,
+                        chunk,
+                        completions,
+                    },
+                    Err(payload) => StepOutcome::Panicked(payload),
+                };
+                // A send error means the driving thread already gave up on
+                // this round (another chunk panicked); park for the next job.
+                let _ = result_tx.send(outcome);
+            });
+            job_tx
+                .send(job)
+                .expect("session stepping worker is parked on its channel");
+        }
+        drop(result_tx);
+        // Collect *every* outcome before re-raising a panic: leaving a
+        // job in flight would let it outlive the aborted run and write
+        // into the shared cache after the session has reset it for the
+        // next run (WorkerPool::abort prevents the same race by joining
+        // its workers; session workers survive, so the barrier is the
+        // drain). Every job reports — panics are caught on the worker —
+        // so this loop always terminates.
+        let mut completions = 0usize;
+        let mut panic_payload: Option<Box<dyn Any + Send>> = None;
+        for _ in 0..chunks.len() {
+            let outcome = results
+                .recv()
+                .expect("every dispatched job reports an outcome");
+            match outcome {
+                StepOutcome::Stepped {
+                    index,
+                    chunk,
+                    completions: c,
+                } => {
+                    chunks[index] = chunk;
+                    completions += c;
+                }
+                StepOutcome::Panicked(payload) => {
+                    // First panic wins (lowest chunk finishes first is not
+                    // guaranteed, but the payload re-raised is from the
+                    // run being aborted either way).
+                    panic_payload.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+        completions
+    }
+}
+
+impl Drop for SessionPool {
+    /// Closes every job channel — waking the parked workers so they exit —
+    /// and joins them. Workers only ever block on `recv`, so the join
+    /// cannot deadlock; a worker that somehow panicked outside a job is
+    /// ignored (the session is being torn down anyway).
+    fn drop(&mut self) {
+        self.job_txs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
         }
     }
 }

@@ -37,6 +37,12 @@ impl BitWriter {
 
     /// Appends the low `width` bits of `value`, MSB first.
     ///
+    /// Writes in byte-sized chunks rather than bit-by-bit: the field is
+    /// split into (at most) a head that completes the current partial
+    /// byte, a run of whole bytes pushed directly, and a tail that opens a
+    /// new partial byte — so a 64-bit field costs ~9 shifts instead of 64
+    /// read-modify-write loop iterations.
+    ///
     /// # Panics
     ///
     /// Panics if `width > 64` or if `value` does not fit in `width` bits.
@@ -46,17 +52,31 @@ impl BitWriter {
             width == 64 || value < (1u64 << width),
             "value {value} does not fit in {width} bits"
         );
-        for i in (0..width).rev() {
-            let bit = (value >> i) & 1;
-            let byte_idx = (self.bit_len / 8) as usize;
-            if byte_idx == self.buf.len() {
-                self.buf.push(0);
-            }
-            let off = 7 - (self.bit_len % 8) as u32;
-            if bit == 1 {
-                self.buf[byte_idx] |= 1 << off;
-            }
-            self.bit_len += 1;
+        // Invariant: buf.len() == ceil(bit_len / 8); the last byte (when
+        // bit_len % 8 != 0) has its unused low bits zero.
+        let mut rem = width;
+        let used = (self.bit_len % 8) as u32;
+        if used != 0 {
+            // Head: fill the free low bits of the current partial byte
+            // with the top `take` bits of the field.
+            let free = 8 - used;
+            let take = free.min(rem);
+            let bits = (value >> (rem - take)) & low_mask(take);
+            *self.buf.last_mut().expect("partial byte exists") |= (bits as u8) << (free - take);
+            self.bit_len += u64::from(take);
+            rem -= take;
+        }
+        while rem >= 8 {
+            // Body: whole bytes, MSB-first.
+            rem -= 8;
+            self.buf.push(((value >> rem) & 0xFF) as u8);
+            self.bit_len += 8;
+        }
+        if rem > 0 {
+            // Tail: open a new partial byte with the low bits left-packed.
+            let bits = value & low_mask(rem);
+            self.buf.push((bits as u8) << (8 - rem));
+            self.bit_len += u64::from(rem);
         }
     }
 
@@ -69,6 +89,16 @@ impl BitWriter {
     /// zero-padded).
     pub fn finish(self) -> Vec<u8> {
         self.buf
+    }
+}
+
+/// The low `bits` bits set (`bits ≤ 64`).
+#[inline]
+fn low_mask(bits: u32) -> u64 {
+    if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
     }
 }
 
@@ -165,6 +195,103 @@ mod tests {
         // reading past the buffer is not.
         assert_eq!(r.read_bits(6), Some(0));
         assert_eq!(r.read_bits(1), None);
+    }
+
+    /// The per-bit reference implementation the chunked
+    /// [`BitWriter::write_bits`] replaced, kept verbatim as the oracle for
+    /// the equivalence tests below: any byte-level divergence would change
+    /// the wire format.
+    #[derive(Default)]
+    struct PerBitWriter {
+        buf: Vec<u8>,
+        bit_len: u64,
+    }
+
+    impl PerBitWriter {
+        fn write_bits(&mut self, value: u64, width: u32) {
+            assert!(width <= 64);
+            assert!(width == 64 || value < (1u64 << width));
+            for i in (0..width).rev() {
+                let bit = (value >> i) & 1;
+                let byte_idx = (self.bit_len / 8) as usize;
+                if byte_idx == self.buf.len() {
+                    self.buf.push(0);
+                }
+                let off = 7 - (self.bit_len % 8) as u32;
+                if bit == 1 {
+                    self.buf[byte_idx] |= 1 << off;
+                }
+                self.bit_len += 1;
+            }
+        }
+    }
+
+    /// Deterministic xorshift so the equivalence tests need no external
+    /// PRNG crate.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    #[test]
+    fn chunked_writer_matches_per_bit_reference_on_random_fields() {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for seq in 0..64 {
+            let mut fast = BitWriter::new();
+            let mut slow = PerBitWriter::default();
+            let fields = 1 + (seq % 17);
+            for _ in 0..fields {
+                let width = (xorshift(&mut state) % 65) as u32;
+                let value = if width == 0 {
+                    0
+                } else if width == 64 {
+                    xorshift(&mut state)
+                } else {
+                    xorshift(&mut state) & ((1u64 << width) - 1)
+                };
+                fast.write_bits(value, width);
+                slow.write_bits(value, width);
+                assert_eq!(fast.bit_len(), slow.bit_len);
+            }
+            assert_eq!(fast.finish(), slow.buf, "sequence {seq} diverged");
+        }
+    }
+
+    #[test]
+    fn chunked_writer_matches_per_bit_reference_at_alignment_edges() {
+        // Every (offset, width) pair around byte boundaries, with
+        // all-ones values to exercise the masking.
+        for offset in 0..16u32 {
+            for width in 0..=64u32 {
+                let mut fast = BitWriter::new();
+                let mut slow = PerBitWriter::default();
+                if offset > 0 {
+                    fast.write_bits(low_mask(offset), offset);
+                    slow.write_bits(low_mask(offset), offset);
+                }
+                fast.write_bits(low_mask(width), width);
+                slow.write_bits(low_mask(width), width);
+                assert_eq!(fast.bit_len(), slow.bit_len);
+                assert_eq!(fast.finish(), slow.buf, "offset {offset} width {width}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_width_field_is_a_no_op() {
+        let mut w = BitWriter::new();
+        w.write_bits(5, 3);
+        w.write_bits(0, 0);
+        w.write_bits(1, 1);
+        assert_eq!(w.bit_len(), 4);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3), Some(5));
+        assert_eq!(r.read_bits(1), Some(1));
     }
 
     #[test]

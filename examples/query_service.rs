@@ -1,0 +1,75 @@
+//! A long-lived query service on one persistent clique session: a single
+//! `CliqueService` answers a stream of mixed routing, sorting and
+//! selection queries, reusing its worker threads and message arenas
+//! across every query — the repeated-invocation regime the session layer
+//! exists for. Every answer is bit-identical to what the stateless
+//! `CongestedClique` facade would return; only the setup cost is
+//! amortized away.
+//!
+//! ```sh
+//! cargo run --release --example query_service
+//! ```
+
+use std::time::Instant;
+
+use congested_clique::{workloads, CliqueService, CongestedClique};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 25;
+    let mut service = CliqueService::new(n)?;
+    println!("query service up for an n = {n} clique\n");
+
+    // A mixed stream: routing workloads with rotating shapes, sorts,
+    // percentile selections and mode queries over changing shards.
+    let started = Instant::now();
+    for wave in 0..4u64 {
+        let inst = match wave % 3 {
+            0 => workloads::balanced_random(n, 40 + wave)?,
+            1 => workloads::cyclic_skew(n)?,
+            _ => workloads::permutation(n, wave as usize)?,
+        };
+        let routed = service.route(&inst)?;
+        let optimized = service.route_optimized(&inst)?;
+        println!(
+            "wave {wave}: routed in {} rounds (Thm 3.7) / {} rounds (Thm 5.4)",
+            routed.metrics.comm_rounds(),
+            optimized.metrics.comm_rounds()
+        );
+
+        let shard = workloads::zipf_keys(n, 200, 7 + wave);
+        let total: u64 = shard.iter().map(|s| s.len() as u64).sum();
+        let sorted = service.sort(&shard)?;
+        let p99 = service.select(&shard, (total * 99 / 100).min(total - 1))?;
+        let top = service.mode(&shard)?;
+        println!(
+            "         sorted {total} keys in {} rounds; p99 = {} ({} rounds); \
+             mode = {} x{}",
+            sorted.metrics.comm_rounds(),
+            p99.key,
+            p99.metrics.comm_rounds(),
+            top.key,
+            top.count
+        );
+    }
+    let elapsed = started.elapsed();
+
+    let stats = service.stats();
+    println!(
+        "\nanswered {} queries in {:.1} ms ({:.0} queries/s): {} protocol rounds, {} messages",
+        stats.completed(),
+        elapsed.as_secs_f64() * 1e3,
+        stats.completed() as f64 / elapsed.as_secs_f64(),
+        stats.comm_rounds(),
+        stats.messages()
+    );
+
+    // The determinism contract, demonstrated: the stateless facade gives
+    // the same answer the warm session does.
+    let inst = workloads::balanced_random(n, 40)?;
+    let warm = service.route(&inst)?;
+    let cold = CongestedClique::new(n)?.route(&inst)?;
+    assert_eq!(warm.delivered, cold.delivered);
+    assert_eq!(warm.metrics, cold.metrics);
+    println!("warm-session answer == cold-facade answer, bit for bit");
+    Ok(())
+}

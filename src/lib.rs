@@ -51,4 +51,4 @@ pub use cc_primitives as primitives;
 pub use cc_sim as sim;
 pub use cc_workloads as workloads;
 
-pub use cc_core::{CongestedClique, CoreError};
+pub use cc_core::{CliqueService, CongestedClique, CoreError};

@@ -1,0 +1,95 @@
+//! Service-vs-facade parity: every query answered by a persistent
+//! [`CliqueService`] must be *identical* — outputs and metrics — to the
+//! stateless [`CongestedClique`] answer, for every protocol entry point,
+//! including after failed queries and across interleaved protocols. This
+//! is the end-to-end face of the session layer's bit-identical contract.
+
+use congested_clique::{workloads, CliqueService, CongestedClique};
+
+fn keys_for(n: usize) -> Vec<Vec<u64>> {
+    workloads::duplicate_keys(n, 5, 9)
+}
+
+/// One service instance answers a mixed stream twice over; each answer is
+/// compared against a fresh facade call.
+#[test]
+fn every_entry_point_matches_the_stateless_facade() {
+    let n = 16;
+    let clique = CongestedClique::new(n).unwrap();
+    let mut service = CliqueService::new(n).unwrap();
+    let inst = workloads::balanced_random(n, 42).unwrap();
+    let keys = keys_for(n);
+
+    for pass in 0..2 {
+        let routed = service.route(&inst).unwrap();
+        let routed_ref = clique.route(&inst).unwrap();
+        assert_eq!(routed.delivered, routed_ref.delivered, "pass {pass}");
+        assert_eq!(routed.metrics, routed_ref.metrics, "pass {pass}");
+
+        let opt = service.route_optimized(&inst).unwrap();
+        let opt_ref = clique.route_optimized(&inst).unwrap();
+        assert_eq!(opt.delivered, opt_ref.delivered, "pass {pass}");
+        assert_eq!(opt.metrics, opt_ref.metrics, "pass {pass}");
+
+        let sorted = service.sort(&keys).unwrap();
+        let sorted_ref = clique.sort(&keys).unwrap();
+        assert_eq!(sorted.batches, sorted_ref.batches, "pass {pass}");
+        assert_eq!(sorted.offsets, sorted_ref.offsets, "pass {pass}");
+        assert_eq!(sorted.metrics, sorted_ref.metrics, "pass {pass}");
+
+        let idx = service.global_indices(&keys).unwrap();
+        let idx_ref = clique.global_indices(&keys).unwrap();
+        assert_eq!(idx.indices, idx_ref.indices, "pass {pass}");
+        assert_eq!(idx.metrics, idx_ref.metrics, "pass {pass}");
+
+        let rank = (n * n / 3) as u64;
+        let sel = service.select(&keys, rank).unwrap();
+        let sel_ref = clique.select(&keys, rank).unwrap();
+        assert_eq!(sel.key, sel_ref.key, "pass {pass}");
+        assert_eq!(sel.metrics, sel_ref.metrics, "pass {pass}");
+
+        let mode = service.mode(&keys).unwrap();
+        let mode_ref = clique.mode(&keys).unwrap();
+        assert_eq!((mode.key, mode.count), (mode_ref.key, mode_ref.count));
+        assert_eq!(mode.metrics, mode_ref.metrics, "pass {pass}");
+    }
+
+    // Census needs a larger clique relative to the key domain.
+    let nc = 128;
+    let mut census_service = CliqueService::new(nc).unwrap();
+    let census_clique = CongestedClique::new(nc).unwrap();
+    let census_keys: Vec<Vec<u64>> = (0..nc)
+        .map(|v| (0..nc / 2).map(|i| ((v + i) % 2) as u64).collect())
+        .collect();
+    for _ in 0..2 {
+        let census = census_service.small_key_census(&census_keys, 1).unwrap();
+        let census_ref = census_clique.small_key_census(&census_keys, 1).unwrap();
+        assert_eq!(census.totals, census_ref.totals);
+        assert_eq!(census.prefix, census_ref.prefix);
+        assert_eq!(census.metrics, census_ref.metrics);
+    }
+
+    assert_eq!(service.stats().completed(), 12);
+    assert_eq!(census_service.stats().completed(), 2);
+}
+
+/// A failed query (invalid rank) must leave the service answering later
+/// queries identically to the facade.
+#[test]
+fn failed_queries_do_not_perturb_later_answers() {
+    let n = 9;
+    let clique = CongestedClique::new(n).unwrap();
+    let mut service = CliqueService::new(n).unwrap();
+    let keys = keys_for(n);
+
+    let before = service.sort(&keys).unwrap();
+    // Out-of-range rank: rejected before any simulation.
+    assert!(service.select(&keys, u64::MAX).is_err());
+    // Reserved-sentinel keys: rejected by validation.
+    assert!(service.sort(&vec![vec![u64::MAX]; 9]).is_err());
+    let after = service.sort(&keys).unwrap();
+    let reference = clique.sort(&keys).unwrap();
+    assert_eq!(before.batches, after.batches);
+    assert_eq!(after.batches, reference.batches);
+    assert_eq!(after.metrics, reference.metrics);
+}
