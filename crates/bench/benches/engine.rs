@@ -22,12 +22,19 @@
 //! A final `session_throughput` experiment measures the session layer:
 //! a batch of mixed route/sort queries answered on one persistent
 //! `CliqueService` (threads and arenas reused across queries) vs the
-//! stateless facade building a fresh simulator per query.
+//! stateless facade building a fresh simulator per query — and
+//! `server_throughput` measures the layer above: the same mixed
+//! route/sort traffic pushed through a sharded `QueryServer` by 4
+//! concurrent client threads, 1 shard vs 4, against one directly driven
+//! service. Total round counts are asserted identical across substrates,
+//! so the rows isolate dispatch/queueing overhead and (on multi-core
+//! hosts) shard parallelism.
 
 use cc_bench::harness::{self, Options};
 use cc_core::routing::{route_optimized_with_spec, spec_for_optimized};
 use cc_core::sorting::{sort_with_spec, spec_for_sorting};
 use cc_core::{CliqueService, CongestedClique};
+use cc_server::{QueryServer, Request, ServerConfig};
 use cc_sim::{run_protocol, CliqueSpec, Ctx, ExecMode, Inbox, NodeMachine, Step};
 use cc_workloads as wl;
 
@@ -224,6 +231,90 @@ fn main() {
         entries.push(session);
     }
 
+    // Server throughput: the same mixed route/sort traffic as above, but
+    // pushed through the sharded `QueryServer` by 4 concurrent client
+    // threads — 1 shard vs 4 — against one directly driven warm service.
+    // On a 1-core host the server rows measure pure dispatch/queue
+    // overhead; on multi-core hosts the 4-shard row adds cross-size shard
+    // parallelism (64- and 256-node requests hash to different shards).
+    let server_queries = if opts.quick { 8usize } else { 16 };
+    let clients = 4usize;
+    for n in [64usize, 256] {
+        let inst = wl::balanced_random(n, 42).unwrap();
+        let keys = wl::uniform_keys(n, 5);
+        let requests: Vec<Request> = (0..server_queries)
+            .map(|q| {
+                if q % 2 == 0 {
+                    Request::RouteOptimized(inst.clone())
+                } else {
+                    Request::Sort(keys.clone())
+                }
+            })
+            .collect();
+        let mut rounds_seen: Vec<u64> = Vec::new();
+        let direct = {
+            let mut entry = harness::bench("server_throughput", n, "direct_service", &opts, || {
+                let mut service = CliqueService::new(n).unwrap();
+                let rounds: u64 = requests
+                    .iter()
+                    .map(|r| r.serve_on(&mut service).unwrap().metrics().comm_rounds())
+                    .sum();
+                rounds_seen.push(rounds);
+                rounds
+            });
+            entry.worker_threads = Some(ExecMode::Auto.worker_threads(n));
+            entry
+        };
+        let mut server_entries = Vec::new();
+        for shards in [1usize, 4] {
+            let mode = format!(
+                "server_{shards}_shard{}",
+                if shards == 1 { "" } else { "s" }
+            );
+            let mut entry = harness::bench("server_throughput", n, &mode, &opts, || {
+                let server = QueryServer::new(
+                    ServerConfig::new(shards)
+                        .with_queue_capacity(32)
+                        .with_coalesce_limit(8),
+                )
+                .unwrap();
+                let rounds: u64 = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..clients)
+                        .map(|c| {
+                            let handle = server.handle();
+                            let requests = &requests;
+                            scope.spawn(move || {
+                                let mut rounds = 0u64;
+                                for index in (c..requests.len()).step_by(clients) {
+                                    rounds += handle
+                                        .call(requests[index].clone())
+                                        .unwrap()
+                                        .metrics()
+                                        .comm_rounds();
+                                }
+                                rounds
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).sum()
+                });
+                rounds_seen.push(rounds);
+                rounds
+            });
+            entry.worker_threads = Some(ExecMode::Auto.worker_threads(n));
+            server_entries.push(entry);
+        }
+        assert!(
+            rounds_seen.windows(2).all(|w| w[0] == w[1]),
+            "server_throughput n={n}: substrates disagreed on rounds: {rounds_seen:?}"
+        );
+        for served in &server_entries {
+            speedups.push(harness::speedup(&direct, served));
+        }
+        entries.push(direct);
+        entries.extend(server_entries);
+    }
+
     harness::write_json("engine", &opts, &entries, &speedups);
 
     // Surface the acceptance numbers directly in the output.
@@ -249,6 +340,16 @@ fn main() {
                 "session_throughput n={}: one session answering {queries} mixed queries is \
                  {:.2}x vs fresh simulators",
                 s.n, s.ratio
+            );
+        }
+        // The server layer: sharded concurrent serving vs one directly
+        // driven service (ratio > 1 needs multi-core shard parallelism;
+        // on 1 core it reads as pure dispatch overhead).
+        if s.group == "server_throughput" {
+            println!(
+                "server_throughput n={}: {} serving {server_queries} mixed queries from \
+                 {clients} clients is {:.2}x vs direct_service",
+                s.n, s.candidate, s.ratio
             );
         }
     }

@@ -568,7 +568,7 @@ impl<P: RoutePayload> NodeMachine for RouterMachine<P> {
 }
 
 /// The outcome of a routing run: per-node deliveries plus measurements.
-#[derive(Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RouteOutcome<P = u64> {
     /// `delivered[k]` is the multiset `R_k`, canonically sorted.
     pub delivered: Vec<Vec<RoutedMessage<P>>>,

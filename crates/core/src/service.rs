@@ -27,7 +27,45 @@ use crate::sorting::{
     SelectOutcome, SmallKeyOutcome, SortOutcome,
 };
 use crate::CongestedClique;
-use cc_sim::{CliqueSession, SessionStats};
+use cc_sim::{CliqueSession, Metrics, SessionStats};
+
+/// The unified response of the seven query entry points: one variant per
+/// protocol family, so a caller that multiplexes heterogeneous queries —
+/// such as the `cc-server` shard workers — can carry any answer through a
+/// single channel type. Wrapping is free (the outcome moves in), and
+/// equality is structural, so "bit-identical to a direct
+/// [`CliqueService`] call" is expressible as plain `==` on [`Outcome`]s.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// A [`CliqueService::route`] / [`CliqueService::route_optimized`]
+    /// answer.
+    Route(RouteOutcome),
+    /// A [`CliqueService::sort`] answer.
+    Sort(SortOutcome),
+    /// A [`CliqueService::global_indices`] answer.
+    Indices(IndexOutcome),
+    /// A [`CliqueService::select`] answer.
+    Select(SelectOutcome),
+    /// A [`CliqueService::mode`] answer.
+    Mode(ModeOutcome),
+    /// A [`CliqueService::small_key_census`] answer.
+    SmallKeys(SmallKeyOutcome),
+}
+
+impl Outcome {
+    /// The simulator measurements of the run behind this answer, whatever
+    /// the variant.
+    pub fn metrics(&self) -> &Metrics {
+        match self {
+            Outcome::Route(o) => &o.metrics,
+            Outcome::Sort(o) => &o.metrics,
+            Outcome::Indices(o) => &o.metrics,
+            Outcome::Select(o) => &o.metrics,
+            Outcome::Mode(o) => &o.metrics,
+            Outcome::SmallKeys(o) => &o.metrics,
+        }
+    }
+}
 
 /// A stateful facade answering routing/sorting/selection queries on one
 /// persistent [`CliqueSession`].

@@ -486,7 +486,7 @@ impl FullSortMachine {
 }
 
 /// Outcome of a full sort run.
-#[derive(Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SortOutcome {
     /// Per-node sorted batches (node `i` holds ranks
     /// `[offsets[i], offsets[i] + batches[i].len())`).

@@ -412,7 +412,7 @@ impl QueryMachine {
 }
 
 /// Outcome of a [`global_indices`] run.
-#[derive(Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IndexOutcome {
     /// `indices[v][p]` is the duplicate-aware global index of node `v`'s
     /// `p`-th input key.
@@ -422,7 +422,7 @@ pub struct IndexOutcome {
 }
 
 /// Outcome of a [`select_rank`] run.
-#[derive(Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SelectOutcome {
     /// The key of the requested rank.
     pub key: u64,
@@ -431,7 +431,7 @@ pub struct SelectOutcome {
 }
 
 /// Outcome of a [`mode_query`] run.
-#[derive(Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ModeOutcome {
     /// The most frequent key value.
     pub key: u64,

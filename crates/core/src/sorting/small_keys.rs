@@ -170,7 +170,7 @@ impl NodeMachine for SmallKeyMachine {
 }
 
 /// Outcome of a small-key census.
-#[derive(Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SmallKeyOutcome {
     /// `totals[κ]` — global multiplicity of value κ (identical on all
     /// nodes; returned once).

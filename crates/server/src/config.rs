@@ -1,0 +1,124 @@
+use crate::error::ServerError;
+
+/// Sizing knobs for a [`QueryServer`](crate::QueryServer).
+///
+/// Every knob is a plain value with a validated floor, so a config is
+/// deterministic once constructed; only [`ServerConfig::default`] consults
+/// the host (one shard per available core, capped at 8).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerConfig {
+    shards: usize,
+    queue_capacity: usize,
+    coalesce_limit: usize,
+}
+
+impl ServerConfig {
+    /// A config with `shards` shard workers and the default queue bound
+    /// (64 requests per shard) and coalescing gulp (16 requests).
+    pub fn new(shards: usize) -> Self {
+        ServerConfig {
+            shards,
+            queue_capacity: 64,
+            coalesce_limit: 16,
+        }
+    }
+
+    /// Sets the per-shard queue bound: how many requests may wait on one
+    /// shard before [`call`](crate::ServiceHandle::call) blocks and
+    /// [`try_call`](crate::ServiceHandle::try_call) reports
+    /// [`Overloaded`](ServerError::Overloaded).
+    #[must_use]
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Sets how many queued requests a shard drains into one coalesced
+    /// batch before answering (1 disables coalescing).
+    #[must_use]
+    pub fn with_coalesce_limit(mut self, coalesce_limit: usize) -> Self {
+        self.coalesce_limit = coalesce_limit;
+        self
+    }
+
+    /// Number of shard workers.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Per-shard bounded-queue capacity.
+    #[inline]
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Maximum requests coalesced into one served batch.
+    #[inline]
+    pub fn coalesce_limit(&self) -> usize {
+        self.coalesce_limit
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), ServerError> {
+        if self.shards == 0 {
+            return Err(ServerError::invalid_config("at least one shard required"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServerError::invalid_config(
+                "queue capacity must be at least 1",
+            ));
+        }
+        if self.coalesce_limit == 0 {
+            return Err(ServerError::invalid_config(
+                "coalesce limit must be at least 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ServerConfig {
+    /// One shard per available core, capped at 8 — constant-round queries
+    /// are short, so past a handful of shards the queues, not the CPUs,
+    /// are the bottleneck.
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        ServerConfig::new(cores.min(8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let config = ServerConfig::new(3)
+            .with_queue_capacity(5)
+            .with_coalesce_limit(2);
+        assert_eq!(config.shards(), 3);
+        assert_eq!(config.queue_capacity(), 5);
+        assert_eq!(config.coalesce_limit(), 2);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_knobs_are_rejected() {
+        assert!(ServerConfig::new(0).validate().is_err());
+        assert!(ServerConfig::new(1)
+            .with_queue_capacity(0)
+            .validate()
+            .is_err());
+        assert!(ServerConfig::new(1)
+            .with_coalesce_limit(0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn default_has_at_least_one_shard() {
+        let config = ServerConfig::default();
+        assert!(config.shards() >= 1 && config.shards() <= 8);
+        assert!(config.validate().is_ok());
+    }
+}

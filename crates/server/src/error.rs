@@ -1,0 +1,86 @@
+use cc_core::CoreError;
+use std::fmt;
+
+/// Errors surfaced by the server layer.
+///
+/// [`ServerError::Query`] wraps the exact [`CoreError`] a direct
+/// [`CliqueService`](cc_core::CliqueService) call would have returned —
+/// the server adds no error translation, so parity tests can compare the
+/// wrapped value against the sequential reference with `==`. The other
+/// variants are genuinely server-side: configuration rejection, a full
+/// shard queue under [`try_call`](crate::ServiceHandle::try_call), and
+/// requests that race or follow [`shutdown`](crate::QueryServer::shutdown).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServerError {
+    /// The [`ServerConfig`](crate::ServerConfig) is unusable.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The target shard's bounded queue was full (returned only by the
+    /// `try_` API; the blocking API waits for a slot instead).
+    Overloaded,
+    /// The server has shut down (or shut down while this request was
+    /// waiting for its answer).
+    ShutDown,
+    /// The query executed and failed, exactly as it would have on a
+    /// direct [`CliqueService`](cc_core::CliqueService) call.
+    Query(CoreError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::InvalidConfig { reason } => {
+                write!(f, "invalid server config: {reason}")
+            }
+            ServerError::Overloaded => write!(f, "shard queue is full"),
+            ServerError::ShutDown => write!(f, "server has shut down"),
+            ServerError::Query(e) => write!(f, "query failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl ServerError {
+    pub(crate) fn invalid_config(reason: impl Into<String>) -> Self {
+        ServerError::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
+
+    /// The wrapped [`CoreError`], when this is a query-level failure.
+    pub fn as_query_error(&self) -> Option<&CoreError> {
+        match self {
+            ServerError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = ServerError::Query(CoreError::invalid("bad rank"));
+        assert!(e.to_string().contains("bad rank"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.as_query_error().is_some());
+        assert!(ServerError::Overloaded.as_query_error().is_none());
+        assert!(std::error::Error::source(&ServerError::ShutDown).is_none());
+        assert!(ServerError::invalid_config("zero shards")
+            .to_string()
+            .contains("zero shards"));
+    }
+}

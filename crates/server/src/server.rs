@@ -1,0 +1,521 @@
+//! The server front: shard spawning, request dispatch, backpressure,
+//! graceful shutdown.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use cc_core::Outcome;
+
+use crate::config::ServerConfig;
+use crate::error::ServerError;
+use crate::request::{QueryResult, Request};
+use crate::shard::{run_shard, Envelope, QueryJob};
+use crate::stats::{FleetStats, ShardTelemetry};
+
+/// One shard as seen from the client side: its bounded queue's sender and
+/// its telemetry block.
+#[derive(Clone)]
+struct ShardClient {
+    queue: SyncSender<Envelope>,
+    telemetry: Arc<ShardTelemetry>,
+}
+
+/// Maps a clique size to its owning shard. Same-`n` requests must land on
+/// the same shard — that is what keeps one warm `CliqueService` per size
+/// in the whole fleet — while distinct sizes should spread; the splitmix64
+/// finalizer avalanches well enough that related sizes (64 and 256 share
+/// all their low bits) land on different shards.
+fn shard_index(n: usize, shards: usize) -> usize {
+    let mut x = n as u64;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % shards as u64) as usize
+}
+
+/// An answer that has been accepted by a shard but not yet waited on.
+///
+/// Produced by [`ServiceHandle::submit`] / [`ServiceHandle::try_submit`]:
+/// the split lets a client pipeline several requests before blocking, and
+/// lets tests fill a bounded queue without parking on replies. Dropping a
+/// `Pending` abandons the answer (the shard still serves the request).
+#[derive(Debug)]
+pub struct Pending {
+    reply: Receiver<QueryResult>,
+}
+
+impl Pending {
+    /// Blocks until the answer arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Query`] if the query itself failed;
+    /// [`ServerError::ShutDown`] if the server tore down before
+    /// answering (only possible for requests racing a shutdown).
+    pub fn wait(self) -> Result<Outcome, ServerError> {
+        match self.reply.recv() {
+            Ok(result) => result.map_err(ServerError::Query),
+            Err(_) => Err(ServerError::ShutDown),
+        }
+    }
+}
+
+/// A cloneable, thread-safe client of a [`QueryServer`].
+///
+/// Cloning is two `Arc` bumps; every clone reaches the same shard fleet.
+/// All methods take `&self`, so one handle may be shared by reference or
+/// clone across any number of client threads.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    shards: Arc<[ShardClient]>,
+    closed: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for ServiceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceHandle")
+            .field("shards", &self.shards.len())
+            .field("closed", &self.closed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ServiceHandle {
+    /// Submits `request` to its shard, blocking while the shard's bounded
+    /// queue is full (backpressure), and returns the answer ticket.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::ShutDown`] if the server has shut down.
+    pub fn submit(&self, request: Request) -> Result<Pending, ServerError> {
+        self.enqueue(request, true)
+    }
+
+    /// As [`ServiceHandle::submit`], but a full queue is an immediate
+    /// [`ServerError::Overloaded`] instead of blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Overloaded`] on a full shard queue,
+    /// [`ServerError::ShutDown`] if the server has shut down.
+    pub fn try_submit(&self, request: Request) -> Result<Pending, ServerError> {
+        self.enqueue(request, false)
+    }
+
+    /// The one enqueue path behind [`submit`](ServiceHandle::submit) and
+    /// [`try_submit`](ServiceHandle::try_submit): only the behavior on a
+    /// full queue differs (block vs [`ServerError::Overloaded`]).
+    fn enqueue(&self, request: Request, blocking: bool) -> Result<Pending, ServerError> {
+        let shard = self.shard_for(&request)?;
+        let (reply_tx, reply) = channel();
+        let envelope = Envelope::Query(QueryJob {
+            request,
+            reply: reply_tx,
+        });
+        if blocking {
+            if shard.queue.send(envelope).is_err() {
+                return Err(ServerError::ShutDown);
+            }
+        } else {
+            match shard.queue.try_send(envelope) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => return Err(ServerError::Overloaded),
+                Err(TrySendError::Disconnected(_)) => return Err(ServerError::ShutDown),
+            }
+        }
+        shard.telemetry.enqueued();
+        Ok(Pending { reply })
+    }
+
+    /// Submits `request` and blocks for its answer — the plain
+    /// request-reply call. Queue-full backpressure blocks; see
+    /// [`ServiceHandle::try_call`] for the failing flavor.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceHandle::submit`] and [`Pending::wait`].
+    pub fn call(&self, request: Request) -> Result<Outcome, ServerError> {
+        self.submit(request)?.wait()
+    }
+
+    /// As [`ServiceHandle::call`], but a full queue is an immediate
+    /// [`ServerError::Overloaded`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceHandle::try_submit`] and [`Pending::wait`].
+    pub fn try_call(&self, request: Request) -> Result<Outcome, ServerError> {
+        self.try_submit(request)?.wait()
+    }
+
+    fn shard_for(&self, request: &Request) -> Result<&ShardClient, ServerError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(ServerError::ShutDown);
+        }
+        Ok(&self.shards[shard_index(request.n(), self.shards.len())])
+    }
+}
+
+/// A fleet of shard workers serving typed queries over warm
+/// [`CliqueService`](cc_core::CliqueService)s. See the [crate
+/// docs](crate) for the architecture and guarantees.
+#[derive(Debug)]
+pub struct QueryServer {
+    shards: Arc<[ShardClient]>,
+    closed: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+    config: ServerConfig,
+}
+
+impl std::fmt::Debug for ShardClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardClient").finish_non_exhaustive()
+    }
+}
+
+impl QueryServer {
+    /// Spawns `config.shards()` shard workers, each with a bounded queue
+    /// of `config.queue_capacity()` requests. Sessions inside each shard
+    /// are created lazily by the first request of each clique size.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::InvalidConfig`] for zero shards/capacity/coalesce.
+    pub fn new(config: ServerConfig) -> Result<Self, ServerError> {
+        config.validate()?;
+        let mut shards = Vec::with_capacity(config.shards());
+        let mut workers = Vec::with_capacity(config.shards());
+        for index in 0..config.shards() {
+            let (queue_tx, queue_rx) = sync_channel(config.queue_capacity());
+            let telemetry = Arc::new(ShardTelemetry::default());
+            let worker_telemetry = Arc::clone(&telemetry);
+            let coalesce_limit = config.coalesce_limit();
+            let handle = std::thread::Builder::new()
+                .name(format!("cc-shard-{index}"))
+                .spawn(move || run_shard(queue_rx, worker_telemetry, coalesce_limit))
+                .expect("spawn shard worker");
+            shards.push(ShardClient {
+                queue: queue_tx,
+                telemetry,
+            });
+            workers.push(handle);
+        }
+        Ok(QueryServer {
+            shards: shards.into(),
+            closed: Arc::new(AtomicBool::new(false)),
+            workers,
+            config,
+        })
+    }
+
+    /// The configuration this server was built with.
+    #[inline]
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// A new client handle. Handles stay valid after the server value is
+    /// dropped or shut down — their calls then fail with
+    /// [`ServerError::ShutDown`] instead of dangling.
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            shards: Arc::clone(&self.shards),
+            closed: Arc::clone(&self.closed),
+        }
+    }
+
+    /// An instantaneous snapshot of the fleet's telemetry. Counters move
+    /// while the server runs; for quiescent totals use the snapshot
+    /// returned by [`QueryServer::shutdown`].
+    pub fn stats(&self) -> FleetStats {
+        FleetStats {
+            shards: self
+                .shards
+                .iter()
+                .map(|shard| shard.telemetry.snapshot())
+                .collect(),
+        }
+    }
+
+    /// Graceful shutdown: marks the server closed (new calls fail fast
+    /// with [`ServerError::ShutDown`]), lets every shard drain and answer
+    /// what is already queued, joins the workers, and returns the final
+    /// telemetry.
+    pub fn shutdown(mut self) -> FleetStats {
+        self.shutdown_impl();
+        self.stats()
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.closed.store(true, Ordering::Release);
+        for shard in self.shards.iter() {
+            // Blocks while the queue is full — acceptable, since the
+            // worker is actively draining toward this marker. Fails only
+            // if the worker is already gone, which is fine too.
+            let _ = shard.queue.send(Envelope::Shutdown);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for QueryServer {
+    /// Dropping the server performs the same graceful drain as
+    /// [`QueryServer::shutdown`], minus the returned stats. (Idempotent:
+    /// after an explicit shutdown the worker list is empty and the extra
+    /// markers land in closed channels.)
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_core::routing::RoutingInstance;
+    use cc_core::{CliqueService, CoreError};
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    /// Parks `server`'s shard `index` and returns the gate sender; the
+    /// worker is guaranteed parked (ack received) on return, so the
+    /// queue's full capacity is available and provably not draining.
+    fn park_shard(server: &QueryServer, index: usize) -> std::sync::mpsc::Sender<()> {
+        let (ack_tx, ack_rx) = channel::<()>();
+        let (gate_tx, gate_rx) = channel::<()>();
+        server.shards[index]
+            .queue
+            .send(Envelope::Park {
+                ack: ack_tx,
+                gate: gate_rx,
+            })
+            .unwrap();
+        ack_rx.recv().unwrap();
+        gate_tx
+    }
+
+    #[test]
+    fn client_types_are_send_and_sync() {
+        assert_send_sync::<ServiceHandle>();
+        assert_send_sync::<ServerError>();
+        fn assert_send<T: Send>() {}
+        assert_send::<QueryServer>();
+        assert_send::<Request>();
+        assert_send::<Pending>();
+    }
+
+    #[test]
+    fn same_n_maps_to_one_shard_and_spreads_sizes() {
+        for shards in 1..=8 {
+            for n in [0usize, 1, 9, 64, 256, 1024] {
+                let a = shard_index(n, shards);
+                assert_eq!(a, shard_index(n, shards));
+                assert!(a < shards);
+            }
+        }
+        // The acceptance workload's two sizes must not collide on a
+        // 4-shard fleet (a plain `n % shards` would put both on shard 0).
+        assert_ne!(shard_index(64, 4), shard_index(256, 4));
+    }
+
+    #[test]
+    fn serves_queries_and_counts_them() {
+        let server = QueryServer::new(ServerConfig::new(2)).unwrap();
+        let handle = server.handle();
+        let inst = RoutingInstance::from_demands(6, |_, _| 1).unwrap();
+        let keys: Vec<Vec<u64>> = (0..6).map(|i| vec![i as u64, (i * 2) as u64]).collect();
+
+        let routed = handle.call(Request::Route(inst.clone())).unwrap();
+        let mut reference = CliqueService::new(6).unwrap();
+        assert_eq!(
+            routed,
+            Request::Route(inst).serve_on(&mut reference).unwrap()
+        );
+        let sorted = handle.call(Request::Sort(keys.clone())).unwrap();
+        assert_eq!(
+            sorted,
+            Request::Sort(keys).serve_on(&mut reference).unwrap()
+        );
+
+        let stats = server.shutdown();
+        assert_eq!(stats.requests(), 2);
+        assert_eq!(stats.rejected(), 0);
+        assert_eq!(stats.completed_runs(), 2);
+        assert_eq!(stats.sessions(), 1);
+        assert!(stats.batches() >= 1);
+    }
+
+    #[test]
+    fn query_errors_pass_through_unwrapped() {
+        let server = QueryServer::new(ServerConfig::new(1)).unwrap();
+        let handle = server.handle();
+        let keys: Vec<Vec<u64>> = (0..4).map(|i| vec![i as u64]).collect();
+        // Out-of-range rank: rejected by the service, wrapped by the handle.
+        let err = handle
+            .call(Request::Select {
+                keys: keys.clone(),
+                rank: u64::MAX,
+            })
+            .unwrap_err();
+        let direct = CliqueService::new(4)
+            .unwrap()
+            .select(&keys, u64::MAX)
+            .unwrap_err();
+        assert_eq!(err, ServerError::Query(direct));
+        // n == 0 is answered with the facade's own construction error.
+        let empty = handle.call(Request::Sort(Vec::new())).unwrap_err();
+        let direct_empty = CliqueService::new(0).unwrap_err();
+        assert_eq!(empty, ServerError::Query(direct_empty));
+
+        let stats = server.shutdown();
+        assert_eq!(stats.requests(), 2);
+        assert_eq!(stats.rejected(), 2);
+        // Facade-level rejections never became session runs.
+        assert_eq!(stats.failed_runs(), 0);
+    }
+
+    #[test]
+    fn calls_after_shutdown_fail_fast() {
+        let server = QueryServer::new(ServerConfig::new(1)).unwrap();
+        let handle = server.handle();
+        let keys: Vec<Vec<u64>> = (0..3).map(|i| vec![i as u64]).collect();
+        assert!(handle.call(Request::Mode(keys.clone())).is_ok());
+        let stats = server.shutdown();
+        assert_eq!(stats.requests(), 1);
+        assert_eq!(
+            handle.call(Request::Mode(keys.clone())).unwrap_err(),
+            ServerError::ShutDown
+        );
+        assert_eq!(
+            handle.try_call(Request::Mode(keys)).unwrap_err(),
+            ServerError::ShutDown
+        );
+    }
+
+    #[test]
+    fn shutdown_answers_already_queued_requests() {
+        let server = QueryServer::new(ServerConfig::new(1).with_queue_capacity(8)).unwrap();
+        let handle = server.handle();
+        // Park the worker so the queue provably holds the requests when
+        // shutdown begins.
+        let gate_tx = park_shard(&server, 0);
+        let keys: Vec<Vec<u64>> = (0..4).map(|i| vec![i as u64]).collect();
+        let pending: Vec<Pending> = (0..3)
+            .map(|_| handle.try_submit(Request::Mode(keys.clone())).unwrap())
+            .collect();
+        drop(gate_tx);
+        let stats = server.shutdown();
+        assert_eq!(stats.requests(), 3);
+        for p in pending {
+            assert!(p.wait().is_ok());
+        }
+    }
+
+    /// The deterministic backpressure test: with the worker parked, a
+    /// capacity-`k` queue accepts exactly `k` submissions and reports
+    /// `Overloaded` on the `k+1`-st `try_submit`.
+    #[test]
+    fn bounded_queue_reports_overloaded_deterministically() {
+        let capacity = 3;
+        let server = QueryServer::new(ServerConfig::new(1).with_queue_capacity(capacity)).unwrap();
+        let handle = server.handle();
+        let gate_tx = park_shard(&server, 0);
+        let keys: Vec<Vec<u64>> = (0..3).map(|i| vec![i as u64]).collect();
+        let mut pending = Vec::new();
+        for _ in 0..capacity {
+            pending.push(handle.try_submit(Request::Mode(keys.clone())).unwrap());
+        }
+        assert_eq!(
+            handle.try_submit(Request::Mode(keys.clone())).unwrap_err(),
+            ServerError::Overloaded
+        );
+        // Live stats see the full queue.
+        let stats = server.stats();
+        assert_eq!(stats.shards[0].queue_depth, capacity as u64);
+        assert_eq!(stats.peak_queue_depth(), capacity as u64);
+        // Un-park: the queue drains, every accepted request is answered.
+        drop(gate_tx);
+        for p in pending {
+            assert!(p.wait().is_ok());
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.requests(), capacity as u64);
+        assert_eq!(stats.shards[0].queue_depth, 0);
+    }
+
+    #[test]
+    fn coalesces_same_n_runs_when_the_queue_backs_up() {
+        let server = QueryServer::new(
+            ServerConfig::new(1)
+                .with_queue_capacity(16)
+                .with_coalesce_limit(16),
+        )
+        .unwrap();
+        let handle = server.handle();
+        let gate_tx = park_shard(&server, 0);
+        let keys4: Vec<Vec<u64>> = (0..4).map(|i| vec![i as u64]).collect();
+        let keys5: Vec<Vec<u64>> = (0..5).map(|i| vec![i as u64]).collect();
+        let mut pending = Vec::new();
+        for _ in 0..3 {
+            pending.push(handle.try_submit(Request::Mode(keys4.clone())).unwrap());
+        }
+        for _ in 0..2 {
+            pending.push(handle.try_submit(Request::Mode(keys5.clone())).unwrap());
+        }
+        drop(gate_tx);
+        for p in pending {
+            assert!(p.wait().is_ok());
+        }
+        let stats = server.shutdown();
+        // All five requests were drained in one gulp: one batch, two
+        // same-`n` runs (3×n=4, then 2×n=5), two sessions.
+        assert_eq!(stats.requests(), 5);
+        assert_eq!(stats.batches(), 1);
+        assert_eq!(stats.max_batch(), 5);
+        assert_eq!(stats.shards[0].coalesced_runs, 2);
+        assert_eq!(stats.sessions(), 2);
+        assert_eq!(stats.mean_batch_len(), 5.0);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(matches!(
+            QueryServer::new(ServerConfig::new(0)),
+            Err(ServerError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            QueryServer::new(ServerConfig::new(1).with_queue_capacity(0)),
+            Err(ServerError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn dropping_the_server_drains_gracefully() {
+        let keys: Vec<Vec<u64>> = (0..3).map(|i| vec![i as u64]).collect();
+        let handle;
+        {
+            let server = QueryServer::new(ServerConfig::new(1)).unwrap();
+            handle = server.handle();
+            assert!(handle.call(Request::Mode(keys.clone())).is_ok());
+            // `server` drops here: workers join, channels close.
+        }
+        assert_eq!(
+            handle.call(Request::Mode(keys)).unwrap_err(),
+            ServerError::ShutDown
+        );
+    }
+
+    #[test]
+    fn reference_equality_check_for_error_type() {
+        // Guard the parity-test idiom: a wrapped CoreError compares equal
+        // to the directly produced one.
+        let direct = CoreError::invalid("x");
+        assert_eq!(
+            ServerError::Query(direct.clone()),
+            ServerError::Query(direct)
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! The shard worker: one thread owning a lazy `n → CliqueService` map,
+//! draining its bounded queue in gulps and answering each drained batch
+//! in coalesced same-`n` runs on the warm session for that clique size.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+use cc_core::{CliqueService, CoreError};
+
+use crate::request::{QueryResult, Request};
+use crate::stats::ShardTelemetry;
+
+/// One in-flight query: the request plus the private channel its answer
+/// travels back on. Dropping a job unanswered (only possible when the
+/// whole queue is dropped at teardown) closes `reply`, which the waiting
+/// handle surfaces as [`ServerError::ShutDown`](crate::ServerError).
+pub(crate) struct QueryJob {
+    pub(crate) request: Request,
+    pub(crate) reply: Sender<QueryResult>,
+}
+
+/// What travels on a shard's queue.
+pub(crate) enum Envelope {
+    /// A client query.
+    Query(QueryJob),
+    /// Graceful-shutdown marker: serve everything already queued, then
+    /// exit. Sent once per shard by [`QueryServer::shutdown`](crate::QueryServer).
+    Shutdown,
+    /// Test-only: park the worker until the sender side of `gate` is
+    /// dropped, acknowledging pickup on `ack` first. Lets tests fill a
+    /// bounded queue deterministically (after the ack, the worker
+    /// provably isn't draining it and the marker occupies no queue slot).
+    #[cfg(test)]
+    Park {
+        /// Signals that the worker has dequeued the marker.
+        ack: Sender<()>,
+        /// The worker blocks until this channel's sender drops.
+        gate: Receiver<()>,
+    },
+}
+
+/// The worker loop. Runs until the shutdown marker arrives or every
+/// sender (all handles and the server) is gone.
+pub(crate) fn run_shard(
+    queue: Receiver<Envelope>,
+    telemetry: Arc<ShardTelemetry>,
+    coalesce_limit: usize,
+) {
+    let mut services: HashMap<usize, CliqueService> = HashMap::new();
+    let mut batch: Vec<QueryJob> = Vec::new();
+    loop {
+        let mut draining = false;
+        // Park until there is work (or the queue closes for good).
+        match queue.recv() {
+            Ok(Envelope::Query(job)) => {
+                telemetry.dequeued();
+                batch.push(job);
+            }
+            Ok(Envelope::Shutdown) => draining = true,
+            #[cfg(test)]
+            Ok(Envelope::Park { ack, gate }) => {
+                let _ = ack.send(());
+                let _ = gate.recv();
+                continue;
+            }
+            Err(_) => return,
+        }
+        // Gulp: coalesce whatever else is already queued, up to the limit.
+        while !draining && batch.len() < coalesce_limit {
+            match queue.try_recv() {
+                Ok(Envelope::Query(job)) => {
+                    telemetry.dequeued();
+                    batch.push(job);
+                }
+                Ok(Envelope::Shutdown) => draining = true,
+                #[cfg(test)]
+                Ok(Envelope::Park { ack, gate }) => {
+                    let _ = ack.send(());
+                    let _ = gate.recv();
+                }
+                Err(_) => break,
+            }
+        }
+        serve_batch(&mut services, &mut batch, &telemetry);
+        if draining {
+            // Graceful drain: callers blocked on a full queue get their
+            // slot as we consume, so everything that made it into the
+            // queue before (or while) shutting down is still answered —
+            // still in coalesced gulps, so the final telemetry keeps the
+            // normal batch semantics. Once `queue` drops at return, any
+            // still-racing send fails fast on the caller's side instead
+            // of hanging.
+            while let Ok(envelope) = queue.try_recv() {
+                if let Envelope::Query(job) = envelope {
+                    telemetry.dequeued();
+                    batch.push(job);
+                    if batch.len() >= coalesce_limit {
+                        serve_batch(&mut services, &mut batch, &telemetry);
+                    }
+                }
+            }
+            serve_batch(&mut services, &mut batch, &telemetry);
+            return;
+        }
+    }
+}
+
+/// Answers `batch` in order, one coalesced run per maximal same-`n`
+/// stretch, then publishes the shard's aggregated session counters.
+/// Clears `batch`.
+fn serve_batch(
+    services: &mut HashMap<usize, CliqueService>,
+    batch: &mut Vec<QueryJob>,
+    telemetry: &ShardTelemetry,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    telemetry.batch_started(batch.len() as u64);
+    let mut start = 0;
+    while start < batch.len() {
+        let n = batch[start].request.n();
+        let mut end = start + 1;
+        while end < batch.len() && batch[end].request.n() == n {
+            end += 1;
+        }
+        telemetry.coalesced_run();
+        match service_for(services, n, telemetry) {
+            Ok(service) => {
+                for job in &batch[start..end] {
+                    let result = job.request.serve_on(service);
+                    telemetry.request_served(result.is_err());
+                    // A closed reply channel means the caller gave up
+                    // (dropped its `Pending`); the answer is simply lost.
+                    let _ = job.reply.send(result);
+                }
+            }
+            Err(e) => {
+                for job in &batch[start..end] {
+                    telemetry.request_served(true);
+                    let _ = job.reply.send(Err(e.clone()));
+                }
+            }
+        }
+        start = end;
+    }
+    batch.clear();
+
+    // Surface the session layer's own accounting per shard: the sums of
+    // every live service's `SessionStats`.
+    let (mut completed, mut failed, mut rounds, mut messages) = (0, 0, 0, 0);
+    for service in services.values() {
+        let stats = service.stats();
+        completed += stats.completed();
+        failed += stats.failed();
+        rounds += stats.comm_rounds();
+        messages += stats.messages();
+    }
+    telemetry.store_session_totals(completed, failed, rounds, messages);
+}
+
+/// The warm service for clique size `n`, created on first use. Creation
+/// failures (only `n == 0`) are not cached: the error is the answer.
+fn service_for<'a>(
+    services: &'a mut HashMap<usize, CliqueService>,
+    n: usize,
+    telemetry: &ShardTelemetry,
+) -> Result<&'a mut CliqueService, CoreError> {
+    use std::collections::hash_map::Entry;
+    match services.entry(n) {
+        Entry::Occupied(entry) => Ok(entry.into_mut()),
+        Entry::Vacant(slot) => {
+            let service = CliqueService::new(n)?;
+            telemetry.session_created();
+            Ok(slot.insert(service))
+        }
+    }
+}

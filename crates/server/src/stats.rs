@@ -1,0 +1,270 @@
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// The live counters one shard worker and its clients share.
+///
+/// Monotonic counters are `fetch_add`ed by their single writer (the shard
+/// worker for serve-side counters, any handle for enqueues); `queue_depth`
+/// is the one gauge with two writers — handles increment *after* a
+/// successful send and the worker decrements on receive, so a fast worker
+/// can transiently observe the decrement first. The gauge is signed for
+/// exactly that reason and clamped to zero in snapshots. Everything is
+/// `Relaxed`: readers take an instantaneous snapshot, not a synchronized
+/// cut, and no counter guards any memory.
+#[derive(Debug, Default)]
+pub(crate) struct ShardTelemetry {
+    requests: AtomicU64,
+    rejected: AtomicU64,
+    completed_runs: AtomicU64,
+    failed_runs: AtomicU64,
+    comm_rounds: AtomicU64,
+    messages: AtomicU64,
+    sessions: AtomicU64,
+    batches: AtomicU64,
+    coalesced_runs: AtomicU64,
+    max_batch: AtomicU64,
+    queue_depth: AtomicI64,
+    peak_queue_depth: AtomicI64,
+}
+
+impl ShardTelemetry {
+    /// A request entered the shard queue (caller side, after a successful
+    /// send — rejected sends never touch the gauge).
+    pub(crate) fn enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// The worker took a request off the queue.
+    pub(crate) fn dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The worker served one request (`rejected` = it returned an error).
+    pub(crate) fn request_served(&self, rejected: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if rejected {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The worker is serving a coalesced batch of `len` requests.
+    pub(crate) fn batch_started(&self, len: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.max_batch.fetch_max(len, Ordering::Relaxed);
+    }
+
+    /// One same-`n` run within a batch.
+    pub(crate) fn coalesced_run(&self) {
+        self.coalesced_runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A new `n → CliqueService` entry was created.
+    pub(crate) fn session_created(&self) {
+        self.sessions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the shard's aggregated
+    /// [`SessionStats`](cc_core::SessionStats) — summed over its
+    /// services — after a batch. Single writer, so plain stores.
+    pub(crate) fn store_session_totals(
+        &self,
+        completed: u64,
+        failed: u64,
+        comm_rounds: u64,
+        messages: u64,
+    ) {
+        self.completed_runs.store(completed, Ordering::Relaxed);
+        self.failed_runs.store(failed, Ordering::Relaxed);
+        self.comm_rounds.store(comm_rounds, Ordering::Relaxed);
+        self.messages.store(messages, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ShardStats {
+        ShardStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed_runs: self.completed_runs.load(Ordering::Relaxed),
+            failed_runs: self.failed_runs.load(Ordering::Relaxed),
+            comm_rounds: self.comm_rounds.load(Ordering::Relaxed),
+            messages: self.messages.load(Ordering::Relaxed),
+            sessions: self.sessions.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            coalesced_runs: self.coalesced_runs.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed).max(0) as u64,
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed).max(0) as u64,
+        }
+    }
+}
+
+/// A point-in-time snapshot of one shard's counters.
+///
+/// The `*_runs`, `comm_rounds` and `messages` fields are the shard's
+/// [`SessionStats`](cc_core::SessionStats) summed over its per-`n`
+/// services — the session layer's own accounting, surfaced per shard.
+/// `requests`/`rejected` count at query granularity instead (a request
+/// rejected before reaching a session — bad rank, invalid keys — counts
+/// as `rejected` but never as a `failed_run`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Requests answered (including error answers).
+    pub requests: u64,
+    /// Requests answered with a `CoreError`.
+    pub rejected: u64,
+    /// Completed protocol runs, summed over this shard's sessions.
+    pub completed_runs: u64,
+    /// Failed protocol runs, summed over this shard's sessions.
+    pub failed_runs: u64,
+    /// Communication rounds, summed over this shard's sessions.
+    pub comm_rounds: u64,
+    /// Messages delivered, summed over this shard's sessions.
+    pub messages: u64,
+    /// Distinct clique sizes with a live `CliqueService`.
+    pub sessions: u64,
+    /// Coalesced batches served.
+    pub batches: u64,
+    /// Same-`n` runs across all served batches (`== batches` when no two
+    /// adjacent requests shared a clique size).
+    pub coalesced_runs: u64,
+    /// Largest single batch drained from the queue.
+    pub max_batch: u64,
+    /// Requests currently queued (a live gauge, not a total).
+    pub queue_depth: u64,
+    /// High-water mark of `queue_depth`.
+    pub peak_queue_depth: u64,
+}
+
+/// Fleet-wide telemetry: one [`ShardStats`] per shard, plus sums.
+///
+/// Obtained from [`QueryServer::stats`](crate::QueryServer::stats) at any
+/// time (an instantaneous snapshot) or from
+/// [`QueryServer::shutdown`](crate::QueryServer::shutdown) (final totals —
+/// every counter quiescent, queues empty).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Per-shard snapshots, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+impl FleetStats {
+    /// Requests answered across the fleet.
+    pub fn requests(&self) -> u64 {
+        self.shards.iter().map(|s| s.requests).sum()
+    }
+
+    /// Error answers across the fleet.
+    pub fn rejected(&self) -> u64 {
+        self.shards.iter().map(|s| s.rejected).sum()
+    }
+
+    /// Completed protocol runs across every shard's sessions.
+    pub fn completed_runs(&self) -> u64 {
+        self.shards.iter().map(|s| s.completed_runs).sum()
+    }
+
+    /// Failed protocol runs across every shard's sessions.
+    pub fn failed_runs(&self) -> u64 {
+        self.shards.iter().map(|s| s.failed_runs).sum()
+    }
+
+    /// Communication rounds across every shard's sessions.
+    pub fn comm_rounds(&self) -> u64 {
+        self.shards.iter().map(|s| s.comm_rounds).sum()
+    }
+
+    /// Messages delivered across every shard's sessions.
+    pub fn messages(&self) -> u64 {
+        self.shards.iter().map(|s| s.messages).sum()
+    }
+
+    /// Live `CliqueService`s across the fleet (one per distinct clique
+    /// size per shard that has seen it).
+    pub fn sessions(&self) -> u64 {
+        self.shards.iter().map(|s| s.sessions).sum()
+    }
+
+    /// Coalesced batches served across the fleet.
+    pub fn batches(&self) -> u64 {
+        self.shards.iter().map(|s| s.batches).sum()
+    }
+
+    /// Largest batch any shard drained in one gulp.
+    pub fn max_batch(&self) -> u64 {
+        self.shards.iter().map(|s| s.max_batch).max().unwrap_or(0)
+    }
+
+    /// Mean requests per served batch (0 when nothing was served).
+    pub fn mean_batch_len(&self) -> f64 {
+        let batches = self.batches();
+        if batches == 0 {
+            return 0.0;
+        }
+        self.requests() as f64 / batches as f64
+    }
+
+    /// Deepest any shard queue ever got.
+    pub fn peak_queue_depth(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.peak_queue_depth)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_snapshot_round_trips() {
+        let t = ShardTelemetry::default();
+        t.enqueued();
+        t.enqueued();
+        t.dequeued();
+        t.batch_started(1);
+        t.coalesced_run();
+        t.session_created();
+        t.request_served(false);
+        t.request_served(true);
+        t.store_session_totals(1, 0, 12, 99);
+        let s = t.snapshot();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.completed_runs, 1);
+        assert_eq!(s.comm_rounds, 12);
+        assert_eq!(s.messages, 99);
+        assert_eq!(s.sessions, 1);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.coalesced_runs, 1);
+        assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.peak_queue_depth, 2);
+    }
+
+    #[test]
+    fn fleet_aggregates_sum_and_max() {
+        let a = ShardStats {
+            requests: 3,
+            rejected: 1,
+            batches: 2,
+            max_batch: 2,
+            peak_queue_depth: 4,
+            ..ShardStats::default()
+        };
+        let b = ShardStats {
+            requests: 5,
+            batches: 2,
+            max_batch: 3,
+            peak_queue_depth: 1,
+            ..ShardStats::default()
+        };
+        let fleet = FleetStats { shards: vec![a, b] };
+        assert_eq!(fleet.requests(), 8);
+        assert_eq!(fleet.rejected(), 1);
+        assert_eq!(fleet.batches(), 4);
+        assert_eq!(fleet.max_batch(), 3);
+        assert_eq!(fleet.peak_queue_depth(), 4);
+        assert_eq!(fleet.mean_batch_len(), 2.0);
+        assert_eq!(FleetStats::default().mean_batch_len(), 0.0);
+    }
+}

@@ -349,3 +349,24 @@ impl Drop for SessionPool {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+
+    /// The pool and everything traveling on its job channels must be
+    /// `Send`: a [`CliqueSession`](crate::CliqueSession) owning this pool
+    /// is moved whole into server shard threads, and each `SessionJob`
+    /// crosses from the driving thread to a parked worker. Compile-time
+    /// only — if a non-`Send` member ever sneaks into the pool or the job
+    /// closures, this stops building rather than failing at runtime.
+    #[test]
+    fn session_pool_and_job_channels_are_send() {
+        assert_send::<SessionPool>();
+        assert_send::<SessionJob>();
+        assert_send::<Sender<SessionJob>>();
+        assert_send::<Receiver<SessionJob>>();
+    }
+}

@@ -602,6 +602,53 @@ mod tests {
         assert_eq!(ok.outputs.len(), 4);
     }
 
+    /// The server layer above (`cc-server`) moves whole sessions into
+    /// shard worker threads; this compile-time assertion is the contract
+    /// that lets it. `Sync` is *not* claimed — a session is a `&mut self`
+    /// substrate, shared across threads by ownership transfer only.
+    #[test]
+    fn session_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<CliqueSession>();
+        assert_send::<SessionStats>();
+        assert_send::<BatchReport<u64>>();
+        assert_send::<RunReport<Vec<u64>>>();
+    }
+
+    /// `runs_per_sec` must stay finite for batches too fast to time —
+    /// quick-mode runs of tiny cliques can complete within one clock tick,
+    /// and a `completed / 0.0` division would report `inf` (or `NaN` for
+    /// an empty batch). Pinned: zero elapsed reports zero throughput.
+    #[test]
+    fn runs_per_sec_is_finite_for_zero_duration_batches() {
+        let empty: BatchReport<u64> = BatchReport {
+            runs: Vec::new(),
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(empty.runs_per_sec(), 0.0);
+
+        let instant: BatchReport<u64> = BatchReport {
+            runs: vec![Ok(RunReport {
+                outputs: vec![7],
+                metrics: crate::Metrics::default(),
+            })],
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(instant.completed(), 1);
+        assert_eq!(instant.runs_per_sec(), 0.0);
+        assert!(instant.runs_per_sec().is_finite());
+
+        // A timed batch still reports real throughput.
+        let timed: BatchReport<u64> = BatchReport {
+            runs: vec![Ok(RunReport {
+                outputs: vec![7],
+                metrics: crate::Metrics::default(),
+            })],
+            elapsed: Duration::from_millis(500),
+        };
+        assert_eq!(timed.runs_per_sec(), 2.0);
+    }
+
     #[cfg(feature = "parallel")]
     #[test]
     fn parallel_session_reuses_workers_across_runs() {

@@ -96,6 +96,91 @@ pub fn sparse_random(n: usize, load: usize, seed: u64) -> Result<RoutingInstance
     RoutingInstance::from_demands(n, |i, j| demands[i * n + j])
 }
 
+/// A Zipf-skewed demand instance: every node sends `load ≤ n` messages
+/// whose destinations are drawn from a Zipf(`theta`) rank distribution
+/// (destination `j` has weight `∝ 1/(j+1)^theta`, so low-numbered nodes
+/// are traffic magnets), with the Problem 3.1 receive cap of `n` enforced
+/// by rejection plus a deterministic spill onto the first non-full
+/// receivers. Deterministic in `seed`. The canonical "skewed popularity"
+/// scenario for the query server's mixed-traffic benches: hot receivers
+/// saturate their cap while the tail stays sparse.
+///
+/// # Errors
+///
+/// Never fails for `n ≥ 1` and `load ≤ n`.
+///
+/// # Panics
+///
+/// Panics if `load > n` (the instance could not satisfy Problem 3.1).
+pub fn zipf_demands(
+    n: usize,
+    load: usize,
+    theta: f64,
+    seed: u64,
+) -> Result<RoutingInstance, CoreError> {
+    assert!(load <= n, "load must be at most n");
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut cumulative = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for j in 0..n {
+        total += 1.0 / ((j + 1) as f64).powf(theta);
+        cumulative.push(total);
+    }
+    let mut demands = vec![0u32; n * n];
+    let mut receive = vec![0usize; n];
+    for i in 0..n {
+        let mut placed = 0;
+        let mut guard = 0;
+        while placed < load && guard < 64 * n {
+            guard += 1;
+            let target = rng.gen_range_f64(0.0..total);
+            let j = cumulative.partition_point(|&c| c < target).min(n - 1);
+            if receive[j] < n {
+                demands[i * n + j] += 1;
+                receive[j] += 1;
+                placed += 1;
+            }
+        }
+        // The hot head can fill up; spill the remainder onto the first
+        // receivers with capacity (always enough: total capacity is n²,
+        // total demand n·load ≤ n²).
+        let mut j = 0;
+        while placed < load {
+            if receive[j] < n {
+                demands[i * n + j] += 1;
+                receive[j] += 1;
+                placed += 1;
+            } else {
+                j += 1;
+            }
+        }
+    }
+    RoutingInstance::from_demands(n, |i, j| demands[i * n + j])
+}
+
+/// The all-to-one-block hotspot: every node sends one message to each
+/// member of one `√n`-sized block, chosen deterministically from `seed` —
+/// so each hot-block member receives exactly `n` messages, the Problem
+/// 3.1 receive cap, while every other node receives nothing. This is the
+/// heaviest admissible concentration of traffic onto a single block, the
+/// regime the paper's set-to-set primitives (Corollaries 3.3/3.4) are
+/// built to survive.
+///
+/// # Errors
+///
+/// Never fails for `n ≥ 1`.
+pub fn hotspot(n: usize, seed: u64) -> Result<RoutingInstance, CoreError> {
+    let s = cc_sim::util::isqrt(n).max(1);
+    // `.max(1)` keeps n = 0 on the same path as the other generators
+    // (an empty instance), instead of panicking on an empty RNG range.
+    let blocks = n.div_ceil(s).max(1);
+    let mut rng = DetRng::seed_from_u64(seed);
+    let hot = rng.gen_range_usize(0..blocks);
+    let lo = hot * s;
+    let hi = ((hot + 1) * s).min(n);
+    RoutingInstance::from_demands(n, |_, j| u32::from(j >= lo && j < hi))
+}
+
 /// Uniform random keys, `n` per node.
 pub fn uniform_keys(n: usize, seed: u64) -> Vec<Vec<u64>> {
     let mut rng = DetRng::seed_from_u64(seed);
@@ -173,6 +258,78 @@ mod tests {
         assert!(cyclic_skew(9).is_ok());
         assert!(block_skew(16).is_ok());
         assert!(sparse_random(10, 4, 1).is_ok());
+    }
+
+    /// Both new demand generators must respect Problem 3.1: every node
+    /// sends at most `n` messages (row sums) and receives at most `n`
+    /// (column sums) — `RoutingInstance` validation enforces it, and the
+    /// shapes are asserted explicitly here.
+    #[test]
+    fn zipf_demands_respects_problem_31_bounds_and_skews() {
+        let (n, load) = (24, 8);
+        let inst = zipf_demands(n, load, 1.2, 7).unwrap();
+        for v in 0..n {
+            assert_eq!(inst.sends(v).len(), load, "row sum of node {v}");
+        }
+        let recv = inst.expected_receives();
+        assert!(recv.iter().all(|r| r.len() <= n), "column sums ≤ n");
+        assert_eq!(recv.iter().map(Vec::len).sum::<usize>(), n * load);
+        // The point of the generator: the head is hot, the tail sparse.
+        let hottest = recv.iter().map(Vec::len).max().unwrap();
+        let coldest = recv.iter().map(Vec::len).min().unwrap();
+        assert!(
+            hottest >= 2 * load && coldest < load,
+            "expected skew, got max {hottest} / min {coldest} (mean {load})"
+        );
+        // Full load saturates every receiver exactly at the cap.
+        let full = zipf_demands(12, 12, 1.5, 3).unwrap();
+        let full_recv = full.expected_receives();
+        assert!(full_recv.iter().all(|r| r.len() == 12));
+    }
+
+    #[test]
+    fn hotspot_saturates_one_block_at_the_receive_cap() {
+        let n = 20; // s = 4, 5 blocks
+        let inst = hotspot(n, 11).unwrap();
+        let s = cc_sim::util::isqrt(n);
+        for v in 0..n {
+            assert_eq!(inst.sends(v).len(), s, "row sum of node {v}");
+        }
+        let recv = inst.expected_receives();
+        let hot: Vec<usize> = (0..n).filter(|&v| !recv[v].is_empty()).collect();
+        assert_eq!(hot.len(), s, "exactly one block is hot");
+        assert!(
+            hot.windows(2).all(|w| w[1] == w[0] + 1),
+            "block is contiguous"
+        );
+        assert_eq!(hot[0] % s, 0, "block-aligned");
+        for &v in &hot {
+            assert_eq!(recv[v].len(), n, "hot member at the receive cap");
+        }
+        // Some seed moves the hotspot (5 blocks, so seeds can't all agree).
+        let moved = (0..16).any(|seed| hotspot(n, seed).unwrap() != inst);
+        assert!(moved, "hot block never moved across 16 seeds");
+    }
+
+    #[test]
+    fn new_generators_accept_the_empty_clique() {
+        // Same contract as the siblings: n = 0 is an empty instance, not
+        // a panic.
+        assert_eq!(hotspot(0, 3).unwrap().total_messages(), 0);
+        assert_eq!(zipf_demands(0, 0, 1.0, 3).unwrap().total_messages(), 0);
+    }
+
+    #[test]
+    fn new_generators_deterministic_in_seed() {
+        assert_eq!(
+            zipf_demands(16, 6, 1.1, 9).unwrap(),
+            zipf_demands(16, 6, 1.1, 9).unwrap()
+        );
+        assert_ne!(
+            zipf_demands(16, 6, 1.1, 9).unwrap(),
+            zipf_demands(16, 6, 1.1, 10).unwrap()
+        );
+        assert_eq!(hotspot(20, 4).unwrap(), hotspot(20, 4).unwrap());
     }
 
     #[test]

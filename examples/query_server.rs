@@ -1,0 +1,120 @@
+//! A client swarm against the sharded query server: a 4-shard
+//! `QueryServer` owns one warm `CliqueService` fleet, and 8 client
+//! threads fire a mixed routing/sorting/selection workload at it through
+//! cloned `ServiceHandle`s. Shard queues are bounded (slow consumers feel
+//! backpressure instead of exhausting memory), same-size requests
+//! coalesce into batches on a warm session, and shutdown drains every
+//! in-flight answer. Each thread spot-checks its answers against a
+//! private sequential `CliqueService` — the server's contract is
+//! bit-identical results, merely faster to reach under load.
+//!
+//! ```sh
+//! cargo run --release --example query_server
+//! ```
+
+use congested_clique::server::{Request, ServerConfig};
+use congested_clique::{workloads, CliqueService, QueryServer, ServerError};
+use std::time::Instant;
+
+const CLIENTS: usize = 8;
+const WAVES: usize = 6;
+
+fn wave_requests(client: usize, wave: usize) -> Vec<Request> {
+    let seed = (client * WAVES + wave) as u64;
+    let n = [16usize, 25, 36][(client + wave) % 3];
+    let inst = workloads::balanced_random(n, seed).unwrap();
+    let hot = workloads::hotspot(n, seed).unwrap();
+    let keys = workloads::zipf_keys(n, 100, seed);
+    vec![
+        Request::RouteOptimized(inst),
+        Request::Route(hot),
+        Request::Sort(keys.clone()),
+        Request::Select {
+            keys: keys.clone(),
+            rank: (n * n / 2) as u64,
+        },
+        Request::Mode(keys),
+    ]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ServerConfig::new(4)
+        .with_queue_capacity(32)
+        .with_coalesce_limit(8);
+    let server = QueryServer::new(config)?;
+    println!(
+        "query server up: {} shards, bounded queues of {}, coalescing up to {} requests",
+        server.config().shards(),
+        server.config().queue_capacity(),
+        server.config().coalesce_limit()
+    );
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let handle = server.handle();
+            scope.spawn(move || {
+                for wave in 0..WAVES {
+                    for request in wave_requests(client, wave) {
+                        match handle.call(request.clone()) {
+                            Ok(outcome) => {
+                                // Spot-check the contract on the first wave:
+                                // the server's answer is bit-identical to a
+                                // cold sequential service's.
+                                if wave == 0 {
+                                    let mut direct =
+                                        CliqueService::new(request.n()).expect("valid n");
+                                    let reference =
+                                        request.serve_on(&mut direct).expect("direct call");
+                                    assert_eq!(outcome, reference, "client {client}");
+                                }
+                            }
+                            Err(ServerError::Query(e)) => {
+                                panic!("client {client}: query failed: {e}")
+                            }
+                            Err(e) => panic!("client {client}: server failure: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let stats = server.stats();
+    let total = CLIENTS * WAVES * 5;
+    println!(
+        "{} clients × {} waves: {} queries in {:.1} ms ({:.0} queries/s)",
+        CLIENTS,
+        WAVES,
+        total,
+        elapsed.as_secs_f64() * 1e3,
+        total as f64 / elapsed.as_secs_f64()
+    );
+    for (index, shard) in stats.shards.iter().enumerate() {
+        println!(
+            "shard {index}: {} requests over {} batches (max batch {}, peak queue {}), \
+             {} sessions, {} rounds, {} messages",
+            shard.requests,
+            shard.batches,
+            shard.max_batch,
+            shard.peak_queue_depth,
+            shard.sessions,
+            shard.comm_rounds,
+            shard.messages
+        );
+    }
+    println!(
+        "fleet: {} requests, mean batch {:.2}, {} warm sessions, {} protocol runs",
+        stats.requests(),
+        stats.mean_batch_len(),
+        stats.sessions(),
+        stats.completed_runs()
+    );
+
+    let final_stats = server.shutdown();
+    assert_eq!(final_stats.requests(), total as u64);
+    assert_eq!(final_stats.rejected(), 0);
+    println!("graceful shutdown: all {} answers delivered", total);
+    Ok(())
+}

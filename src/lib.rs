@@ -16,6 +16,8 @@
 //! * [`primitives`] — the constant-round communication primitives
 //!   (Corollaries 3.3/3.4, broadcasts, scatters);
 //! * [`core`] — the paper's algorithms and the [`CongestedClique`] facade;
+//! * [`server`] — the concurrent sharded [`QueryServer`] over a fleet of
+//!   persistent clique sessions;
 //! * [`baselines`] — randomized and strawman comparators;
 //! * [`workloads`] — instance generators.
 //!
@@ -48,7 +50,9 @@ pub use cc_baselines as baselines;
 pub use cc_coloring as coloring;
 pub use cc_core as core;
 pub use cc_primitives as primitives;
+pub use cc_server as server;
 pub use cc_sim as sim;
 pub use cc_workloads as workloads;
 
-pub use cc_core::{CliqueService, CongestedClique, CoreError};
+pub use cc_core::{CliqueService, CongestedClique, CoreError, Outcome};
+pub use cc_server::{QueryServer, Request, ServerConfig, ServerError, ServiceHandle};

@@ -1,0 +1,209 @@
+//! Concurrent-parity contract of the query server: the same shuffled
+//! request set, served through a 1-shard and a 4-shard [`QueryServer`]
+//! from 8 client threads, must yield per-request results **bit-identical**
+//! to sequential [`CliqueService`] execution — including error-carrying
+//! requests mid-stream. Sharding, queue coalescing and thread
+//! interleaving must be invisible in the answers; only throughput may
+//! differ. This is the acceptance test of the `cc-server` subsystem.
+
+use std::collections::HashMap;
+
+use cc_rand::DetRng;
+use congested_clique::server::{QueryResult, Request, ServerConfig};
+use congested_clique::{workloads, CliqueService, QueryServer, ServerError};
+
+/// The mixed workload: all seven entry points over three clique sizes,
+/// plus requests that fail at validation (bad rank, sentinel keys, a
+/// census whose domain outgrows the clique) and one that cannot even
+/// construct its service (`n == 0`). 64 requests, deterministically
+/// shuffled.
+fn mixed_requests() -> Vec<Request> {
+    let mut requests = Vec::new();
+    for wave in 0..2u64 {
+        for &n in &[8usize, 9, 16] {
+            let balanced = workloads::balanced_random(n, 42 + wave).unwrap();
+            let skewed = workloads::zipf_demands(n, n / 2, 1.2, 5 + wave).unwrap();
+            let hot = workloads::hotspot(n, wave).unwrap();
+            let keys = workloads::duplicate_keys(n, 5, 9 + wave);
+            let zipf = workloads::zipf_keys(n, 40, 3 + wave);
+            requests.push(Request::Route(balanced.clone()));
+            requests.push(Request::RouteOptimized(balanced));
+            requests.push(Request::Route(skewed));
+            requests.push(Request::RouteOptimized(hot));
+            requests.push(Request::Sort(keys.clone()));
+            requests.push(Request::GlobalIndices(zipf.clone()));
+            requests.push(Request::Select {
+                keys: keys.clone(),
+                rank: (n * n / 3) as u64,
+            });
+            requests.push(Request::Mode(zipf));
+            // Error-carrying requests, mid-stream by construction:
+            requests.push(Request::Select {
+                keys: keys.clone(),
+                rank: u64::MAX,
+            });
+            requests.push(Request::SmallKeyCensus {
+                keys: keys.clone(),
+                key_bits: 1,
+            });
+        }
+    }
+    // A census large enough to actually run (2 values × ⌈log₂129⌉² = 128).
+    let census_keys: Vec<Vec<u64>> = (0..128)
+        .map(|v| (0..64).map(|i| ((v + i) % 2) as u64).collect())
+        .collect();
+    requests.push(Request::SmallKeyCensus {
+        keys: census_keys,
+        key_bits: 1,
+    });
+    requests.push(Request::Sort(vec![vec![u64::MAX]; 9]));
+    requests.push(Request::Sort(Vec::new())); // n == 0: service construction fails
+    requests.push(Request::Mode(vec![vec![7]; 4]));
+    assert_eq!(requests.len(), 64);
+    let mut rng = DetRng::seed_from_u64(2013);
+    rng.shuffle(&mut requests);
+    requests
+}
+
+/// The sequential reference: one warm `CliqueService` per clique size
+/// (exactly the shard-side layout, minus threads and queues), every
+/// request served in submission order.
+fn sequential_reference(requests: &[Request]) -> Vec<QueryResult> {
+    let mut services: HashMap<usize, CliqueService> = HashMap::new();
+    requests
+        .iter()
+        .map(|request| {
+            let n = request.n();
+            let service = match services.entry(n) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(CliqueService::new(n)?)
+                }
+            };
+            request.serve_on(service)
+        })
+        .collect()
+}
+
+/// Serves `requests` through `server` from 8 concurrent client threads
+/// (thread `t` takes requests `t, t+8, t+16, …`), returning results in
+/// request order.
+fn serve_concurrently(server: &QueryServer, requests: &[Request]) -> Vec<QueryResult> {
+    const CLIENTS: usize = 8;
+    let mut results: Vec<Option<QueryResult>> = Vec::new();
+    results.resize_with(requests.len(), || None);
+    let answers: Vec<(usize, QueryResult)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                let client = server.handle();
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    for index in (t..requests.len()).step_by(CLIENTS) {
+                        let result = match client.call(requests[index].clone()) {
+                            Ok(outcome) => Ok(outcome),
+                            Err(ServerError::Query(e)) => Err(e),
+                            Err(other) => panic!("server-level failure: {other}"),
+                        };
+                        mine.push((index, result));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    for (index, result) in answers {
+        results[index] = Some(result);
+    }
+    results.into_iter().map(Option::unwrap).collect()
+}
+
+#[test]
+fn sharded_concurrent_serving_is_bit_identical_to_sequential() {
+    let requests = mixed_requests();
+    let reference = sequential_reference(&requests);
+    // Sanity on the workload itself: successes and failures are mixed.
+    let failures = reference.iter().filter(|r| r.is_err()).count();
+    assert!(failures >= 6, "want error-carrying requests mid-stream");
+    assert!(
+        reference.len() - failures >= 50,
+        "want plenty of successes too"
+    );
+
+    for shards in [1usize, 4] {
+        let server = QueryServer::new(
+            ServerConfig::new(shards)
+                .with_queue_capacity(16)
+                .with_coalesce_limit(8),
+        )
+        .unwrap();
+        let served = serve_concurrently(&server, &requests);
+        for (index, (got, want)) in served.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                got,
+                want,
+                "{shards}-shard server diverged on request {index} ({:?} n={})",
+                std::mem::discriminant(&requests[index]),
+                requests[index].n()
+            );
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.requests(), requests.len() as u64);
+        assert_eq!(stats.rejected(), failures as u64);
+        assert!(stats.batches() > 0);
+        // Queues are quiescent after a graceful shutdown.
+        assert!(stats.shards.iter().all(|s| s.queue_depth == 0));
+    }
+}
+
+/// The same contract under `try_call` clients that retry on overload: a
+/// tiny queue forces `Overloaded` rejections, and retried requests still
+/// come back bit-identical.
+#[test]
+fn overload_retries_do_not_perturb_answers() {
+    let requests: Vec<Request> = mixed_requests().into_iter().take(24).collect();
+    let reference = sequential_reference(&requests);
+    let server = QueryServer::new(
+        ServerConfig::new(2)
+            .with_queue_capacity(1)
+            .with_coalesce_limit(4),
+    )
+    .unwrap();
+    let served: Vec<QueryResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4usize)
+            .map(|t| {
+                let client = server.handle();
+                let requests = &requests;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    for index in (t..requests.len()).step_by(4) {
+                        let result = loop {
+                            match client.try_call(requests[index].clone()) {
+                                Ok(outcome) => break Ok(outcome),
+                                Err(ServerError::Query(e)) => break Err(e),
+                                Err(ServerError::Overloaded) => std::thread::yield_now(),
+                                Err(other) => panic!("server-level failure: {other}"),
+                            }
+                        };
+                        mine.push((index, result));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let mut results: Vec<Option<QueryResult>> = Vec::new();
+        results.resize_with(requests.len(), || None);
+        for handle in handles {
+            for (index, result) in handle.join().expect("client thread") {
+                results[index] = Some(result);
+            }
+        }
+        results.into_iter().map(Option::unwrap).collect()
+    });
+    assert_eq!(served, reference);
+    let stats = server.shutdown();
+    assert_eq!(stats.requests(), requests.len() as u64);
+}
