@@ -26,17 +26,21 @@
 //! `server_throughput` measures the layer above: the same mixed
 //! route/sort traffic pushed through a sharded `QueryServer` by 4
 //! concurrent client threads, 1 shard vs 4, against one directly driven
-//! service. Total round counts are asserted identical across substrates,
-//! so the rows isolate dispatch/queueing overhead and (on multi-core
-//! hosts) shard parallelism.
+//! service — and `net_throughput` adds the final layer, the same traffic
+//! over the `cc-net` TCP loopback (codec + framing + sockets) from 4
+//! real client connections. Total round counts are asserted identical
+//! across substrates, so the rows isolate dispatch/queueing overhead,
+//! the wire tax, and (on multi-core hosts) shard parallelism.
 
 use cc_bench::harness::{self, Options};
 use cc_core::routing::{route_optimized_with_spec, spec_for_optimized};
 use cc_core::sorting::{sort_with_spec, spec_for_sorting};
 use cc_core::{CliqueService, CongestedClique};
+use cc_net::{CcClient, NetServer, NetServerConfig};
 use cc_server::{QueryServer, Request, ServerConfig};
 use cc_sim::{run_protocol, CliqueSpec, Ctx, ExecMode, Inbox, NodeMachine, Step};
 use cc_workloads as wl;
+use cc_workloads::RequestMix;
 
 /// Heavy-fan-out delivery stress: every node broadcasts every round, so a
 /// round moves `n²` messages through the delivery path (the exact shape
@@ -101,6 +105,33 @@ fn bench_modes(
     // Pool vs per-round spawn: the hand-off cost the pool eliminates.
     speedups.push(harness::speedup(&per_mode[2], &per_mode[3]));
     entries.extend(per_mode);
+}
+
+/// Serves `requests` from `clients` concurrent worker threads, thread `c`
+/// taking requests `c, c+clients, …`; each thread builds its own serving
+/// closure from `factory` (an in-process handle, a TCP client, …) and the
+/// total observed round count is returned — the cross-substrate parity
+/// currency of the throughput benches.
+fn strided_rounds<W, F>(clients: usize, requests: &[Request], factory: F) -> u64
+where
+    F: Fn() -> W + Sync,
+    W: FnMut(&Request) -> u64,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let factory = &factory;
+                scope.spawn(move || {
+                    let mut serve = factory();
+                    (c..requests.len())
+                        .step_by(clients)
+                        .map(|index| serve(&requests[index]))
+                        .sum::<u64>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    })
 }
 
 fn main() {
@@ -278,25 +309,15 @@ fn main() {
                         .with_coalesce_limit(8),
                 )
                 .unwrap();
-                let rounds: u64 = std::thread::scope(|scope| {
-                    let handles: Vec<_> = (0..clients)
-                        .map(|c| {
-                            let handle = server.handle();
-                            let requests = &requests;
-                            scope.spawn(move || {
-                                let mut rounds = 0u64;
-                                for index in (c..requests.len()).step_by(clients) {
-                                    rounds += handle
-                                        .call(requests[index].clone())
-                                        .unwrap()
-                                        .metrics()
-                                        .comm_rounds();
-                                }
-                                rounds
-                            })
-                        })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().unwrap()).sum()
+                let rounds = strided_rounds(clients, &requests, || {
+                    let handle = server.handle();
+                    move |request: &Request| {
+                        handle
+                            .call(request.clone())
+                            .unwrap()
+                            .metrics()
+                            .comm_rounds()
+                    }
                 });
                 rounds_seen.push(rounds);
                 rounds
@@ -313,6 +334,101 @@ fn main() {
         }
         entries.push(direct);
         entries.extend(server_entries);
+    }
+
+    // Net throughput: the same class of mixed route/sort traffic, served
+    // three ways — one directly driven warm service (no concurrency, no
+    // dispatch), the in-process sharded server (queues + threads, no
+    // codec), and the full TCP loopback path (codec + framing + sockets
+    // on top). 4 clients each way; the TCP clients each own a real
+    // connection. Total round counts are asserted identical, so the row
+    // deltas isolate, layer by layer, what dispatch and the wire cost.
+    // Note the rows are single-clique-size by design (the fleet shards by
+    // size, so each row's traffic serializes on one shard even on
+    // multi-core hosts): they price the wire and dispatch layers, not
+    // shard parallelism — mixed-size traffic, as in the net_swarm
+    // example, is what spreads across shards.
+    let net_queries = if opts.quick { 8usize } else { 16 };
+    for n in [64usize, 256] {
+        let requests: Vec<Request> = RequestMix::new(vec![n])
+            .with_weights([0, 1, 1, 0, 0, 0, 0])
+            .generate(net_queries, 42);
+        let route_count = requests
+            .iter()
+            .filter(|r| matches!(r, Request::RouteOptimized(_)))
+            .count();
+        println!(
+            "net_throughput n={n}: {net_queries} queries \
+             ({route_count} route_optimized, {} sort)",
+            net_queries - route_count
+        );
+        let mut rounds_seen: Vec<u64> = Vec::new();
+        let direct = {
+            let mut entry = harness::bench("net_throughput", n, "direct_service", &opts, || {
+                let mut service = CliqueService::new(n).unwrap();
+                let rounds: u64 = requests
+                    .iter()
+                    .map(|r| r.serve_on(&mut service).unwrap().metrics().comm_rounds())
+                    .sum();
+                rounds_seen.push(rounds);
+                rounds
+            });
+            entry.worker_threads = Some(ExecMode::Auto.worker_threads(n));
+            entry
+        };
+        let fleet_config = || {
+            ServerConfig::new(4)
+                .with_queue_capacity(32)
+                .with_coalesce_limit(8)
+        };
+        let in_process = {
+            let mut entry = harness::bench("net_throughput", n, "in_process_server", &opts, || {
+                let server = QueryServer::new(fleet_config()).unwrap();
+                let rounds = strided_rounds(clients, &requests, || {
+                    let handle = server.handle();
+                    move |request: &Request| {
+                        handle
+                            .call(request.clone())
+                            .unwrap()
+                            .metrics()
+                            .comm_rounds()
+                    }
+                });
+                rounds_seen.push(rounds);
+                rounds
+            });
+            entry.worker_threads = Some(ExecMode::Auto.worker_threads(n));
+            entry
+        };
+        let tcp = {
+            let mut entry = harness::bench("net_throughput", n, "tcp_loopback", &opts, || {
+                let server = NetServer::bind(
+                    "127.0.0.1:0",
+                    NetServerConfig::new(4).with_fleet(fleet_config()),
+                )
+                .unwrap();
+                let addr = server.local_addr();
+                let rounds = strided_rounds(clients, &requests, || {
+                    let mut client = CcClient::connect(addr).unwrap();
+                    move |request: &Request| client.call(request).unwrap().metrics().comm_rounds()
+                });
+                rounds_seen.push(rounds);
+                rounds
+            });
+            entry.worker_threads = Some(ExecMode::Auto.worker_threads(n));
+            entry
+        };
+        assert!(
+            rounds_seen.windows(2).all(|w| w[0] == w[1]),
+            "net_throughput n={n}: substrates disagreed on rounds: {rounds_seen:?}"
+        );
+        speedups.push(harness::speedup(&direct, &in_process));
+        speedups.push(harness::speedup(&direct, &tcp));
+        // What the wire itself costs, dispatch already paid for.
+        speedups.push(harness::speedup(&in_process, &tcp));
+        entries.push(direct);
+        entries.push(in_process);
+        entries.push(tcp);
     }
 
     harness::write_json("engine", &opts, &entries, &speedups);
@@ -350,6 +466,15 @@ fn main() {
                 "server_throughput n={}: {} serving {server_queries} mixed queries from \
                  {clients} clients is {:.2}x vs direct_service",
                 s.n, s.candidate, s.ratio
+            );
+        }
+        // The wire layer: the TCP loopback path vs its in-process and
+        // directly-driven baselines (ratio < 1 reads as the wire tax).
+        if s.group == "net_throughput" {
+            println!(
+                "net_throughput n={}: {} serving {net_queries} mixed queries from \
+                 {clients} clients is {:.2}x vs {}",
+                s.n, s.candidate, s.ratio, s.baseline
             );
         }
     }

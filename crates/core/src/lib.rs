@@ -67,3 +67,11 @@ pub use service::{CliqueService, Outcome};
 // counters behind [`CliqueService::stats`] and the per-run measurements
 // embedded in every outcome.
 pub use cc_sim::{Metrics, SessionStats};
+
+// The bit-exact encoding substrate, plus every type embedded in the
+// outcomes and errors the entry points return. `cc-net`'s wire codec
+// serializes all of it through these — the same machinery the simulator
+// uses to charge message sizes — re-exported so codec layers need only a
+// `cc-core` dependency.
+pub use cc_sim::wire;
+pub use cc_sim::{EdgeLoadHistogram, NodeId, RoundMetrics, SimError, WorkMeter};

@@ -1,0 +1,181 @@
+//! The blocking client: one TCP connection, `call` and `pipeline`.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use cc_core::Outcome;
+use cc_server::Request;
+
+use crate::codec::{self, Frame, WireResult};
+use crate::error::{NetError, WireError};
+use crate::frame::{self, DEFAULT_MAX_REPLY_FRAME_BYTES};
+
+/// How many pipelined requests [`CcClient::pipeline`] keeps in flight:
+/// deep enough to keep every shard of a typical fleet busy, shallow
+/// enough that the unread-reply backlog stays within ordinary TCP
+/// buffering.
+pub const PIPELINE_WINDOW: usize = 32;
+
+/// A blocking client of a [`NetServer`](crate::NetServer).
+///
+/// One client owns one connection and is single-threaded by design
+/// (`&mut self`); concurrency comes from opening one client per thread —
+/// the server multiplexes all of them onto the same warm fleet. Request
+/// ids are assigned internally and never reused within a connection.
+///
+/// [`CcClient::call`] is the plain request-reply roundtrip.
+/// [`CcClient::pipeline`] keeps a sliding window of requests in flight,
+/// letting the server's shards work them concurrently and answer out of
+/// order; results are returned in request order regardless.
+///
+/// ```no_run
+/// use cc_net::{CcClient, NetServer, NetServerConfig};
+/// use cc_server::Request;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let server = NetServer::bind("127.0.0.1:0", NetServerConfig::new(2))?;
+/// let mut client = CcClient::connect(server.local_addr())?;
+/// let keys: Vec<Vec<u64>> = (0..8).map(|i| vec![i as u64]).collect();
+/// let outcome = client.call(&Request::Sort(keys))?;
+/// assert!(outcome.metrics().comm_rounds() > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct CcClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+    max_frame_bytes: u64,
+}
+
+impl std::fmt::Debug for CcClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CcClient")
+            .field("next_id", &self.next_id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CcClient {
+    /// Connects to a [`NetServer`](crate::NetServer).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures from connect/clone.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        // One frame per query either way: batching is explicit (pipeline),
+        // so turn Nagle off to keep single calls at wire latency.
+        let _ = stream.set_nodelay(true);
+        let write_half = stream.try_clone()?;
+        Ok(CcClient {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+            next_id: 0,
+            max_frame_bytes: DEFAULT_MAX_REPLY_FRAME_BYTES,
+        })
+    }
+
+    /// Sets the cap this client enforces on reply frames (defaults to
+    /// [`DEFAULT_MAX_REPLY_FRAME_BYTES`] — deliberately above the
+    /// server's request cap, since replies outgrow their requests).
+    #[must_use]
+    pub fn with_max_frame_bytes(mut self, max_frame_bytes: u64) -> Self {
+        self.max_frame_bytes = max_frame_bytes;
+        self
+    }
+
+    /// Sends `request` and blocks for its answer.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Server`] carries the exact server-side error an
+    /// in-process [`ServiceHandle::call`](cc_server::ServiceHandle::call)
+    /// would return; the other variants are transport or protocol
+    /// failures.
+    pub fn call(&mut self, request: &Request) -> Result<Outcome, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        frame::write_frame(&mut self.writer, &codec::encode_request(id, request))?;
+        self.writer.flush().map_err(NetError::Io)?;
+        let (got, result) = self.read_reply()?;
+        if got != id {
+            return Err(NetError::UnexpectedId { id: got });
+        }
+        result.map_err(NetError::Server)
+    }
+
+    /// Pipelines the whole batch — up to [`PIPELINE_WINDOW`] requests are
+    /// in flight at once: the server decodes, shards and serves them
+    /// concurrently and replies in completion order; this method reorders
+    /// by request id and returns results in request order.
+    ///
+    /// Per-request server outcomes (including query errors) are inside
+    /// the returned vector; only transport/protocol failures abort the
+    /// whole batch.
+    ///
+    /// The sliding window is what makes arbitrarily large batches safe:
+    /// once the window is full, a reply is consumed before the next
+    /// request is written, so neither side's TCP buffering has to absorb
+    /// an unbounded burst and the server's reply writer is never starved
+    /// of a reading peer for long.
+    ///
+    /// # Errors
+    ///
+    /// Transport ([`NetError::Io`], [`NetError::Disconnected`]) and
+    /// protocol ([`NetError::Wire`], [`NetError::RemoteProtocol`],
+    /// [`NetError::UnexpectedId`]) failures.
+    pub fn pipeline(&mut self, requests: &[Request]) -> Result<Vec<WireResult>, NetError> {
+        let base = self.next_id;
+        self.next_id += requests.len() as u64;
+        let mut slots: Vec<Option<WireResult>> = Vec::new();
+        slots.resize_with(requests.len(), || None);
+        let mut written = 0;
+        let mut received = 0;
+        while received < requests.len() {
+            if written < requests.len() && written - received < PIPELINE_WINDOW {
+                let id = base + written as u64;
+                frame::write_frame(
+                    &mut self.writer,
+                    &codec::encode_request(id, &requests[written]),
+                )?;
+                written += 1;
+                // Flush at the window edge and at the end of the batch,
+                // never leaving buffered requests while blocked on reads.
+                if written == requests.len() || written - received >= PIPELINE_WINDOW {
+                    self.writer.flush().map_err(NetError::Io)?;
+                }
+                continue;
+            }
+            let (id, result) = self.read_reply()?;
+            let index = id
+                .checked_sub(base)
+                .filter(|&offset| (offset as usize) < written)
+                .map(|offset| offset as usize)
+                .ok_or(NetError::UnexpectedId { id })?;
+            if slots[index].is_some() {
+                return Err(NetError::UnexpectedId { id });
+            }
+            slots[index] = Some(result);
+            received += 1;
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.expect("all filled"))
+            .collect())
+    }
+
+    /// Reads and decodes one reply frame.
+    fn read_reply(&mut self) -> Result<(u64, WireResult), NetError> {
+        match frame::read_frame(&mut self.reader, self.max_frame_bytes)? {
+            None => Err(NetError::Disconnected),
+            Some(payload) => match codec::decode_frame(&payload)? {
+                Frame::Reply { id, result } => Ok((id, result)),
+                Frame::ProtocolError { error, .. } => Err(NetError::RemoteProtocol(error)),
+                Frame::Request { .. } => Err(NetError::Wire(WireError::malformed(
+                    "servers send only reply frames",
+                ))),
+            },
+        }
+    }
+}

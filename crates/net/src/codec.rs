@@ -1,0 +1,1151 @@
+//! The versioned binary codec: every frame payload is produced and
+//! consumed here.
+//!
+//! # Frame payload format
+//!
+//! A payload is a plain MSB-first bit stream written with
+//! [`cc_core::wire::BitWriter`] — the same bit-exact machinery the
+//! simulator uses to charge message sizes. Every field is a fixed-width
+//! unsigned integer whose width is a multiple of 8 bits, so payloads are
+//! byte-aligned end to end and a valid payload has no padding:
+//!
+//! ```text
+//! payload := version:u8 kind:u8 id:u64 body
+//! kind    := 0 REQUEST   (body = request)
+//!            1 REPLY     (body = result)
+//!            2 PROTO_ERR (body = wire_error)
+//! ```
+//!
+//! Composite rules, applied recursively:
+//!
+//! * `vec<T>` := `len:u32` followed by `len` encodings of `T`;
+//! * `string` := `len:u32` followed by `len` UTF-8 bytes;
+//! * `option<T>` := `present:u8` (0 or 1) then `T` if present;
+//! * enums := `tag:u8` then the variant's fields in declaration order.
+//!
+//! Decoding is **total and deterministic**: any byte sequence either
+//! decodes to exactly one [`Frame`] or to exactly one [`WireError`], with
+//! trailing bytes and out-of-range tags rejected. Semantic validation
+//! (e.g. the Problem 3.1 bounds of a routing instance) runs during
+//! decode, so a frame that decodes structurally but violates instance
+//! invariants is a deterministic [`WireError::Malformed`].
+
+use cc_core::routing::{RouteOutcome, RoutedMessage, RoutingInstance};
+use cc_core::sorting::{
+    IndexOutcome, ModeOutcome, SelectOutcome, SmallKeyOutcome, SortOutcome, TaggedKey,
+};
+use cc_core::wire::{BitReader, BitWriter};
+use cc_core::{
+    CoreError, EdgeLoadHistogram, Metrics, NodeId, Outcome, RoundMetrics, SimError, WorkMeter,
+};
+use cc_server::{Request, ServerError};
+
+use crate::error::WireError;
+
+/// The wire protocol version carried in every frame's first payload byte.
+pub const WIRE_VERSION: u8 = 1;
+
+const KIND_REQUEST: u8 = 0;
+const KIND_REPLY: u8 = 1;
+const KIND_PROTO_ERR: u8 = 2;
+
+/// What one reply carries: the unified [`Outcome`] or the exact
+/// [`ServerError`] — the same type an in-process
+/// [`ServiceHandle::call`](cc_server::ServiceHandle::call) returns.
+pub type WireResult = Result<Outcome, ServerError>;
+
+/// A decoded frame payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A client query, tagged with the client-chosen request id.
+    Request {
+        /// Correlation id, echoed verbatim in the reply.
+        id: u64,
+        /// The decoded request.
+        request: Request,
+    },
+    /// A server answer for request `id`.
+    Reply {
+        /// The id of the request this answers.
+        id: u64,
+        /// Outcome or server-level error, losslessly encoded.
+        result: WireResult,
+    },
+    /// The peer could not decode a frame this side sent; the connection
+    /// is dead after this. `id` is the offending request's id when the
+    /// peer got far enough to parse it, else 0.
+    ProtocolError {
+        /// Best-effort id of the offending frame.
+        id: u64,
+        /// The decode failure, losslessly encoded.
+        error: WireError,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn header(w: &mut BitWriter, kind: u8, id: u64) {
+    w.write_bits(u64::from(WIRE_VERSION), 8);
+    w.write_bits(u64::from(kind), 8);
+    w.write_bits(id, 64);
+}
+
+fn put_u8(w: &mut BitWriter, v: u8) {
+    w.write_bits(u64::from(v), 8);
+}
+
+fn put_u32(w: &mut BitWriter, v: u32) {
+    w.write_bits(u64::from(v), 32);
+}
+
+fn put_u64(w: &mut BitWriter, v: u64) {
+    w.write_bits(v, 64);
+}
+
+/// Lengths travel as `u32`.
+///
+/// # Panics
+///
+/// Panics if `len` exceeds `u32::MAX` (a four-billion-element collection
+/// is far outside the serviceable range).
+fn put_len(w: &mut BitWriter, len: usize) {
+    put_u32(
+        w,
+        u32::try_from(len).expect("collection length exceeds u32"),
+    );
+}
+
+fn put_string(w: &mut BitWriter, s: &str) {
+    put_len(w, s.len());
+    for b in s.bytes() {
+        put_u8(w, b);
+    }
+}
+
+fn put_node(w: &mut BitWriter, node: NodeId) {
+    put_u32(w, node.index() as u32);
+}
+
+fn put_message_lists(w: &mut BitWriter, lists: &[Vec<RoutedMessage>]) {
+    put_len(w, lists.len());
+    for list in lists {
+        put_len(w, list.len());
+        for m in list {
+            put_node(w, m.src);
+            put_node(w, m.dst);
+            put_u32(w, m.seq);
+            put_u64(w, m.payload);
+        }
+    }
+}
+
+fn put_keys(w: &mut BitWriter, keys: &[Vec<u64>]) {
+    put_len(w, keys.len());
+    for list in keys {
+        put_len(w, list.len());
+        for &k in list {
+            put_u64(w, k);
+        }
+    }
+}
+
+fn put_tagged_keys(w: &mut BitWriter, lists: &[Vec<TaggedKey>]) {
+    put_len(w, lists.len());
+    for list in lists {
+        put_len(w, list.len());
+        for k in list {
+            put_u64(w, k.key);
+            put_node(w, k.origin);
+            put_u32(w, k.index_at_origin);
+        }
+    }
+}
+
+fn put_u64s(w: &mut BitWriter, values: &[u64]) {
+    put_len(w, values.len());
+    for &v in values {
+        put_u64(w, v);
+    }
+}
+
+fn put_metrics(w: &mut BitWriter, metrics: &Metrics) {
+    put_len(w, metrics.rounds().len());
+    for round in metrics.rounds() {
+        put_u64(w, round.messages);
+        put_u64(w, round.bits);
+        put_u64(w, round.max_edge_bits);
+        put_u64(w, round.busy_edges);
+    }
+    match metrics.edge_histogram() {
+        None => put_u8(w, 0),
+        Some(h) => {
+            put_u8(w, 1);
+            put_len(w, h.iter().count());
+            for (bits, count) in h.iter() {
+                put_u64(w, bits);
+                put_u64(w, count);
+            }
+        }
+    }
+    put_len(w, metrics.node_work().len());
+    for meter in metrics.node_work() {
+        put_u64(w, meter.steps());
+        put_u64(w, meter.peak_mem_words());
+    }
+}
+
+fn put_request(w: &mut BitWriter, request: &Request) {
+    match request {
+        Request::Route(inst) => {
+            put_u8(w, 0);
+            put_u32(w, inst.n() as u32);
+            put_message_lists(w, inst.all_sends());
+        }
+        Request::RouteOptimized(inst) => {
+            put_u8(w, 1);
+            put_u32(w, inst.n() as u32);
+            put_message_lists(w, inst.all_sends());
+        }
+        Request::Sort(keys) => {
+            put_u8(w, 2);
+            put_keys(w, keys);
+        }
+        Request::GlobalIndices(keys) => {
+            put_u8(w, 3);
+            put_keys(w, keys);
+        }
+        Request::Select { keys, rank } => {
+            put_u8(w, 4);
+            put_keys(w, keys);
+            put_u64(w, *rank);
+        }
+        Request::Mode(keys) => {
+            put_u8(w, 5);
+            put_keys(w, keys);
+        }
+        Request::SmallKeyCensus { keys, key_bits } => {
+            put_u8(w, 6);
+            put_keys(w, keys);
+            put_u32(w, *key_bits);
+        }
+        // `Request` is non_exhaustive-by-evolution: a variant this codec
+        // does not know cannot be put on the wire.
+        #[allow(unreachable_patterns)]
+        other => unreachable!("unencodable request variant {other:?}"),
+    }
+}
+
+fn put_outcome(w: &mut BitWriter, outcome: &Outcome) {
+    match outcome {
+        Outcome::Route(o) => {
+            put_u8(w, 0);
+            put_message_lists(w, &o.delivered);
+            put_metrics(w, &o.metrics);
+        }
+        Outcome::Sort(o) => {
+            put_u8(w, 1);
+            put_tagged_keys(w, &o.batches);
+            put_u64s(w, &o.offsets);
+            put_u64(w, o.total);
+            put_metrics(w, &o.metrics);
+        }
+        Outcome::Indices(o) => {
+            put_u8(w, 2);
+            put_keys(w, &o.indices);
+            put_metrics(w, &o.metrics);
+        }
+        Outcome::Select(o) => {
+            put_u8(w, 3);
+            put_u64(w, o.key);
+            put_metrics(w, &o.metrics);
+        }
+        Outcome::Mode(o) => {
+            put_u8(w, 4);
+            put_u64(w, o.key);
+            put_u64(w, o.count);
+            put_metrics(w, &o.metrics);
+        }
+        Outcome::SmallKeys(o) => {
+            put_u8(w, 5);
+            put_u64s(w, &o.totals);
+            put_keys(w, &o.prefix);
+            put_metrics(w, &o.metrics);
+        }
+        #[allow(unreachable_patterns)]
+        other => unreachable!("unencodable outcome variant {other:?}"),
+    }
+}
+
+fn put_sim_error(w: &mut BitWriter, error: &SimError) {
+    match error {
+        SimError::BudgetExceeded {
+            round,
+            src,
+            dst,
+            bits,
+            budget,
+        } => {
+            put_u8(w, 0);
+            put_u64(w, *round);
+            put_node(w, *src);
+            put_node(w, *dst);
+            put_u64(w, *bits);
+            put_u64(w, *budget);
+        }
+        SimError::TooManyRounds { limit } => {
+            put_u8(w, 1);
+            put_u64(w, *limit);
+        }
+        SimError::Stalled {
+            round,
+            finished,
+            total,
+        } => {
+            put_u8(w, 2);
+            put_u64(w, *round);
+            put_u64(w, *finished as u64);
+            put_u64(w, *total as u64);
+        }
+        SimError::MessageToFinishedNode { round, src, dst } => {
+            put_u8(w, 3);
+            put_u64(w, *round);
+            put_node(w, *src);
+            put_node(w, *dst);
+        }
+        SimError::DestinationOutOfRange { src, dst, n } => {
+            put_u8(w, 4);
+            put_node(w, *src);
+            put_u64(w, *dst as u64);
+            put_u64(w, *n as u64);
+        }
+        SimError::InvalidSpec { reason } => {
+            put_u8(w, 5);
+            put_string(w, reason);
+        }
+        SimError::NodeCountMismatch { expected, actual } => {
+            put_u8(w, 6);
+            put_u64(w, *expected as u64);
+            put_u64(w, *actual as u64);
+        }
+        #[allow(unreachable_patterns)]
+        other => unreachable!("unencodable simulator error {other:?}"),
+    }
+}
+
+fn put_core_error(w: &mut BitWriter, error: &CoreError) {
+    match error {
+        CoreError::InvalidInstance { reason } => {
+            put_u8(w, 0);
+            put_string(w, reason);
+        }
+        CoreError::Sim(e) => {
+            put_u8(w, 1);
+            put_sim_error(w, e);
+        }
+        CoreError::VerificationFailed { reason } => {
+            put_u8(w, 2);
+            put_string(w, reason);
+        }
+        #[allow(unreachable_patterns)]
+        other => unreachable!("unencodable core error {other:?}"),
+    }
+}
+
+fn put_server_error(w: &mut BitWriter, error: &ServerError) {
+    match error {
+        ServerError::InvalidConfig { reason } => {
+            put_u8(w, 0);
+            put_string(w, reason);
+        }
+        ServerError::Overloaded => put_u8(w, 1),
+        ServerError::ShutDown => put_u8(w, 2),
+        ServerError::Query(e) => {
+            put_u8(w, 3);
+            put_core_error(w, e);
+        }
+        #[allow(unreachable_patterns)]
+        other => unreachable!("unencodable server error {other:?}"),
+    }
+}
+
+fn put_wire_error(w: &mut BitWriter, error: &WireError) {
+    match error {
+        WireError::Truncated => put_u8(w, 0),
+        WireError::UnsupportedVersion { found } => {
+            put_u8(w, 1);
+            put_u8(w, *found);
+        }
+        WireError::UnknownTag { context, tag } => {
+            put_u8(w, 2);
+            put_string(w, context);
+            put_u64(w, *tag);
+        }
+        WireError::Malformed { reason } => {
+            put_u8(w, 3);
+            put_string(w, reason);
+        }
+        WireError::TrailingBytes { extra } => {
+            put_u8(w, 4);
+            put_u64(w, *extra);
+        }
+        WireError::FrameTooLarge { len, max } => {
+            put_u8(w, 5);
+            put_u64(w, *len);
+            put_u64(w, *max);
+        }
+        #[allow(unreachable_patterns)]
+        other => unreachable!("unencodable wire error {other:?}"),
+    }
+}
+
+/// Encodes a request frame payload.
+pub fn encode_request(id: u64, request: &Request) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    header(&mut w, KIND_REQUEST, id);
+    put_request(&mut w, request);
+    w.finish()
+}
+
+/// Encodes a reply frame payload — outcome or server error, losslessly.
+pub fn encode_reply(id: u64, result: &WireResult) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    header(&mut w, KIND_REPLY, id);
+    match result {
+        Ok(outcome) => {
+            put_u8(&mut w, 0);
+            put_outcome(&mut w, outcome);
+        }
+        Err(e) => {
+            put_u8(&mut w, 1);
+            put_server_error(&mut w, e);
+        }
+    }
+    w.finish()
+}
+
+/// Encodes the connection-fatal "your frame did not decode" notice.
+pub fn encode_protocol_error(id: u64, error: &WireError) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    header(&mut w, KIND_PROTO_ERR, id);
+    put_wire_error(&mut w, error);
+    w.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Dec<'a> {
+    r: BitReader<'a>,
+    total_bytes: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec {
+            r: BitReader::new(buf),
+            total_bytes: buf.len(),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        self.r
+            .read_bits(8)
+            .map(|v| v as u8)
+            .ok_or(WireError::Truncated)
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        self.r
+            .read_bits(32)
+            .map(|v| v as u32)
+            .ok_or(WireError::Truncated)
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        self.r.read_bits(64).ok_or(WireError::Truncated)
+    }
+
+    fn len(&mut self) -> Result<usize, WireError> {
+        Ok(self.u32()? as usize)
+    }
+
+    /// A length about to drive an allocation: `len` elements of at least
+    /// `elem_bytes` encoded bytes each must be satisfiable by the bytes
+    /// actually present, so a corrupted or hostile length prefix cannot
+    /// force an allocation beyond (a fraction of) the frame's own size —
+    /// the stream would provably run dry first.
+    fn checked_len(&mut self, elem_bytes: u64) -> Result<usize, WireError> {
+        let len = self.len()?;
+        let remaining_bytes = self.total_bytes as u64 - self.r.position() / 8;
+        if (len as u64).saturating_mul(elem_bytes) > remaining_bytes {
+            return Err(WireError::Truncated);
+        }
+        Ok(len)
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.checked_len(1)?;
+        let mut bytes = Vec::with_capacity(len);
+        for _ in 0..len {
+            bytes.push(self.u8()?);
+        }
+        String::from_utf8(bytes).map_err(|_| WireError::malformed("string is not UTF-8"))
+    }
+
+    fn node(&mut self) -> Result<NodeId, WireError> {
+        Ok(NodeId::new(self.u32()? as usize))
+    }
+
+    /// Rejects payloads with unread whole bytes. (All field widths are
+    /// multiples of 8 bits, so a fully consumed valid payload always ends
+    /// exactly on the final byte.)
+    fn finish(self) -> Result<(), WireError> {
+        let consumed_bytes = self.r.position().div_ceil(8);
+        let extra = self.total_bytes as u64 - consumed_bytes;
+        if extra > 0 {
+            return Err(WireError::TrailingBytes { extra });
+        }
+        Ok(())
+    }
+}
+
+// Minimum encoded sizes (bytes) of the variable-count elements, used to
+// bound every length-driven allocation against the frame's actual size.
+const LIST_MIN: u64 = 4; // an empty inner vec is its u32 length
+const MESSAGE_BYTES: u64 = 20; // src u32 + dst u32 + seq u32 + payload u64
+const U64_BYTES: u64 = 8;
+const TAGGED_KEY_BYTES: u64 = 16; // key u64 + origin u32 + index u32
+const ROUND_BYTES: u64 = 32; // four u64 counters
+const PAIR_BYTES: u64 = 16; // (bits, count)
+const METER_BYTES: u64 = 16; // steps + peak words
+
+fn get_message_lists(d: &mut Dec<'_>) -> Result<Vec<Vec<RoutedMessage>>, WireError> {
+    let outer = d.checked_len(LIST_MIN)?;
+    let mut lists = Vec::with_capacity(outer);
+    for _ in 0..outer {
+        let inner = d.checked_len(MESSAGE_BYTES)?;
+        let mut list = Vec::with_capacity(inner);
+        for _ in 0..inner {
+            let src = d.node()?;
+            let dst = d.node()?;
+            let seq = d.u32()?;
+            let payload = d.u64()?;
+            list.push(RoutedMessage::new(src, dst, seq, payload));
+        }
+        lists.push(list);
+    }
+    Ok(lists)
+}
+
+/// Rebuilds a routing instance, re-running the Problem 3.1 validation the
+/// sender's constructor ran. The load cap is recomputed from the decoded
+/// lists (the cap is not stored by `RoutingInstance`), so any instance
+/// that was constructible on the sending side — including the overloaded
+/// `with_max_load` instances — reconstructs identically, while corrupted
+/// lists (wrong `src`, out-of-range `dst`, duplicate identities) are a
+/// deterministic [`WireError::Malformed`].
+fn get_instance(d: &mut Dec<'_>) -> Result<RoutingInstance, WireError> {
+    let n = d.u32()? as usize;
+    let sends = get_message_lists(d)?;
+    if sends.len() != n {
+        return Err(WireError::malformed(format!(
+            "instance advertises n={n} but carries {} send lists",
+            sends.len()
+        )));
+    }
+    let mut max_load = n;
+    let mut receives = vec![0usize; n];
+    for list in &sends {
+        max_load = max_load.max(list.len());
+        for m in list {
+            if m.dst.index() < n {
+                receives[m.dst.index()] += 1;
+            }
+        }
+    }
+    max_load = max_load.max(receives.iter().copied().max().unwrap_or(0));
+    RoutingInstance::with_max_load(n, sends, max_load)
+        .map_err(|e| WireError::malformed(format!("invalid routing instance: {e}")))
+}
+
+fn get_keys(d: &mut Dec<'_>) -> Result<Vec<Vec<u64>>, WireError> {
+    let outer = d.checked_len(LIST_MIN)?;
+    let mut keys = Vec::with_capacity(outer);
+    for _ in 0..outer {
+        let inner = d.checked_len(U64_BYTES)?;
+        let mut list = Vec::with_capacity(inner);
+        for _ in 0..inner {
+            list.push(d.u64()?);
+        }
+        keys.push(list);
+    }
+    Ok(keys)
+}
+
+fn get_tagged_keys(d: &mut Dec<'_>) -> Result<Vec<Vec<TaggedKey>>, WireError> {
+    let outer = d.checked_len(LIST_MIN)?;
+    let mut lists = Vec::with_capacity(outer);
+    for _ in 0..outer {
+        let inner = d.checked_len(TAGGED_KEY_BYTES)?;
+        let mut list = Vec::with_capacity(inner);
+        for _ in 0..inner {
+            let key = d.u64()?;
+            let origin = d.node()?;
+            let index_at_origin = d.u32()?;
+            list.push(TaggedKey {
+                key,
+                origin,
+                index_at_origin,
+            });
+        }
+        lists.push(list);
+    }
+    Ok(lists)
+}
+
+fn get_u64s(d: &mut Dec<'_>) -> Result<Vec<u64>, WireError> {
+    let len = d.checked_len(U64_BYTES)?;
+    let mut values = Vec::with_capacity(len);
+    for _ in 0..len {
+        values.push(d.u64()?);
+    }
+    Ok(values)
+}
+
+fn get_metrics(d: &mut Dec<'_>) -> Result<Metrics, WireError> {
+    let rounds = d.checked_len(ROUND_BYTES)?;
+    let mut per_round = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        per_round.push(RoundMetrics {
+            messages: d.u64()?,
+            bits: d.u64()?,
+            max_edge_bits: d.u64()?,
+            busy_edges: d.u64()?,
+        });
+    }
+    let histogram = match d.u8()? {
+        0 => None,
+        1 => {
+            let pairs = d.checked_len(PAIR_BYTES)?;
+            let mut loads = Vec::with_capacity(pairs);
+            for _ in 0..pairs {
+                loads.push((d.u64()?, d.u64()?));
+            }
+            Some(EdgeLoadHistogram::from_pairs(loads))
+        }
+        tag => {
+            return Err(WireError::UnknownTag {
+                context: "histogram presence",
+                tag: u64::from(tag),
+            })
+        }
+    };
+    let meters = d.checked_len(METER_BYTES)?;
+    let mut node_work = Vec::with_capacity(meters);
+    for _ in 0..meters {
+        let mut meter = WorkMeter::new();
+        meter.charge(d.u64()?);
+        meter.note_mem(d.u64()?);
+        node_work.push(meter);
+    }
+    Ok(Metrics::from_parts(per_round, histogram, node_work))
+}
+
+fn get_request(d: &mut Dec<'_>) -> Result<Request, WireError> {
+    match d.u8()? {
+        0 => Ok(Request::Route(get_instance(d)?)),
+        1 => Ok(Request::RouteOptimized(get_instance(d)?)),
+        2 => Ok(Request::Sort(get_keys(d)?)),
+        3 => Ok(Request::GlobalIndices(get_keys(d)?)),
+        4 => Ok(Request::Select {
+            keys: get_keys(d)?,
+            rank: d.u64()?,
+        }),
+        5 => Ok(Request::Mode(get_keys(d)?)),
+        6 => Ok(Request::SmallKeyCensus {
+            keys: get_keys(d)?,
+            key_bits: d.u32()?,
+        }),
+        tag => Err(WireError::UnknownTag {
+            context: "request",
+            tag: u64::from(tag),
+        }),
+    }
+}
+
+fn get_outcome(d: &mut Dec<'_>) -> Result<Outcome, WireError> {
+    match d.u8()? {
+        0 => Ok(Outcome::Route(RouteOutcome {
+            delivered: get_message_lists(d)?,
+            metrics: get_metrics(d)?,
+        })),
+        1 => Ok(Outcome::Sort(SortOutcome {
+            batches: get_tagged_keys(d)?,
+            offsets: get_u64s(d)?,
+            total: d.u64()?,
+            metrics: get_metrics(d)?,
+        })),
+        2 => Ok(Outcome::Indices(IndexOutcome {
+            indices: get_keys(d)?,
+            metrics: get_metrics(d)?,
+        })),
+        3 => Ok(Outcome::Select(SelectOutcome {
+            key: d.u64()?,
+            metrics: get_metrics(d)?,
+        })),
+        4 => Ok(Outcome::Mode(ModeOutcome {
+            key: d.u64()?,
+            count: d.u64()?,
+            metrics: get_metrics(d)?,
+        })),
+        5 => Ok(Outcome::SmallKeys(SmallKeyOutcome {
+            totals: get_u64s(d)?,
+            prefix: get_keys(d)?,
+            metrics: get_metrics(d)?,
+        })),
+        tag => Err(WireError::UnknownTag {
+            context: "outcome",
+            tag: u64::from(tag),
+        }),
+    }
+}
+
+fn get_sim_error(d: &mut Dec<'_>) -> Result<SimError, WireError> {
+    match d.u8()? {
+        0 => Ok(SimError::BudgetExceeded {
+            round: d.u64()?,
+            src: d.node()?,
+            dst: d.node()?,
+            bits: d.u64()?,
+            budget: d.u64()?,
+        }),
+        1 => Ok(SimError::TooManyRounds { limit: d.u64()? }),
+        2 => Ok(SimError::Stalled {
+            round: d.u64()?,
+            finished: d.u64()? as usize,
+            total: d.u64()? as usize,
+        }),
+        3 => Ok(SimError::MessageToFinishedNode {
+            round: d.u64()?,
+            src: d.node()?,
+            dst: d.node()?,
+        }),
+        4 => Ok(SimError::DestinationOutOfRange {
+            src: d.node()?,
+            dst: d.u64()? as usize,
+            n: d.u64()? as usize,
+        }),
+        5 => Ok(SimError::InvalidSpec {
+            reason: d.string()?,
+        }),
+        6 => Ok(SimError::NodeCountMismatch {
+            expected: d.u64()? as usize,
+            actual: d.u64()? as usize,
+        }),
+        tag => Err(WireError::UnknownTag {
+            context: "simulator error",
+            tag: u64::from(tag),
+        }),
+    }
+}
+
+fn get_core_error(d: &mut Dec<'_>) -> Result<CoreError, WireError> {
+    match d.u8()? {
+        0 => Ok(CoreError::InvalidInstance {
+            reason: d.string()?,
+        }),
+        1 => Ok(CoreError::Sim(get_sim_error(d)?)),
+        2 => Ok(CoreError::VerificationFailed {
+            reason: d.string()?,
+        }),
+        tag => Err(WireError::UnknownTag {
+            context: "core error",
+            tag: u64::from(tag),
+        }),
+    }
+}
+
+fn get_server_error(d: &mut Dec<'_>) -> Result<ServerError, WireError> {
+    match d.u8()? {
+        0 => Ok(ServerError::InvalidConfig {
+            reason: d.string()?,
+        }),
+        1 => Ok(ServerError::Overloaded),
+        2 => Ok(ServerError::ShutDown),
+        3 => Ok(ServerError::Query(get_core_error(d)?)),
+        tag => Err(WireError::UnknownTag {
+            context: "server error",
+            tag: u64::from(tag),
+        }),
+    }
+}
+
+fn get_wire_error(d: &mut Dec<'_>) -> Result<WireError, WireError> {
+    match d.u8()? {
+        0 => Ok(WireError::Truncated),
+        1 => Ok(WireError::UnsupportedVersion { found: d.u8()? }),
+        2 => {
+            let context = d.string()?;
+            let tag = d.u64()?;
+            // `context` is `&'static str` in the struct; intern the known
+            // ones, fall back to a generic label for forward compatibility.
+            let context = KNOWN_TAG_CONTEXTS
+                .iter()
+                .copied()
+                .find(|&k| k == context)
+                .unwrap_or("peer-reported field");
+            Ok(WireError::UnknownTag { context, tag })
+        }
+        3 => Ok(WireError::Malformed {
+            reason: d.string()?,
+        }),
+        4 => Ok(WireError::TrailingBytes { extra: d.u64()? }),
+        5 => Ok(WireError::FrameTooLarge {
+            len: d.u64()?,
+            max: d.u64()?,
+        }),
+        tag => Err(WireError::UnknownTag {
+            context: "wire error",
+            tag: u64::from(tag),
+        }),
+    }
+}
+
+/// Every `context` label this codec emits in [`WireError::UnknownTag`];
+/// used to restore the `&'static str` when the error itself crosses the
+/// wire. Keep in sync with the `UnknownTag` construction sites above.
+const KNOWN_TAG_CONTEXTS: &[&str] = &[
+    "frame kind",
+    "request",
+    "outcome",
+    "result",
+    "simulator error",
+    "core error",
+    "server error",
+    "wire error",
+    "histogram presence",
+];
+
+/// Best-effort extraction of a frame payload's request id without
+/// decoding the body: the version byte must match and the 10-byte header
+/// must be present. This is what lets a server's protocol-error notice
+/// name the offending request even when the *body* is what failed to
+/// decode.
+pub fn peek_request_id(payload: &[u8]) -> Option<u64> {
+    if payload.len() < 10 || payload[0] != WIRE_VERSION {
+        return None;
+    }
+    let mut id_bytes = [0u8; 8];
+    id_bytes.copy_from_slice(&payload[2..10]);
+    Some(u64::from_be_bytes(id_bytes))
+}
+
+/// Decodes one frame payload (the bytes after the length prefix).
+///
+/// # Errors
+///
+/// A deterministic [`WireError`] naming the first defect: bad version,
+/// unknown tag, truncation, semantic invalidity or trailing bytes.
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame, WireError> {
+    let mut d = Dec::new(bytes);
+    let version = d.u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion { found: version });
+    }
+    let kind = d.u8()?;
+    let id = d.u64()?;
+    let frame = match kind {
+        KIND_REQUEST => Frame::Request {
+            id,
+            request: get_request(&mut d)?,
+        },
+        KIND_REPLY => {
+            let result = match d.u8()? {
+                0 => Ok(get_outcome(&mut d)?),
+                1 => Err(get_server_error(&mut d)?),
+                tag => {
+                    return Err(WireError::UnknownTag {
+                        context: "result",
+                        tag: u64::from(tag),
+                    })
+                }
+            };
+            Frame::Reply { id, result }
+        }
+        KIND_PROTO_ERR => Frame::ProtocolError {
+            id,
+            error: get_wire_error(&mut d)?,
+        },
+        tag => {
+            return Err(WireError::UnknownTag {
+                context: "frame kind",
+                tag: u64::from(tag),
+            })
+        }
+    };
+    d.finish()?;
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: &Frame) -> Frame {
+        let bytes = match frame {
+            Frame::Request { id, request } => encode_request(*id, request),
+            Frame::Reply { id, result } => encode_reply(*id, result),
+            Frame::ProtocolError { id, error } => encode_protocol_error(*id, error),
+        };
+        decode_frame(&bytes).expect("roundtrip decode")
+    }
+
+    #[test]
+    fn request_frames_roundtrip() {
+        let inst = RoutingInstance::from_demands(5, |_, _| 1).unwrap();
+        let keys: Vec<Vec<u64>> = (0..4)
+            .map(|i| vec![i as u64, u64::MAX - i as u64])
+            .collect();
+        let frames = [
+            Frame::Request {
+                id: 7,
+                request: Request::Route(inst.clone()),
+            },
+            Frame::Request {
+                id: u64::MAX,
+                request: Request::RouteOptimized(inst),
+            },
+            Frame::Request {
+                id: 0,
+                request: Request::Sort(keys.clone()),
+            },
+            Frame::Request {
+                id: 1,
+                request: Request::GlobalIndices(vec![]),
+            },
+            Frame::Request {
+                id: 2,
+                request: Request::Select {
+                    keys: keys.clone(),
+                    rank: u64::MAX,
+                },
+            },
+            Frame::Request {
+                id: 3,
+                request: Request::Mode(keys.clone()),
+            },
+            Frame::Request {
+                id: 4,
+                request: Request::SmallKeyCensus { keys, key_bits: 2 },
+            },
+        ];
+        for frame in &frames {
+            assert_eq!(&roundtrip(frame), frame);
+        }
+    }
+
+    #[test]
+    fn overloaded_instances_roundtrip() {
+        // An instance only constructible via `with_max_load` (node 0
+        // sends 8 > n messages) must survive the wire: the decoder
+        // recomputes the cap instead of clamping to n.
+        let n = 4;
+        let sends: Vec<Vec<RoutedMessage>> = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    (0..8)
+                        .map(|s| {
+                            RoutedMessage::new(
+                                NodeId::new(0),
+                                NodeId::new(s % n),
+                                (s / n) as u32,
+                                s as u64,
+                            )
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let inst = RoutingInstance::with_max_load(n, sends, 8).unwrap();
+        let frame = Frame::Request {
+            id: 11,
+            request: Request::Route(inst),
+        };
+        assert_eq!(roundtrip(&frame), frame);
+    }
+
+    #[test]
+    fn reply_frames_roundtrip_errors_losslessly() {
+        let errors = [
+            ServerError::Overloaded,
+            ServerError::ShutDown,
+            ServerError::InvalidConfig {
+                reason: "zero shards".into(),
+            },
+            ServerError::Query(CoreError::invalid("bad rank")),
+            ServerError::Query(CoreError::VerificationFailed {
+                reason: "node 3 short".into(),
+            }),
+            ServerError::Query(CoreError::Sim(SimError::BudgetExceeded {
+                round: 3,
+                src: NodeId::new(1),
+                dst: NodeId::new(2),
+                bits: 99,
+                budget: 64,
+            })),
+            ServerError::Query(CoreError::Sim(SimError::TooManyRounds { limit: 100 })),
+            ServerError::Query(CoreError::Sim(SimError::Stalled {
+                round: 9,
+                finished: 3,
+                total: 8,
+            })),
+            ServerError::Query(CoreError::Sim(SimError::MessageToFinishedNode {
+                round: 1,
+                src: NodeId::new(0),
+                dst: NodeId::new(5),
+            })),
+            ServerError::Query(CoreError::Sim(SimError::DestinationOutOfRange {
+                src: NodeId::new(2),
+                dst: 77,
+                n: 8,
+            })),
+            ServerError::Query(CoreError::Sim(SimError::InvalidSpec {
+                reason: "n == 0".into(),
+            })),
+            ServerError::Query(CoreError::Sim(SimError::NodeCountMismatch {
+                expected: 4,
+                actual: 5,
+            })),
+        ];
+        for (i, error) in errors.into_iter().enumerate() {
+            let frame = Frame::Reply {
+                id: i as u64,
+                result: Err(error),
+            };
+            assert_eq!(roundtrip(&frame), frame);
+        }
+    }
+
+    #[test]
+    fn protocol_error_frames_roundtrip() {
+        let errors = [
+            WireError::Truncated,
+            WireError::UnsupportedVersion { found: 9 },
+            WireError::UnknownTag {
+                context: "request",
+                tag: 250,
+            },
+            WireError::malformed("instance advertises n=3"),
+            WireError::TrailingBytes { extra: 12 },
+            WireError::FrameTooLarge {
+                len: 1 << 40,
+                max: 1 << 26,
+            },
+        ];
+        for (i, error) in errors.into_iter().enumerate() {
+            let frame = Frame::ProtocolError {
+                id: i as u64,
+                error,
+            };
+            assert_eq!(roundtrip(&frame), frame);
+        }
+    }
+
+    #[test]
+    fn version_and_kind_are_checked_first() {
+        let bytes = encode_request(1, &Request::Sort(vec![vec![1]]));
+        let mut wrong_version = bytes.clone();
+        wrong_version[0] = 2;
+        assert_eq!(
+            decode_frame(&wrong_version),
+            Err(WireError::UnsupportedVersion { found: 2 })
+        );
+        let mut wrong_kind = bytes;
+        wrong_kind[1] = 9;
+        assert_eq!(
+            decode_frame(&wrong_kind),
+            Err(WireError::UnknownTag {
+                context: "frame kind",
+                tag: 9
+            })
+        );
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_deterministic() {
+        let bytes = encode_request(1, &Request::Mode(vec![vec![5, 6], vec![7]]));
+        for cut in 0..bytes.len() {
+            let err = decode_frame(&bytes[..cut]).unwrap_err();
+            assert_eq!(err, WireError::Truncated, "cut at {cut}");
+        }
+        let mut extended = bytes.clone();
+        extended.extend_from_slice(&[0, 0, 0]);
+        assert_eq!(
+            decode_frame(&extended),
+            Err(WireError::TrailingBytes { extra: 3 })
+        );
+    }
+
+    #[test]
+    fn semantic_corruption_is_malformed() {
+        // A structurally valid instance whose first message claims src 1
+        // while sitting in node 0's list.
+        let inst = RoutingInstance::from_demands(3, |_, _| 1).unwrap();
+        let bytes = encode_request(4, &Request::Route(inst));
+        // Layout: version(1) kind(1) id(8) tag(1) n(4) outer_len(4)
+        // list0_len(4) then src(4) of the first message.
+        let src_offset = 1 + 1 + 8 + 1 + 4 + 4 + 4;
+        let mut corrupted = bytes.clone();
+        corrupted[src_offset + 3] = 1; // src 0 -> 1 (big-endian u32)
+        match decode_frame(&corrupted) {
+            Err(WireError::Malformed { reason }) => {
+                assert!(reason.contains("invalid routing instance"), "{reason}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // n mismatching the list count is caught before validation.
+        let mut wrong_n = bytes;
+        wrong_n[1 + 1 + 8 + 1 + 3] = 7; // n 3 -> 7
+        match decode_frame(&wrong_n) {
+            Err(WireError::Malformed { reason }) => {
+                assert!(reason.contains("advertises"), "{reason}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefixes_do_not_allocate() {
+        // A Sort frame claiming 2^32-1 outer lists in a 20-byte payload
+        // must fail as Truncated without attempting the allocation.
+        let mut w = BitWriter::new();
+        w.write_bits(u64::from(WIRE_VERSION), 8);
+        w.write_bits(u64::from(KIND_REQUEST), 8);
+        w.write_bits(3, 64);
+        w.write_bits(2, 8); // Sort
+        w.write_bits(u64::from(u32::MAX), 32);
+        assert_eq!(decode_frame(&w.finish()), Err(WireError::Truncated));
+
+        // Lengths are bounded by *encoded element size*, not one byte per
+        // element: a small Route frame claiming `payload_len / 4` messages
+        // in one send list (each message needs 20 encoded bytes) must be
+        // rejected up front rather than allocating a 5x-the-frame vector.
+        let mut w = BitWriter::new();
+        w.write_bits(u64::from(WIRE_VERSION), 8);
+        w.write_bits(u64::from(KIND_REQUEST), 8);
+        w.write_bits(4, 64);
+        w.write_bits(0, 8); // Route
+        w.write_bits(1, 32); // n = 1
+        w.write_bits(1, 32); // one send list
+        w.write_bits(1000, 32); // claiming 1000 messages...
+        for _ in 0..1000 {
+            w.write_bits(0, 32); // ...but only 4 bytes each on the wire
+        }
+        assert_eq!(decode_frame(&w.finish()), Err(WireError::Truncated));
+    }
+}

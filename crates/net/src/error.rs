@@ -1,0 +1,196 @@
+//! Error types of the wire layer.
+//!
+//! [`WireError`] is the deterministic verdict of the codec on a byte
+//! stream: two decoders fed the same bytes produce the same value, which
+//! is what lets truncation/corruption tests pin exact errors. It is
+//! `Clone + PartialEq` and itself wire-encodable (a server rejecting a
+//! frame reports *which* way it was malformed, losslessly).
+//!
+//! [`NetError`] is the client-visible union: transport failures carry the
+//! underlying [`std::io::Error`]; protocol failures carry a [`WireError`]
+//! (locally detected or remote-reported); and server-side failures carry
+//! the exact [`ServerError`] the in-process fleet raised — decoded
+//! losslessly, so network parity tests can compare with `==` against
+//! direct [`cc_server::ServiceHandle`] calls.
+
+use cc_server::ServerError;
+use std::fmt;
+
+/// A deterministic decode failure: the bytes do not form a valid frame.
+///
+/// Every variant is reproducible from the bytes alone — no host state, no
+/// time — so corrupted-input tests assert exact values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The stream ended inside a field (truncated frame body).
+    Truncated,
+    /// The frame's version byte is not [`WIRE_VERSION`](crate::WIRE_VERSION).
+    UnsupportedVersion {
+        /// The version byte found.
+        found: u8,
+    },
+    /// A tag field holds a value outside its enum's range.
+    UnknownTag {
+        /// Which tag field (e.g. `"frame kind"`, `"request"`).
+        context: &'static str,
+        /// The offending value.
+        tag: u64,
+    },
+    /// A structurally decodable frame failed semantic validation (e.g. a
+    /// routing instance with duplicate message identities).
+    Malformed {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Bytes remain after the frame body's last field (corruption or a
+    /// length prefix overstating the payload).
+    TrailingBytes {
+        /// Whole bytes left unread.
+        extra: u64,
+    },
+    /// A length prefix exceeds the configured maximum frame size.
+    FrameTooLarge {
+        /// The advertised payload length in bytes.
+        len: u64,
+        /// The configured cap.
+        max: u64,
+    },
+}
+
+impl WireError {
+    pub(crate) fn malformed(reason: impl Into<String>) -> Self {
+        WireError::Malformed {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated mid-field"),
+            WireError::UnsupportedVersion { found } => {
+                write!(f, "unsupported wire version {found}")
+            }
+            WireError::UnknownTag { context, tag } => {
+                write!(f, "unknown {context} tag {tag}")
+            }
+            WireError::Malformed { reason } => write!(f, "malformed frame: {reason}"),
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing byte(s) after frame body")
+            }
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Everything a [`CcClient`](crate::CcClient) call can fail with.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The transport failed (connect, read, write, socket teardown).
+    Io(std::io::Error),
+    /// This side could not decode what the peer sent.
+    Wire(WireError),
+    /// The peer rejected a frame this side sent, reporting the decoded
+    /// [`WireError`]; the connection is no longer usable.
+    RemoteProtocol(WireError),
+    /// The server answered with a server-level error (overload, shutdown,
+    /// query failure) — the exact [`ServerError`] an in-process
+    /// [`ServiceHandle`](cc_server::ServiceHandle) call would have raised.
+    Server(ServerError),
+    /// The connection closed while replies were still owed.
+    Disconnected,
+    /// The peer sent a reply whose request id matches nothing in flight.
+    UnexpectedId {
+        /// The unmatched id.
+        id: u64,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport error: {e}"),
+            NetError::Wire(e) => write!(f, "wire decode failed: {e}"),
+            NetError::RemoteProtocol(e) => {
+                write!(f, "peer rejected frame: {e}")
+            }
+            NetError::Server(e) => write!(f, "server error: {e}"),
+            NetError::Disconnected => {
+                write!(f, "connection closed with replies outstanding")
+            }
+            NetError::UnexpectedId { id } => {
+                write!(f, "reply for unknown request id {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Wire(e) | NetError::RemoteProtocol(e) => Some(e),
+            NetError::Server(e) => Some(e),
+            NetError::Disconnected | NetError::UnexpectedId { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let wire = WireError::UnknownTag {
+            context: "request",
+            tag: 99,
+        };
+        assert!(wire.to_string().contains("request"));
+        let net = NetError::Wire(wire.clone());
+        assert!(net.to_string().contains("99"));
+        assert!(std::error::Error::source(&net).is_some());
+        let remote = NetError::RemoteProtocol(wire);
+        assert!(remote.to_string().contains("rejected"));
+        assert!(std::error::Error::source(&remote).is_some());
+        let server = NetError::Server(ServerError::Overloaded);
+        assert!(server.to_string().contains("full"));
+        assert!(std::error::Error::source(&server).is_some());
+        assert!(std::error::Error::source(&NetError::Disconnected).is_none());
+        assert!(NetError::from(WireError::Truncated)
+            .to_string()
+            .contains("truncated"));
+        let io = NetError::from(std::io::Error::other("boom"));
+        assert!(io.to_string().contains("boom"));
+        assert!(WireError::malformed("dup").to_string().contains("dup"));
+        assert!(WireError::FrameTooLarge { len: 10, max: 5 }
+            .to_string()
+            .contains("cap"));
+        assert!(WireError::TrailingBytes { extra: 3 }
+            .to_string()
+            .contains("3"));
+        assert!(WireError::UnsupportedVersion { found: 7 }
+            .to_string()
+            .contains("7"));
+        assert!(NetError::UnexpectedId { id: 4 }.to_string().contains("4"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Length-prefixed frame transport: the byte layer under the codec.
+//!
+//! On the socket, every frame is
+//!
+//! ```text
+//! frame := payload_len:u32be payload_len bytes of payload
+//! ```
+//!
+//! where the payload is a [`codec`](crate::codec) bit stream beginning
+//! with the version byte. The length prefix is what lets a reader slice
+//! frames off a TCP stream without understanding their contents; the cap
+//! on `payload_len` is what keeps a corrupted or hostile prefix from
+//! forcing a giant allocation.
+
+use std::io::{ErrorKind, Read, Write};
+
+use crate::error::{NetError, WireError};
+
+/// Default cap on one *request* frame's payload: 64 MiB comfortably
+/// holds a full-load `n = 1024` routing instance (~21 MB) while bounding
+/// what a bad length prefix can demand.
+pub const DEFAULT_MAX_FRAME_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Default cap on one *reply* frame's payload, as enforced by the
+/// client. Replies legitimately outgrow their requests — a `Sort`
+/// request's 8-byte keys come back as 16-byte tagged keys, plus
+/// per-round metrics — so a client capping replies at the request cap
+/// would reject answers to requests the server validly accepted. 4x
+/// gives the 2x worst-case data growth comfortable headroom.
+pub const DEFAULT_MAX_REPLY_FRAME_BYTES: u64 = 4 * DEFAULT_MAX_FRAME_BYTES;
+
+/// Writes one frame (length prefix + payload) as a single `write_all` —
+/// one syscall and one TCP segment on unbuffered nodelay sockets, rather
+/// than a 4-byte prefix segment followed by the payload. The caller
+/// flushes.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds `u32::MAX` bytes (unencodable length
+/// prefix; the codec's own length caps keep real frames far below this).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), NetError> {
+    let len = u32::try_from(payload.len()).expect("frame payload exceeds u32::MAX bytes");
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Reads one frame's payload, or `None` on a clean end-of-stream at a
+/// frame boundary (the peer closed after its last complete frame).
+///
+/// # Errors
+///
+/// [`NetError::Disconnected`] if the stream ends inside a frame,
+/// [`NetError::Wire`] with [`WireError::FrameTooLarge`] if the length
+/// prefix exceeds `max_frame_bytes`, [`NetError::Io`] for transport
+/// failures.
+pub fn read_frame(r: &mut impl Read, max_frame_bytes: u64) -> Result<Option<Vec<u8>>, NetError> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < len_buf.len() {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(NetError::Disconnected);
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    let len = u64::from(u32::from_be_bytes(len_buf));
+    if len > max_frame_bytes {
+        return Err(NetError::Wire(WireError::FrameTooLarge {
+            len,
+            max: max_frame_bytes,
+        }));
+    }
+    let mut payload = vec![0u8; len as usize];
+    match r.read_exact(&mut payload) {
+        Ok(()) => Ok(Some(payload)),
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => Err(NetError::Disconnected),
+        Err(e) => Err(NetError::Io(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_roundtrip_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"alpha").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"gamma!").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r, 1024).unwrap().as_deref(),
+            Some(&b"alpha"[..])
+        );
+        assert_eq!(read_frame(&mut r, 1024).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(
+            read_frame(&mut r, 1024).unwrap().as_deref(),
+            Some(&b"gamma!"[..])
+        );
+        assert!(read_frame(&mut r, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_inside_a_frame_is_disconnection() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef").unwrap();
+        // Cut inside the length prefix and inside the payload.
+        for cut in [2usize, 7] {
+            let mut r = Cursor::new(buf[..cut].to_vec());
+            assert!(matches!(
+                read_frame(&mut r, 1024),
+                Err(NetError::Disconnected)
+            ));
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_reading() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[7u8; 100]).unwrap();
+        let mut r = Cursor::new(buf);
+        match read_frame(&mut r, 64) {
+            Err(NetError::Wire(WireError::FrameTooLarge { len: 100, max: 64 })) => {}
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! # cc-net — the TCP wire protocol over the sharded query fleet
+//!
+//! After `cc-server`, the fleet of warm clique sessions was reachable
+//! only in-process. This crate is the network layer above it — the last
+//! hop toward the ROADMAP's "heavy traffic from millions of users"
+//! regime — built std-only (`TcpListener`/`TcpStream` + threads, no
+//! external dependencies) in three layers:
+//!
+//! * the **wire codec** ([`codec`]): a versioned, length-prefixed binary
+//!   encoding of every [`Request`](cc_server::Request) variant and every
+//!   [`Outcome`](cc_core::Outcome)/[`ServerError`](cc_server::ServerError)
+//!   reply, written with `cc-core`'s bit-exact
+//!   [`BitWriter`](cc_core::wire::BitWriter)/[`BitReader`](cc_core::wire::BitReader);
+//! * the **[`NetServer`]**: an accept loop plus one reader/writer thread
+//!   pair per connection, multiplexing any number of pipelined requests
+//!   per connection onto the shard fleet via
+//!   [`submit_tagged`](cc_server::ServiceHandle::submit_tagged) and
+//!   streaming replies back in completion order;
+//! * the **[`CcClient`]**: a blocking client library with plain
+//!   [`call`](CcClient::call) and batched, out-of-order-tolerant
+//!   [`pipeline`](CcClient::pipeline) APIs.
+//!
+//! ## Frame format
+//!
+//! Everything on the socket is a **frame**: a 4-byte big-endian payload
+//! length, then the payload — an MSB-first bit stream of fixed-width
+//! unsigned fields (all widths are multiples of 8, so payloads are
+//! byte-aligned and padding-free):
+//!
+//! ```text
+//! frame   := payload_len:u32be payload
+//! payload := version:u8  kind:u8  request_id:u64  body
+//! kind    := 0 REQUEST    body = request     (client → server)
+//!            1 REPLY      body = result      (server → client)
+//!            2 PROTO_ERR  body = wire_error  (server → client, fatal)
+//! ```
+//!
+//! The `request_id` tag is chosen by the client and echoed verbatim in
+//! the reply; it is the correlation that makes pipelining work — replies
+//! arrive in *completion* order (different clique sizes land on different
+//! shards), and the id maps each one back. See [`codec`] for the body
+//! grammars and [`frame::DEFAULT_MAX_FRAME_BYTES`] for the size cap that
+//! keeps corrupt length prefixes from forcing allocations.
+//!
+//! ## Contract
+//!
+//! The network adds **no semantics**: every reply is bit-identical to
+//! what a direct, sequential [`CliqueService`](cc_core::CliqueService)
+//! call would produce — outcomes *and* errors ([`ServerError`] crosses
+//! the wire losslessly). Decoding is deterministic: a byte sequence
+//! yields exactly one [`Frame`](codec::Frame) or exactly one
+//! [`WireError`]; undecodable input is answered with a `PROTO_ERR` frame
+//! naming the defect, then the connection closes (no resync after a
+//! framing error). Backpressure maps down the whole stack: full shard
+//! queue → blocked connection reader → TCP flow control → blocked
+//! client. Shutdown is graceful end to end: every accepted request is
+//! answered and every queued reply written before sockets close.
+//!
+//! ```no_run
+//! use cc_net::{CcClient, NetServer, NetServerConfig};
+//! use cc_server::Request;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let server = NetServer::bind("127.0.0.1:0", NetServerConfig::new(4))?;
+//! let addr = server.local_addr();
+//!
+//! let mut client = CcClient::connect(addr)?;
+//! let inst = cc_core::routing::RoutingInstance::from_demands(16, |_, _| 1)?;
+//! let keys: Vec<Vec<u64>> = (0..8).map(|i| vec![i as u64]).collect();
+//! // Pipeline: both requests are in flight at once, on different shards.
+//! let results = client.pipeline(&[Request::RouteOptimized(inst), Request::Sort(keys)])?;
+//! assert!(results.iter().all(|r| r.is_ok()));
+//!
+//! let stats = server.shutdown();
+//! assert_eq!(stats.frames_in, 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+pub mod codec;
+mod error;
+pub mod frame;
+mod server;
+
+pub use client::{CcClient, PIPELINE_WINDOW};
+pub use codec::{Frame, WireResult, WIRE_VERSION};
+pub use error::{NetError, WireError};
+pub use frame::{DEFAULT_MAX_FRAME_BYTES, DEFAULT_MAX_REPLY_FRAME_BYTES};
+pub use server::{NetServer, NetServerConfig, NetStats, DEFAULT_WRITE_TIMEOUT, MAX_CONN_INFLIGHT};

@@ -1,0 +1,569 @@
+//! The TCP front of the query fleet: accept loop, per-connection
+//! reader/writer pairs, pipelining, backpressure and graceful drain.
+
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cc_server::{FleetStats, QueryServer, ServerConfig, ServerError, ServiceHandle, TaggedReply};
+
+use crate::codec::{self, Frame};
+use crate::error::{NetError, WireError};
+use crate::frame::{self, DEFAULT_MAX_FRAME_BYTES};
+
+/// Sizing knobs for a [`NetServer`]: the inner fleet's [`ServerConfig`]
+/// plus the wire-level frame cap and the per-write stall bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetServerConfig {
+    fleet: ServerConfig,
+    max_frame_bytes: u64,
+    write_timeout: Duration,
+}
+
+impl NetServerConfig {
+    /// A config whose fleet has `shards` shard workers (defaults
+    /// otherwise, including the [`DEFAULT_MAX_FRAME_BYTES`] frame cap).
+    pub fn new(shards: usize) -> Self {
+        NetServerConfig {
+            fleet: ServerConfig::new(shards),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            write_timeout: DEFAULT_WRITE_TIMEOUT,
+        }
+    }
+
+    /// Replaces the whole inner fleet configuration (queue capacity,
+    /// coalescing, shard count).
+    #[must_use]
+    pub fn with_fleet(mut self, fleet: ServerConfig) -> Self {
+        self.fleet = fleet;
+        self
+    }
+
+    /// Sets the cap on one frame's payload size in bytes. Frames above it
+    /// are rejected with [`WireError::FrameTooLarge`] — on the read side
+    /// before allocation.
+    #[must_use]
+    pub fn with_max_frame_bytes(mut self, max_frame_bytes: u64) -> Self {
+        self.max_frame_bytes = max_frame_bytes;
+        self
+    }
+
+    /// The inner fleet configuration.
+    #[inline]
+    pub fn fleet(&self) -> &ServerConfig {
+        &self.fleet
+    }
+
+    /// The frame payload cap in bytes.
+    #[inline]
+    pub fn max_frame_bytes(&self) -> u64 {
+        self.max_frame_bytes
+    }
+
+    /// Sets the bound on any single blocked reply write. A client that
+    /// stops reading long enough for its TCP window *and* this timeout to
+    /// fill is treated as gone: its connection is torn down rather than
+    /// parking a writer thread — and with it [`NetServer::shutdown`] /
+    /// `Drop` — forever. Armed at accept time, because a socket timeout
+    /// installed after a write has already parked does not wake it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero duration (the OS rejects it as a socket timeout).
+    #[must_use]
+    pub fn with_write_timeout(mut self, timeout: Duration) -> Self {
+        assert!(!timeout.is_zero(), "write timeout must be non-zero");
+        self.write_timeout = timeout;
+        self
+    }
+
+    /// The bound on any single blocked reply write.
+    #[inline]
+    pub fn write_timeout(&self) -> Duration {
+        self.write_timeout
+    }
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            fleet: ServerConfig::default(),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            write_timeout: DEFAULT_WRITE_TIMEOUT,
+        }
+    }
+}
+
+/// Wire-level counters plus the fleet's own telemetry.
+#[derive(Clone, Debug)]
+pub struct NetStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Request frames successfully decoded and submitted (or answered
+    /// inline with a server-level error).
+    pub frames_in: u64,
+    /// Frames written back: replies plus protocol-error notices.
+    pub frames_out: u64,
+    /// Connections torn down for undecodable input.
+    pub protocol_errors: u64,
+    /// The inner [`QueryServer`]'s per-shard telemetry.
+    pub fleet: FleetStats,
+}
+
+#[derive(Default)]
+struct Telemetry {
+    connections: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl Telemetry {
+    /// One consistent read of the wire counters, completed with the given
+    /// fleet snapshot — the single construction point of [`NetStats`].
+    fn snapshot(&self, fleet: FleetStats) -> NetStats {
+        NetStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            fleet,
+        }
+    }
+}
+
+/// Default bound on one blocked reply write: long enough for any live
+/// client to drain its receive window, short enough that a vanished peer
+/// cannot park a writer thread — or [`NetServer::shutdown`] / `Drop`,
+/// which join it — indefinitely.
+pub const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Cap on unanswered-or-unwritten requests per connection. This is the
+/// reply-side half of the backpressure contract: completed replies wait
+/// on the connection's channel only until the writer ships them, so a
+/// client that pipelines without reading would otherwise make the server
+/// buffer unboundedly. At the cap, the connection's reader stops reading
+/// (TCP pushes back on the client) until the writer catches up. Above
+/// the client library's `PIPELINE_WINDOW`, so well-behaved clients never
+/// hit it.
+pub const MAX_CONN_INFLIGHT: usize = 64;
+
+/// Counts one connection's requests between fleet submission and reply
+/// write-out, blocking the reader at [`MAX_CONN_INFLIGHT`].
+#[derive(Default)]
+struct InflightGate {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl InflightGate {
+    /// Blocks until a slot is free, then takes it.
+    fn acquire(&self) {
+        let mut count = self.count.lock().expect("gate lock");
+        while *count >= MAX_CONN_INFLIGHT {
+            count = self.cv.wait(count).expect("gate lock");
+        }
+        *count += 1;
+    }
+
+    /// Returns a slot (reply written, dropped, or answered inline).
+    fn release(&self) {
+        let mut count = self.count.lock().expect("gate lock");
+        *count -= 1;
+        drop(count);
+        self.cv.notify_one();
+    }
+}
+
+struct Shared {
+    closed: AtomicBool,
+    max_frame_bytes: u64,
+    write_timeout: Duration,
+    telemetry: Telemetry,
+    next_conn: AtomicU64,
+    conns: Mutex<HashMap<u64, ConnEntry>>,
+}
+
+impl Shared {
+    /// Called by a connection's writer as its last act: drop the
+    /// connection's registry entry — and with it the registry fd — so a
+    /// long-lived server under churn does not accumulate dead sockets.
+    /// If the accept loop has not attached the thread handles yet (a
+    /// connection that lived and died faster than registration), leave a
+    /// tombstone for it to collect instead.
+    fn reap(&self, id: u64) {
+        let mut conns = self.conns.lock().expect("conns lock");
+        if let Some(entry) = conns.get_mut(&id) {
+            if entry.writer.is_some() {
+                conns.remove(&id);
+            } else {
+                entry.done = true;
+            }
+        }
+    }
+}
+
+/// One live connection: the registry clone used to force the reader off
+/// its blocking read, plus the two thread handles (attached by the
+/// accept loop just after spawning; `done` marks a connection whose
+/// writer finished before that attachment). Finished connections remove
+/// their own entry — dropping the in-thread `JoinHandle`s detaches the
+/// already-exiting threads — so the registry holds only live sockets.
+struct ConnEntry {
+    stream: TcpStream,
+    reader: Option<JoinHandle<()>>,
+    writer: Option<JoinHandle<()>>,
+    done: bool,
+}
+
+/// Writes one frame under the sink lock (writer thread and the reader's
+/// fatal-notice path share the socket; the lock keeps frames atomic).
+fn write_locked(sink: &Mutex<TcpStream>, payload: &[u8]) -> Result<(), NetError> {
+    let mut stream = sink.lock().expect("sink lock");
+    frame::write_frame(&mut *stream, payload)
+}
+
+/// The per-connection reader: slices frames off the socket, decodes, and
+/// submits into the fleet under the connection's id tags. Exits on client
+/// disconnect, server shutdown (the registry half-closes the socket) or
+/// the first undecodable frame. Dropping `replies` on exit is what lets
+/// the writer drain every still-owed reply and then close.
+fn run_reader(
+    mut stream: TcpStream,
+    handle: ServiceHandle,
+    replies: Sender<TaggedReply>,
+    gate: Arc<InflightGate>,
+    sink: Arc<Mutex<TcpStream>>,
+    shared: Arc<Shared>,
+) {
+    loop {
+        // Best-effort id for protocol-error notices: the offending
+        // frame's request id when the decoder got far enough, else 0.
+        let mut notice_id = 0;
+        let fatal = match frame::read_frame(&mut stream, shared.max_frame_bytes) {
+            Ok(None) => break,
+            Ok(Some(payload)) => match codec::decode_frame(&payload) {
+                Ok(Frame::Request { id, request }) => {
+                    shared.telemetry.frames_in.fetch_add(1, Ordering::Relaxed);
+                    // Backpressure, both directions: the gate blocks while
+                    // too many of this connection's replies are completed
+                    // but unwritten (a client pipelining without reading),
+                    // and submit_tagged blocks while the target shard's
+                    // bounded queue is full. Either way this loop stops
+                    // reading and TCP flow control pushes back on the
+                    // client. Server-level rejections (only ShutDown here;
+                    // the tagged path never uses try_submit) are answered
+                    // inline so a pipelining client is never left waiting.
+                    gate.acquire();
+                    match handle.submit_tagged(id, request, &replies) {
+                        Ok(()) => continue,
+                        Err(e) => {
+                            // No reply will reach the writer's channel.
+                            gate.release();
+                            let notice = codec::encode_reply(id, &Err(e));
+                            if write_locked(&sink, &notice).is_err() {
+                                break;
+                            }
+                            shared.telemetry.frames_out.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    }
+                }
+                Ok(Frame::Reply { id, .. } | Frame::ProtocolError { id, .. }) => {
+                    notice_id = id;
+                    WireError::malformed("clients may send only request frames")
+                }
+                Err(e) => {
+                    // The header (and its request id) may have parsed even
+                    // though the body did not; name the request if so.
+                    notice_id = codec::peek_request_id(&payload).unwrap_or(0);
+                    e
+                }
+            },
+            // An oversized length prefix is a protocol error worth
+            // reporting; transport failures and disconnects are not.
+            Err(NetError::Wire(e)) => e,
+            Err(_) => break,
+        };
+        // Undecodable input: report which way it failed, then drop the
+        // connection — after a framing error there is no resync point.
+        shared
+            .telemetry
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        if write_locked(&sink, &codec::encode_protocol_error(notice_id, &fatal)).is_ok() {
+            shared.telemetry.frames_out.fetch_add(1, Ordering::Relaxed);
+        }
+        break;
+    }
+    let _ = stream.shutdown(Shutdown::Read);
+}
+
+/// The per-connection writer: drains the tagged reply channel — fed by
+/// every shard this connection's requests landed on, in completion order —
+/// and writes each reply frame. The channel closes only when the reader
+/// has exited *and* every in-flight request has been answered, so by
+/// construction every queued reply is written before the socket closes.
+/// The writer is the connection's last thread to finish, so it also reaps
+/// the registry entry.
+fn run_writer(
+    conn_id: u64,
+    replies: Receiver<TaggedReply>,
+    gate: Arc<InflightGate>,
+    sink: Arc<Mutex<TcpStream>>,
+    shared: Arc<Shared>,
+) {
+    // After a write failure the client is gone and remaining replies have
+    // no destination — but the channel must still be drained, releasing
+    // the gate each time, or a reader parked at the in-flight cap would
+    // never wake to observe the dead socket.
+    let mut client_gone = false;
+    while let Ok(reply) = replies.recv() {
+        if !client_gone {
+            let payload = codec::encode_reply(reply.id, &reply.result.map_err(ServerError::Query));
+            if write_locked(&sink, &payload).is_ok() {
+                shared.telemetry.frames_out.fetch_add(1, Ordering::Relaxed);
+            } else {
+                client_gone = true;
+                let _ = sink.lock().expect("sink lock").shutdown(Shutdown::Both);
+            }
+        }
+        gate.release();
+    }
+    let _ = sink.lock().expect("sink lock").shutdown(Shutdown::Both);
+    shared.reap(conn_id);
+}
+
+/// The accept loop polls a nonblocking listener: a blocking `accept`
+/// would need an out-of-band wake-up at shutdown (fragile for wildcard
+/// or interface binds), while a poll observes the `closed` flag within
+/// one 5 ms sleep interval on any bind, so `shutdown`/`Drop` joins this
+/// thread deterministically and connection-setup latency stays small.
+fn accept_loop(listener: TcpListener, handle: ServiceHandle, shared: Arc<Shared>) {
+    loop {
+        if shared.closed.load(Ordering::Acquire) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(_) => {
+                // Persistent accept errors (fd exhaustion, EMFILE) must
+                // not busy-spin a core; back off briefly and retry.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        // The listener is nonblocking; the per-connection socket must not
+        // be (inheritance of the flag is platform-dependent).
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
+        let (registry, sink_stream) = match (stream.try_clone(), stream.try_clone()) {
+            (Ok(a), Ok(b)) => (a, b),
+            // Out of fds: drop the socket; the client sees a reset, and
+            // the connection is never counted as serviced.
+            _ => continue,
+        };
+        // One frame per reply either way (write_frame coalesces prefix +
+        // payload), so turn Nagle off like the client does; and arm the
+        // write bound now — a socket timeout installed later, after a
+        // send has parked on a stalled peer, would not wake it.
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_write_timeout(Some(shared.write_timeout));
+        shared.telemetry.connections.fetch_add(1, Ordering::Relaxed);
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        shared.conns.lock().expect("conns lock").insert(
+            conn_id,
+            ConnEntry {
+                stream: registry,
+                reader: None,
+                writer: None,
+                done: false,
+            },
+        );
+        let sink = Arc::new(Mutex::new(sink_stream));
+        let gate = Arc::new(InflightGate::default());
+        let (reply_tx, reply_rx) = channel();
+        let reader = {
+            let shared = Arc::clone(&shared);
+            let handle = handle.clone();
+            let sink = Arc::clone(&sink);
+            let gate = Arc::clone(&gate);
+            std::thread::Builder::new()
+                .name("cc-net-reader".into())
+                .spawn(move || run_reader(stream, handle, reply_tx, gate, sink, shared))
+                .expect("spawn connection reader")
+        };
+        let writer = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cc-net-writer".into())
+                .spawn(move || run_writer(conn_id, reply_rx, gate, sink, shared))
+                .expect("spawn connection writer")
+        };
+        let mut conns = shared.conns.lock().expect("conns lock");
+        if let Some(entry) = conns.get_mut(&conn_id) {
+            if entry.done {
+                // The whole connection finished before this attachment;
+                // dropping the handles detaches the exited threads.
+                conns.remove(&conn_id);
+            } else {
+                entry.reader = Some(reader);
+                entry.writer = Some(writer);
+            }
+        }
+    }
+}
+
+/// A TCP server exposing a [`QueryServer`] fleet over the `cc-net` wire
+/// protocol. See the [crate docs](crate) for the protocol and the
+/// architecture.
+///
+/// Each accepted connection gets a reader thread (frames → requests →
+/// [`ServiceHandle::submit_tagged`]) and a writer thread (tagged replies
+/// → frames), so one connection can pipeline any number of requests and
+/// receives replies in completion order, tagged with its request ids.
+/// Backpressure is inherited from the fleet's bounded shard queues: a
+/// full queue blocks the connection's reader, which stops consuming the
+/// socket, which TCP propagates to the client.
+#[derive(Debug)]
+pub struct NetServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    fleet: Option<QueryServer>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("closed", &self.closed.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetServer {
+    /// Spawns the fleet, binds `addr` (use port 0 for an ephemeral port)
+    /// and starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Server`] for an invalid fleet config, [`NetError::Io`]
+    /// for bind failures.
+    pub fn bind(addr: impl ToSocketAddrs, config: NetServerConfig) -> Result<Self, NetError> {
+        let fleet = QueryServer::new(config.fleet.clone()).map_err(NetError::Server)?;
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            closed: AtomicBool::new(false),
+            max_frame_bytes: config.max_frame_bytes,
+            write_timeout: config.write_timeout,
+            telemetry: Telemetry::default(),
+            next_conn: AtomicU64::new(0),
+            conns: Mutex::new(HashMap::new()),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let handle = fleet.handle();
+            std::thread::Builder::new()
+                .name("cc-net-accept".into())
+                .spawn(move || accept_loop(listener, handle, shared))
+                .expect("spawn accept loop")
+        };
+        Ok(NetServer {
+            local_addr,
+            shared,
+            accept: Some(accept),
+            fleet: Some(fleet),
+        })
+    }
+
+    /// The bound address — the port to hand to clients when binding
+    /// ephemeral (`127.0.0.1:0`).
+    #[inline]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// An in-process handle onto the same fleet the TCP connections feed —
+    /// local callers skip the codec entirely and still share sessions,
+    /// queues and telemetry with remote ones.
+    pub fn handle(&self) -> ServiceHandle {
+        self.fleet
+            .as_ref()
+            .expect("fleet lives until drop")
+            .handle()
+    }
+
+    /// A live snapshot of the wire and fleet telemetry. Counters move
+    /// while the server runs; for quiescent totals use the snapshot
+    /// returned by [`NetServer::shutdown`].
+    pub fn stats(&self) -> NetStats {
+        self.shared
+            .telemetry
+            .snapshot(self.fleet.as_ref().expect("fleet lives until drop").stats())
+    }
+
+    /// Graceful shutdown. In order: stop accepting; half-close every
+    /// connection's read side (no new requests); let the fleet answer
+    /// everything already submitted; wait for each connection's writer to
+    /// flush every queued reply and close its socket; then drain and join
+    /// the fleet itself. Clients with requests in flight get all their
+    /// replies before their connection closes.
+    pub fn shutdown(mut self) -> NetStats {
+        self.shutdown_impl();
+        self.shared.telemetry.snapshot(
+            self.fleet
+                .take()
+                .expect("first shutdown consumes the fleet")
+                .shutdown(),
+        )
+    }
+
+    fn shutdown_impl(&mut self) {
+        if self.shared.closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // The polling accept loop observes `closed` within one sleep
+        // interval (the listener drops with it), on any bind address.
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conns lock"));
+        for conn in conns.values() {
+            // Half-close: readers come off their blocking read and exit;
+            // writers keep the write side until every reply is out — the
+            // accept-time write timeout bounds that drain against clients
+            // that stopped reading, so these joins cannot park forever.
+            let _ = conn.stream.shutdown(Shutdown::Read);
+        }
+        for conn in conns.into_values() {
+            if let Some(reader) = conn.reader {
+                let _ = reader.join();
+            }
+            if let Some(writer) = conn.writer {
+                let _ = writer.join();
+            }
+        }
+    }
+}
+
+impl Drop for NetServer {
+    /// Dropping performs the same graceful drain as
+    /// [`NetServer::shutdown`], minus the returned stats.
+    fn drop(&mut self) {
+        self.shutdown_impl();
+        // `fleet` (if not consumed by an explicit shutdown) drains in its
+        // own Drop.
+    }
+}

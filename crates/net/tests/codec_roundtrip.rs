@@ -1,0 +1,245 @@
+//! Fuzz-style codec contract tests: seeded random valid frames roundtrip
+//! bit-identically; truncated and corrupted frames fail *deterministically*
+//! (same bytes, same [`WireError`] — every time, on every host).
+
+use cc_core::routing::{RouteOutcome, RoutedMessage};
+use cc_core::sorting::{
+    IndexOutcome, ModeOutcome, SelectOutcome, SmallKeyOutcome, SortOutcome, TaggedKey,
+};
+use cc_core::{
+    CliqueService, EdgeLoadHistogram, Metrics, NodeId, Outcome, RoundMetrics, WorkMeter,
+};
+use cc_net::codec::{decode_frame, encode_reply, encode_request, Frame};
+use cc_net::WireError;
+use cc_rand::DetRng;
+use cc_server::{Request, ServerError};
+use cc_workloads::RequestMix;
+
+fn random_metrics(rng: &mut DetRng) -> Metrics {
+    let rounds = rng.gen_range_usize(0..6);
+    let per_round = (0..rounds)
+        .map(|_| RoundMetrics {
+            messages: rng.gen_range_u64(0..1000),
+            bits: rng.gen_range_u64(0..100_000),
+            max_edge_bits: rng.gen_range_u64(0..512),
+            busy_edges: rng.gen_range_u64(0..4096),
+        })
+        .collect();
+    let histogram = rng.next_u64().is_multiple_of(2).then(|| {
+        EdgeLoadHistogram::from_pairs(
+            (0..rng.gen_range_usize(0..8))
+                .map(|_| (rng.gen_range_u64(0..256), rng.gen_range_u64(1..50))),
+        )
+    });
+    let node_work = (0..rng.gen_range_usize(0..5))
+        .map(|_| {
+            let mut meter = WorkMeter::new();
+            meter.charge(rng.gen_range_u64(0..1 << 40));
+            meter.note_mem(rng.gen_range_u64(0..1 << 30));
+            meter
+        })
+        .collect();
+    Metrics::from_parts(per_round, histogram, node_work)
+}
+
+fn random_u64_lists(rng: &mut DetRng) -> Vec<Vec<u64>> {
+    (0..rng.gen_range_usize(0..5))
+        .map(|_| {
+            (0..rng.gen_range_usize(0..6))
+                .map(|_| rng.next_u64())
+                .collect()
+        })
+        .collect()
+}
+
+fn random_outcome(rng: &mut DetRng) -> Outcome {
+    match rng.gen_range_usize(0..6) {
+        0 => Outcome::Route(RouteOutcome {
+            delivered: (0..rng.gen_range_usize(0..4))
+                .map(|_| {
+                    (0..rng.gen_range_usize(0..5))
+                        .map(|_| {
+                            RoutedMessage::new(
+                                NodeId::new(rng.gen_range_usize(0..1 << 20)),
+                                NodeId::new(rng.gen_range_usize(0..1 << 20)),
+                                rng.gen_range_u64(0..1 << 32) as u32,
+                                rng.next_u64(),
+                            )
+                        })
+                        .collect()
+                })
+                .collect(),
+            metrics: random_metrics(rng),
+        }),
+        1 => Outcome::Sort(SortOutcome {
+            batches: (0..rng.gen_range_usize(0..4))
+                .map(|_| {
+                    (0..rng.gen_range_usize(0..5))
+                        .map(|_| TaggedKey {
+                            key: rng.next_u64(),
+                            origin: NodeId::new(rng.gen_range_usize(0..1 << 16)),
+                            index_at_origin: rng.gen_range_u64(0..1 << 32) as u32,
+                        })
+                        .collect()
+                })
+                .collect(),
+            offsets: (0..rng.gen_range_usize(0..4))
+                .map(|_| rng.next_u64())
+                .collect(),
+            total: rng.next_u64(),
+            metrics: random_metrics(rng),
+        }),
+        2 => Outcome::Indices(IndexOutcome {
+            indices: random_u64_lists(rng),
+            metrics: random_metrics(rng),
+        }),
+        3 => Outcome::Select(SelectOutcome {
+            key: rng.next_u64(),
+            metrics: random_metrics(rng),
+        }),
+        4 => Outcome::Mode(ModeOutcome {
+            key: rng.next_u64(),
+            count: rng.next_u64(),
+            metrics: random_metrics(rng),
+        }),
+        _ => Outcome::SmallKeys(SmallKeyOutcome {
+            totals: (0..rng.gen_range_usize(0..4))
+                .map(|_| rng.next_u64())
+                .collect(),
+            prefix: random_u64_lists(rng),
+            metrics: random_metrics(rng),
+        }),
+    }
+}
+
+/// Random valid requests (all seven entry points, via the shared traffic
+/// generator) encode→decode to themselves, bit for bit.
+#[test]
+fn random_requests_roundtrip() {
+    let requests = RequestMix::new(vec![3usize, 5, 8, 13])
+        .with_zipf_theta(0.7)
+        .generate(64, 0xC0FFEE);
+    for (i, request) in requests.into_iter().enumerate() {
+        let id = 1000 + i as u64;
+        let frame = decode_frame(&encode_request(id, &request)).expect("valid frame");
+        assert_eq!(frame, Frame::Request { id, request });
+    }
+}
+
+/// Random outcomes — synthetic but structurally arbitrary, including
+/// random metrics with and without histograms — roundtrip exactly.
+#[test]
+fn random_outcomes_roundtrip() {
+    let mut rng = DetRng::seed_from_u64(0xDECAF);
+    for i in 0..200u64 {
+        let result = Ok(random_outcome(&mut rng));
+        let frame = decode_frame(&encode_reply(i, &result)).expect("valid frame");
+        assert_eq!(frame, Frame::Reply { id: i, result });
+    }
+}
+
+/// Every truncation point of every frame is the same deterministic
+/// [`WireError::Truncated`] — no panic, no allocation blowup, no
+/// position-dependent error surprises.
+#[test]
+fn truncations_are_deterministically_rejected() {
+    let mut rng = DetRng::seed_from_u64(42);
+    let requests = RequestMix::new(vec![4usize, 6]).generate(6, 9);
+    let mut frames: Vec<Vec<u8>> = requests
+        .iter()
+        .enumerate()
+        .map(|(i, r)| encode_request(i as u64, r))
+        .collect();
+    frames.push(encode_reply(7, &Ok(random_outcome(&mut rng))));
+    frames.push(encode_reply(8, &Err(ServerError::ShutDown)));
+    for bytes in &frames {
+        // Exhaustive for short frames, sampled for long ones.
+        let cuts: Vec<usize> = if bytes.len() <= 256 {
+            (0..bytes.len()).collect()
+        } else {
+            (0..256)
+                .map(|_| rng.gen_range_usize(0..bytes.len()))
+                .collect()
+        };
+        for cut in cuts {
+            assert_eq!(
+                decode_frame(&bytes[..cut]),
+                Err(WireError::Truncated),
+                "cut at {cut}/{}",
+                bytes.len()
+            );
+        }
+    }
+}
+
+/// Random single-byte corruptions decode deterministically: the same
+/// corrupted bytes give the same verdict twice, and whenever the decoder
+/// does report an error it is one of the codec's named failure modes.
+#[test]
+fn corruptions_are_deterministic() {
+    let mut rng = DetRng::seed_from_u64(1234);
+    let requests = RequestMix::new(vec![4usize, 7]).generate(8, 77);
+    for (i, request) in requests.iter().enumerate() {
+        let bytes = encode_request(i as u64, request);
+        for _ in 0..64 {
+            let mut corrupted = bytes.clone();
+            let at = rng.gen_range_usize(0..corrupted.len());
+            let bit = 1u8 << rng.gen_range_usize(0..8);
+            corrupted[at] ^= bit;
+            let once = decode_frame(&corrupted);
+            let twice = decode_frame(&corrupted);
+            assert_eq!(once, twice, "nondeterministic verdict at byte {at}");
+        }
+    }
+}
+
+/// The lossless `ServerError ⇄ wire` mapping, pinned on *real* errors:
+/// actual failures produced by the service layer cross the wire and come
+/// back `==` to the originals.
+#[test]
+fn real_service_errors_cross_the_wire_losslessly() {
+    let n = 6;
+    let mut service = CliqueService::new(n).unwrap();
+    let keys: Vec<Vec<u64>> = (0..n).map(|i| vec![i as u64]).collect();
+    let failing = [
+        Request::Select {
+            keys: keys.clone(),
+            rank: u64::MAX,
+        },
+        Request::SmallKeyCensus {
+            keys: keys.clone(),
+            key_bits: 1,
+        },
+        Request::Sort(Vec::new()),
+    ];
+    let mut seen = Vec::new();
+    for (i, request) in failing.iter().enumerate() {
+        let error = match request.n() {
+            0 => CliqueService::new(0).unwrap_err(),
+            _ => request.serve_on(&mut service).unwrap_err(),
+        };
+        let result = Err(ServerError::Query(error));
+        let frame = decode_frame(&encode_reply(i as u64, &result)).expect("valid frame");
+        assert_eq!(
+            frame,
+            Frame::Reply {
+                id: i as u64,
+                result: result.clone()
+            }
+        );
+        seen.push(result);
+    }
+    assert_eq!(seen.len(), 3);
+    // Server-level variants, same pinning.
+    for error in [
+        ServerError::Overloaded,
+        ServerError::ShutDown,
+        ServerError::InvalidConfig {
+            reason: "at least one shard required".into(),
+        },
+    ] {
+        let result = Err(error);
+        let frame = decode_frame(&encode_reply(9, &result)).expect("valid frame");
+        assert_eq!(frame, Frame::Reply { id: 9, result });
+    }
+}

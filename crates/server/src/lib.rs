@@ -13,7 +13,11 @@
 //!   shard);
 //! * cloneable [`ServiceHandle`]s let any number of client threads submit
 //!   typed [`Request`]s concurrently — the handle is `Send + Sync`, the
-//!   per-request reply comes back on a private channel;
+//!   per-request reply comes back on a private channel; the
+//!   [`submit_tagged`](ServiceHandle::submit_tagged) flavor instead routes
+//!   every answer onto one shared channel as an id-tagged [`TaggedReply`],
+//!   in completion order — the fan-in a connection multiplexer (the
+//!   `cc-net` wire server) needs for pipelined out-of-order replies;
 //! * shard queues are **bounded**: [`ServiceHandle::call`] blocks when a
 //!   queue is full (backpressure), [`ServiceHandle::try_call`] returns
 //!   [`ServerError::Overloaded`] instead;
@@ -79,4 +83,5 @@ pub use config::ServerConfig;
 pub use error::ServerError;
 pub use request::{QueryResult, Request};
 pub use server::{Pending, QueryServer, ServiceHandle};
+pub use shard::TaggedReply;
 pub use stats::{FleetStats, ShardStats};

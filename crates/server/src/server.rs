@@ -2,7 +2,7 @@
 //! graceful shutdown.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -11,7 +11,7 @@ use cc_core::Outcome;
 use crate::config::ServerConfig;
 use crate::error::ServerError;
 use crate::request::{QueryResult, Request};
-use crate::shard::{run_shard, Envelope, QueryJob};
+use crate::shard::{run_shard, Envelope, QueryJob, ReplySink, TaggedReply};
 use crate::stats::{FleetStats, ShardTelemetry};
 
 /// One shard as seen from the client side: its bounded queue's sender and
@@ -104,16 +104,78 @@ impl ServiceHandle {
         self.enqueue(request, false)
     }
 
+    /// Submits `request` under a caller-chosen `id`, routing its answer
+    /// onto the shared `replies` channel as a [`TaggedReply`] instead of a
+    /// private per-request channel. Blocking while the shard's bounded
+    /// queue is full, exactly like [`ServiceHandle::submit`] — this is
+    /// what maps per-connection pipelining onto the fleet's backpressure.
+    ///
+    /// Replies from different shards arrive on `replies` in completion
+    /// order, not submission order; the id is the correlation. Ids are the
+    /// caller's business: the server never inspects or deduplicates them.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::ShutDown`] if the server has shut down.
+    pub fn submit_tagged(
+        &self,
+        id: u64,
+        request: Request,
+        replies: &Sender<TaggedReply>,
+    ) -> Result<(), ServerError> {
+        self.enqueue_sink(
+            request,
+            ReplySink::Tagged {
+                id,
+                tx: replies.clone(),
+            },
+            true,
+        )
+    }
+
+    /// As [`ServiceHandle::submit_tagged`], but a full queue is an
+    /// immediate [`ServerError::Overloaded`] instead of blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Overloaded`] on a full shard queue,
+    /// [`ServerError::ShutDown`] if the server has shut down.
+    pub fn try_submit_tagged(
+        &self,
+        id: u64,
+        request: Request,
+        replies: &Sender<TaggedReply>,
+    ) -> Result<(), ServerError> {
+        self.enqueue_sink(
+            request,
+            ReplySink::Tagged {
+                id,
+                tx: replies.clone(),
+            },
+            false,
+        )
+    }
+
     /// The one enqueue path behind [`submit`](ServiceHandle::submit) and
     /// [`try_submit`](ServiceHandle::try_submit): only the behavior on a
     /// full queue differs (block vs [`ServerError::Overloaded`]).
     fn enqueue(&self, request: Request, blocking: bool) -> Result<Pending, ServerError> {
-        let shard = self.shard_for(&request)?;
         let (reply_tx, reply) = channel();
-        let envelope = Envelope::Query(QueryJob {
-            request,
-            reply: reply_tx,
-        });
+        self.enqueue_sink(request, ReplySink::Private(reply_tx), blocking)?;
+        Ok(Pending { reply })
+    }
+
+    /// Shared enqueue machinery: every submission path — private-channel
+    /// or tagged — goes through here, so backpressure, shutdown checks and
+    /// telemetry are identical across them.
+    fn enqueue_sink(
+        &self,
+        request: Request,
+        reply: ReplySink,
+        blocking: bool,
+    ) -> Result<(), ServerError> {
+        let shard = self.shard_for(&request)?;
+        let envelope = Envelope::Query(QueryJob { request, reply });
         if blocking {
             if shard.queue.send(envelope).is_err() {
                 return Err(ServerError::ShutDown);
@@ -126,7 +188,7 @@ impl ServiceHandle {
             }
         }
         shard.telemetry.enqueued();
-        Ok(Pending { reply })
+        Ok(())
     }
 
     /// Submits `request` and blocks for its answer — the plain
@@ -478,6 +540,53 @@ mod tests {
         assert_eq!(stats.shards[0].coalesced_runs, 2);
         assert_eq!(stats.sessions(), 2);
         assert_eq!(stats.mean_batch_len(), 5.0);
+    }
+
+    /// Tagged submissions fan every reply into one shared channel, keyed
+    /// by the caller's ids — including across shards, where completion
+    /// order is not submission order. With the n=9 shard parked, the n=4
+    /// requests complete while the n=9 request waits; un-parking releases
+    /// it last, and the ids still match.
+    #[test]
+    fn tagged_replies_fan_in_out_of_order_across_shards() {
+        let shards = 4;
+        assert_ne!(shard_index(4, shards), shard_index(9, shards));
+        let server = QueryServer::new(ServerConfig::new(shards)).unwrap();
+        let handle = server.handle();
+        let keys4: Vec<Vec<u64>> = (0..4).map(|i| vec![i as u64]).collect();
+        let keys9: Vec<Vec<u64>> = (0..9).map(|i| vec![i as u64]).collect();
+        let gate_tx = park_shard(&server, shard_index(9, shards));
+        let (reply_tx, replies) = channel();
+        handle
+            .submit_tagged(100, Request::Mode(keys9.clone()), &reply_tx)
+            .unwrap();
+        handle
+            .submit_tagged(200, Request::Mode(keys4.clone()), &reply_tx)
+            .unwrap();
+        handle
+            .try_submit_tagged(300, Request::Sort(keys4.clone()), &reply_tx)
+            .unwrap();
+        // The un-parked shard answers its two requests first.
+        let first = replies.recv().unwrap();
+        let second = replies.recv().unwrap();
+        assert_eq!([first.id, second.id], [200, 300]);
+        assert!(first.result.is_ok() && second.result.is_ok());
+        drop(gate_tx);
+        let last = replies.recv().unwrap();
+        assert_eq!(last.id, 100);
+        // Parity with the private-channel path on the same request.
+        let direct = handle.call(Request::Mode(keys9)).unwrap();
+        assert_eq!(last.result.unwrap(), direct);
+
+        let stats = server.shutdown();
+        assert_eq!(stats.requests(), 4);
+        // Tagged submissions after shutdown fail fast like the others.
+        assert_eq!(
+            handle
+                .submit_tagged(9, Request::Mode(keys4), &reply_tx)
+                .unwrap_err(),
+            ServerError::ShutDown
+        );
     }
 
     #[test]

@@ -11,13 +11,54 @@ use cc_core::{CliqueService, CoreError};
 use crate::request::{QueryResult, Request};
 use crate::stats::ShardTelemetry;
 
-/// One in-flight query: the request plus the private channel its answer
-/// travels back on. Dropping a job unanswered (only possible when the
-/// whole queue is dropped at teardown) closes `reply`, which the waiting
-/// handle surfaces as [`ServerError::ShutDown`](crate::ServerError).
+/// One answer routed over a shared reply channel: the caller-chosen
+/// request id plus the result, exactly as a private-channel reply would
+/// carry it. Produced by the shard workers for requests submitted with
+/// [`ServiceHandle::submit_tagged`](crate::ServiceHandle::submit_tagged);
+/// the id is what lets a multiplexing consumer — the `cc-net` connection
+/// writer — match out-of-order completions back to their requests.
+#[derive(Debug)]
+pub struct TaggedReply {
+    /// The id the submitter attached to the request.
+    pub id: u64,
+    /// The answer, exactly as [`Pending::wait`](crate::Pending) would
+    /// deliver it before server-error wrapping.
+    pub result: QueryResult,
+}
+
+/// Where a served request's answer goes: the private per-request channel
+/// of the `submit`/`call` API, or a shared tagged channel multiplexing
+/// many in-flight requests (the `submit_tagged` API). Dropping a sink
+/// unanswered (only possible when the whole queue is dropped at teardown)
+/// closes the private channel — surfaced by the waiting handle as
+/// [`ServerError::ShutDown`](crate::ServerError) — or simply drops one
+/// sender clone of the shared channel.
+pub(crate) enum ReplySink {
+    Private(Sender<QueryResult>),
+    Tagged { id: u64, tx: Sender<TaggedReply> },
+}
+
+impl ReplySink {
+    /// Delivers `result`. A closed channel means the consumer gave up
+    /// (dropped its `Pending`, or the connection writer exited); the
+    /// answer is simply lost, matching the private-channel semantics.
+    pub(crate) fn send(&self, result: QueryResult) {
+        match self {
+            ReplySink::Private(tx) => {
+                let _ = tx.send(result);
+            }
+            ReplySink::Tagged { id, tx } => {
+                let _ = tx.send(TaggedReply { id: *id, result });
+            }
+        }
+    }
+}
+
+/// One in-flight query: the request plus the sink its answer travels
+/// back through.
 pub(crate) struct QueryJob {
     pub(crate) request: Request,
-    pub(crate) reply: Sender<QueryResult>,
+    pub(crate) reply: ReplySink,
 }
 
 /// What travels on a shard's queue.
@@ -131,15 +172,13 @@ fn serve_batch(
                 for job in &batch[start..end] {
                     let result = job.request.serve_on(service);
                     telemetry.request_served(result.is_err());
-                    // A closed reply channel means the caller gave up
-                    // (dropped its `Pending`); the answer is simply lost.
-                    let _ = job.reply.send(result);
+                    job.reply.send(result);
                 }
             }
             Err(e) => {
                 for job in &batch[start..end] {
                     telemetry.request_served(true);
-                    let _ = job.reply.send(Err(e.clone()));
+                    job.reply.send(Err(e.clone()));
                 }
             }
         }

@@ -16,14 +16,16 @@ pub struct RoundMetrics {
 }
 
 impl RoundMetrics {
-    /// Merges another accumulator into this one: counters add, the
-    /// per-edge maximum is kept. Merging is associative and commutative —
+    /// Merges another accumulator into this one: counters add
+    /// (saturating, so untrusted decoded values cannot overflow — cf.
+    /// [`WorkMeter::charge`](crate::WorkMeter::charge)), the per-edge
+    /// maximum is kept. Merging is associative and commutative —
     /// [`Metrics`] folds every round into its run totals with it, and
     /// partial accumulations combine to the same totals in any order.
     pub fn merge(&mut self, other: &RoundMetrics) {
-        self.messages += other.messages;
-        self.bits += other.bits;
-        self.busy_edges += other.busy_edges;
+        self.messages = self.messages.saturating_add(other.messages);
+        self.bits = self.bits.saturating_add(other.bits);
+        self.busy_edges = self.busy_edges.saturating_add(other.busy_edges);
         self.max_edge_bits = self.max_edge_bits.max(other.max_edge_bits);
     }
 }
@@ -40,6 +42,22 @@ pub struct EdgeLoadHistogram {
 impl EdgeLoadHistogram {
     pub(crate) fn record(&mut self, bits: u64) {
         *self.buckets.entry(bits).or_insert(0) += 1;
+    }
+
+    /// Reassembles a histogram from `(bits, count)` pairs — the inverse of
+    /// [`EdgeLoadHistogram::iter`], for codecs that ship metrics across a
+    /// process boundary. Duplicate `bits` keys accumulate (saturating, so
+    /// adversarial decoded counts cannot overflow); zero counts are
+    /// dropped, so a decoded histogram is always in canonical form.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        let mut histogram = EdgeLoadHistogram::default();
+        for (bits, count) in pairs {
+            if count > 0 {
+                let slot = histogram.buckets.entry(bits).or_insert(0);
+                *slot = slot.saturating_add(count);
+            }
+        }
+        histogram
     }
 
     /// Iterates over `(bits, count)` pairs in increasing bit-load order.
@@ -113,6 +131,27 @@ impl Metrics {
     /// owns them during the run so workers can step nodes concurrently).
     pub(crate) fn set_node_work(&mut self, work: Vec<WorkMeter>) {
         self.node_work = work;
+    }
+
+    /// Reassembles a `Metrics` from its observable parts: the per-round
+    /// records (in round order), the optional edge-load histogram and the
+    /// per-node work meters. The derived run totals and the communication
+    /// round count are recomputed exactly as the engine computes them, so
+    /// a value rebuilt from the parts of [`Metrics::rounds`],
+    /// [`Metrics::edge_histogram`] and [`Metrics::node_work`] compares
+    /// `==` to the original — the property wire codecs rely on.
+    pub fn from_parts(
+        per_round: Vec<RoundMetrics>,
+        histogram: Option<EdgeLoadHistogram>,
+        node_work: Vec<WorkMeter>,
+    ) -> Self {
+        let mut metrics = Metrics::new(false, 0);
+        for round in per_round {
+            metrics.push_round(round);
+        }
+        metrics.histogram = histogram;
+        metrics.node_work = node_work;
+        metrics
     }
 
     /// Number of communication rounds: delivery phases that carried at
@@ -246,6 +285,52 @@ mod tests {
         assert_eq!(ab, ba);
         assert_eq!(ab.messages, 8);
         assert_eq!(ab.max_edge_bits, 12);
+    }
+
+    #[test]
+    fn from_parts_reproduces_the_original_bit_for_bit() {
+        let mut original = Metrics::new(true, 2);
+        original.push_round(RoundMetrics {
+            messages: 4,
+            bits: 40,
+            max_edge_bits: 12,
+            busy_edges: 3,
+        });
+        original.push_round(RoundMetrics::default());
+        original.push_round(RoundMetrics {
+            messages: 2,
+            bits: 10,
+            max_edge_bits: 5,
+            busy_edges: 2,
+        });
+        original.histogram_mut().unwrap().record(12);
+        original.histogram_mut().unwrap().record(12);
+        original.histogram_mut().unwrap().record(5);
+        original.node_work_mut(0).charge(7);
+        original.node_work_mut(1).note_mem(19);
+
+        let rebuilt = Metrics::from_parts(
+            original.rounds().to_vec(),
+            original
+                .edge_histogram()
+                .map(|h| EdgeLoadHistogram::from_pairs(h.iter())),
+            original.node_work().to_vec(),
+        );
+        assert_eq!(rebuilt, original);
+        assert_eq!(rebuilt.comm_rounds(), 2);
+
+        // Histogram-free metrics roundtrip too (None stays None).
+        let plain = Metrics::new(false, 1);
+        let rebuilt =
+            Metrics::from_parts(plain.rounds().to_vec(), None, plain.node_work().to_vec());
+        assert_eq!(rebuilt, plain);
+    }
+
+    #[test]
+    fn histogram_from_pairs_canonicalizes() {
+        let h = EdgeLoadHistogram::from_pairs([(8, 2), (16, 0), (8, 1), (3, 4)]);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(3, 4), (8, 3)]);
     }
 
     #[test]

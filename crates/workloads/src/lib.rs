@@ -181,6 +181,167 @@ pub fn hotspot(n: usize, seed: u64) -> Result<RoutingInstance, CoreError> {
     RoutingInstance::from_demands(n, |_, j| u32::from(j >= lo && j < hi))
 }
 
+/// The seven serving entry points, for weighting a [`RequestMix`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntryPoint {
+    /// `Request::Route` — Theorem 3.7 routing.
+    Route,
+    /// `Request::RouteOptimized` — Theorem 5.4 routing.
+    RouteOptimized,
+    /// `Request::Sort` — Theorem 4.5 sorting.
+    Sort,
+    /// `Request::GlobalIndices` — Corollary 4.6 indexing.
+    GlobalIndices,
+    /// `Request::Select` — constant-round rank selection.
+    Select,
+    /// `Request::Mode` — most frequent key.
+    Mode,
+    /// `Request::SmallKeyCensus` — §6.3 census.
+    SmallKeyCensus,
+}
+
+/// All entry points, in weight-array order.
+pub const ENTRY_POINTS: [EntryPoint; 7] = [
+    EntryPoint::Route,
+    EntryPoint::RouteOptimized,
+    EntryPoint::Sort,
+    EntryPoint::GlobalIndices,
+    EntryPoint::Select,
+    EntryPoint::Mode,
+    EntryPoint::SmallKeyCensus,
+];
+
+/// A seeded traffic generator over the query-serving surface: a stream of
+/// [`Request`](cc_server::Request)s with configurable weights over all
+/// seven entry points and a Zipf rank distribution over the configured
+/// clique sizes (the first size is the hottest) — the canonical
+/// mixed-traffic shape shared by the `net_swarm` example, the
+/// `net_throughput` bench rows and the load tests.
+///
+/// Payloads are drawn deterministically from the seed via the sibling
+/// generators ([`balanced_random`], [`uniform_keys`], [`zipf_keys`],
+/// [`duplicate_keys`]), so the same `(mix, count, seed)` triple always
+/// yields the same requests — on any host, in any process, which is what
+/// lets a network client and an in-process reference generate identical
+/// traffic independently.
+///
+/// Note on the census: `SmallKeyCensus` requests are generated with
+/// `key_bits = 1`, which the service accepts only when the key domain
+/// fits the clique (`2·⌈log₂(n+1)⌉² ≤ n`, so n ≳ 128). On smaller
+/// cliques they are served as deterministic query errors — deliberate
+/// mid-stream error traffic for parity testing; give the entry point
+/// weight 0 for always-successful mixes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestMix {
+    sizes: Vec<usize>,
+    theta: f64,
+    weights: [u32; 7],
+}
+
+impl RequestMix {
+    /// A mix over `sizes` with every entry point equally weighted and a
+    /// Zipf exponent of 1.0 over the size ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes` is empty.
+    pub fn new(sizes: impl Into<Vec<usize>>) -> Self {
+        let sizes = sizes.into();
+        assert!(!sizes.is_empty(), "at least one clique size required");
+        RequestMix {
+            sizes,
+            theta: 1.0,
+            weights: [1; 7],
+        }
+    }
+
+    /// Sets one entry point's weight (relative to the other six).
+    #[must_use]
+    pub fn with_weight(mut self, entry: EntryPoint, weight: u32) -> Self {
+        let index = ENTRY_POINTS
+            .iter()
+            .position(|&e| e == entry)
+            .expect("entry point is in ENTRY_POINTS");
+        self.weights[index] = weight;
+        self
+    }
+
+    /// Replaces all seven weights at once, in [`ENTRY_POINTS`] order.
+    #[must_use]
+    pub fn with_weights(mut self, weights: [u32; 7]) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Sets the Zipf exponent over the size ranks (`0.0` is uniform;
+    /// larger skews harder toward the first configured size).
+    #[must_use]
+    pub fn with_zipf_theta(mut self, theta: f64) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Generates `count` requests, deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every weight is zero.
+    pub fn generate(&self, count: usize, seed: u64) -> Vec<cc_server::Request> {
+        use cc_server::Request;
+        let total: u64 = self.weights.iter().map(|&w| u64::from(w)).sum();
+        assert!(total > 0, "at least one entry point needs positive weight");
+        let mut cumulative = Vec::with_capacity(self.sizes.len());
+        let mut zipf_total = 0.0f64;
+        for rank in 0..self.sizes.len() {
+            zipf_total += 1.0 / ((rank + 1) as f64).powf(self.theta);
+            cumulative.push(zipf_total);
+        }
+        let mut rng = DetRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let target = rng.gen_range_f64(0.0..zipf_total);
+                let rank = cumulative
+                    .partition_point(|&c| c < target)
+                    .min(self.sizes.len() - 1);
+                let n = self.sizes[rank];
+                let mut pick = rng.gen_range_u64(0..total);
+                let mut entry = EntryPoint::Route;
+                for (&e, &w) in ENTRY_POINTS.iter().zip(&self.weights) {
+                    if pick < u64::from(w) {
+                        entry = e;
+                        break;
+                    }
+                    pick -= u64::from(w);
+                }
+                let payload_seed = rng.next_u64();
+                match entry {
+                    EntryPoint::Route => {
+                        Request::Route(balanced_random(n, payload_seed).expect("balanced instance"))
+                    }
+                    EntryPoint::RouteOptimized => Request::RouteOptimized(
+                        balanced_random(n, payload_seed).expect("balanced instance"),
+                    ),
+                    EntryPoint::Sort => Request::Sort(uniform_keys(n, payload_seed)),
+                    EntryPoint::GlobalIndices => {
+                        Request::GlobalIndices(zipf_keys(n, (4 * n.max(1)) as u64, payload_seed))
+                    }
+                    EntryPoint::Select => Request::Select {
+                        keys: uniform_keys(n, payload_seed),
+                        rank: rng.gen_range_u64(0..((n * n) as u64).max(1)),
+                    },
+                    EntryPoint::Mode => {
+                        Request::Mode(duplicate_keys(n, (n as u64 / 2).max(2), payload_seed))
+                    }
+                    EntryPoint::SmallKeyCensus => Request::SmallKeyCensus {
+                        keys: duplicate_keys(n, 2, payload_seed),
+                        key_bits: 1,
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
 /// Uniform random keys, `n` per node.
 pub fn uniform_keys(n: usize, seed: u64) -> Vec<Vec<u64>> {
     let mut rng = DetRng::seed_from_u64(seed);
@@ -330,6 +491,59 @@ mod tests {
             zipf_demands(16, 6, 1.1, 10).unwrap()
         );
         assert_eq!(hotspot(20, 4).unwrap(), hotspot(20, 4).unwrap());
+    }
+
+    #[test]
+    fn request_mix_is_deterministic_and_respects_weights() {
+        let mix = RequestMix::new(vec![8usize, 12, 16]).with_zipf_theta(1.2);
+        let a = mix.generate(48, 7);
+        let b = mix.generate(48, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, mix.generate(48, 8));
+        assert_eq!(a.len(), 48);
+        // Every size is one of the configured ones.
+        assert!(a.iter().all(|r| [8, 12, 16].contains(&r.n())));
+        // Equal weights over 48 draws: all seven entry points appear.
+        let kinds: std::collections::HashSet<_> = a.iter().map(std::mem::discriminant).collect();
+        assert_eq!(kinds.len(), 7);
+
+        // Zero-weighted entry points never appear.
+        let sorts_only = RequestMix::new(vec![8usize])
+            .with_weights([0, 0, 1, 0, 0, 0, 0])
+            .generate(16, 3);
+        assert!(sorts_only
+            .iter()
+            .all(|r| matches!(r, cc_server::Request::Sort(_))));
+
+        // Zipf over sizes: the first configured size is the hottest.
+        let firsts = a.iter().filter(|r| r.n() == 8).count();
+        let lasts = a.iter().filter(|r| r.n() == 16).count();
+        assert!(firsts > lasts, "zipf head {firsts} vs tail {lasts}");
+    }
+
+    #[test]
+    fn request_mix_payloads_are_servable() {
+        // Every generated request (census excluded — see the type docs)
+        // serves successfully on a direct service.
+        let requests = RequestMix::new(vec![9usize])
+            .with_weight(EntryPoint::SmallKeyCensus, 0)
+            .generate(14, 5);
+        let mut service = cc_core::CliqueService::new(9).unwrap();
+        for request in &requests {
+            request
+                .serve_on(&mut service)
+                .unwrap_or_else(|e| panic!("{request:?}: {e}"));
+        }
+        // And the census variant errors deterministically on a small
+        // clique — the documented mid-stream error traffic.
+        let census = RequestMix::new(vec![9usize])
+            .with_weights([0, 0, 0, 0, 0, 0, 1])
+            .generate(2, 5);
+        for request in &census {
+            let a = request.serve_on(&mut service).unwrap_err();
+            let b = request.serve_on(&mut service).unwrap_err();
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! A client swarm over real sockets: a 4-shard `NetServer` on an
+//! ephemeral loopback port, and 8 concurrent `CcClient` connections —
+//! each its own "process" with its own TCP stream — firing pipelined
+//! waves of mixed traffic from the shared `request_mix` generator. Every
+//! wire answer is spot-checked against a private sequential
+//! `CliqueService`: the TCP hop, the codec and the shard interleaving are
+//! invisible in the answers. Shutdown drains every in-flight reply.
+//!
+//! ```sh
+//! cargo run --release --example net_swarm
+//! ```
+
+use congested_clique::workloads::{EntryPoint, RequestMix};
+use congested_clique::{
+    CcClient, CliqueService, NetServer, NetServerConfig, ServerConfig, ServerError,
+};
+use std::time::Instant;
+
+const CLIENTS: usize = 8;
+const WAVES: usize = 4;
+const WAVE_LEN: usize = 6;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        NetServerConfig::new(4).with_fleet(
+            ServerConfig::new(4)
+                .with_queue_capacity(32)
+                .with_coalesce_limit(8),
+        ),
+    )?;
+    let addr = server.local_addr();
+    println!("net server up on {addr}: 4 shards behind the TCP front");
+
+    // The shared traffic shape: Zipf-hot small cliques, all entry points
+    // except the census (which needs n ≳ 128 to succeed; see the
+    // generator docs) so every reply is a success to spot-check.
+    let mix = RequestMix::new(vec![16usize, 25, 36])
+        .with_zipf_theta(1.1)
+        .with_weight(EntryPoint::SmallKeyCensus, 0);
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client_index in 0..CLIENTS {
+            let mix = mix.clone();
+            scope.spawn(move || {
+                let mut client = CcClient::connect(addr).expect("connect");
+                for wave in 0..WAVES {
+                    let seed = (client_index * WAVES + wave) as u64;
+                    let requests = mix.generate(WAVE_LEN, seed);
+                    // Pipeline the whole wave: different clique sizes land
+                    // on different shards and complete out of order; the
+                    // id correlation restores request order.
+                    let replies = client.pipeline(&requests).expect("pipeline");
+                    for (request, reply) in requests.iter().zip(replies) {
+                        match reply {
+                            Ok(outcome) => {
+                                // Spot-check the first wave against a cold
+                                // sequential service.
+                                if wave == 0 {
+                                    let mut direct =
+                                        CliqueService::new(request.n()).expect("valid n");
+                                    let reference =
+                                        request.serve_on(&mut direct).expect("direct call");
+                                    assert_eq!(outcome, reference, "client {client_index}");
+                                }
+                            }
+                            Err(ServerError::Query(e)) => {
+                                panic!("client {client_index}: query failed: {e}")
+                            }
+                            Err(e) => panic!("client {client_index}: server failure: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let total = CLIENTS * WAVES * WAVE_LEN;
+    let stats = server.stats();
+    println!(
+        "{CLIENTS} connections × {WAVES} pipelined waves: {total} queries over TCP in \
+         {:.1} ms ({:.0} queries/s)",
+        elapsed.as_secs_f64() * 1e3,
+        total as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "wire: {} connections, {} request frames in, {} reply frames out, {} protocol errors",
+        stats.connections, stats.frames_in, stats.frames_out, stats.protocol_errors
+    );
+    for (index, shard) in stats.fleet.shards.iter().enumerate() {
+        println!(
+            "shard {index}: {} requests over {} batches (max batch {}, peak queue {}), \
+             {} warm sessions",
+            shard.requests, shard.batches, shard.max_batch, shard.peak_queue_depth, shard.sessions
+        );
+    }
+
+    let final_stats = server.shutdown();
+    assert_eq!(final_stats.frames_in, total as u64);
+    assert_eq!(final_stats.frames_out, total as u64);
+    assert_eq!(final_stats.fleet.requests(), total as u64);
+    assert_eq!(final_stats.protocol_errors, 0);
+    println!("graceful shutdown: all {total} replies drained before the sockets closed");
+    Ok(())
+}

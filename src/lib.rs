@@ -18,6 +18,8 @@
 //! * [`core`] — the paper's algorithms and the [`CongestedClique`] facade;
 //! * [`server`] — the concurrent sharded [`QueryServer`] over a fleet of
 //!   persistent clique sessions;
+//! * [`net`] — the TCP wire protocol, [`NetServer`] and [`CcClient`]
+//!   library exposing that fleet over real sockets;
 //! * [`baselines`] — randomized and strawman comparators;
 //! * [`workloads`] — instance generators.
 //!
@@ -49,10 +51,12 @@
 pub use cc_baselines as baselines;
 pub use cc_coloring as coloring;
 pub use cc_core as core;
+pub use cc_net as net;
 pub use cc_primitives as primitives;
 pub use cc_server as server;
 pub use cc_sim as sim;
 pub use cc_workloads as workloads;
 
 pub use cc_core::{CliqueService, CongestedClique, CoreError, Outcome};
+pub use cc_net::{CcClient, NetError, NetServer, NetServerConfig, WireError};
 pub use cc_server::{QueryServer, Request, ServerConfig, ServerError, ServiceHandle};
