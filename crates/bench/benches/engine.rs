@@ -19,6 +19,11 @@
 //! count and the quick flag, so 1-core quick artifacts are
 //! self-identifying.
 //!
+//! A `sort_throughput` experiment measures the node-local hot path in
+//! isolation: the radix scatter-key engine (sequential and pooled)
+//! against the stable comparison sort it replaced, on bounded keys at
+//! delivery scale.
+//!
 //! A final `session_throughput` experiment measures the session layer:
 //! a batch of mixed route/sort queries answered on one persistent
 //! `CliqueService` (threads and arenas reused across queries) vs the
@@ -183,6 +188,85 @@ fn main() {
                 out.metrics.comm_rounds()
             },
         );
+    }
+
+    // Node-local sort throughput: the radix scatter-key engine vs the
+    // stable comparison sort it replaced, on the hot path's shape — a
+    // clique-`n` round moves up to n² messages through the delivery
+    // sort, as (u64 key, payload) pairs with keys bounded by the batch
+    // size, so the empty high-byte passes are skipped. Each sample sorts
+    // `sort_rounds` fresh clones (fewer rounds at larger n, roughly
+    // constant elements per sample), approximating a protocol run's
+    // node-local sorting bill rather than a single microsort.
+    let sort_total = if opts.quick { 1usize << 20 } else { 1 << 22 };
+    for n in [64usize, 256, 1024] {
+        let len = n * n;
+        let sort_rounds = (sort_total / len).max(1);
+        let mut rng = cc_rand::DetRng::seed_from_u64(n as u64);
+        let items: Vec<(u64, u64)> = (0..len as u64)
+            .map(|i| (rng.next_u64() % len as u64, i))
+            .collect();
+        // Parity first: every variant must produce the same permutation.
+        let sorted = {
+            let mut v = items.clone();
+            v.sort_by_key(|&(k, _)| k);
+            v
+        };
+        {
+            let mut v = items.clone();
+            cc_sim::radix::sort_by_u64_key(&mut v, |&(k, _)| k);
+            assert_eq!(v, sorted, "sort_throughput n={n}: radix diverged");
+        }
+        let comparison = {
+            let mut entry = harness::bench("sort_throughput", n, "comparison", &opts, || {
+                for _ in 0..sort_rounds {
+                    let mut v = items.clone();
+                    v.sort_by_key(|&(k, _)| k);
+                    harness::black_box(&v);
+                }
+            });
+            entry.worker_threads = Some(1);
+            entry
+        };
+        let radix_seq = {
+            let mut scratch = cc_sim::radix::RadixScratch::new();
+            let mut entry = harness::bench("sort_throughput", n, "radix_sequential", &opts, || {
+                for _ in 0..sort_rounds {
+                    let mut v = items.clone();
+                    cc_sim::radix::sort_by_u64_key_with(&mut v, |&(k, _)| k, &mut scratch);
+                    harness::black_box(&v);
+                }
+            });
+            entry.worker_threads = Some(1);
+            entry
+        };
+        speedups.push(harness::speedup(&comparison, &radix_seq));
+        entries.push(comparison.clone());
+        entries.push(radix_seq);
+        #[cfg(feature = "parallel")]
+        {
+            let workers = 2usize;
+            let mut session = cc_sim::CliqueSession::new();
+            {
+                let mut v = items.clone();
+                session.sort_by_u64_key_on(workers, &mut v, |&(k, _)| k);
+                assert_eq!(v, sorted, "sort_throughput n={n}: pooled radix diverged");
+            }
+            let radix_par = {
+                let mut entry =
+                    harness::bench("sort_throughput", n, "radix_parallel", &opts, || {
+                        for _ in 0..sort_rounds {
+                            let mut v = items.clone();
+                            session.sort_by_u64_key_on(workers, &mut v, |&(k, _)| k);
+                            harness::black_box(&v);
+                        }
+                    });
+                entry.worker_threads = Some(workers);
+                entry
+            };
+            speedups.push(harness::speedup(&comparison, &radix_par));
+            entries.push(radix_par);
+        }
     }
 
     // Pure delivery stress: n² messages per round for 8 rounds.
@@ -447,6 +531,14 @@ fn main() {
             println!(
                 "{} n=256: pooled {} is {:.2}x vs per-round {}",
                 s.group, s.candidate, s.ratio, s.baseline
+            );
+        }
+        // The radix engine's acceptance regime: node-local sorting faster
+        // than the comparison sort it replaced at delivery scale.
+        if s.group == "sort_throughput" && s.n == 1024 {
+            println!(
+                "sort_throughput n=1024: {} is {:.2}x vs {}",
+                s.candidate, s.ratio, s.baseline
             );
         }
         // The session layer's acceptance regime: batched queries on one

@@ -57,6 +57,7 @@ mod service;
 
 pub mod routing;
 pub mod sorting;
+pub mod sortkey;
 
 pub use clique::CongestedClique;
 pub use error::CoreError;

@@ -114,7 +114,7 @@ impl<P: RoutePayload> CrossRouter<P> {
     pub(crate) fn activate(&mut self, ctx: &mut cc_sim::BaseCtx<'_>) -> Vec<(NodeId, CxMsg<P>)> {
         // Phase 1: the j-th cross message goes to relay node j.
         let mut msgs = std::mem::take(&mut self.cross_msgs);
-        msgs.sort_unstable_by_key(|x| x.key());
+        crate::sortkey::sort_routed(&mut msgs);
         assert!(msgs.len() <= ctx.n(), "at most n cross messages per node");
         ctx.charge_work(msgs.len() as u64);
         msgs.into_iter()
@@ -146,8 +146,8 @@ impl<P: RoutePayload> CrossRouter<P> {
                         None => panic!("cross message destined outside A ∪ B"),
                     }
                 }
-                to_a.sort_unstable_by_key(|x| x.key());
-                to_b.sort_unstable_by_key(|x| x.key());
+                crate::sortkey::sort_routed(&mut to_a);
+                crate::sortkey::sort_routed(&mut to_b);
                 assert!(to_a.len() <= self.a_side.len(), "phase-2 A overflow");
                 assert!(to_b.len() <= self.b_side.len(), "phase-2 B overflow");
                 ctx.charge_work((to_a.len() + to_b.len()) as u64);
@@ -321,7 +321,7 @@ impl<P: RoutePayload> RouterMachine<P> {
                 queues[m.dst.index()].push(m);
             }
             for q in &mut queues {
-                q.sort_unstable_by_key(|x| x.key());
+                crate::sortkey::sort_routed(q);
             }
             return RouterMachine {
                 inner: Inner::Tiny {
@@ -634,7 +634,7 @@ pub(crate) fn route_with_exec<P: RoutePayload>(
     let report = exec.run(spec, machines)?;
     let mut delivered = report.outputs;
     for d in &mut delivered {
-        d.sort_unstable_by_key(|x| x.key());
+        crate::sortkey::sort_routed(d);
     }
     instance.verify_delivery(&delivered)?;
     Ok(RouteOutcome {

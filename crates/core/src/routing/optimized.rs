@@ -152,7 +152,7 @@ impl<P: RoutePayload> OptSquareRouter<P> {
             assert_eq!(m.src.index(), vme, "message not owned by this node");
             counts[m.dst.index() / s] += 1;
         }
-        messages.sort_unstable_by_key(|x| (x.dst.index() / s, x.key()));
+        crate::sortkey::sort_routed_by_set(&mut messages, s);
         OptSquareRouter {
             vn,
             s,
@@ -243,7 +243,7 @@ impl<P: RoutePayload> OptSquareRouter<P> {
                     };
                     held.push(m);
                 }
-                held.sort_unstable_by_key(|x| (x.dst.index() / self.s, x.key()));
+                crate::sortkey::sort_routed_by_set(&mut held, self.s);
                 ctx.charge_work(held.len() as u64);
                 ctx.note_mem(5 * held.len() as u64);
                 let mut sc = RoundRobinScatter::member(self.my_group(), held);
@@ -329,7 +329,7 @@ impl<P: RoutePayload> OptSquareRouter<P> {
         let plan = self.plan.as_ref().expect("group plan from call 2");
         // Striped slot binding: my j-th class-b message occupies virtual
         // slot j·s + r of cell (a, b); its group is slot / n.
-        held.sort_unstable_by_key(|x| (x.dst.index() / s, x.key()));
+        crate::sortkey::sort_routed_by_set(&mut held, s);
         let mut by_sigma: Vec<Vec<RoutedMessage<P>>> = vec![Vec::new(); s];
         let mut class_pos = vec![0usize; s];
         for m in held {
@@ -378,7 +378,7 @@ impl<P: RoutePayload> OptSquareRouter<P> {
         }
         let mut sends = Vec::new();
         for (b, mut items) in by_b.into_iter().enumerate() {
-            items.sort_unstable_by_key(|x| x.key());
+            crate::sortkey::sort_routed(&mut items);
             for (j, m) in items.into_iter().enumerate() {
                 sends.push((b * s + (j % s), OptMsg::Move4(m)));
             }
@@ -738,7 +738,7 @@ pub(crate) fn route_optimized_with_exec<P: RoutePayload>(
     let report = exec.run(spec, machines)?;
     let mut delivered = report.outputs;
     for d in &mut delivered {
-        d.sort_unstable_by_key(|x| x.key());
+        crate::sortkey::sort_routed(d);
     }
     instance.verify_delivery(&delivered)?;
     Ok(RouteOutcome {

@@ -256,7 +256,7 @@ impl<P: RoutePayload> SquareRouter<P> {
             buckets[m.dst.index() / s].push(m);
         }
         for b in &mut buckets {
-            b.sort_unstable_by_key(|x| x.key());
+            crate::sortkey::sort_routed(b);
         }
         SquareRouter {
             vn,
@@ -486,7 +486,7 @@ impl<P: RoutePayload> SquareRouter<P> {
         }
         let mut sends = Vec::new();
         for (sigma, mut items) in by_sigma.into_iter().enumerate() {
-            items.sort_unstable_by_key(|x| x.msg.key());
+            crate::sortkey::sort_by_routed_key(&mut items, |it| &it.msg);
             debug_assert!(
                 items.len() <= 4 * s + 4,
                 "per-σ load {} exceeds the O(s) bound",
@@ -518,7 +518,7 @@ impl<P: RoutePayload> SquareRouter<P> {
         }
         let mut total = 0u64;
         for bucket in &mut self.held {
-            bucket.sort_unstable_by_key(|x| x.key());
+            crate::sortkey::sort_routed(bucket);
             total += bucket.len() as u64;
         }
         ctx.charge_work(total);
@@ -627,7 +627,7 @@ impl<P: RoutePayload> SquareRouter<P> {
         }
         let mut sends = Vec::new();
         for (b, mut items) in by_b.into_iter().enumerate() {
-            items.sort_unstable_by_key(|x| x.key());
+            crate::sortkey::sort_routed(&mut items);
             debug_assert!(
                 items.len() <= 4 * s + 4,
                 "per-set chunk {} exceeds the O(s) bound",

@@ -23,8 +23,8 @@ use crate::routing::{
 };
 use crate::sorting::{
     global_indices_with_exec, mode_query_with_exec, select_rank_with_exec,
-    small_key_census_with_exec, sort_with_exec, spec_for_sorting, IndexOutcome, ModeOutcome,
-    SelectOutcome, SmallKeyOutcome, SortOutcome,
+    small_key_census_with_exec, sort_with_exec, spec_for_census, spec_for_sorting, IndexOutcome,
+    ModeOutcome, SelectOutcome, SmallKeyOutcome, SortOutcome,
 };
 use crate::CongestedClique;
 use cc_sim::{CliqueSession, Metrics, SessionStats};
@@ -180,7 +180,11 @@ impl CliqueService {
     /// See [`CongestedClique::global_indices`].
     pub fn global_indices(&mut self, keys: &[Vec<u64>]) -> Result<IndexOutcome, CoreError> {
         self.clique.check(keys.len())?;
-        global_indices_with_exec(keys, Exec::Session(&mut self.session))
+        global_indices_with_exec(
+            keys,
+            spec_for_sorting(keys.len()),
+            Exec::Session(&mut self.session),
+        )
     }
 
     /// As [`CongestedClique::select`], on the persistent session.
@@ -190,7 +194,12 @@ impl CliqueService {
     /// See [`CongestedClique::select`].
     pub fn select(&mut self, keys: &[Vec<u64>], rank: u64) -> Result<SelectOutcome, CoreError> {
         self.clique.check(keys.len())?;
-        select_rank_with_exec(keys, rank, Exec::Session(&mut self.session))
+        select_rank_with_exec(
+            keys,
+            rank,
+            spec_for_sorting(keys.len()),
+            Exec::Session(&mut self.session),
+        )
     }
 
     /// As [`CongestedClique::mode`], on the persistent session.
@@ -200,7 +209,11 @@ impl CliqueService {
     /// See [`CongestedClique::mode`].
     pub fn mode(&mut self, keys: &[Vec<u64>]) -> Result<ModeOutcome, CoreError> {
         self.clique.check(keys.len())?;
-        mode_query_with_exec(keys, Exec::Session(&mut self.session))
+        mode_query_with_exec(
+            keys,
+            spec_for_sorting(keys.len()),
+            Exec::Session(&mut self.session),
+        )
     }
 
     /// As [`CongestedClique::small_key_census`], on the persistent
@@ -215,7 +228,12 @@ impl CliqueService {
         key_bits: u32,
     ) -> Result<SmallKeyOutcome, CoreError> {
         self.clique.check(keys.len())?;
-        small_key_census_with_exec(keys, key_bits, Exec::Session(&mut self.session))
+        small_key_census_with_exec(
+            keys,
+            key_bits,
+            spec_for_census(keys.len()),
+            Exec::Session(&mut self.session),
+        )
     }
 }
 

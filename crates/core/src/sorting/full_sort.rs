@@ -137,7 +137,7 @@ impl FullSortMachine {
             .enumerate()
             .map(|(i, k)| TaggedKey::new(k, me, i as u32))
             .collect();
-        tagged.sort_unstable();
+        crate::sortkey::sort_tagged(&mut tagged);
         let g = isqrt(n).max(1);
         FullSortMachine {
             n,
@@ -445,7 +445,7 @@ impl NodeMachine for FullSortMachine {
             }
             37 => {
                 self.final_keys = d.r8b;
-                self.final_keys.sort_unstable_by_key(|&(rank, _)| rank);
+                crate::sortkey::sort_by_u64_key(&mut self.final_keys, |&(rank, _)| rank);
                 let offset = self.q * self.me.index() as u64;
                 for (i, &(rank, _)) in self.final_keys.iter().enumerate() {
                     debug_assert_eq!(rank, offset + i as u64, "rank gap in final batch");
@@ -472,7 +472,7 @@ impl FullSortMachine {
             return Step::Continue;
         }
         // Everyone holds everything: sort locally, keep my slice.
-        self.gathered.sort_unstable();
+        crate::sortkey::sort_tagged(&mut self.gathered);
         let total = self.gathered.len() as u64;
         let q = total.div_ceil(self.n as u64).max(1);
         let lo = (q * self.me.index() as u64).min(total);

@@ -19,7 +19,7 @@ use crate::exec::Exec;
 use crate::routing::{GMsg, RoutedMessage, RouterMachine};
 use crate::sorting::full_sort::{spec_for_sorting, FsMsg, FullSortMachine, NodeBatch};
 use cc_sim::util::word_bits;
-use cc_sim::{Ctx, Inbox, Metrics, NodeId, NodeMachine, Payload, Step};
+use cc_sim::{CliqueSpec, Ctx, Inbox, Metrics, NodeId, NodeMachine, Payload, Step};
 
 /// Per-batch boundary summary broadcast after the sort.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -444,6 +444,7 @@ pub struct ModeOutcome {
 fn run_query(
     keys: &[Vec<u64>],
     query: Query,
+    spec: CliqueSpec,
     mut exec: Exec<'_>,
 ) -> Result<(Vec<QueryAnswer>, Metrics), CoreError> {
     let n = keys.len();
@@ -453,7 +454,7 @@ fn run_query(
     let machines = (0..n)
         .map(|v| QueryMachine::new(n, NodeId::new(v), keys[v].clone(), query.clone()))
         .collect();
-    let report = exec.run(spec_for_sorting(n), machines)?;
+    let report = exec.run(spec, machines)?;
     Ok((report.outputs, report.metrics))
 }
 
@@ -464,15 +465,31 @@ fn run_query(
 ///
 /// Propagates instance validation and simulation failures.
 pub fn global_indices(keys: &[Vec<u64>]) -> Result<IndexOutcome, CoreError> {
-    global_indices_with_exec(keys, Exec::OneShot)
+    // `.max(1)`: empty input must reach the graceful n == 0 error below,
+    // not the spec builder's panic.
+    global_indices_with_spec(keys, spec_for_sorting(keys.len().max(1)))
+}
+
+/// As [`global_indices`] with a caller-provided spec (notably its
+/// [`ExecMode`](cc_sim::ExecMode)).
+///
+/// # Errors
+///
+/// See [`global_indices`].
+pub fn global_indices_with_spec(
+    keys: &[Vec<u64>],
+    spec: CliqueSpec,
+) -> Result<IndexOutcome, CoreError> {
+    global_indices_with_exec(keys, spec, Exec::OneShot)
 }
 
 /// The shared driver behind [`global_indices`]; see [`Exec`].
 pub(crate) fn global_indices_with_exec(
     keys: &[Vec<u64>],
+    spec: CliqueSpec,
     exec: Exec<'_>,
 ) -> Result<IndexOutcome, CoreError> {
-    let (answers, metrics) = run_query(keys, Query::Indices, exec)?;
+    let (answers, metrics) = run_query(keys, Query::Indices, spec, exec)?;
     let indices = answers
         .into_iter()
         .map(|a| match a {
@@ -490,13 +507,28 @@ pub(crate) fn global_indices_with_exec(
 ///
 /// Rejects out-of-range ranks; propagates simulation failures.
 pub fn select_rank(keys: &[Vec<u64>], rank: u64) -> Result<SelectOutcome, CoreError> {
-    select_rank_with_exec(keys, rank, Exec::OneShot)
+    select_rank_with_spec(keys, rank, spec_for_sorting(keys.len().max(1)))
+}
+
+/// As [`select_rank`] with a caller-provided spec (notably its
+/// [`ExecMode`](cc_sim::ExecMode)).
+///
+/// # Errors
+///
+/// See [`select_rank`].
+pub fn select_rank_with_spec(
+    keys: &[Vec<u64>],
+    rank: u64,
+    spec: CliqueSpec,
+) -> Result<SelectOutcome, CoreError> {
+    select_rank_with_exec(keys, rank, spec, Exec::OneShot)
 }
 
 /// The shared driver behind [`select_rank`]; see [`Exec`].
 pub(crate) fn select_rank_with_exec(
     keys: &[Vec<u64>],
     rank: u64,
+    spec: CliqueSpec,
     exec: Exec<'_>,
 ) -> Result<SelectOutcome, CoreError> {
     let total: u64 = keys.iter().map(|l| l.len() as u64).sum();
@@ -505,7 +537,7 @@ pub(crate) fn select_rank_with_exec(
             "rank {rank} out of range (total {total})"
         )));
     }
-    let (answers, metrics) = run_query(keys, Query::Select(rank), exec)?;
+    let (answers, metrics) = run_query(keys, Query::Select(rank), spec, exec)?;
     let key = match answers.first() {
         Some(QueryAnswer::Selected(k)) => *k,
         other => panic!("unexpected answer {other:?}"),
@@ -523,19 +555,30 @@ pub(crate) fn select_rank_with_exec(
 ///
 /// Rejects empty inputs; propagates simulation failures.
 pub fn mode_query(keys: &[Vec<u64>]) -> Result<ModeOutcome, CoreError> {
-    mode_query_with_exec(keys, Exec::OneShot)
+    mode_query_with_spec(keys, spec_for_sorting(keys.len().max(1)))
+}
+
+/// As [`mode_query`] with a caller-provided spec (notably its
+/// [`ExecMode`](cc_sim::ExecMode)).
+///
+/// # Errors
+///
+/// See [`mode_query`].
+pub fn mode_query_with_spec(keys: &[Vec<u64>], spec: CliqueSpec) -> Result<ModeOutcome, CoreError> {
+    mode_query_with_exec(keys, spec, Exec::OneShot)
 }
 
 /// The shared driver behind [`mode_query`]; see [`Exec`].
 pub(crate) fn mode_query_with_exec(
     keys: &[Vec<u64>],
+    spec: CliqueSpec,
     exec: Exec<'_>,
 ) -> Result<ModeOutcome, CoreError> {
     let total: u64 = keys.iter().map(|l| l.len() as u64).sum();
     if total == 0 {
         return Err(CoreError::invalid("mode of an empty multiset"));
     }
-    let (answers, metrics) = run_query(keys, Query::Mode, exec)?;
+    let (answers, metrics) = run_query(keys, Query::Mode, spec, exec)?;
     let (key, count) = match answers.first() {
         Some(QueryAnswer::Mode(k, c)) => (*k, *c),
         other => panic!("unexpected answer {other:?}"),

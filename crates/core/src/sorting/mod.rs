@@ -20,10 +20,13 @@ pub use full_sort::{
     sort_keys, sort_with_spec, spec_for_sorting, FsMsg, FullSortMachine, SortOutcome,
 };
 pub use indexed::{
-    global_indices, mode_query, select_rank, IndexOutcome, ModeOutcome, SelectOutcome,
+    global_indices, global_indices_with_spec, mode_query, mode_query_with_spec, select_rank,
+    select_rank_with_spec, IndexOutcome, ModeOutcome, SelectOutcome,
 };
 pub(crate) use indexed::{global_indices_with_exec, mode_query_with_exec, select_rank_with_exec};
 pub use keys::{IndexedBatch, KeyBatch, TaggedKey, KEYS_PER_BATCH};
 pub(crate) use small_keys::small_key_census_with_exec;
-pub use small_keys::{small_key_census, SmallKeyOutcome};
+pub use small_keys::{
+    small_key_census, small_key_census_with_spec, spec_for_census, SmallKeyOutcome,
+};
 pub use subset_sort::{A3Msg, SubsetSort, SubsetSortOutput};

@@ -193,7 +193,32 @@ pub struct SmallKeyOutcome {
 /// block assignment needs that many dedicated nodes) or out-of-domain
 /// keys; propagates simulation failures.
 pub fn small_key_census(keys: &[Vec<u64>], key_bits: u32) -> Result<SmallKeyOutcome, CoreError> {
-    small_key_census_with_exec(keys, key_bits, Exec::OneShot)
+    // `.max(1)`: empty input must reach the graceful n == 0 error below,
+    // not the spec builder's panic.
+    small_key_census_with_spec(keys, key_bits, spec_for_census(keys.len().max(1)))
+}
+
+/// The simulator spec for the census: two-bit messages, so the budget can
+/// be minuscule.
+pub fn spec_for_census(n: usize) -> CliqueSpec {
+    CliqueSpec::new(n)
+        .expect("n >= 1")
+        .with_bits_per_edge(2)
+        .with_max_rounds(8)
+}
+
+/// As [`small_key_census`] with a caller-provided spec (notably its
+/// [`ExecMode`](cc_sim::ExecMode)).
+///
+/// # Errors
+///
+/// See [`small_key_census`].
+pub fn small_key_census_with_spec(
+    keys: &[Vec<u64>],
+    key_bits: u32,
+    spec: CliqueSpec,
+) -> Result<SmallKeyOutcome, CoreError> {
+    small_key_census_with_exec(keys, key_bits, spec, Exec::OneShot)
 }
 
 /// The shared driver: one-shot and session execution differ only in the
@@ -205,6 +230,7 @@ pub fn small_key_census(keys: &[Vec<u64>], key_bits: u32) -> Result<SmallKeyOutc
 pub(crate) fn small_key_census_with_exec(
     keys: &[Vec<u64>],
     key_bits: u32,
+    spec: CliqueSpec,
     mut exec: Exec<'_>,
 ) -> Result<SmallKeyOutcome, CoreError> {
     let n = keys.len();
@@ -250,11 +276,6 @@ pub(crate) fn small_key_census_with_exec(
             }
         })
         .collect();
-    // Two-bit messages: the budget can be minuscule.
-    let spec = CliqueSpec::new(n)
-        .expect("n >= 1")
-        .with_bits_per_edge(2)
-        .with_max_rounds(8);
     let report = exec.run(spec, machines)?;
     let totals = report.outputs[0].0.clone();
     for (v, (t, _)) in report.outputs.iter().enumerate() {

@@ -1,0 +1,142 @@
+//! The shared scatter-key sorting entry point for the protocol hot
+//! paths.
+//!
+//! Every protocol phase in this crate re-sorts message or key batches
+//! between rounds. Those sorts used to be ~20 scattered
+//! `sort_unstable_by_key` calls; they now funnel through this module into
+//! the `cc-sim` radix engine ([`cc_sim::radix`]): count → exclusive scan
+//! → scatter over 8-bit digits, with per-thread recycled scratch (on the
+//! engine's persistent workers the scratch survives rounds and runs).
+//!
+//! **Ordering contract.** The radix paths are *stable*, while the call
+//! sites they replaced used unstable comparison sorts — safe only
+//! because every converted site sorts by a key that is provably unique
+//! per element, where stable and unstable sorts coincide:
+//!
+//! * [`RoutedMessage`]s carry the identity `(src, dst, seq)`, validated
+//!   unique by `RoutingInstance` at construction;
+//! * [`TaggedKey`]s order by `(key, origin, index_at_origin)` — the
+//!   paper's footnote-5 disambiguation triple, distinct by construction;
+//! * final-rank batches sort by globally unique ranks.
+//!
+//! Composite keys are packed into one or two `u64`s (node indices are
+//! `u32`, so two fields pack per word); a two-`u64` lexicographic key is
+//! two stable radix passes, minor first. Reference/oracle sorts in tests
+//! and the `cc-baselines` crate intentionally keep their comparison
+//! sorts — they are what the radix output is checked against.
+
+use crate::routing::RoutedMessage;
+use crate::sorting::TaggedKey;
+use cc_sim::radix;
+
+/// Stable sort by a `u64` key: the crate-wide sorting entry point.
+/// Radix scatter above the engine's threshold, stable comparison sort
+/// below it — identical results either way.
+pub fn sort_by_u64_key<T: Clone>(items: &mut [T], key: impl Fn(&T) -> u64) {
+    radix::sort_by_u64_key(items, key);
+}
+
+/// Stable sort by the lexicographic pair `(major, minor)` — two stable
+/// radix passes (minor first) for composite keys wider than 64 bits.
+pub fn sort_by_u64_key2<T: Clone>(items: &mut [T], major: impl Fn(&T) -> u64, minor: impl Fn(&T) -> u64) {
+    radix::sort_by_u64_key2(items, major, minor);
+}
+
+/// Sorts messages by the paper's canonical order `(src, dst, seq)`.
+///
+/// Packing: major = `src`, minor = `dst · 2³² + seq` (node indices and
+/// sequence numbers are `u32`). Identities are unique per
+/// `RoutingInstance` validation, so this equals the unstable
+/// `sort_unstable_by_key(|m| m.key())` it replaces.
+pub fn sort_routed<P: Clone>(msgs: &mut [RoutedMessage<P>]) {
+    sort_by_routed_key(msgs, |m| m);
+}
+
+/// As [`sort_routed`], for containers that embed a [`RoutedMessage`]
+/// (e.g. the square router's intermediate wrappers): `routed` projects
+/// the message whose `(src, dst, seq)` identity orders the element.
+pub fn sort_by_routed_key<T: Clone, P>(items: &mut [T], routed: impl Fn(&T) -> &RoutedMessage<P>) {
+    radix::sort_by_u64_key2(
+        items,
+        |t| routed(t).src.raw() as u64,
+        |t| ((routed(t).dst.raw() as u64) << 32) | routed(t).seq as u64,
+    );
+}
+
+/// Sorts messages by `(dst / s, src, dst, seq)` — destination-set-major
+/// canonical order, the grouping key of the §5 router's redistribution
+/// steps. Equal to the unstable `(dst / s, m.key())` sort it replaces
+/// because full identities are unique.
+pub fn sort_routed_by_set<P: Clone>(msgs: &mut [RoutedMessage<P>], s: usize) {
+    debug_assert!(s > 0, "destination sets must be non-empty");
+    radix::sort_by_u64_key2(
+        msgs,
+        |m| (((m.dst.index() / s) as u64) << 32) | m.src.raw() as u64,
+        |m| ((m.dst.raw() as u64) << 32) | m.seq as u64,
+    );
+}
+
+/// Sorts tagged keys by the paper's footnote-5 triple
+/// `(key, origin, index_at_origin)` — `TaggedKey`'s derived `Ord`.
+/// Major = the key word, minor = `origin · 2³² + index_at_origin`;
+/// triples are distinct by construction, so this equals the unstable
+/// `sort_unstable()` it replaces.
+pub fn sort_tagged(keys: &mut [TaggedKey]) {
+    radix::sort_by_u64_key2(
+        keys,
+        |k| k.key,
+        |k| ((k.origin.raw() as u64) << 32) | k.index_at_origin as u64,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_sim::NodeId;
+
+    fn msg(src: usize, dst: usize, seq: u32) -> RoutedMessage<u64> {
+        RoutedMessage {
+            src: NodeId::new(src),
+            dst: NodeId::new(dst),
+            seq,
+            payload: 0,
+        }
+    }
+
+    /// The packed two-word orders must equal the tuple orders they
+    /// replace, on enough messages to clear the radix threshold.
+    #[test]
+    fn packed_orders_match_tuple_orders() {
+        let mut msgs: Vec<RoutedMessage<u64>> = (0..300)
+            .map(|i| msg((i * 7) % 17, (i * 13) % 23, (i % 5) as u32))
+            .collect();
+        let mut by_tuple = msgs.clone();
+        by_tuple.sort_by_key(|m| m.key());
+        sort_routed(&mut msgs);
+        assert_eq!(
+            msgs.iter().map(|m| m.key()).collect::<Vec<_>>(),
+            by_tuple.iter().map(|m| m.key()).collect::<Vec<_>>()
+        );
+
+        let s = 4;
+        let mut by_set = msgs.clone();
+        let mut oracle = msgs.clone();
+        oracle.sort_by_key(|m| (m.dst.index() / s, m.key()));
+        sort_routed_by_set(&mut by_set, s);
+        assert_eq!(
+            by_set.iter().map(|m| m.key()).collect::<Vec<_>>(),
+            oracle.iter().map(|m| m.key()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn tagged_order_matches_derived_ord() {
+        let mut keys: Vec<TaggedKey> = (0..200u64)
+            .map(|i| TaggedKey::new((i * 31) % 7, NodeId::new((i % 9) as usize), (i % 4) as u32))
+            .collect();
+        let mut oracle = keys.clone();
+        oracle.sort();
+        sort_tagged(&mut keys);
+        assert_eq!(keys, oracle);
+    }
+}

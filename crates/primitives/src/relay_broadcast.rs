@@ -126,7 +126,10 @@ impl<T: Payload> Driver for RelayBroadcast<T> {
                     };
                     self.collected.push((slot, payload));
                 }
-                self.collected.sort_by_key(|&(slot, _)| slot);
+                // Unstable (in-place, non-allocating) is safe here: slots
+                // are asserted unique below, so there are no equal keys
+                // whose payload order a stable sort would have to keep.
+                self.collected.sort_unstable_by_key(|&(slot, _)| slot);
                 assert!(
                     self.collected.windows(2).all(|w| w[0].0 != w[1].0),
                     "duplicate broadcast slots"

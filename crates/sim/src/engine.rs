@@ -569,6 +569,9 @@ pub(crate) fn run_seed<N: NodeMachine>(
 
     let mut round: u64 = 0;
     let mut silent_rounds: u64 = 0;
+    // Scratch for the per-batch destination grouping below; hoisted so
+    // steady-state rounds group without allocating.
+    let mut group_scratch = crate::radix::RadixScratch::new();
     loop {
         let all_done = slots.iter().all(|s| matches!(s, Slot::Finished(_)));
         if all_done {
@@ -602,9 +605,12 @@ pub(crate) fn run_seed<N: NodeMachine>(
                 continue;
             }
             let src = NodeId::new(src_idx);
-            // Stable sort groups messages per destination while
-            // preserving per-destination send order.
-            batch.sort_by_key(|(dst, _)| *dst);
+            // Stable radix scatter groups messages per destination while
+            // preserving per-destination send order — byte-identical
+            // batch order to the stable comparison sort it replaced, so
+            // the validation scan below (ascending destinations, minimum
+            // out-of-range destination last) is unchanged.
+            crate::radix::group_by_destination(&mut batch, n, &mut group_scratch);
             let i = 0;
             while i < batch.len() {
                 let dst = batch[i].0;

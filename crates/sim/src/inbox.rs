@@ -33,10 +33,15 @@ impl<M> Inbox<M> {
     /// already in sender order (the engine delivers that way), so an O(m)
     /// sortedness check skips the sort entirely in the common case. When a
     /// sort is needed it is *stable*, preserving each sender's send order
-    /// — the same guarantee the engine's delivery gives.
-    pub fn from_messages(mut items: Vec<(NodeId, M)>) -> Self {
+    /// — the same guarantee the engine's delivery gives. Large batches
+    /// take the radix scatter path ([`crate::radix`]), small ones the
+    /// stable comparison sort; both produce the identical order.
+    pub fn from_messages(mut items: Vec<(NodeId, M)>) -> Self
+    where
+        M: Clone,
+    {
         if items.windows(2).any(|w| w[0].0 > w[1].0) {
-            items.sort_by_key(|(src, _)| *src);
+            crate::radix::sort_by_u64_key(&mut items, |(src, _)| src.index() as u64);
         }
         Inbox { items }
     }

@@ -44,9 +44,19 @@
 //!   pass validates budgets (tracking the lowest failing destination), one
 //!   pass moves messages straight into per-destination inbox buffers. No
 //!   comparison sort, no quadratic drain.
+//! * **Node-local key sorts** go through the [`radix`] scatter-key
+//!   engine: batches of [`RADIX_MIN_LEN`](radix::RADIX_MIN_LEN) or more
+//!   `(u64 key, payload)` pairs are ordered by LSD radix passes
+//!   (count → exclusive scan → scatter) whose digit width adapts to the
+//!   XOR-diff of the key range, with a chunked-parallel driver that maps
+//!   per-chunk histograms onto the session worker pool. Every path is
+//!   stable, so radix and the comparison fallback (kept as the test
+//!   oracle, and selectable at runtime via `CC_RADIX=off`) produce
+//!   bit-identical orders.
 //! * **Buffers are recycled**: outboxes, inboxes and the delivery scratch
-//!   are allocated once per run and keep their capacity across rounds, so
-//!   steady-state rounds perform no allocation for message movement.
+//!   are allocated once per run and keep their capacity across rounds —
+//!   including the radix sort's [`RadixScratch`](radix::RadixScratch) —
+//!   so steady-state rounds perform no allocation for message movement.
 //! * **Stepping** runs `on_round` for disjoint chunks of nodes on a
 //!   **persistent worker pool** when the `parallel` cargo feature (on by
 //!   default) is enabled and the selected [`ExecMode`] resolves to more
@@ -141,6 +151,7 @@ mod spec;
 mod work;
 
 pub mod hash;
+pub mod radix;
 pub mod util;
 pub mod wire;
 

@@ -337,6 +337,63 @@ impl SessionPool {
     }
 }
 
+impl SessionPool {
+    /// Runs a batch of arbitrary compute jobs on the parked workers, one
+    /// job per worker, and returns their results **in job order**
+    /// (arrival order is irrelevant — results are written back by index,
+    /// the same determinism discipline as `step_round`). Panics inside a
+    /// job are caught on the worker, every outstanding job is drained
+    /// (so nothing outlives an aborted batch), and the first payload is
+    /// re-raised on the driving thread.
+    ///
+    /// This is the generic surface behind the radix sort's
+    /// chunked-parallel driver (`crate::radix`): chunk ownership moves
+    /// to the worker through the job channel and back through the result
+    /// channel, keeping the crate within `forbid(unsafe_code)`.
+    pub(crate) fn run_jobs<R: Send + 'static>(
+        &mut self,
+        jobs: Vec<Box<dyn FnOnce() -> R + Send + 'static>>,
+    ) -> Vec<R> {
+        let count = jobs.len();
+        self.ensure_workers(count);
+        let (result_tx, results) = channel::<(usize, std::thread::Result<R>)>();
+        for (index, (job, job_tx)) in jobs.into_iter().zip(&self.job_txs).enumerate() {
+            let result_tx = result_tx.clone();
+            let wrapped: SessionJob = Box::new(move || {
+                // AssertUnwindSafe: a panicking job's partial state is
+                // dropped with the closure; the driver re-raises, so no
+                // code observes it (same argument as `step_round`).
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(job));
+                let _ = result_tx.send((index, outcome));
+            });
+            job_tx
+                .send(wrapped)
+                .expect("session worker is parked on its channel");
+        }
+        drop(result_tx);
+        let mut slots: Vec<Option<R>> = (0..count).map(|_| None).collect();
+        let mut panic_payload: Option<Box<dyn Any + Send>> = None;
+        for _ in 0..count {
+            let (index, outcome) = results
+                .recv()
+                .expect("every dispatched job reports an outcome");
+            match outcome {
+                Ok(result) => slots[index] = Some(result),
+                Err(payload) => {
+                    panic_payload.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("non-panicking job filled its slot"))
+            .collect()
+    }
+}
+
 impl Drop for SessionPool {
     /// Closes every job channel — waking the parked workers so they exit —
     /// and joins them. Workers only ever block on `recv`, so the join

@@ -190,6 +190,10 @@ pub struct CliqueSession {
     /// type (different protocols recycle independently).
     piles: HashMap<TypeId, Box<dyn Any + Send>>,
     scratch: DeliveryScratch,
+    /// Recycled working memory for the session's public radix-sort
+    /// surface ([`CliqueSession::sort_by_u64_key`]) — like the message
+    /// piles, it keeps its capacity run-to-run.
+    radix: crate::radix::RadixScratch,
     stats: SessionStats,
 }
 
@@ -393,6 +397,59 @@ impl CliqueSession {
             &mut self.scratch,
             step_inline(n),
         )
+    }
+
+    /// Stable sort of `items` by a `u64` key on the session's recycled
+    /// radix scratch (see [`crate::radix`]): count → exclusive scan →
+    /// scatter above the radix threshold, the stable comparison sort
+    /// below it — both preserve equal-key input order, so results are
+    /// identical either way.
+    ///
+    /// Large inputs additionally fan the per-pass counting and grouping
+    /// out over the session's parked worker threads (one chunk per
+    /// worker, merged deterministically — bit-identical to the
+    /// sequential path); small inputs run inline. Use
+    /// [`CliqueSession::sort_by_u64_key_on`] to pin the worker count.
+    pub fn sort_by_u64_key<T: Clone, F>(&mut self, items: &mut [T], key: F)
+    where
+        F: Fn(&T) -> u64,
+    {
+        #[cfg(feature = "parallel")]
+        {
+            let workers = Self::auto_sort_workers(items.len());
+            crate::radix::sort_by_u64_key_pooled(items, key, workers, &mut self.radix, &mut self.pool);
+        }
+        #[cfg(not(feature = "parallel"))]
+        crate::radix::sort_by_u64_key_with(items, key, &mut self.radix);
+    }
+
+    /// As [`CliqueSession::sort_by_u64_key`], forcing the chunked
+    /// parallel driver to use exactly `workers` chunks (growing the
+    /// session pool if needed) instead of sizing from the host core
+    /// count — the sort-path analogue of `ExecMode::Parallel { threads }`.
+    /// Inputs below the radix threshold still sort inline.
+    #[cfg(feature = "parallel")]
+    pub fn sort_by_u64_key_on<T: Clone, F>(&mut self, workers: usize, items: &mut [T], key: F)
+    where
+        F: Fn(&T) -> u64,
+    {
+        crate::radix::sort_by_u64_key_pooled(
+            items,
+            key,
+            workers.max(1),
+            &mut self.radix,
+            &mut self.pool,
+        );
+    }
+
+    /// One chunk per core, but never chunks smaller than the hand-off
+    /// cost can amortize.
+    #[cfg(feature = "parallel")]
+    fn auto_sort_workers(len: usize) -> usize {
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        cores.min(len / crate::radix::PARALLEL_SORT_MIN_CHUNK).max(1)
     }
 
     /// Takes the recycled-buffer pile for message type `M` out of the
