@@ -41,7 +41,7 @@ use cc_bench::harness::{self, Options};
 use cc_core::routing::{route_optimized_with_spec, spec_for_optimized};
 use cc_core::sorting::{sort_with_spec, spec_for_sorting};
 use cc_core::{CliqueService, CongestedClique};
-use cc_net::{CcClient, NetServer, NetServerConfig};
+use cc_net::{CcClient, NetServer, NetServerConfig, ServingMode};
 use cc_server::{QueryServer, Request, ServerConfig};
 use cc_sim::{run_protocol, CliqueSpec, Ctx, ExecMode, Inbox, NodeMachine, Step};
 use cc_workloads as wl;
@@ -484,11 +484,17 @@ fn main() {
             entry.worker_threads = Some(ExecMode::Auto.worker_threads(n));
             entry
         };
-        let tcp = {
-            let mut entry = harness::bench("net_throughput", n, "tcp_loopback", &opts, || {
+        // The two serving cores, same traffic, same fleet: `tcp_loopback`
+        // stays pinned to the thread-per-connection backend (the
+        // historical baseline this group has always priced), `tcp_reactor`
+        // is the single-threaded event loop.
+        let mut tcp_mode = |mode: &str, serving: ServingMode| {
+            let mut entry = harness::bench("net_throughput", n, mode, &opts, || {
                 let server = NetServer::bind(
                     "127.0.0.1:0",
-                    NetServerConfig::new(4).with_fleet(fleet_config()),
+                    NetServerConfig::new(4)
+                        .with_fleet(fleet_config())
+                        .with_serving_mode(serving),
                 )
                 .unwrap();
                 let addr = server.local_addr();
@@ -502,6 +508,8 @@ fn main() {
             entry.worker_threads = Some(ExecMode::Auto.worker_threads(n));
             entry
         };
+        let tcp = tcp_mode("tcp_loopback", ServingMode::ThreadPerConnection);
+        let reactor = tcp_mode("tcp_reactor", ServingMode::Reactor);
         assert!(
             rounds_seen.windows(2).all(|w| w[0] == w[1]),
             "net_throughput n={n}: substrates disagreed on rounds: {rounds_seen:?}"
@@ -510,9 +518,78 @@ fn main() {
         speedups.push(harness::speedup(&direct, &tcp));
         // What the wire itself costs, dispatch already paid for.
         speedups.push(harness::speedup(&in_process, &tcp));
+        // What the reactor costs (or saves) against two-threads-per-conn.
+        speedups.push(harness::speedup(&tcp, &reactor));
         entries.push(direct);
         entries.push(in_process);
         entries.push(tcp);
+        entries.push(reactor);
+    }
+
+    // Connection scaling: a fixed budget of small queries spread over
+    // 1..=256 reactor connections, all driven from one bench thread via
+    // the submit/wait_next split API. The row that matters is the flat
+    // one: 256 connections must cost about what 1 does (per query), with
+    // the server's thread count O(shards) throughout — this is the shape
+    // a "millions of users" tier scales along, connections without
+    // threads. The clique size is fixed and small so the rows price
+    // connection multiplexing, not the algorithms.
+    {
+        let scaling_n = 16usize;
+        let scaling_queries = if opts.quick { 64usize } else { 256 };
+        let requests: Vec<Request> = RequestMix::new(vec![scaling_n])
+            .with_weights([0, 1, 1, 0, 0, 0, 0])
+            .generate(scaling_queries, 7);
+        println!(
+            "net_scaling: {scaling_queries} clique-size-{scaling_n} queries per row, \
+             one driving thread"
+        );
+        let mut baseline: Option<harness::Entry> = None;
+        for conns in [1usize, 8, 64, 256] {
+            let mut rounds_seen: Vec<u64> = Vec::new();
+            let mut entry = harness::bench("net_scaling", conns, "reactor", &opts, || {
+                let server = NetServer::bind(
+                    "127.0.0.1:0",
+                    NetServerConfig::new(2).with_fleet(
+                        ServerConfig::new(2)
+                            .with_queue_capacity(32)
+                            .with_coalesce_limit(8),
+                    ),
+                )
+                .unwrap();
+                let addr = server.local_addr();
+                let mut clients: Vec<CcClient> = (0..conns)
+                    .map(|_| CcClient::connect(addr).unwrap())
+                    .collect();
+                // Round-robin submit, then drain — every connection holds
+                // work in flight at once, one thread drives them all.
+                let mut rounds = 0u64;
+                for batch in requests.chunks(conns) {
+                    for (client, request) in clients.iter_mut().zip(batch) {
+                        client.submit(request).unwrap();
+                    }
+                    for client in clients.iter_mut().take(batch.len()) {
+                        while client.pending() > 0 {
+                            let (_, result) = client.wait_next().unwrap().unwrap();
+                            rounds += result.unwrap().metrics().comm_rounds();
+                        }
+                    }
+                }
+                rounds_seen.push(rounds);
+                rounds
+            });
+            entry.worker_threads = Some(1);
+            assert!(
+                rounds_seen.windows(2).all(|w| w[0] == w[1]),
+                "net_scaling conns={conns}: rounds drifted across samples: {rounds_seen:?}"
+            );
+            if let Some(base) = &baseline {
+                speedups.push(harness::speedup(base, &entry));
+            } else {
+                baseline = Some(entry.clone());
+            }
+            entries.push(entry);
+        }
     }
 
     harness::write_json("engine", &opts, &entries, &speedups);
@@ -567,6 +644,16 @@ fn main() {
                 "net_throughput n={}: {} serving {net_queries} mixed queries from \
                  {clients} clients is {:.2}x vs {}",
                 s.n, s.candidate, s.ratio, s.baseline
+            );
+        }
+        // Connection scaling: here `n` is the connection count and the
+        // baseline is the same traffic over a single connection — a
+        // ratio near 1.0 is the point (connections are nearly free).
+        if s.group == "net_scaling" {
+            println!(
+                "net_scaling: one reactor thread serving {} connections runs at \
+                 {:.2}x the single-connection rate",
+                s.n, s.ratio
             );
         }
     }

@@ -38,7 +38,11 @@ pub fn sort_by_u64_key<T: Clone>(items: &mut [T], key: impl Fn(&T) -> u64) {
 
 /// Stable sort by the lexicographic pair `(major, minor)` — two stable
 /// radix passes (minor first) for composite keys wider than 64 bits.
-pub fn sort_by_u64_key2<T: Clone>(items: &mut [T], major: impl Fn(&T) -> u64, minor: impl Fn(&T) -> u64) {
+pub fn sort_by_u64_key2<T: Clone>(
+    items: &mut [T],
+    major: impl Fn(&T) -> u64,
+    minor: impl Fn(&T) -> u64,
+) {
     radix::sort_by_u64_key2(items, major, minor);
 }
 

@@ -1,14 +1,18 @@
-//! The blocking client: one TCP connection, `call` and `pipeline`.
+//! The blocking client: one TCP connection, `call`, `pipeline` and the
+//! `submit`/`wait_next` split for driving many connections from one
+//! thread.
 
-use std::io::{BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::collections::VecDeque;
+use std::io::{BufWriter, ErrorKind, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use cc_core::Outcome;
 use cc_server::Request;
 
 use crate::codec::{self, Frame, WireResult};
 use crate::error::{NetError, WireError};
-use crate::frame::{self, DEFAULT_MAX_REPLY_FRAME_BYTES};
+use crate::frame::{self, FrameDecoder, DEFAULT_MAX_REPLY_FRAME_BYTES};
 
 /// How many pipelined requests [`CcClient::pipeline`] keeps in flight:
 /// deep enough to keep every shard of a typical fleet busy, shallow
@@ -20,13 +24,26 @@ pub const PIPELINE_WINDOW: usize = 32;
 ///
 /// One client owns one connection and is single-threaded by design
 /// (`&mut self`); concurrency comes from opening one client per thread —
-/// the server multiplexes all of them onto the same warm fleet. Request
-/// ids are assigned internally and never reused within a connection.
+/// or from the split API: [`CcClient::submit`] sends without waiting and
+/// [`CcClient::wait_next`] collects whichever reply completes next, so a
+/// single thread can keep many clients (connections) in flight at once.
+/// Request ids are assigned internally and never reused within a
+/// connection.
 ///
 /// [`CcClient::call`] is the plain request-reply roundtrip.
 /// [`CcClient::pipeline`] keeps a sliding window of requests in flight,
 /// letting the server's shards work them concurrently and answer out of
 /// order; results are returned in request order regardless.
+///
+/// ## Failure and reconnection
+///
+/// The first transport or protocol failure poisons the connection: every
+/// later operation deterministically returns [`NetError::Disconnected`]
+/// (never a second, timing-dependent I/O error). A read timeout
+/// ([`CcClient::with_read_timeout`]) poisons too — the stream may have
+/// died mid-frame, so there is no resync point. [`CcClient::reconnect`]
+/// re-dials the same server, reports which in-flight requests were
+/// abandoned, and restores the client to service.
 ///
 /// ```no_run
 /// use cc_net::{CcClient, NetServer, NetServerConfig};
@@ -42,16 +59,31 @@ pub const PIPELINE_WINDOW: usize = 32;
 /// # }
 /// ```
 pub struct CcClient {
-    reader: BufReader<TcpStream>,
+    stream: TcpStream,
     writer: BufWriter<TcpStream>,
+    /// Reply frames accumulate in one reusable buffer — the client-side
+    /// half of the zero-copy read path; no per-frame allocation.
+    decoder: FrameDecoder,
     next_id: u64,
     max_frame_bytes: u64,
+    /// The resolved peer, kept for [`CcClient::reconnect`].
+    peer: SocketAddr,
+    connect_timeout: Option<Duration>,
+    read_timeout: Option<Duration>,
+    /// Ids submitted whose replies have not arrived, in submission order.
+    inflight: VecDeque<u64>,
+    /// Set by the first transport/protocol failure; everything after
+    /// returns [`NetError::Disconnected`] until [`CcClient::reconnect`].
+    broken: bool,
 }
 
 impl std::fmt::Debug for CcClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CcClient")
+            .field("peer", &self.peer)
             .field("next_id", &self.next_id)
+            .field("inflight", &self.inflight.len())
+            .field("broken", &self.broken)
             .finish_non_exhaustive()
     }
 }
@@ -64,15 +96,52 @@ impl CcClient {
     /// Transport failures from connect/clone.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
         let stream = TcpStream::connect(addr)?;
+        CcClient::from_stream(stream, None)
+    }
+
+    /// Connects with a bound on connection establishment — a dead or
+    /// blackholed address fails within `timeout` instead of the OS
+    /// default (minutes of SYN retries). Every resolved address of
+    /// `addr` is tried in turn, each under the timeout. The timeout is
+    /// remembered and re-applied by [`CcClient::reconnect`].
+    ///
+    /// # Errors
+    ///
+    /// The last connect failure if every address fails; an
+    /// [`NetError::Io`] of kind `InvalidInput` if `addr` resolves to
+    /// nothing.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> Result<Self, NetError> {
+        let mut last: Option<std::io::Error> = None;
+        for peer in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&peer, timeout) {
+                Ok(stream) => return CcClient::from_stream(stream, Some(timeout)),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(NetError::Io(last.unwrap_or_else(|| {
+            std::io::Error::new(ErrorKind::InvalidInput, "address resolved to nothing")
+        })))
+    }
+
+    /// The shared tail of every connect path: socket options, halves,
+    /// fresh per-connection state.
+    fn from_stream(stream: TcpStream, connect_timeout: Option<Duration>) -> Result<Self, NetError> {
         // One frame per query either way: batching is explicit (pipeline),
         // so turn Nagle off to keep single calls at wire latency.
         let _ = stream.set_nodelay(true);
+        let peer = stream.peer_addr()?;
         let write_half = stream.try_clone()?;
         Ok(CcClient {
-            reader: BufReader::new(stream),
+            stream,
             writer: BufWriter::new(write_half),
+            decoder: FrameDecoder::new(),
             next_id: 0,
             max_frame_bytes: DEFAULT_MAX_REPLY_FRAME_BYTES,
+            peer,
+            connect_timeout,
+            read_timeout: None,
+            inflight: VecDeque::new(),
+            broken: false,
         })
     }
 
@@ -85,24 +154,116 @@ impl CcClient {
         self
     }
 
+    /// Bounds every blocking read: a server that stops answering fails
+    /// the call within `timeout` instead of hanging. A timed-out read
+    /// poisons the connection (the reply may have died mid-frame;
+    /// there is no resync point) — [`CcClient::reconnect`] restores it.
+    /// Remembered and re-applied by reconnects.
+    ///
+    /// # Errors
+    ///
+    /// The OS rejecting the timeout (zero durations are invalid).
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Result<Self, NetError> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        self.read_timeout = Some(timeout);
+        Ok(self)
+    }
+
+    /// Drops the current connection (if any still lives) and dials the
+    /// same server again, re-applying the connect/read timeouts and
+    /// clearing the poisoned state. Requests that were in flight are
+    /// abandoned — their ids are returned so a caller that tracked
+    /// submissions knows exactly which work to replay; their replies
+    /// would have surfaced as [`NetError::Disconnected`].
+    ///
+    /// Request ids keep counting up across reconnects, so an id never
+    /// names two different requests in one client's lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures from the new dial; the client stays poisoned
+    /// and `reconnect` can be retried.
+    pub fn reconnect(&mut self) -> Result<Vec<u64>, NetError> {
+        self.broken = true; // a failed re-dial must leave us poisoned
+        let stream = match self.connect_timeout {
+            Some(timeout) => TcpStream::connect_timeout(&self.peer, timeout)?,
+            None => TcpStream::connect(self.peer)?,
+        };
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(self.read_timeout)?;
+        let write_half = stream.try_clone()?;
+        let failed = self.inflight.drain(..).collect();
+        self.stream = stream;
+        self.writer = BufWriter::new(write_half);
+        self.decoder.clear();
+        self.broken = false;
+        Ok(failed)
+    }
+
+    /// How many submitted requests are awaiting replies.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Sends `request` without waiting, returning its request id; collect
+    /// the answer (in completion order across all submissions) with
+    /// [`CcClient::wait_next`]. This is the building block for driving
+    /// many connections from one thread: submit on each, then wait on
+    /// whichever client has replies owed.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; [`NetError::Disconnected`] if the connection
+    /// is poisoned.
+    pub fn submit(&mut self, request: &Request) -> Result<u64, NetError> {
+        self.ensure_live()?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.write_request(id, request)?;
+        self.flush_writer()?;
+        Ok(id)
+    }
+
+    /// Blocks for the next reply owed to this connection, in completion
+    /// order; `Ok(None)` when nothing is in flight. The id pairs the
+    /// reply with its [`CcClient::submit`].
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol failures ([`NetError::Disconnected`] once
+    /// poisoned — deterministically, for every outstanding reply).
+    pub fn wait_next(&mut self) -> Result<Option<(u64, WireResult)>, NetError> {
+        if self.inflight.is_empty() {
+            return Ok(None);
+        }
+        self.ensure_live()?;
+        self.read_reply().map(Some)
+    }
+
     /// Sends `request` and blocks for its answer.
     ///
     /// # Errors
     ///
     /// [`NetError::Server`] carries the exact server-side error an
     /// in-process [`ServiceHandle::call`](cc_server::ServiceHandle::call)
-    /// would return; the other variants are transport or protocol
-    /// failures.
+    /// would return; [`NetError::RepliesPending`] if [`CcClient::submit`]
+    /// replies are still owed; the other variants are transport or
+    /// protocol failures.
     pub fn call(&mut self, request: &Request) -> Result<Outcome, NetError> {
-        let id = self.next_id;
-        self.next_id += 1;
-        frame::write_frame(&mut self.writer, &codec::encode_request(id, request))?;
-        self.writer.flush().map_err(NetError::Io)?;
-        let (got, result) = self.read_reply()?;
-        if got != id {
-            return Err(NetError::UnexpectedId { id: got });
+        // Poisoned wins over pending: a broken connection answers
+        // Disconnected everywhere, even with submissions stranded.
+        self.ensure_live()?;
+        self.ensure_unmixed()?;
+        let id = self.submit(request)?;
+        match self.wait_next()? {
+            Some((got, result)) if got == id => result.map_err(NetError::Server),
+            // With exactly one request in flight, any other id already
+            // failed inside read_reply; this arm is unreachable in
+            // practice but must not panic.
+            Some((got, _)) => Err(self.fail(NetError::UnexpectedId { id: got })),
+            None => Err(NetError::Disconnected),
         }
-        result.map_err(NetError::Server)
     }
 
     /// Pipelines the whole batch — up to [`PIPELINE_WINDOW`] requests are
@@ -117,15 +278,19 @@ impl CcClient {
     /// The sliding window is what makes arbitrarily large batches safe:
     /// once the window is full, a reply is consumed before the next
     /// request is written, so neither side's TCP buffering has to absorb
-    /// an unbounded burst and the server's reply writer is never starved
+    /// an unbounded burst and the server's reply path is never starved
     /// of a reading peer for long.
     ///
     /// # Errors
     ///
     /// Transport ([`NetError::Io`], [`NetError::Disconnected`]) and
     /// protocol ([`NetError::Wire`], [`NetError::RemoteProtocol`],
-    /// [`NetError::UnexpectedId`]) failures.
+    /// [`NetError::UnexpectedId`]) failures;
+    /// [`NetError::RepliesPending`] if [`CcClient::submit`] replies are
+    /// still owed.
     pub fn pipeline(&mut self, requests: &[Request]) -> Result<Vec<WireResult>, NetError> {
+        self.ensure_live()?;
+        self.ensure_unmixed()?;
         let base = self.next_id;
         self.next_id += requests.len() as u64;
         let mut slots: Vec<Option<WireResult>> = Vec::new();
@@ -134,28 +299,23 @@ impl CcClient {
         let mut received = 0;
         while received < requests.len() {
             if written < requests.len() && written - received < PIPELINE_WINDOW {
-                let id = base + written as u64;
-                frame::write_frame(
-                    &mut self.writer,
-                    &codec::encode_request(id, &requests[written]),
-                )?;
+                self.write_request(base + written as u64, &requests[written])?;
                 written += 1;
                 // Flush at the window edge and at the end of the batch,
                 // never leaving buffered requests while blocked on reads.
                 if written == requests.len() || written - received >= PIPELINE_WINDOW {
-                    self.writer.flush().map_err(NetError::Io)?;
+                    self.flush_writer()?;
                 }
                 continue;
             }
             let (id, result) = self.read_reply()?;
+            // read_reply already rejected ids not in flight, so the
+            // subtraction cannot miss; defend anyway.
             let index = id
                 .checked_sub(base)
                 .filter(|&offset| (offset as usize) < written)
                 .map(|offset| offset as usize)
                 .ok_or(NetError::UnexpectedId { id })?;
-            if slots[index].is_some() {
-                return Err(NetError::UnexpectedId { id });
-            }
             slots[index] = Some(result);
             received += 1;
         }
@@ -165,17 +325,86 @@ impl CcClient {
             .collect())
     }
 
-    /// Reads and decodes one reply frame.
+    /// Poisons the connection and hands the error back — every failure
+    /// path funnels through here so the broken state can never be missed.
+    fn fail(&mut self, e: NetError) -> NetError {
+        self.broken = true;
+        e
+    }
+
+    fn ensure_live(&self) -> Result<(), NetError> {
+        if self.broken {
+            return Err(NetError::Disconnected);
+        }
+        Ok(())
+    }
+
+    /// The roundtrip APIs own the whole reply stream; mixing them with
+    /// un-collected `submit`s would interleave two reorder protocols.
+    fn ensure_unmixed(&self) -> Result<(), NetError> {
+        if self.inflight.is_empty() {
+            Ok(())
+        } else {
+            Err(NetError::RepliesPending {
+                count: self.inflight.len(),
+            })
+        }
+    }
+
+    /// Encodes and buffers one request frame and records it in flight.
+    /// No flush — the caller batches.
+    fn write_request(&mut self, id: u64, request: &Request) -> Result<(), NetError> {
+        match frame::write_frame(&mut self.writer, &codec::encode_request(id, request)) {
+            Ok(()) => {
+                self.inflight.push_back(id);
+                Ok(())
+            }
+            Err(e) => Err(self.fail(e)),
+        }
+    }
+
+    fn flush_writer(&mut self) -> Result<(), NetError> {
+        match self.writer.flush() {
+            Ok(()) => Ok(()),
+            Err(e) => Err(self.fail(NetError::Io(e))),
+        }
+    }
+
+    /// Reads and decodes one reply frame through the reusable decoder
+    /// buffer, retiring its id from the in-flight set.
     fn read_reply(&mut self) -> Result<(u64, WireResult), NetError> {
-        match frame::read_frame(&mut self.reader, self.max_frame_bytes)? {
-            None => Err(NetError::Disconnected),
-            Some(payload) => match codec::decode_frame(&payload)? {
-                Frame::Reply { id, result } => Ok((id, result)),
-                Frame::ProtocolError { error, .. } => Err(NetError::RemoteProtocol(error)),
-                Frame::Request { .. } => Err(NetError::Wire(WireError::malformed(
-                    "servers send only reply frames",
-                ))),
-            },
+        loop {
+            // Parse before reading: an earlier fill may have buffered
+            // several frames.
+            match self.decoder.next_frame(self.max_frame_bytes) {
+                Ok(Some(range)) => {
+                    return match codec::decode_frame(self.decoder.payload(range)) {
+                        Ok(Frame::Reply { id, result }) => {
+                            if let Some(pos) = self.inflight.iter().position(|&x| x == id) {
+                                self.inflight.remove(pos);
+                                Ok((id, result))
+                            } else {
+                                Err(self.fail(NetError::UnexpectedId { id }))
+                            }
+                        }
+                        Ok(Frame::ProtocolError { error, .. }) => {
+                            Err(self.fail(NetError::RemoteProtocol(error)))
+                        }
+                        Ok(Frame::Request { .. }) => Err(self.fail(NetError::Wire(
+                            WireError::malformed("servers send only reply frames"),
+                        ))),
+                        Err(e) => Err(self.fail(NetError::Wire(e))),
+                    };
+                }
+                Ok(None) => {}
+                Err(e) => return Err(self.fail(NetError::Wire(e))),
+            }
+            match self.decoder.fill_from(&mut self.stream) {
+                Ok(0) => return Err(self.fail(NetError::Disconnected)),
+                Ok(_) => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(self.fail(NetError::Io(e))),
+            }
         }
     }
 }

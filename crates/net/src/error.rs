@@ -111,6 +111,14 @@ pub enum NetError {
         /// The unmatched id.
         id: u64,
     },
+    /// A blocking roundtrip ([`call`](crate::CcClient::call) /
+    /// [`pipeline`](crate::CcClient::pipeline)) was invoked while replies
+    /// from [`submit`](crate::CcClient::submit) were still owed — drain
+    /// them with [`wait_next`](crate::CcClient::wait_next) first.
+    RepliesPending {
+        /// How many replies are outstanding.
+        count: usize,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -128,6 +136,9 @@ impl fmt::Display for NetError {
             NetError::UnexpectedId { id } => {
                 write!(f, "reply for unknown request id {id}")
             }
+            NetError::RepliesPending { count } => {
+                write!(f, "{count} submitted replies still pending")
+            }
         }
     }
 }
@@ -138,7 +149,9 @@ impl std::error::Error for NetError {
             NetError::Io(e) => Some(e),
             NetError::Wire(e) | NetError::RemoteProtocol(e) => Some(e),
             NetError::Server(e) => Some(e),
-            NetError::Disconnected | NetError::UnexpectedId { .. } => None,
+            NetError::Disconnected
+            | NetError::UnexpectedId { .. }
+            | NetError::RepliesPending { .. } => None,
         }
     }
 }
@@ -192,5 +205,8 @@ mod tests {
             .to_string()
             .contains("7"));
         assert!(NetError::UnexpectedId { id: 4 }.to_string().contains("4"));
+        let pending = NetError::RepliesPending { count: 3 };
+        assert!(pending.to_string().contains("3"));
+        assert!(std::error::Error::source(&pending).is_none());
     }
 }

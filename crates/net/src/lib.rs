@@ -11,14 +11,33 @@
 //!   [`Outcome`](cc_core::Outcome)/[`ServerError`](cc_server::ServerError)
 //!   reply, written with `cc-core`'s bit-exact
 //!   [`BitWriter`](cc_core::wire::BitWriter)/[`BitReader`](cc_core::wire::BitReader);
-//! * the **[`NetServer`]**: an accept loop plus one reader/writer thread
-//!   pair per connection, multiplexing any number of pipelined requests
-//!   per connection onto the shard fleet via
-//!   [`submit_tagged`](cc_server::ServiceHandle::submit_tagged) and
-//!   streaming replies back in completion order;
+//! * the **[`NetServer`]**: by default ([`ServingMode::Reactor`]) a
+//!   single event-loop thread multiplexing *every* accepted connection
+//!   through one `poll(2)` readiness set — nonblocking sockets, a
+//!   reusable [`frame::FrameDecoder`] per connection for partial reads,
+//!   a resumable write queue per connection for partial writes, fleet
+//!   fan-in over
+//!   [`submit_tagged`](cc_server::ServiceHandle::submit_tagged) with a
+//!   self-pipe doorbell for reply wakeups — so server threads are
+//!   O(shards) while connections are O(thousands). Backpressure is
+//!   read-pausing (a full shard queue *parks* the request and pauses the
+//!   socket; nothing is dropped), and slow peers — byte-dribbling
+//!   partial frames, never-reading reply sinks — are evicted on the
+//!   [`idle`](NetServerConfig::with_idle_timeout)/[`write`](NetServerConfig::with_write_timeout)
+//!   deadline clocks without stalling their neighbors. The legacy
+//!   two-threads-per-connection core remains as
+//!   [`ServingMode::ThreadPerConnection`] (and the non-Unix fallback);
 //! * the **[`CcClient`]**: a blocking client library with plain
-//!   [`call`](CcClient::call) and batched, out-of-order-tolerant
-//!   [`pipeline`](CcClient::pipeline) APIs.
+//!   [`call`](CcClient::call), batched out-of-order-tolerant
+//!   [`pipeline`](CcClient::pipeline), and the
+//!   [`submit`](CcClient::submit)/[`wait_next`](CcClient::wait_next)
+//!   split that lets one thread drive many connections. Connects and
+//!   reads are boundable ([`connect_timeout`](CcClient::connect_timeout),
+//!   [`with_read_timeout`](CcClient::with_read_timeout)); the first
+//!   failure poisons the connection into deterministic
+//!   [`NetError::Disconnected`] replies, and
+//!   [`reconnect`](CcClient::reconnect) re-dials, reporting exactly
+//!   which in-flight ids were abandoned.
 //!
 //! ## Frame format
 //!
@@ -46,15 +65,18 @@
 //!
 //! The network adds **no semantics**: every reply is bit-identical to
 //! what a direct, sequential [`CliqueService`](cc_core::CliqueService)
-//! call would produce — outcomes *and* errors ([`ServerError`] crosses
-//! the wire losslessly). Decoding is deterministic: a byte sequence
-//! yields exactly one [`Frame`](codec::Frame) or exactly one
+//! call would produce — outcomes *and* errors
+//! ([`ServerError`](cc_server::ServerError) crosses the wire
+//! losslessly). Decoding is deterministic: a byte sequence
+//! yields exactly one [`Frame`] or exactly one
 //! [`WireError`]; undecodable input is answered with a `PROTO_ERR` frame
 //! naming the defect, then the connection closes (no resync after a
 //! framing error). Backpressure maps down the whole stack: full shard
-//! queue → blocked connection reader → TCP flow control → blocked
+//! queue → paused connection reads → TCP flow control → blocked
 //! client. Shutdown is graceful end to end: every accepted request is
-//! answered and every queued reply written before sockets close.
+//! answered and every queued reply written before sockets close — the
+//! only connections that die early are the ones a deadline clock
+//! convicted (counted in [`NetStats::idle_teardowns`]).
 //!
 //! ```no_run
 //! use cc_net::{CcClient, NetServer, NetServerConfig};
@@ -77,17 +99,25 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the reactor's `poll(2)` binding is the one
+// `unsafe` island in the crate, explicitly allowed in its `sys` module
+// and nowhere else.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod client;
 pub mod codec;
 mod error;
 pub mod frame;
+#[cfg(unix)]
+mod reactor;
 mod server;
 
 pub use client::{CcClient, PIPELINE_WINDOW};
 pub use codec::{Frame, WireResult, WIRE_VERSION};
 pub use error::{NetError, WireError};
 pub use frame::{DEFAULT_MAX_FRAME_BYTES, DEFAULT_MAX_REPLY_FRAME_BYTES};
-pub use server::{NetServer, NetServerConfig, NetStats, DEFAULT_WRITE_TIMEOUT, MAX_CONN_INFLIGHT};
+pub use server::{
+    NetServer, NetServerConfig, NetStats, ServingMode, DEFAULT_IDLE_TIMEOUT, DEFAULT_WRITE_TIMEOUT,
+    MAX_CONN_INFLIGHT,
+};

@@ -1,0 +1,828 @@
+//! The event-driven serving core: one thread, one `poll(2)` loop, every
+//! connection.
+//!
+//! The thread-per-connection backend spends two OS threads and a blocking
+//! reply channel per socket. This module replaces all of that with a
+//! single **reactor** thread multiplexing every accepted socket through
+//! readiness notifications:
+//!
+//! * all sockets are **non-blocking**; the reactor never parks inside a
+//!   read, write, accept or fleet submission — the only place it blocks
+//!   is one `poll(2)` call over every fd it owns, so an idle server is
+//!   exactly one parked thread (plus the shard workers parked on their
+//!   queues);
+//! * each connection is a pair of **state machines**: the read side
+//!   accumulates partial frames in a reusable [`FrameDecoder`] buffer,
+//!   the write side drains a queue of [`OutFrame`]s that resume mid-frame
+//!   after `WouldBlock`;
+//! * fleet replies arrive on **one shared [`TaggedReply`] channel** (the
+//!   `submit_tagged` fan-in), announced by a [`ReplyWaker`] that writes a
+//!   byte to a self-pipe whose read end sits in the poll set — an mpsc
+//!   channel is invisible to `poll(2)`, the pipe is its doorbell. An
+//!   [`AtomicBool`] coalesces rings so the pipe holds at most one unread
+//!   byte no matter how many shards complete at once;
+//! * **backpressure is read-pausing**: a connection past its in-flight
+//!   cap, or whose submission bounced off a full shard queue (the request
+//!   is *parked*, not dropped), simply loses read interest — TCP flow
+//!   control pushes back on the client, and no reactor state grows;
+//! * **slow peers are evicted on deadlines**: a partial frame that stops
+//!   completing (a byte-dribbling slow loris) or a reply that stops
+//!   flushing (a client that never reads) trips the idle/write timeout
+//!   and the connection is torn down without ever stalling its
+//!   neighbours.
+//!
+//! The `poll(2)` binding is the crate's single `unsafe` island: a
+//! `repr(C)` pollfd and one FFI call, both confined to [`sys`].
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, PipeReader, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cc_server::{ReplyWaker, Request, ServerError, ServiceHandle, TaggedReply};
+
+use crate::codec::{self, Frame};
+use crate::error::WireError;
+use crate::frame::{self, FrameDecoder};
+use crate::server::{Telemetry, MAX_CONN_INFLIGHT};
+
+/// The `poll(2)` binding — the one `unsafe` corner of the crate, kept to
+/// a `repr(C)` struct and a single foreign call.
+#[allow(unsafe_code)]
+mod sys {
+    use std::ffi::{c_int, c_ulong};
+    use std::io;
+    use std::time::Duration;
+
+    /// `struct pollfd`, bit-for-bit.
+    #[repr(C)]
+    #[derive(Clone, Copy, Debug)]
+    pub(super) struct PollFd {
+        pub fd: c_int,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub(super) const POLLIN: i16 = 0x001;
+    pub(super) const POLLOUT: i16 = 0x004;
+    pub(super) const POLLERR: i16 = 0x008;
+    pub(super) const POLLHUP: i16 = 0x010;
+    pub(super) const POLLNVAL: i16 = 0x020;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+        fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *const core::ffi::c_void,
+            optlen: u32,
+        ) -> c_int;
+    }
+
+    #[cfg(target_os = "linux")]
+    const SOL_SOCKET: c_int = 1;
+    #[cfg(not(target_os = "linux"))]
+    const SOL_SOCKET: c_int = 0xffff;
+    #[cfg(target_os = "linux")]
+    const SO_SNDBUF: c_int = 7;
+    #[cfg(not(target_os = "linux"))]
+    const SO_SNDBUF: c_int = 0x1001;
+
+    /// Caps a socket's kernel send buffer (`SO_SNDBUF`), switching off
+    /// autotuning for it. The kernel rounds and clamps as it pleases.
+    pub(super) fn set_send_buffer(fd: c_int, bytes: u32) -> io::Result<()> {
+        let val: c_int = c_int::try_from(bytes).unwrap_or(c_int::MAX);
+        // SAFETY: plain setsockopt with a c_int-sized option value whose
+        // pointer and length describe a live stack local.
+        let rc = unsafe {
+            setsockopt(
+                fd,
+                SOL_SOCKET,
+                SO_SNDBUF,
+                core::ptr::from_ref(&val).cast(),
+                std::mem::size_of::<c_int>() as u32,
+            )
+        };
+        if rc == 0 {
+            Ok(())
+        } else {
+            Err(io::Error::last_os_error())
+        }
+    }
+
+    /// Blocks until some registered fd is ready or `timeout` elapses
+    /// (`None` blocks indefinitely). Retries `EINTR` internally; rounds a
+    /// sub-millisecond timeout *up* so a near deadline cannot degenerate
+    /// into a zero-timeout busy spin.
+    pub(super) fn wait(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            Some(d) => {
+                let mut ms = d.as_millis();
+                if ms == 0 && !d.is_zero() {
+                    ms = 1;
+                }
+                c_int::try_from(ms).unwrap_or(c_int::MAX)
+            }
+        };
+        loop {
+            // SAFETY: `fds` is a valid exclusive slice of `PollFd`, which
+            // is layout-identical to the kernel's `struct pollfd`; the
+            // call writes only the `revents` fields within the slice.
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+/// How long the reactor waits before re-attempting a parked (shard-queue
+/// rejected) submission. Short enough that freed queue slots are taken
+/// promptly, long enough not to spin.
+const PARK_RETRY_TICK: Duration = Duration::from_millis(10);
+
+/// How long the listener sits out of the poll set after an accept error
+/// (fd exhaustion): a level-triggered readiness we cannot consume must
+/// not busy-spin the loop.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(50);
+
+/// Per-connection cap on bytes read in one poll iteration — fairness: a
+/// firehose connection cannot monopolize the loop while others wait.
+const READ_BUDGET: usize = 1 << 20;
+
+/// State shared between the reactor thread and the owning
+/// [`NetServer`](crate::NetServer): the shutdown flag plus the config the
+/// loop consults every iteration.
+pub(crate) struct ReactorShared {
+    pub(crate) closed: AtomicBool,
+    pub(crate) telemetry: Arc<Telemetry>,
+    pub(crate) max_frame_bytes: u64,
+    pub(crate) write_timeout: Duration,
+    pub(crate) idle_timeout: Duration,
+    pub(crate) conn_send_buffer: Option<u32>,
+}
+
+/// Best-effort `SO_SNDBUF` cap on an accepted socket; refusal is not a
+/// reason to drop the connection.
+pub(crate) fn cap_send_buffer(stream: &TcpStream, bytes: Option<u32>) {
+    if let Some(bytes) = bytes {
+        let _ = sys::set_send_buffer(stream.as_raw_fd(), bytes);
+    }
+}
+
+/// One queued outbound frame: prefix + payload contiguous, with a resume
+/// offset for partial sends. `gated` marks reply frames that hold one of
+/// the connection's [`MAX_CONN_INFLIGHT`] slots until fully flushed.
+struct OutFrame {
+    bytes: Vec<u8>,
+    sent: usize,
+    gated: bool,
+}
+
+/// One connection's full state: both state machines plus the accounting
+/// that drives poll interest and teardown deadlines.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    out: VecDeque<OutFrame>,
+    /// A request the fleet rejected with `Overloaded`, held for retry;
+    /// while parked the connection does not read (backpressure).
+    parked: Option<(u64, Request)>,
+    /// Requests submitted to the fleet whose replies have not come back.
+    in_fleet: usize,
+    /// Requests submitted whose replies have not *fully flushed* — the
+    /// reactor's analogue of the threaded backend's `InflightGate`; at
+    /// [`MAX_CONN_INFLIGHT`] the connection stops reading.
+    gate: usize,
+    /// No more bytes will be read: client EOF, read error, protocol
+    /// error, or server drain.
+    eof: bool,
+    /// Torn down (write failure, poll error, deadline); removed at the
+    /// next reap, dropping anything still queued.
+    dead: bool,
+    /// Since when a partial frame has been pending while we were willing
+    /// to read — the slow-loris clock. Armed when a partial appears, *not*
+    /// refreshed by dribbled bytes, cleared by every completed frame.
+    partial_since: Option<Instant>,
+    /// Since when the write queue has been non-empty without a completed
+    /// frame flush — the never-reads clock.
+    out_since: Option<Instant>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            decoder: FrameDecoder::new(),
+            out: VecDeque::new(),
+            parked: None,
+            in_fleet: 0,
+            gate: 0,
+            eof: false,
+            dead: false,
+            partial_since: None,
+            out_since: None,
+        }
+    }
+
+    /// Whether the reactor wants read readiness for this connection —
+    /// false exactly when backpressure applies (parked submission or
+    /// in-flight cap) or no more input can come.
+    fn wants_read(&self) -> bool {
+        !self.eof && self.parked.is_none() && self.gate < MAX_CONN_INFLIGHT
+    }
+
+    /// Fully served: nothing left to read, retry, answer or flush.
+    fn done(&self) -> bool {
+        self.eof && self.parked.is_none() && self.in_fleet == 0 && self.out.is_empty()
+    }
+
+    /// Re-derives the slow-loris clock. Keeps an armed clock armed (byte
+    /// dribbles do not refresh it); [`Ctx::parse`] clears it whenever a
+    /// frame completes, so only a *stuck* partial accumulates time.
+    fn update_partial(&mut self, now: Instant) {
+        let pending = self.wants_read() && self.decoder.has_partial_frame();
+        self.partial_since = match (pending, self.partial_since) {
+            (false, _) => None,
+            (true, None) => Some(now),
+            (true, since) => since,
+        };
+    }
+
+    /// Server drain: stop reading, discard any undelivered input (the
+    /// threaded backend's half-close discards the same bytes in the
+    /// kernel), keep everything owed flowing out.
+    fn begin_drain(&mut self) {
+        self.eof = true;
+        self.decoder.clear();
+        self.partial_since = None;
+        let _ = self.stream.shutdown(Shutdown::Read);
+    }
+}
+
+/// Everything the per-connection handlers need besides the connection
+/// itself — split from the conn map so the borrow checker lets one
+/// connection be serviced while the context stays mutable.
+struct Ctx {
+    handle: ServiceHandle,
+    shared: Arc<ReactorShared>,
+    reply_tx: Sender<TaggedReply>,
+    reply_rx: Receiver<TaggedReply>,
+    waker: ReplyWaker,
+    wake_pending: Arc<AtomicBool>,
+    /// Fleet tag → (connection, client-chosen wire id). The indirection
+    /// exists because wire ids are client-chosen and collide across
+    /// connections; fleet tags must not.
+    tokens: HashMap<u64, (u64, u64)>,
+    next_token: u64,
+}
+
+impl Ctx {
+    /// The read state machine's pump: fill from the socket until it would
+    /// block (or the fairness budget is spent), parsing as bytes land so
+    /// backpressure pauses the fill mid-stream.
+    fn fill_and_parse(&mut self, conn_id: u64, conn: &mut Conn, now: Instant) {
+        let mut budget = READ_BUDGET;
+        while conn.wants_read() {
+            match conn.decoder.fill_from(&mut conn.stream) {
+                Ok(0) => {
+                    conn.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.parse(conn_id, conn, now);
+                    budget = budget.saturating_sub(n);
+                    if budget == 0 {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Transport failure: no more input; what was already
+                    // buffered mid-frame is garbage.
+                    conn.eof = true;
+                    conn.decoder.clear();
+                    break;
+                }
+            }
+        }
+        self.parse(conn_id, conn, now);
+    }
+
+    /// Slices and dispatches every complete buffered frame, stopping at
+    /// backpressure (parked submission / in-flight cap) or the first
+    /// protocol error. Mirrors the threaded reader's dispatch, including
+    /// its telemetry points.
+    fn parse(&mut self, conn_id: u64, conn: &mut Conn, now: Instant) {
+        let mut progressed = false;
+        while !conn.dead && conn.parked.is_none() && conn.gate < MAX_CONN_INFLIGHT {
+            match conn.decoder.next_frame(self.shared.max_frame_bytes) {
+                Ok(None) => break,
+                Ok(Some(range)) => {
+                    progressed = true;
+                    match codec::decode_frame(conn.decoder.payload(range.clone())) {
+                        Ok(Frame::Request { id, request }) => {
+                            self.shared
+                                .telemetry
+                                .frames_in
+                                .fetch_add(1, Ordering::Relaxed);
+                            self.submit(conn_id, conn, id, request, now);
+                        }
+                        Ok(Frame::Reply { id, .. } | Frame::ProtocolError { id, .. }) => {
+                            self.protocol_error(
+                                conn,
+                                id,
+                                WireError::malformed("clients may send only request frames"),
+                                now,
+                            );
+                            break;
+                        }
+                        Err(e) => {
+                            // The header (and its request id) may have
+                            // parsed even though the body did not.
+                            let notice_id =
+                                codec::peek_request_id(conn.decoder.payload(range)).unwrap_or(0);
+                            self.protocol_error(conn, notice_id, e, now);
+                            break;
+                        }
+                    }
+                }
+                Err(e) => {
+                    // Oversized length prefix: protocol error, reported
+                    // before any allocation happened.
+                    self.protocol_error(conn, 0, e, now);
+                    break;
+                }
+            }
+        }
+        if progressed {
+            // A completed frame resets the slow-loris clock; update_partial
+            // re-arms it only if a *new* partial is already pending.
+            conn.partial_since = None;
+        }
+        if conn.eof && conn.parked.is_none() && conn.gate < MAX_CONN_INFLIGHT {
+            // Everything decodable has been dispatched; a partial tail at
+            // EOF is discarded, exactly like the blocking reader's
+            // disconnected exit.
+            conn.decoder.clear();
+        }
+        conn.update_partial(now);
+    }
+
+    /// Submits one decoded request into the fleet under a fresh token.
+    /// `Overloaded` parks the request (read-pausing backpressure); other
+    /// rejections are answered inline so a pipelining client is never
+    /// left waiting.
+    fn submit(
+        &mut self,
+        conn_id: u64,
+        conn: &mut Conn,
+        wire_id: u64,
+        request: Request,
+        now: Instant,
+    ) {
+        let token = self.next_token;
+        match self
+            .handle
+            .try_submit_tagged_with_waker(token, request, &self.reply_tx, &self.waker)
+        {
+            Ok(()) => {
+                self.next_token += 1;
+                self.tokens.insert(token, (conn_id, wire_id));
+                conn.in_fleet += 1;
+                conn.gate += 1;
+            }
+            Err((ServerError::Overloaded, request)) => {
+                conn.parked = Some((wire_id, request));
+            }
+            Err((e, _)) => {
+                let payload = codec::encode_reply(wire_id, &Err(e));
+                self.push_out(conn, frame::frame_vec(&payload), false, now);
+            }
+        }
+    }
+
+    /// Reports undecodable input with a `PROTO_ERR` notice and closes the
+    /// read side — after a framing error there is no resync point. The
+    /// notice and every still-owed reply drain through the write queue.
+    fn protocol_error(&mut self, conn: &mut Conn, notice_id: u64, error: WireError, now: Instant) {
+        self.shared
+            .telemetry
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        conn.eof = true;
+        conn.decoder.clear();
+        conn.partial_since = None;
+        let _ = conn.stream.shutdown(Shutdown::Read);
+        let payload = codec::encode_protocol_error(notice_id, &error);
+        self.push_out(conn, frame::frame_vec(&payload), false, now);
+    }
+
+    /// Queues one outbound frame and flushes eagerly — in the common case
+    /// of a drained socket buffer the frame leaves in this call and the
+    /// queue never grows.
+    fn push_out(&mut self, conn: &mut Conn, bytes: Vec<u8>, gated: bool, now: Instant) {
+        if conn.dead {
+            return;
+        }
+        if conn.out.is_empty() {
+            conn.out_since = Some(now);
+        }
+        conn.out.push_back(OutFrame {
+            bytes,
+            sent: 0,
+            gated,
+        });
+        self.flush(conn, now);
+    }
+
+    /// The write state machine: drains the queue front-first, resuming
+    /// partial sends, until empty or `WouldBlock`. Frame completion is
+    /// the unit of accounting — `frames_out`, gate slots and the
+    /// never-reads clock all advance only when a whole frame has left.
+    fn flush(&mut self, conn: &mut Conn, now: Instant) {
+        while let Some(front) = conn.out.front_mut() {
+            match conn.stream.write(&front.bytes[front.sent..]) {
+                Ok(0) => {
+                    conn.dead = true;
+                    return;
+                }
+                Ok(k) => {
+                    front.sent += k;
+                    if front.sent == front.bytes.len() {
+                        let gated = front.gated;
+                        conn.out.pop_front();
+                        self.shared
+                            .telemetry
+                            .frames_out
+                            .fetch_add(1, Ordering::Relaxed);
+                        if gated {
+                            conn.gate -= 1;
+                        }
+                        conn.out_since = if conn.out.is_empty() { None } else { Some(now) };
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// The reactor itself: the poll set, the connection table and the shared
+/// context. Runs [`Reactor::run`] on its own thread until drained.
+struct Reactor {
+    listener: Option<TcpListener>,
+    wake_rx: PipeReader,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+    accept_backoff: Option<Instant>,
+    pollfds: Vec<sys::PollFd>,
+    poll_ids: Vec<u64>,
+    ctx: Ctx,
+}
+
+/// Keeps the earlier of an optional deadline and a new candidate.
+fn earlier(best: Option<Instant>, candidate: Instant) -> Option<Instant> {
+    match best {
+        Some(b) if b <= candidate => Some(b),
+        _ => Some(candidate),
+    }
+}
+
+impl Reactor {
+    /// The loop. One iteration: reap finished connections, build the poll
+    /// set, park in `poll(2)`, then service whatever woke us — the reply
+    /// doorbell, the listener, ready sockets, parked submissions and
+    /// expired deadlines, in that order.
+    fn run(mut self) {
+        let mut draining = false;
+        loop {
+            if !draining && self.ctx.shared.closed.load(Ordering::Acquire) {
+                draining = true;
+                self.listener = None;
+                for conn in self.conns.values_mut() {
+                    conn.begin_drain();
+                }
+            }
+            self.conns.retain(|_, conn| {
+                if conn.dead {
+                    let _ = conn.stream.shutdown(Shutdown::Both);
+                    return false;
+                }
+                // A graceful close: everything owed was flushed; dropping
+                // the stream sends FIN.
+                !conn.done()
+            });
+            if draining && self.conns.is_empty() {
+                return;
+            }
+            let now = Instant::now();
+            let timeout = self.poll_timeout(now);
+            let listener_polled = self.build_pollfds(now);
+            if sys::wait(&mut self.pollfds, timeout).is_err() {
+                // poll itself failing (ENOMEM) is transient; yield rather
+                // than spin.
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            let now = Instant::now();
+            if self.pollfds[0].revents != 0 {
+                let mut sink = [0u8; 64];
+                let _ = self.wake_rx.read(&mut sink);
+            }
+            // Clear-then-drain: a reply landing after the drain below
+            // finds the flag clear, rings a fresh byte, and the next poll
+            // returns immediately — no lost wake-ups.
+            self.ctx.wake_pending.store(false, Ordering::SeqCst);
+            self.drain_replies(now);
+            if listener_polled && self.pollfds[1].revents != 0 {
+                self.accept_ready(now);
+            }
+            self.dispatch(listener_polled, now);
+            self.retry_parked(now);
+            self.sweep(now);
+        }
+    }
+
+    /// The next instant anything is *scheduled* to happen: a parked
+    /// retry, a slow-loris or never-reads deadline, the accept backoff.
+    /// `None` — block indefinitely — whenever the fleet is fully idle.
+    fn poll_timeout(&self, now: Instant) -> Option<Duration> {
+        let idle = self.ctx.shared.idle_timeout;
+        let write = self.ctx.shared.write_timeout;
+        let mut best: Option<Instant> = None;
+        for conn in self.conns.values() {
+            if conn.parked.is_some() {
+                best = earlier(best, now + PARK_RETRY_TICK);
+            }
+            if let Some(t) = conn.partial_since {
+                best = earlier(best, t + idle);
+            }
+            if let Some(t) = conn.out_since {
+                best = earlier(best, t + write);
+            }
+        }
+        if let Some(t) = self.accept_backoff {
+            best = earlier(best, t);
+        }
+        best.map(|t| t.saturating_duration_since(now))
+    }
+
+    /// Rebuilds the poll set: the wake pipe always, the listener unless
+    /// backing off, then every live connection with interest derived from
+    /// its state machines. Paused connections stay registered with no
+    /// interest bits — `POLLERR`/`POLLHUP` are reported regardless, so a
+    /// vanished peer is still noticed.
+    fn build_pollfds(&mut self, now: Instant) -> bool {
+        self.pollfds.clear();
+        self.poll_ids.clear();
+        self.pollfds.push(sys::PollFd {
+            fd: self.wake_rx.as_raw_fd(),
+            events: sys::POLLIN,
+            revents: 0,
+        });
+        let listener_polled = match (&self.listener, self.accept_backoff) {
+            (Some(_), Some(until)) if now < until => false,
+            (Some(listener), _) => {
+                self.accept_backoff = None;
+                self.pollfds.push(sys::PollFd {
+                    fd: listener.as_raw_fd(),
+                    events: sys::POLLIN,
+                    revents: 0,
+                });
+                true
+            }
+            (None, _) => false,
+        };
+        for (&id, conn) in &self.conns {
+            let mut events = 0i16;
+            if conn.wants_read() {
+                events |= sys::POLLIN;
+            }
+            if !conn.out.is_empty() {
+                events |= sys::POLLOUT;
+            }
+            self.pollfds.push(sys::PollFd {
+                fd: conn.stream.as_raw_fd(),
+                events,
+                revents: 0,
+            });
+            self.poll_ids.push(id);
+        }
+        listener_polled
+    }
+
+    /// Routes each completed reply to its connection's write queue via
+    /// the token map. Tokens of connections torn down in the meantime
+    /// resolve to nothing and the reply is dropped, exactly as the
+    /// threaded writer drops replies for a vanished client.
+    fn drain_replies(&mut self, now: Instant) {
+        let Reactor { conns, ctx, .. } = self;
+        while let Ok(reply) = ctx.reply_rx.try_recv() {
+            let Some((conn_id, wire_id)) = ctx.tokens.remove(&reply.id) else {
+                continue;
+            };
+            let Some(conn) = conns.get_mut(&conn_id) else {
+                continue;
+            };
+            conn.in_fleet -= 1;
+            if conn.dead {
+                continue;
+            }
+            let payload = codec::encode_reply(wire_id, &reply.result.map_err(ServerError::Query));
+            ctx.push_out(conn, frame::frame_vec(&payload), true, now);
+        }
+    }
+
+    /// Accepts until the listener would block. Accept errors (fd
+    /// exhaustion) put the listener on a short backoff instead of
+    /// busy-spinning its level-triggered readiness.
+    fn accept_ready(&mut self, now: Instant) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // One frame per reply; Nagle would delay them.
+                    let _ = stream.set_nodelay(true);
+                    cap_send_buffer(&stream, self.ctx.shared.conn_send_buffer);
+                    self.ctx
+                        .shared
+                        .telemetry
+                        .connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    self.conns.insert(id, Conn::new(stream));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.accept_backoff = Some(now + ACCEPT_BACKOFF);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Services every connection the poll flagged: errors first, then the
+    /// read pump, then the write drain.
+    fn dispatch(&mut self, listener_polled: bool, now: Instant) {
+        let base = 1 + usize::from(listener_polled);
+        let Reactor {
+            conns,
+            ctx,
+            pollfds,
+            poll_ids,
+            ..
+        } = self;
+        for (i, pfd) in pollfds.iter().enumerate().skip(base) {
+            let rev = pfd.revents;
+            if rev == 0 {
+                continue;
+            }
+            let id = poll_ids[i - base];
+            let Some(conn) = conns.get_mut(&id) else {
+                continue;
+            };
+            if conn.dead {
+                continue;
+            }
+            if rev & sys::POLLNVAL != 0 {
+                conn.dead = true;
+                continue;
+            }
+            let erred = rev & (sys::POLLERR | sys::POLLHUP) != 0;
+            if (rev & sys::POLLIN != 0 || erred) && conn.wants_read() {
+                ctx.fill_and_parse(id, conn, now);
+            }
+            if (rev & sys::POLLOUT != 0 || erred) && !conn.out.is_empty() {
+                ctx.flush(conn, now);
+            }
+            if erred && !conn.wants_read() && conn.out.is_empty() {
+                // An error on a fully paused connection: neither state
+                // machine can consume it, and a level-triggered poll would
+                // report it forever. The peer is gone; tear down.
+                conn.dead = true;
+            }
+        }
+    }
+
+    /// Re-attempts parked submissions. The advisory capacity check skips
+    /// futile tries; a lost race against another handle simply re-parks.
+    fn retry_parked(&mut self, now: Instant) {
+        let Reactor { conns, ctx, .. } = self;
+        for (&id, conn) in conns.iter_mut() {
+            if conn.dead {
+                continue;
+            }
+            if let Some((wire_id, request)) = conn.parked.take() {
+                if ctx.handle.has_capacity_for(request.n()) {
+                    ctx.submit(id, conn, wire_id, request, now);
+                } else {
+                    conn.parked = Some((wire_id, request));
+                }
+            }
+        }
+    }
+
+    /// End-of-iteration pass: parse input unblocked by freed gate slots
+    /// or un-parking, refresh the slow-loris clocks, and kill every
+    /// connection past a deadline.
+    fn sweep(&mut self, now: Instant) {
+        let Reactor { conns, ctx, .. } = self;
+        let idle = ctx.shared.idle_timeout;
+        let write = ctx.shared.write_timeout;
+        for (&id, conn) in conns.iter_mut() {
+            if conn.dead {
+                continue;
+            }
+            if conn.wants_read() && conn.decoder.buffered() > 0 {
+                ctx.parse(id, conn, now);
+            }
+            conn.update_partial(now);
+            let read_stalled = conn
+                .partial_since
+                .is_some_and(|t| now.duration_since(t) >= idle);
+            let write_stalled = conn
+                .out_since
+                .is_some_and(|t| now.duration_since(t) >= write);
+            if read_stalled || write_stalled {
+                conn.dead = true;
+                ctx.shared
+                    .telemetry
+                    .idle_teardowns
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Builds the wake pipe and reply channel, then spawns the reactor
+/// thread over `listener`. Returns the join handle and the waker —
+/// ringing the waker after setting `shared.closed` is how shutdown gets
+/// the loop's attention.
+pub(crate) fn spawn(
+    listener: TcpListener,
+    handle: ServiceHandle,
+    shared: Arc<ReactorShared>,
+) -> std::io::Result<(JoinHandle<()>, ReplyWaker)> {
+    let (wake_rx, wake_tx) = std::io::pipe()?;
+    let wake_pending = Arc::new(AtomicBool::new(false));
+    let waker: ReplyWaker = {
+        let pending = Arc::clone(&wake_pending);
+        Arc::new(move || {
+            // Coalesced doorbell: only the ring that flips the flag writes
+            // a byte, so the pipe can never fill no matter how many shard
+            // workers complete at once.
+            if !pending.swap(true, Ordering::SeqCst) {
+                let _ = (&wake_tx).write(&[1u8]);
+            }
+        })
+    };
+    let (reply_tx, reply_rx) = channel();
+    let reactor = Reactor {
+        listener: Some(listener),
+        wake_rx,
+        conns: HashMap::new(),
+        next_conn: 0,
+        accept_backoff: None,
+        pollfds: Vec::new(),
+        poll_ids: Vec::new(),
+        ctx: Ctx {
+            handle,
+            shared,
+            reply_tx,
+            reply_rx,
+            waker: Arc::clone(&waker),
+            wake_pending,
+            tokens: HashMap::new(),
+            next_token: 0,
+        },
+    };
+    let thread = std::thread::Builder::new()
+        .name("cc-net-reactor".into())
+        .spawn(move || reactor.run())?;
+    Ok((thread, waker))
+}

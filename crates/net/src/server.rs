@@ -1,5 +1,7 @@
-//! The TCP front of the query fleet: accept loop, per-connection
-//! reader/writer pairs, pipelining, backpressure and graceful drain.
+//! The TCP front of the query fleet: the event-driven reactor backend
+//! (default) and the legacy thread-per-connection backend, behind one
+//! [`NetServer`] with identical wire semantics — pipelining,
+//! backpressure, PROTO_ERR teardown and graceful drain.
 
 use std::collections::HashMap;
 use std::io::ErrorKind;
@@ -16,13 +18,36 @@ use crate::codec::{self, Frame};
 use crate::error::{NetError, WireError};
 use crate::frame::{self, DEFAULT_MAX_FRAME_BYTES};
 
+/// Which serving core a [`NetServer`] runs. Both speak the same wire
+/// protocol with the same semantics; they differ only in how sockets map
+/// to threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServingMode {
+    /// One event-driven reactor thread multiplexes every connection via
+    /// `poll(2)` readiness — thread count stays O(shards) however many
+    /// clients connect. The default, and the C10k path. On non-unix
+    /// targets (no `poll`) this transparently falls back to
+    /// [`ServingMode::ThreadPerConnection`].
+    #[default]
+    Reactor,
+    /// The legacy core: one reader and one writer thread per accepted
+    /// connection. Kept as the comparison baseline while the reactor
+    /// soaks; scheduled for removal once the benches retire it.
+    ThreadPerConnection,
+}
+
 /// Sizing knobs for a [`NetServer`]: the inner fleet's [`ServerConfig`]
-/// plus the wire-level frame cap and the per-write stall bound.
+/// plus the wire-level frame cap, the serving mode and the slow-peer
+/// stall bounds.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NetServerConfig {
     fleet: ServerConfig,
     max_frame_bytes: u64,
     write_timeout: Duration,
+    idle_timeout: Duration,
+    serving_mode: ServingMode,
+    conn_send_buffer: Option<u32>,
 }
 
 impl NetServerConfig {
@@ -33,6 +58,9 @@ impl NetServerConfig {
             fleet: ServerConfig::new(shards),
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             write_timeout: DEFAULT_WRITE_TIMEOUT,
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
+            serving_mode: ServingMode::default(),
+            conn_send_buffer: None,
         }
     }
 
@@ -87,6 +115,69 @@ impl NetServerConfig {
     pub fn write_timeout(&self) -> Duration {
         self.write_timeout
     }
+
+    /// Sets the slow-loris bound: how long a *partial* frame may sit
+    /// without completing before the reactor tears the connection down
+    /// (counted in [`NetStats::idle_teardowns`]). Dribbled bytes do not
+    /// refresh the clock — only a completed frame does — so a
+    /// byte-at-a-time client is evicted however steadily it drips.
+    /// Reactor-only; the thread-per-connection backend relies on the
+    /// write timeout alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero duration, like
+    /// [`with_write_timeout`](NetServerConfig::with_write_timeout).
+    #[must_use]
+    pub fn with_idle_timeout(mut self, timeout: Duration) -> Self {
+        assert!(!timeout.is_zero(), "idle timeout must be non-zero");
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// The slow-loris bound on a stalled partial frame.
+    #[inline]
+    pub fn idle_timeout(&self) -> Duration {
+        self.idle_timeout
+    }
+
+    /// Selects the serving core; see [`ServingMode`].
+    #[must_use]
+    pub fn with_serving_mode(mut self, mode: ServingMode) -> Self {
+        self.serving_mode = mode;
+        self
+    }
+
+    /// The selected serving core.
+    #[inline]
+    pub fn serving_mode(&self) -> ServingMode {
+        self.serving_mode
+    }
+
+    /// Caps each accepted connection's kernel send buffer (`SO_SNDBUF`)
+    /// at roughly `bytes`. Unset, the kernel autotunes the buffer up to
+    /// `tcp_wmem[2]` (megabytes per socket), which both unbounds kernel
+    /// memory under many slow readers and lets a reader that never
+    /// drains absorb replies for a long time before the stalled-write
+    /// deadline can notice. The kernel rounds the value (Linux doubles
+    /// it) and clamps to its own floor. Unix-only; ignored elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero (the cap would round to the OS floor anyway —
+    /// pass the floor explicitly if that is what you want).
+    #[must_use]
+    pub fn with_conn_send_buffer(mut self, bytes: u32) -> Self {
+        assert!(bytes > 0, "send buffer cap must be non-zero");
+        self.conn_send_buffer = Some(bytes);
+        self
+    }
+
+    /// The per-connection kernel send buffer cap, if one is set.
+    #[inline]
+    pub fn conn_send_buffer(&self) -> Option<u32> {
+        self.conn_send_buffer
+    }
 }
 
 impl Default for NetServerConfig {
@@ -95,6 +186,9 @@ impl Default for NetServerConfig {
             fleet: ServerConfig::default(),
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             write_timeout: DEFAULT_WRITE_TIMEOUT,
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
+            serving_mode: ServingMode::default(),
+            conn_send_buffer: None,
         }
     }
 }
@@ -111,16 +205,25 @@ pub struct NetStats {
     pub frames_out: u64,
     /// Connections torn down for undecodable input.
     pub protocol_errors: u64,
+    /// Connections the reactor evicted on a deadline: a partial frame
+    /// that stopped completing (slow loris) or replies the peer stopped
+    /// reading. Always zero under
+    /// [`ServingMode::ThreadPerConnection`], whose write timeout kills
+    /// silently at the socket layer.
+    pub idle_teardowns: u64,
     /// The inner [`QueryServer`]'s per-shard telemetry.
     pub fleet: FleetStats,
 }
 
+/// The wire-level counters, shared by whichever backend serves — one
+/// instance per [`NetServer`], read by [`NetServer::stats`].
 #[derive(Default)]
-struct Telemetry {
-    connections: AtomicU64,
-    frames_in: AtomicU64,
-    frames_out: AtomicU64,
-    protocol_errors: AtomicU64,
+pub(crate) struct Telemetry {
+    pub(crate) connections: AtomicU64,
+    pub(crate) frames_in: AtomicU64,
+    pub(crate) frames_out: AtomicU64,
+    pub(crate) protocol_errors: AtomicU64,
+    pub(crate) idle_teardowns: AtomicU64,
 }
 
 impl Telemetry {
@@ -132,6 +235,7 @@ impl Telemetry {
             frames_in: self.frames_in.load(Ordering::Relaxed),
             frames_out: self.frames_out.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            idle_teardowns: self.idle_teardowns.load(Ordering::Relaxed),
             fleet,
         }
     }
@@ -140,8 +244,14 @@ impl Telemetry {
 /// Default bound on one blocked reply write: long enough for any live
 /// client to drain its receive window, short enough that a vanished peer
 /// cannot park a writer thread — or [`NetServer::shutdown`] / `Drop`,
-/// which join it — indefinitely.
+/// which join it — indefinitely. The reactor applies the same bound per
+/// queued frame: no completed-frame flush for this long tears the
+/// connection down.
 pub const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default slow-loris bound: how long the reactor lets a partial frame
+/// sit without completing before evicting the connection.
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Cap on unanswered-or-unwritten requests per connection. This is the
 /// reply-side half of the backpressure contract: completed replies wait
@@ -184,7 +294,9 @@ struct Shared {
     closed: AtomicBool,
     max_frame_bytes: u64,
     write_timeout: Duration,
-    telemetry: Telemetry,
+    #[cfg_attr(not(unix), allow(dead_code))]
+    conn_send_buffer: Option<u32>,
+    telemetry: Arc<Telemetry>,
     next_conn: AtomicU64,
     conns: Mutex<HashMap<u64, ConnEntry>>,
 }
@@ -379,6 +491,8 @@ fn accept_loop(listener: TcpListener, handle: ServiceHandle, shared: Arc<Shared>
         // send has parked on a stalled peer, would not wake it.
         let _ = stream.set_nodelay(true);
         let _ = stream.set_write_timeout(Some(shared.write_timeout));
+        #[cfg(unix)]
+        crate::reactor::cap_send_buffer(&stream, shared.conn_send_buffer);
         shared.telemetry.connections.fetch_add(1, Ordering::Relaxed);
         let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
         shared.conns.lock().expect("conns lock").insert(
@@ -428,32 +542,88 @@ fn accept_loop(listener: TcpListener, handle: ServiceHandle, shared: Arc<Shared>
 /// protocol. See the [crate docs](crate) for the protocol and the
 /// architecture.
 ///
-/// Each accepted connection gets a reader thread (frames → requests →
-/// [`ServiceHandle::submit_tagged`]) and a writer thread (tagged replies
-/// → frames), so one connection can pipeline any number of requests and
-/// receives replies in completion order, tagged with its request ids.
-/// Backpressure is inherited from the fleet's bounded shard queues: a
-/// full queue blocks the connection's reader, which stops consuming the
-/// socket, which TCP propagates to the client.
-#[derive(Debug)]
+/// By default ([`ServingMode::Reactor`]) every accepted connection is
+/// multiplexed on one event-driven reactor thread: frames → requests →
+/// [`ServiceHandle`] tagged fan-in → reply write queues, with
+/// backpressure surfacing as read-pausing. One connection can pipeline
+/// any number of requests and receives replies in completion order,
+/// tagged with its request ids; a full shard queue pauses that
+/// connection's reads, which TCP propagates to the client. The legacy
+/// [`ServingMode::ThreadPerConnection`] core (a reader and writer thread
+/// per socket) serves identically and remains as a baseline.
 pub struct NetServer {
     local_addr: SocketAddr,
-    shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    telemetry: Arc<Telemetry>,
+    backend: Backend,
     fleet: Option<QueryServer>,
 }
 
-impl std::fmt::Debug for Shared {
+/// The running serving core and its shutdown levers.
+enum Backend {
+    /// Accept loop + per-connection thread pairs, coordinated through
+    /// the connection registry.
+    Threaded {
+        shared: Arc<Shared>,
+        accept: Option<JoinHandle<()>>,
+    },
+    /// The single reactor thread; `closed` + a waker ring get its
+    /// attention, joining it completes the drain.
+    #[cfg(unix)]
+    Reactor {
+        shared: Arc<crate::reactor::ReactorShared>,
+        waker: cc_server::ReplyWaker,
+        thread: Option<JoinHandle<()>>,
+    },
+}
+
+impl std::fmt::Debug for NetServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Shared")
-            .field("closed", &self.closed.load(Ordering::Relaxed))
+        let mode = match &self.backend {
+            Backend::Threaded { .. } => "thread-per-connection",
+            #[cfg(unix)]
+            Backend::Reactor { .. } => "reactor",
+        };
+        f.debug_struct("NetServer")
+            .field("local_addr", &self.local_addr)
+            .field("backend", &mode)
             .finish_non_exhaustive()
+    }
+}
+
+/// Spawns the thread-per-connection core: the fallback for
+/// [`ServingMode::Reactor`] on non-unix targets, the whole story for
+/// [`ServingMode::ThreadPerConnection`].
+fn spawn_threaded(
+    listener: TcpListener,
+    handle: ServiceHandle,
+    telemetry: Arc<Telemetry>,
+    config: &NetServerConfig,
+) -> Backend {
+    let shared = Arc::new(Shared {
+        closed: AtomicBool::new(false),
+        max_frame_bytes: config.max_frame_bytes,
+        write_timeout: config.write_timeout,
+        conn_send_buffer: config.conn_send_buffer,
+        telemetry,
+        next_conn: AtomicU64::new(0),
+        conns: Mutex::new(HashMap::new()),
+    });
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("cc-net-accept".into())
+            .spawn(move || accept_loop(listener, handle, shared))
+            .expect("spawn accept loop")
+    };
+    Backend::Threaded {
+        shared,
+        accept: Some(accept),
     }
 }
 
 impl NetServer {
     /// Spawns the fleet, binds `addr` (use port 0 for an ephemeral port)
-    /// and starts accepting connections.
+    /// and starts the configured serving core.
     ///
     /// # Errors
     ///
@@ -464,26 +634,38 @@ impl NetServer {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let shared = Arc::new(Shared {
-            closed: AtomicBool::new(false),
-            max_frame_bytes: config.max_frame_bytes,
-            write_timeout: config.write_timeout,
-            telemetry: Telemetry::default(),
-            next_conn: AtomicU64::new(0),
-            conns: Mutex::new(HashMap::new()),
-        });
-        let accept = {
-            let shared = Arc::clone(&shared);
-            let handle = fleet.handle();
-            std::thread::Builder::new()
-                .name("cc-net-accept".into())
-                .spawn(move || accept_loop(listener, handle, shared))
-                .expect("spawn accept loop")
+        let telemetry = Arc::new(Telemetry::default());
+        let backend = match config.serving_mode {
+            #[cfg(unix)]
+            ServingMode::Reactor => {
+                let shared = Arc::new(crate::reactor::ReactorShared {
+                    closed: AtomicBool::new(false),
+                    telemetry: Arc::clone(&telemetry),
+                    max_frame_bytes: config.max_frame_bytes,
+                    write_timeout: config.write_timeout,
+                    idle_timeout: config.idle_timeout,
+                    conn_send_buffer: config.conn_send_buffer,
+                });
+                let (thread, waker) =
+                    crate::reactor::spawn(listener, fleet.handle(), Arc::clone(&shared))?;
+                Backend::Reactor {
+                    shared,
+                    waker,
+                    thread: Some(thread),
+                }
+            }
+            #[cfg(not(unix))]
+            ServingMode::Reactor => {
+                spawn_threaded(listener, fleet.handle(), Arc::clone(&telemetry), &config)
+            }
+            ServingMode::ThreadPerConnection => {
+                spawn_threaded(listener, fleet.handle(), Arc::clone(&telemetry), &config)
+            }
         };
         Ok(NetServer {
             local_addr,
-            shared,
-            accept: Some(accept),
+            telemetry,
+            backend,
             fleet: Some(fleet),
         })
     }
@@ -509,20 +691,19 @@ impl NetServer {
     /// while the server runs; for quiescent totals use the snapshot
     /// returned by [`NetServer::shutdown`].
     pub fn stats(&self) -> NetStats {
-        self.shared
-            .telemetry
+        self.telemetry
             .snapshot(self.fleet.as_ref().expect("fleet lives until drop").stats())
     }
 
     /// Graceful shutdown. In order: stop accepting; half-close every
     /// connection's read side (no new requests); let the fleet answer
-    /// everything already submitted; wait for each connection's writer to
-    /// flush every queued reply and close its socket; then drain and join
-    /// the fleet itself. Clients with requests in flight get all their
-    /// replies before their connection closes.
+    /// everything already submitted; flush every queued reply and close
+    /// each socket; then drain and join the fleet itself. Clients with
+    /// requests in flight get all their replies before their connection
+    /// closes.
     pub fn shutdown(mut self) -> NetStats {
         self.shutdown_impl();
-        self.shared.telemetry.snapshot(
+        self.telemetry.snapshot(
             self.fleet
                 .take()
                 .expect("first shutdown consumes the fleet")
@@ -531,28 +712,53 @@ impl NetServer {
     }
 
     fn shutdown_impl(&mut self) {
-        if self.shared.closed.swap(true, Ordering::AcqRel) {
-            return;
-        }
-        // The polling accept loop observes `closed` within one sleep
-        // interval (the listener drops with it), on any bind address.
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
-        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conns lock"));
-        for conn in conns.values() {
-            // Half-close: readers come off their blocking read and exit;
-            // writers keep the write side until every reply is out — the
-            // accept-time write timeout bounds that drain against clients
-            // that stopped reading, so these joins cannot park forever.
-            let _ = conn.stream.shutdown(Shutdown::Read);
-        }
-        for conn in conns.into_values() {
-            if let Some(reader) = conn.reader {
-                let _ = reader.join();
+        match &mut self.backend {
+            Backend::Threaded { shared, accept } => {
+                if shared.closed.swap(true, Ordering::AcqRel) {
+                    return;
+                }
+                // The polling accept loop observes `closed` within one
+                // sleep interval (the listener drops with it), on any
+                // bind address.
+                if let Some(accept) = accept.take() {
+                    let _ = accept.join();
+                }
+                let conns = std::mem::take(&mut *shared.conns.lock().expect("conns lock"));
+                for conn in conns.values() {
+                    // Half-close: readers come off their blocking read and
+                    // exit; writers keep the write side until every reply
+                    // is out — the accept-time write timeout bounds that
+                    // drain against clients that stopped reading, so these
+                    // joins cannot park forever.
+                    let _ = conn.stream.shutdown(Shutdown::Read);
+                }
+                for conn in conns.into_values() {
+                    if let Some(reader) = conn.reader {
+                        let _ = reader.join();
+                    }
+                    if let Some(writer) = conn.writer {
+                        let _ = writer.join();
+                    }
+                }
             }
-            if let Some(writer) = conn.writer {
-                let _ = writer.join();
+            #[cfg(unix)]
+            Backend::Reactor {
+                shared,
+                waker,
+                thread,
+            } => {
+                if shared.closed.swap(true, Ordering::AcqRel) {
+                    return;
+                }
+                // The waker gets the loop off its poll call; the reactor
+                // then half-closes every connection, answers everything
+                // already submitted, flushes and exits — the write/idle
+                // deadlines bound the drain against stalled peers, so
+                // this join cannot park forever.
+                waker();
+                if let Some(thread) = thread.take() {
+                    let _ = thread.join();
+                }
             }
         }
     }

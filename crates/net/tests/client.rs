@@ -1,0 +1,176 @@
+//! Client-side failure discipline: bounded connects and reads, the
+//! poisoned state (first failure wins, everything after is a
+//! deterministic [`NetError::Disconnected`]), explicit [`reconnect`]
+//! with abandoned-work reporting, and the guard that keeps the split
+//! `submit`/`wait_next` protocol from interleaving with the blocking
+//! roundtrip APIs.
+//!
+//! [`reconnect`]: CcClient::reconnect
+
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use cc_core::CliqueService;
+use cc_net::{CcClient, NetError, NetServer, NetServerConfig, WireError};
+use cc_server::Request;
+
+fn mode_request(n: usize) -> Request {
+    Request::Mode((0..n).map(|v| vec![v as u64 % 3]).collect())
+}
+
+/// A read timeout fails the waiting call with the transport error once,
+/// poisons the connection so every later operation is a deterministic
+/// [`NetError::Disconnected`], and [`CcClient::reconnect`] names exactly
+/// the abandoned ids and keeps the id sequence monotonic.
+#[test]
+fn read_timeout_poisons_and_reconnect_reports_abandoned_ids() {
+    // A listener that accepts and then never speaks: the request is
+    // swallowed, the reply never comes.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let mut client = CcClient::connect(addr)
+        .expect("connect")
+        .with_read_timeout(Duration::from_millis(100))
+        .expect("timeout");
+    let silent = listener.accept().expect("accept").0;
+
+    let first = client.submit(&mode_request(8)).expect("submit");
+    assert_eq!(first, 0);
+    let started = Instant::now();
+    match client.wait_next() {
+        Err(NetError::Io(e)) => {
+            // SO_RCVTIMEO surfaces as WouldBlock or TimedOut depending
+            // on the platform; either way it must arrive promptly.
+            assert!(
+                matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ),
+                "unexpected kind {:?}",
+                e.kind()
+            );
+            assert!(started.elapsed() < Duration::from_secs(5));
+        }
+        other => panic!("expected a timeout, got {other:?}"),
+    }
+
+    // Poisoned: no second timing-dependent error, ever.
+    for _ in 0..3 {
+        assert!(matches!(client.wait_next(), Err(NetError::Disconnected)));
+        assert!(matches!(
+            client.submit(&mode_request(8)),
+            Err(NetError::Disconnected)
+        ));
+        assert!(matches!(
+            client.call(&mode_request(8)),
+            Err(NetError::Disconnected)
+        ));
+    }
+
+    // Reconnect: the same (still listening) peer, the in-flight id is
+    // reported abandoned, and ids keep counting from where they left.
+    let abandoned = client.reconnect().expect("reconnect");
+    assert_eq!(abandoned, vec![first]);
+    assert_eq!(client.pending(), 0);
+    let second = client.submit(&mode_request(8)).expect("submit again");
+    assert_eq!(second, 1, "ids are monotonic across reconnects");
+    drop(silent);
+    drop(listener);
+}
+
+/// End-to-end reconnect against a real server: a client whose own frame
+/// cap rejects a valid reply is poisoned, then — cap raised — reconnects
+/// to the same server and gets bit-identical service.
+#[test]
+fn reconnect_restores_full_service_after_a_protocol_failure() {
+    let server = NetServer::bind("127.0.0.1:0", NetServerConfig::new(1)).expect("bind");
+    let request = mode_request(8);
+    let reference = request
+        .serve_on(&mut CliqueService::new(8).expect("service"))
+        .expect("reference");
+
+    // A 32-byte reply cap no real reply fits under: the decode fails
+    // locally with FrameTooLarge and the connection is poisoned.
+    let mut client = CcClient::connect(server.local_addr())
+        .expect("connect")
+        .with_max_frame_bytes(32);
+    match client.call(&request) {
+        Err(NetError::Wire(WireError::FrameTooLarge { max: 32, .. })) => {}
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+    assert!(matches!(client.call(&request), Err(NetError::Disconnected)));
+
+    // Raise the cap and re-dial: same server, fresh connection, correct
+    // answers again.
+    let mut client = client.with_max_frame_bytes(1 << 20);
+    let abandoned = client.reconnect().expect("reconnect");
+    assert_eq!(abandoned, vec![0]);
+    let outcome = client.call(&request).expect("healthy call");
+    assert_eq!(outcome, reference);
+
+    drop(client);
+    let stats = server.shutdown();
+    // Both connections served a request; only the second reply landed.
+    assert_eq!(stats.connections, 2);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+/// The blocking roundtrip APIs refuse to run while `submit` replies are
+/// owed — without poisoning the connection; draining via `wait_next`
+/// restores them.
+#[test]
+fn roundtrip_apis_guard_against_pending_submissions() {
+    let server = NetServer::bind("127.0.0.1:0", NetServerConfig::new(1)).expect("bind");
+    let mut client = CcClient::connect(server.local_addr()).expect("connect");
+    let request = mode_request(8);
+
+    let id = client.submit(&request).expect("submit");
+    match client.call(&request) {
+        Err(NetError::RepliesPending { count: 1 }) => {}
+        other => panic!("expected RepliesPending, got {other:?}"),
+    }
+    match client.pipeline(std::slice::from_ref(&request)) {
+        Err(NetError::RepliesPending { count: 1 }) => {}
+        other => panic!("expected RepliesPending, got {other:?}"),
+    }
+
+    // The guard is advisory, not fatal: drain and the client is whole.
+    let (got, result) = client.wait_next().expect("wait").expect("owed");
+    assert_eq!(got, id);
+    let drained = result.expect("served");
+    let roundtrip = client.call(&request).expect("call after drain");
+    assert_eq!(roundtrip, drained);
+    drop(client);
+    server.shutdown();
+}
+
+/// `connect_timeout` succeeds against a live server and fails fast —
+/// bounded by the timeout, not minutes of SYN retries — against a dead
+/// port.
+#[test]
+fn connect_timeout_bounds_connection_establishment() {
+    let server = NetServer::bind("127.0.0.1:0", NetServerConfig::new(1)).expect("bind");
+    let mut client =
+        CcClient::connect_timeout(server.local_addr(), Duration::from_secs(5)).expect("connect");
+    let request = mode_request(8);
+    let reference = request
+        .serve_on(&mut CliqueService::new(8).expect("service"))
+        .expect("reference");
+    assert_eq!(client.call(&request).expect("call"), reference);
+    drop(client);
+    server.shutdown();
+
+    // A freshly freed ephemeral port: connecting must fail within the
+    // bound (refused immediately on loopback).
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let dead = listener.local_addr().expect("addr");
+    drop(listener);
+    let started = Instant::now();
+    match CcClient::connect_timeout(dead, Duration::from_secs(5)) {
+        Err(NetError::Io(_)) => {
+            assert!(started.elapsed() < Duration::from_secs(5));
+        }
+        Ok(_) => panic!("connected to a dead port"),
+        Err(other) => panic!("expected a transport error, got {other:?}"),
+    }
+}

@@ -83,5 +83,5 @@ pub use config::ServerConfig;
 pub use error::ServerError;
 pub use request::{QueryResult, Request};
 pub use server::{Pending, QueryServer, ServiceHandle};
-pub use shard::TaggedReply;
+pub use shard::{ReplyWaker, TaggedReply};
 pub use stats::{FleetStats, ShardStats};

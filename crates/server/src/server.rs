@@ -11,7 +11,7 @@ use cc_core::Outcome;
 use crate::config::ServerConfig;
 use crate::error::ServerError;
 use crate::request::{QueryResult, Request};
-use crate::shard::{run_shard, Envelope, QueryJob, ReplySink, TaggedReply};
+use crate::shard::{run_shard, Envelope, QueryJob, ReplySink, ReplyWaker, TaggedReply};
 use crate::stats::{FleetStats, ShardTelemetry};
 
 /// One shard as seen from the client side: its bounded queue's sender and
@@ -71,6 +71,7 @@ impl Pending {
 pub struct ServiceHandle {
     shards: Arc<[ShardClient]>,
     closed: Arc<AtomicBool>,
+    queue_capacity: usize,
 }
 
 impl std::fmt::Debug for ServiceHandle {
@@ -128,6 +129,7 @@ impl ServiceHandle {
             ReplySink::Tagged {
                 id,
                 tx: replies.clone(),
+                wake: None,
             },
             true,
         )
@@ -151,9 +153,79 @@ impl ServiceHandle {
             ReplySink::Tagged {
                 id,
                 tx: replies.clone(),
+                wake: None,
             },
             false,
         )
+    }
+
+    /// As [`ServiceHandle::try_submit_tagged`], with a [`ReplyWaker`] rung
+    /// after the answer lands on `replies` — the submission path for an
+    /// event-driven consumer that parks in `poll(2)` rather than on the
+    /// channel itself. Non-blocking on a full queue by design: a reactor
+    /// thread must never park on shard backpressure (it would stall every
+    /// other connection it serves); it parks the *connection* instead and
+    /// retries — which is why a rejection hands the `Request` **back** in
+    /// the error instead of dropping it.
+    ///
+    /// # Errors
+    ///
+    /// `(ServerError::Overloaded, request)` on a full shard queue,
+    /// `(ServerError::ShutDown, request)` if the server has shut down —
+    /// in both cases the request is returned for the caller to retry or
+    /// answer inline.
+    pub fn try_submit_tagged_with_waker(
+        &self,
+        id: u64,
+        request: Request,
+        replies: &Sender<TaggedReply>,
+        wake: &ReplyWaker,
+    ) -> Result<(), (ServerError, Request)> {
+        let shard = match self.shard_for(&request) {
+            Ok(shard) => shard,
+            Err(e) => return Err((e, request)),
+        };
+        let envelope = Envelope::Query(QueryJob {
+            request,
+            reply: ReplySink::Tagged {
+                id,
+                tx: replies.clone(),
+                wake: Some(Arc::clone(wake)),
+            },
+        });
+        let rejected = match shard.queue.try_send(envelope) {
+            Ok(()) => {
+                shard.telemetry.enqueued();
+                return Ok(());
+            }
+            Err(TrySendError::Full(envelope)) => (ServerError::Overloaded, envelope),
+            Err(TrySendError::Disconnected(envelope)) => (ServerError::ShutDown, envelope),
+        };
+        match rejected {
+            (e, Envelope::Query(job)) => Err((e, job.request)),
+            _ => unreachable!("a query submission bounces back as a query"),
+        }
+    }
+
+    /// The current depth of the shard queue that serves clique size `n` —
+    /// the fleet-side half of the accounting an event-driven front needs:
+    /// a reactor holding a parked (queue-rejected) request can skip futile
+    /// resubmission attempts while the target queue is still at capacity.
+    /// An instantaneous gauge, racy by nature; `try_submit_*` stays the
+    /// authoritative admission check.
+    pub fn queue_depth_for(&self, n: usize) -> u64 {
+        self.shards[shard_index(n, self.shards.len())]
+            .telemetry
+            .snapshot()
+            .queue_depth
+    }
+
+    /// Whether the shard queue serving clique size `n` currently has a
+    /// free slot. Advisory (see [`ServiceHandle::queue_depth_for`]): a
+    /// `true` can be stale by the time a submission lands, so callers must
+    /// still handle [`ServerError::Overloaded`].
+    pub fn has_capacity_for(&self, n: usize) -> bool {
+        self.queue_depth_for(n) < self.queue_capacity as u64
     }
 
     /// The one enqueue path behind [`submit`](ServiceHandle::submit) and
@@ -285,6 +357,7 @@ impl QueryServer {
         ServiceHandle {
             shards: Arc::clone(&self.shards),
             closed: Arc::clone(&self.closed),
+            queue_capacity: self.config.queue_capacity(),
         }
     }
 
@@ -587,6 +660,61 @@ mod tests {
                 .unwrap_err(),
             ServerError::ShutDown
         );
+    }
+
+    /// The reactor-facing submission path: the waker rings once per
+    /// delivered reply (after it is on the channel), and the queue-depth
+    /// accessors expose the admission state a non-blocking consumer needs.
+    #[test]
+    fn waker_rings_per_reply_and_depth_accounting_tracks_the_queue() {
+        use std::sync::atomic::AtomicUsize;
+        let capacity = 2;
+        let server = QueryServer::new(ServerConfig::new(1).with_queue_capacity(capacity)).unwrap();
+        let handle = server.handle();
+        let keys: Vec<Vec<u64>> = (0..4).map(|i| vec![i as u64]).collect();
+        let rings = Arc::new(AtomicUsize::new(0));
+        let waker: ReplyWaker = {
+            let rings = Arc::clone(&rings);
+            Arc::new(move || {
+                rings.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        // An idle fleet has a fully free queue.
+        assert!(handle.has_capacity_for(4));
+        assert_eq!(handle.queue_depth_for(4), 0);
+
+        let gate_tx = park_shard(&server, 0);
+        let (reply_tx, replies) = channel();
+        for id in 0..capacity as u64 {
+            handle
+                .try_submit_tagged_with_waker(id, Request::Mode(keys.clone()), &reply_tx, &waker)
+                .unwrap();
+        }
+        // The parked worker provably is not draining: the gauge shows the
+        // full queue and the advisory check flips to false.
+        assert_eq!(handle.queue_depth_for(4), capacity as u64);
+        assert!(!handle.has_capacity_for(4));
+        let (err, reclaimed) = handle
+            .try_submit_tagged_with_waker(9, Request::Mode(keys.clone()), &reply_tx, &waker)
+            .unwrap_err();
+        assert_eq!(err, ServerError::Overloaded);
+        // The rejected request comes back intact for the caller to park.
+        assert_eq!(reclaimed.n(), 4);
+        // Nothing answered yet, so the doorbell has not rung.
+        assert_eq!(rings.load(Ordering::SeqCst), 0);
+        drop(gate_tx);
+        let mut ids: Vec<u64> = (0..capacity).map(|_| replies.recv().unwrap().id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1]);
+        // One ring per reply. The final wake runs just *after* its reply
+        // is observable, so bound-spin rather than assert instantly.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while rings.load(Ordering::SeqCst) < capacity && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(rings.load(Ordering::SeqCst), capacity);
+        let stats = server.shutdown();
+        assert_eq!(stats.requests(), capacity as u64);
     }
 
     #[test]

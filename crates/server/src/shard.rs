@@ -11,6 +11,15 @@ use cc_core::{CliqueService, CoreError};
 use crate::request::{QueryResult, Request};
 use crate::stats::ShardTelemetry;
 
+/// A wake-up hook invoked *after* a [`TaggedReply`] lands on its shared
+/// channel. An event-driven consumer (the `cc-net` reactor) blocks in a
+/// readiness call — `poll(2)` over sockets — where an mpsc channel is
+/// invisible; the waker is its out-of-band doorbell (typically a one-byte
+/// write to a self-pipe whose read end sits in the poll set). Invoked
+/// from shard worker threads, so it must be cheap and must never block:
+/// coalesce redundant wake-ups on the consumer side, not here.
+pub type ReplyWaker = Arc<dyn Fn() + Send + Sync>;
+
 /// One answer routed over a shared reply channel: the caller-chosen
 /// request id plus the result, exactly as a private-channel reply would
 /// carry it. Produced by the shard workers for requests submitted with
@@ -35,7 +44,12 @@ pub struct TaggedReply {
 /// sender clone of the shared channel.
 pub(crate) enum ReplySink {
     Private(Sender<QueryResult>),
-    Tagged { id: u64, tx: Sender<TaggedReply> },
+    Tagged {
+        id: u64,
+        tx: Sender<TaggedReply>,
+        /// Rung after the reply is on the channel; see [`ReplyWaker`].
+        wake: Option<ReplyWaker>,
+    },
 }
 
 impl ReplySink {
@@ -47,8 +61,14 @@ impl ReplySink {
             ReplySink::Private(tx) => {
                 let _ = tx.send(result);
             }
-            ReplySink::Tagged { id, tx } => {
+            ReplySink::Tagged { id, tx, wake } => {
                 let _ = tx.send(TaggedReply { id: *id, result });
+                // Wake even when the send failed: a consumer that closed
+                // its channel only tears down further on extra wake-ups,
+                // and the common case (send succeeded) must always ring.
+                if let Some(wake) = wake {
+                    wake();
+                }
             }
         }
     }

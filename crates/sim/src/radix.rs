@@ -68,7 +68,9 @@ pub const RADIX_BITS: u32 = 8;
 /// Buckets per digit (`2^RADIX_BITS`).
 pub const RADIX_BUCKETS: usize = 1 << RADIX_BITS;
 
-/// Passes needed to cover a full `u64` key.
+/// Passes needed to cover a full `u64` key (the parallel driver's
+/// fixed-width histograms; unused without the `parallel` feature).
+#[cfg(feature = "parallel")]
 const RADIX_PASSES: usize = (u64::BITS / RADIX_BITS) as usize;
 
 /// Widest digit the adaptive sequential sort will use: 2^11 bucket
@@ -115,10 +117,7 @@ pub fn radix_enabled() -> bool {
                 std::env::var("CC_RADIX").as_deref(),
                 Ok("0") | Ok("off") | Ok("false")
             );
-            RADIX_TOGGLE.store(
-                if on { TOGGLE_ON } else { TOGGLE_OFF },
-                Ordering::Relaxed,
-            );
+            RADIX_TOGGLE.store(if on { TOGGLE_ON } else { TOGGLE_OFF }, Ordering::Relaxed);
             on
         }
     }
@@ -177,6 +176,7 @@ fn use_comparison(len: usize) -> bool {
     len < RADIX_MIN_LEN || len > u32::MAX as usize || !radix_enabled()
 }
 
+#[cfg(feature = "parallel")]
 #[inline]
 fn digit(key: u64, shift: u32) -> usize {
     ((key >> shift) & (RADIX_BUCKETS as u64 - 1)) as usize
@@ -223,7 +223,7 @@ pub fn sort_by_u64_key2_with<T: Clone>(
     scratch: &mut RadixScratch,
 ) {
     if use_comparison(items.len()) {
-        items.sort_by(|a, b| (major(a), minor(a)).cmp(&(major(b), minor(b))));
+        items.sort_by_key(|a| (major(a), minor(a)));
         return;
     }
     // A stable sort by the minor key followed by a stable sort by the
@@ -274,14 +274,23 @@ pub(crate) fn group_by_destination<M: Clone>(
         batch.sort_by_key(|(dst, _)| *dst);
         return;
     }
-    scatter_impl(batch, n + 1, &|(dst, _): &(NodeId, M)| dst.index().min(n), scratch);
+    scatter_impl(
+        batch,
+        n + 1,
+        &|(dst, _): &(NodeId, M)| dst.index().min(n),
+        scratch,
+    );
     let valid = batch.partition_point(|(dst, _)| dst.index() < n);
     batch[valid..].sort_by_key(|(dst, _)| *dst);
 }
 
 /// The sequential radix path: build the keyed column, LSD-sort it, apply
 /// the resulting permutation to the payloads.
-fn radix_sort_impl<T: Clone, F: Fn(&T) -> u64>(items: &mut [T], key: &F, scratch: &mut RadixScratch) {
+fn radix_sort_impl<T: Clone, F: Fn(&T) -> u64>(
+    items: &mut [T],
+    key: &F,
+    scratch: &mut RadixScratch,
+) {
     scratch.keyed.clear();
     scratch
         .keyed
@@ -523,7 +532,7 @@ fn sort_keyed_parallel(
 
     for pass in 0..RADIX_PASSES {
         let hist = &global[pass * RADIX_BUCKETS..(pass + 1) * RADIX_BUCKETS];
-        if hist.iter().any(|&c| c == len) {
+        if hist.contains(&len) {
             continue;
         }
         let shift = pass as u32 * RADIX_BITS;
@@ -676,7 +685,9 @@ mod tests {
         let mut state = 7u64;
         let keys: Vec<u64> = (0..1000)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 state >> 20
             })
             .collect();

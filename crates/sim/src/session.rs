@@ -417,7 +417,13 @@ impl CliqueSession {
         #[cfg(feature = "parallel")]
         {
             let workers = Self::auto_sort_workers(items.len());
-            crate::radix::sort_by_u64_key_pooled(items, key, workers, &mut self.radix, &mut self.pool);
+            crate::radix::sort_by_u64_key_pooled(
+                items,
+                key,
+                workers,
+                &mut self.radix,
+                &mut self.pool,
+            );
         }
         #[cfg(not(feature = "parallel"))]
         crate::radix::sort_by_u64_key_with(items, key, &mut self.radix);
@@ -449,7 +455,9 @@ impl CliqueSession {
         let cores = std::thread::available_parallelism()
             .map(|c| c.get())
             .unwrap_or(1);
-        cores.min(len / crate::radix::PARALLEL_SORT_MIN_CHUNK).max(1)
+        cores
+            .min(len / crate::radix::PARALLEL_SORT_MIN_CHUNK)
+            .max(1)
     }
 
     /// Takes the recycled-buffer pile for message type `M` out of the

@@ -70,9 +70,13 @@ fn parity_all_equal_sorted_reverse() {
 
 #[test]
 fn parity_every_key_bit_width() {
-    let mut rng = DetRng::seed_from_u64(0xC11_0E);
+    let mut rng = DetRng::seed_from_u64(0xC110E);
     for bits in [1u32, 4, 7, 8, 9, 16, 20, 24, 32, 33, 48, 63, 64] {
-        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         for len in [65usize, 300, 1024] {
             let keys = uniform(&mut rng, len, mask);
             assert_parity(&keys, &format!("uniform {bits}-bit"));

@@ -18,7 +18,7 @@ use congested_clique::server::QueryResult;
 use congested_clique::workloads::RequestMix;
 use congested_clique::{
     CcClient, CliqueService, NetError, NetServer, NetServerConfig, Request, ServerConfig,
-    ServerError, WireError,
+    ServerError, ServingMode, WireError,
 };
 
 /// The mixed workload: 58 generated requests over three clique sizes
@@ -127,33 +127,41 @@ fn tcp_swarm_is_bit_identical_to_sequential_service() {
         "want plenty of successes too"
     );
 
-    for shards in [1usize, 4] {
-        let server = NetServer::bind(
-            "127.0.0.1:0",
-            NetServerConfig::new(shards).with_fleet(
-                ServerConfig::new(shards)
-                    .with_queue_capacity(16)
-                    .with_coalesce_limit(8),
-            ),
-        )
-        .expect("bind");
-        let served = serve_over_tcp(&server, &requests);
-        for (index, (got, want)) in served.iter().zip(&reference).enumerate() {
-            assert_eq!(
-                got,
-                want,
-                "{shards}-shard TCP server diverged on request {index} ({:?} n={})",
-                std::mem::discriminant(&requests[index]),
-                requests[index].n()
-            );
+    // Both serving cores, same wire contract: the event-driven reactor
+    // (the default) and the thread-per-connection baseline must be
+    // indistinguishable in answers *and* in wire telemetry.
+    for mode in [ServingMode::Reactor, ServingMode::ThreadPerConnection] {
+        for shards in [1usize, 4] {
+            let server = NetServer::bind(
+                "127.0.0.1:0",
+                NetServerConfig::new(shards)
+                    .with_serving_mode(mode)
+                    .with_fleet(
+                        ServerConfig::new(shards)
+                            .with_queue_capacity(16)
+                            .with_coalesce_limit(8),
+                    ),
+            )
+            .expect("bind");
+            let served = serve_over_tcp(&server, &requests);
+            for (index, (got, want)) in served.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    got,
+                    want,
+                    "{shards}-shard {mode:?} TCP server diverged on request {index} ({:?} n={})",
+                    std::mem::discriminant(&requests[index]),
+                    requests[index].n()
+                );
+            }
+            let stats = server.shutdown();
+            assert_eq!(stats.connections, 8);
+            assert_eq!(stats.frames_in, requests.len() as u64);
+            assert_eq!(stats.frames_out, requests.len() as u64);
+            assert_eq!(stats.protocol_errors, 0);
+            assert_eq!(stats.idle_teardowns, 0);
+            assert_eq!(stats.fleet.requests(), requests.len() as u64);
+            assert!(stats.fleet.shards.iter().all(|s| s.queue_depth == 0));
         }
-        let stats = server.shutdown();
-        assert_eq!(stats.connections, 8);
-        assert_eq!(stats.frames_in, requests.len() as u64);
-        assert_eq!(stats.frames_out, requests.len() as u64);
-        assert_eq!(stats.protocol_errors, 0);
-        assert_eq!(stats.fleet.requests(), requests.len() as u64);
-        assert!(stats.fleet.shards.iter().all(|s| s.queue_depth == 0));
     }
 }
 

@@ -1,0 +1,150 @@
+//! The C10k acceptance test: one reactor thread serves 256 concurrent
+//! connections — 240 idle, 16 actively pipelining mixed clique sizes —
+//! with every reply bit-identical to sequential [`CliqueService`]
+//! execution, and the process's OS thread count stays O(shards): adding
+//! hundreds of sockets adds **zero** threads.
+//!
+//! This file holds exactly one test on purpose: the `/proc` thread-count
+//! assertions require that nothing else spawns threads in this process
+//! while they measure.
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use congested_clique::server::QueryResult;
+use congested_clique::{
+    CcClient, CliqueService, NetServer, NetServerConfig, Request, ServerConfig, ServerError,
+};
+
+const TOTAL_CONNS: usize = 256;
+const ACTIVE: usize = 16;
+const ROUNDS: usize = 8;
+
+/// The process's OS thread count per `/proc/self/status`; `None` where
+/// procfs is unavailable (the parity half of the test still runs).
+fn os_threads() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Blocks until the server has accepted `want` connections (acceptance
+/// is asynchronous to `connect` returning).
+fn wait_for_connections(server: &NetServer, want: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().connections < want {
+        assert!(
+            Instant::now() < deadline,
+            "only {} of {want} connections accepted",
+            server.stats().connections
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn reactor_serves_256_connections_on_one_thread() {
+    let shards = 2usize;
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        NetServerConfig::new(shards).with_fleet(
+            ServerConfig::new(shards)
+                .with_queue_capacity(32)
+                .with_coalesce_limit(8),
+        ),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let after_bind = os_threads();
+
+    // The active minority: full protocol clients, all driven from this
+    // one test thread via the submit/wait_next split API.
+    let mut clients: Vec<CcClient> = (0..ACTIVE)
+        .map(|_| CcClient::connect(addr).expect("connect"))
+        .collect();
+    wait_for_connections(&server, ACTIVE as u64);
+    let with_active = os_threads();
+
+    // The idle majority: accepted, counted, never speaking.
+    let idle: Vec<TcpStream> = (ACTIVE..TOTAL_CONNS)
+        .map(|_| TcpStream::connect(addr).expect("idle connect"))
+        .collect();
+    wait_for_connections(&server, TOTAL_CONNS as u64);
+    let with_idle = os_threads();
+
+    // Thread count is O(shards), not O(connections): neither the 16
+    // active clients nor the 240 idle sockets spawned a single server
+    // thread.
+    if let (Some(bind), Some(active), Some(idle_count)) = (after_bind, with_active, with_idle) {
+        assert_eq!(bind, active, "active connections spawned threads");
+        assert_eq!(active, idle_count, "idle connections spawned threads");
+    }
+
+    // Mixed clique sizes land on different shards, so replies genuinely
+    // complete out of order across the fleet.
+    let sizes = [8usize, 9, 16];
+    let requests: Vec<Request> = (0..ACTIVE * ROUNDS)
+        .map(|i| {
+            let n = sizes[i % sizes.len()];
+            Request::Mode(
+                (0..n)
+                    .map(|v| vec![(v as u64 * 7 + i as u64) % 13])
+                    .collect(),
+            )
+        })
+        .collect();
+    let mut services: HashMap<usize, CliqueService> = HashMap::new();
+    let reference: Vec<QueryResult> = requests
+        .iter()
+        .map(|request| {
+            let service = services
+                .entry(request.n())
+                .or_insert_with(|| CliqueService::new(request.n()).expect("service"));
+            request.serve_on(service)
+        })
+        .collect();
+
+    // One round per client per iteration: submit everywhere, then drain
+    // everywhere — 16 connections concurrently in flight, one thread.
+    let mut got: Vec<Option<QueryResult>> = Vec::new();
+    got.resize_with(requests.len(), || None);
+    let mut submitted: Vec<Vec<usize>> = vec![Vec::new(); ACTIVE];
+    for round in 0..ROUNDS {
+        for (c, client) in clients.iter_mut().enumerate() {
+            let index = round * ACTIVE + c;
+            let id = client.submit(&requests[index]).expect("submit");
+            assert_eq!(id as usize, submitted[c].len(), "ids count up per client");
+            submitted[c].push(index);
+        }
+        for (c, client) in clients.iter_mut().enumerate() {
+            while client.pending() > 0 {
+                let (id, result) = client.wait_next().expect("wait").expect("reply owed");
+                let index = submitted[c][id as usize];
+                let result = result.map_err(|e| match e {
+                    ServerError::Query(e) => e,
+                    other => panic!("server-level failure: {other}"),
+                });
+                assert!(got[index].replace(result).is_none(), "duplicate reply");
+            }
+        }
+    }
+
+    // Bit-parity of all 128 answers with sequential execution.
+    for (index, (got, want)) in got.iter().zip(&reference).enumerate() {
+        let got = got.as_ref().expect("answered");
+        assert_eq!(got, want, "request {index} diverged");
+    }
+
+    drop(idle);
+    drop(clients);
+    let stats = server.shutdown();
+    assert_eq!(stats.connections, TOTAL_CONNS as u64);
+    assert_eq!(stats.frames_in, requests.len() as u64);
+    assert_eq!(stats.frames_out, requests.len() as u64);
+    assert_eq!(stats.protocol_errors, 0);
+    assert_eq!(stats.idle_teardowns, 0);
+    assert_eq!(stats.fleet.requests(), requests.len() as u64);
+}

@@ -141,8 +141,7 @@ fn small_key_census_is_radix_invariant() {
         .map(|v| (0..n).map(|j| ((v * 31 + j * 17) % 2) as u64).collect())
         .collect();
     assert_invariant_across_matrix("census", |mode| {
-        let out =
-            small_key_census_with_spec(&keys, 1, spec_for_census(n).with_exec(mode)).unwrap();
+        let out = small_key_census_with_spec(&keys, 1, spec_for_census(n).with_exec(mode)).unwrap();
         (out.totals, out.prefix, out.metrics)
     });
 }
