@@ -56,11 +56,26 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), NetError> {
 ///
 /// Panics if `payload` exceeds `u32::MAX` bytes, as [`write_frame`].
 pub fn frame_vec(payload: &[u8]) -> Vec<u8> {
-    let len = u32::try_from(payload.len()).expect("frame payload exceeds u32::MAX bytes");
     let mut buf = Vec::with_capacity(4 + payload.len());
+    frame_into(&mut buf, payload);
+    buf
+}
+
+/// Builds one frame (length prefix + payload) into a reused buffer: the
+/// write-side half of the zero-copy wire path. `buf` is cleared and
+/// refilled; once it has grown to a connection's steady frame size, no
+/// further allocation happens — the reactor recycles flushed outbound
+/// buffers through exactly this call.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds `u32::MAX` bytes, as [`write_frame`].
+pub fn frame_into(buf: &mut Vec<u8>, payload: &[u8]) {
+    let len = u32::try_from(payload.len()).expect("frame payload exceeds u32::MAX bytes");
+    buf.clear();
+    buf.reserve(4 + payload.len());
     buf.extend_from_slice(&len.to_be_bytes());
     buf.extend_from_slice(payload);
-    buf
 }
 
 /// Reads one frame's payload, or `None` on a clean end-of-stream at a

@@ -11,18 +11,29 @@
 //!   [`Outcome`](cc_core::Outcome)/[`ServerError`](cc_server::ServerError)
 //!   reply, written with `cc-core`'s bit-exact
 //!   [`BitWriter`](cc_core::wire::BitWriter)/[`BitReader`](cc_core::wire::BitReader);
-//! * the **[`NetServer`]**: by default ([`ServingMode::Reactor`]) a
-//!   single event-loop thread multiplexing *every* accepted connection
-//!   through one `poll(2)` readiness set — nonblocking sockets, a
-//!   reusable [`frame::FrameDecoder`] per connection for partial reads,
-//!   a resumable write queue per connection for partial writes, fleet
-//!   fan-in over
+//! * the **[`NetServer`]**: by default ([`ServingMode::Reactor`]) one or
+//!   more event-loop threads
+//!   ([`with_reactor_threads`](NetServerConfig::with_reactor_threads))
+//!   multiplexing *every* accepted connection through a readiness
+//!   backend — edge-triggered `epoll` on Linux (fds registered once,
+//!   interest masks touched only on state changes, events delivered
+//!   O(ready), so idle connections cost nothing), with `poll(2)` as the
+//!   portable oracle and the `CC_REACTOR=poll` kill switch (see
+//!   [`ReactorBackend`]). Nonblocking sockets, a reusable
+//!   [`frame::FrameDecoder`] per connection for partial reads, a
+//!   resumable vectored write queue per connection (pipelined replies
+//!   coalesce into one `writev`, flushed buffers recycle through a
+//!   per-connection pool), fleet fan-in over
 //!   [`submit_tagged`](cc_server::ServiceHandle::submit_tagged) with a
-//!   self-pipe doorbell for reply wakeups — so server threads are
-//!   O(shards) while connections are O(thousands). Backpressure is
-//!   read-pausing (a full shard queue *parks* the request and pauses the
-//!   socket; nothing is dropped), and slow peers — byte-dribbling
-//!   partial frames, never-reading reply sinks — are evicted on the
+//!   self-pipe doorbell per reactor for reply wakeups — so server
+//!   threads are O(shards + reactors) while connections are
+//!   O(thousands). With multiple reactors, reactor 0 owns the listener
+//!   and deals each accepted socket to the least-loaded loop; every
+//!   reactor owns its fd set, backend instance and doorbell outright.
+//!   Backpressure is read-pausing (a full shard queue *parks* the
+//!   request and pauses the socket; nothing is dropped), and slow peers —
+//!   byte-dribbling partial frames, never-reading reply sinks — are
+//!   evicted on the
 //!   [`idle`](NetServerConfig::with_idle_timeout)/[`write`](NetServerConfig::with_write_timeout)
 //!   deadline clocks without stalling their neighbors. The legacy
 //!   two-threads-per-connection core remains as
@@ -99,9 +110,9 @@
 //! # }
 //! ```
 
-// `deny`, not `forbid`: the reactor's `poll(2)` binding is the one
-// `unsafe` island in the crate, explicitly allowed in its `sys` module
-// and nowhere else.
+// `deny`, not `forbid`: the reactor's `poll(2)`/`epoll` bindings are the
+// one `unsafe` island in the crate, explicitly allowed in its `sys`
+// module and nowhere else.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -118,6 +129,6 @@ pub use codec::{Frame, WireResult, WIRE_VERSION};
 pub use error::{NetError, WireError};
 pub use frame::{DEFAULT_MAX_FRAME_BYTES, DEFAULT_MAX_REPLY_FRAME_BYTES};
 pub use server::{
-    NetServer, NetServerConfig, NetStats, ServingMode, DEFAULT_IDLE_TIMEOUT, DEFAULT_WRITE_TIMEOUT,
-    MAX_CONN_INFLIGHT,
+    NetServer, NetServerConfig, NetStats, ReactorBackend, ServingMode, DEFAULT_IDLE_TIMEOUT,
+    DEFAULT_WRITE_TIMEOUT, MAX_CONN_INFLIGHT,
 };

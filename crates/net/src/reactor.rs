@@ -1,26 +1,45 @@
-//! The event-driven serving core: one thread, one `poll(2)` loop, every
-//! connection.
+//! The event-driven serving core: reactor threads multiplexing every
+//! connection through an O(ready) readiness backend.
 //!
 //! The thread-per-connection backend spends two OS threads and a blocking
-//! reply channel per socket. This module replaces all of that with a
-//! single **reactor** thread multiplexing every accepted socket through
-//! readiness notifications:
+//! reply channel per socket. This module replaces all of that with
+//! **reactor** threads multiplexing accepted sockets through readiness
+//! notifications:
 //!
-//! * all sockets are **non-blocking**; the reactor never parks inside a
+//! * all sockets are **non-blocking**; a reactor never parks inside a
 //!   read, write, accept or fleet submission — the only place it blocks
-//!   is one `poll(2)` call over every fd it owns, so an idle server is
-//!   exactly one parked thread (plus the shard workers parked on their
-//!   queues);
+//!   is one readiness wait over the fds it owns, so an idle server is
+//!   exactly the reactor threads parked (plus the shard workers parked on
+//!   their queues);
+//! * readiness arrives through a swappable [`Backend`] seam: the default
+//!   on Linux is **edge-triggered `epoll`** — every fd registered once,
+//!   interest masks updated only when a connection's paused/write-pending
+//!   state actually changes, events delivered as an O(ready) list — while
+//!   **`poll(2)`** remains as the portable oracle and the `CC_REACTOR=poll`
+//!   kill switch (it rebuilds its set per wait, which is exactly the O(n)
+//!   wall the epoll backend removes);
+//! * between waits the loop touches only the **attention set** — the
+//!   connections with cached readiness, parked submissions or armed
+//!   deadline clocks — never the whole table, so thousands of idle
+//!   sockets cost nothing per iteration;
 //! * each connection is a pair of **state machines**: the read side
 //!   accumulates partial frames in a reusable [`FrameDecoder`] buffer,
-//!   the write side drains a queue of [`OutFrame`]s that resume mid-frame
-//!   after `WouldBlock`;
-//! * fleet replies arrive on **one shared [`TaggedReply`] channel** (the
-//!   `submit_tagged` fan-in), announced by a [`ReplyWaker`] that writes a
-//!   byte to a self-pipe whose read end sits in the poll set — an mpsc
-//!   channel is invisible to `poll(2)`, the pipe is its doorbell. An
-//!   [`AtomicBool`] coalesces rings so the pipe holds at most one unread
-//!   byte no matter how many shards complete at once;
+//!   the write side drains a queue of [`OutFrame`]s with one
+//!   `write_vectored` per flush (pipelined replies coalesce into a single
+//!   syscall) that resumes mid-frame after `WouldBlock`, recycling
+//!   flushed frame buffers through a per-connection pool;
+//! * fleet replies arrive on **one shared [`TaggedReply`] channel per
+//!   reactor** (the `submit_tagged` fan-in), announced by a
+//!   [`ReplyWaker`] that writes a byte to a self-pipe whose read end sits
+//!   in the readiness set — an mpsc channel is invisible to the kernel,
+//!   the pipe is its doorbell. An [`AtomicBool`] coalesces rings so the
+//!   pipe holds at most one unread byte no matter how many shards
+//!   complete at once;
+//! * with `reactor_threads > 1`, reactor 0 owns the listener and deals
+//!   each accepted socket to the **least-loaded reactor** over an inject
+//!   channel plus doorbell ring; every reactor owns its fd set, backend
+//!   instance and doorbell outright — no lock is ever shared between
+//!   event loops;
 //! * **backpressure is read-pausing**: a connection past its in-flight
 //!   cap, or whose submission bounced off a full shard queue (the request
 //!   is *parked*, not dropped), simply loses read interest — TCP flow
@@ -31,15 +50,15 @@
 //!   and the connection is torn down without ever stalling its
 //!   neighbours.
 //!
-//! The `poll(2)` binding is the crate's single `unsafe` island: a
-//! `repr(C)` pollfd and one FFI call, both confined to [`sys`].
+//! The `poll(2)`/`epoll` bindings are the crate's single `unsafe` island:
+//! `repr(C)` structs and the foreign calls, all confined to [`sys`].
 
-use std::collections::{HashMap, VecDeque};
-use std::io::{ErrorKind, PipeReader, Read, Write};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{ErrorKind, IoSlice, PipeReader, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
-use std::os::fd::AsRawFd;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -49,10 +68,10 @@ use cc_server::{ReplyWaker, Request, ServerError, ServiceHandle, TaggedReply};
 use crate::codec::{self, Frame};
 use crate::error::WireError;
 use crate::frame::{self, FrameDecoder};
-use crate::server::{Telemetry, MAX_CONN_INFLIGHT};
+use crate::server::{ReactorBackend, Telemetry, MAX_CONN_INFLIGHT};
 
-/// The `poll(2)` binding — the one `unsafe` corner of the crate, kept to
-/// a `repr(C)` struct and a single foreign call.
+/// The `poll(2)` and `epoll` bindings — the one `unsafe` corner of the
+/// crate, kept to `repr(C)` structs and the foreign calls.
 #[allow(unsafe_code)]
 mod sys {
     use std::ffi::{c_int, c_ulong};
@@ -116,12 +135,12 @@ mod sys {
         }
     }
 
-    /// Blocks until some registered fd is ready or `timeout` elapses
-    /// (`None` blocks indefinitely). Retries `EINTR` internally; rounds a
-    /// sub-millisecond timeout *up* so a near deadline cannot degenerate
-    /// into a zero-timeout busy spin.
-    pub(super) fn wait(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
-        let timeout_ms: c_int = match timeout {
+    /// Millisecond timeout in the convention `poll` and `epoll_wait`
+    /// share: `-1` blocks indefinitely, and a sub-millisecond non-zero
+    /// timeout rounds *up* so a near deadline cannot degenerate into a
+    /// zero-timeout busy spin.
+    fn timeout_ms(timeout: Option<Duration>) -> c_int {
+        match timeout {
             None => -1,
             Some(d) => {
                 let mut ms = d.as_millis();
@@ -130,7 +149,13 @@ mod sys {
                 }
                 c_int::try_from(ms).unwrap_or(c_int::MAX)
             }
-        };
+        }
+    }
+
+    /// Blocks until some registered fd is ready or `timeout` elapses
+    /// (`None` blocks indefinitely). Retries `EINTR` internally.
+    pub(super) fn wait(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms = timeout_ms(timeout);
         loop {
             // SAFETY: `fds` is a valid exclusive slice of `PollFd`, which
             // is layout-identical to the kernel's `struct pollfd`; the
@@ -145,6 +170,123 @@ mod sys {
             }
         }
     }
+
+    pub(super) const EPOLLIN: u32 = 0x001;
+    pub(super) const EPOLLOUT: u32 = 0x004;
+    pub(super) const EPOLLERR: u32 = 0x008;
+    pub(super) const EPOLLHUP: u32 = 0x010;
+    /// Edge-triggered delivery: the kernel queues an event on a readiness
+    /// *transition* and the consumer must drain to `WouldBlock` — which
+    /// the reactor's cached-readiness flags do anyway.
+    pub(super) const EPOLLET: u32 = 1 << 31;
+
+    #[cfg(target_os = "linux")]
+    pub(super) const EPOLL_CTL_ADD: c_int = 1;
+    #[cfg(target_os = "linux")]
+    pub(super) const EPOLL_CTL_DEL: c_int = 2;
+    #[cfg(target_os = "linux")]
+    pub(super) const EPOLL_CTL_MOD: c_int = 3;
+
+    /// `struct epoll_event`, bit-for-bit. x86-64 is the one ABI where the
+    /// kernel packs it (no padding between the 32-bit mask and 64-bit
+    /// data); everywhere else natural alignment matches.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub(super) struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub(super) struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[cfg(target_os = "linux")]
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    #[cfg(target_os = "linux")]
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+    /// An owned epoll instance: created `CLOEXEC`, closed on drop.
+    #[cfg(target_os = "linux")]
+    pub(super) struct EpollFd(c_int);
+
+    #[cfg(target_os = "linux")]
+    impl EpollFd {
+        pub(super) fn new() -> io::Result<Self> {
+            // SAFETY: plain syscall taking only a flags word.
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(EpollFd(fd))
+        }
+
+        /// `epoll_ctl`: add, modify or delete one fd's persistent
+        /// registration. `data` rides back verbatim in every event for
+        /// the fd — the reactor stores its connection token there.
+        pub(super) fn ctl(&self, op: c_int, fd: c_int, events: u32, data: u64) -> io::Result<()> {
+            let mut ev = EpollEvent { events, data };
+            // SAFETY: `ev` is a live stack local matching the kernel's
+            // epoll_event layout; the kernel copies it out during the call.
+            let rc = unsafe { epoll_ctl(self.0, op, fd, &mut ev) };
+            if rc == 0 {
+                Ok(())
+            } else {
+                Err(io::Error::last_os_error())
+            }
+        }
+
+        /// Blocks until events arrive or `timeout` elapses, filling `buf`
+        /// with at most `buf.len()` ready events — O(ready), however many
+        /// fds are registered. Retries `EINTR` internally; same timeout
+        /// convention as [`wait`].
+        pub(super) fn wait(
+            &self,
+            buf: &mut [EpollEvent],
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            let timeout_ms = timeout_ms(timeout);
+            let cap = c_int::try_from(buf.len()).unwrap_or(c_int::MAX);
+            loop {
+                // SAFETY: `buf` is a valid exclusive slice; the kernel
+                // writes at most `cap` events into it.
+                let rc = unsafe { epoll_wait(self.0, buf.as_mut_ptr(), cap, timeout_ms) };
+                if rc >= 0 {
+                    return Ok(rc as usize);
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    impl Drop for EpollFd {
+        fn drop(&mut self) {
+            // SAFETY: closing the fd this struct exclusively owns.
+            unsafe {
+                close(self.0);
+            }
+        }
+    }
 }
 
 /// How long the reactor waits before re-attempting a parked (shard-queue
@@ -152,18 +294,208 @@ mod sys {
 /// promptly, long enough not to spin.
 const PARK_RETRY_TICK: Duration = Duration::from_millis(10);
 
-/// How long the listener sits out of the poll set after an accept error
-/// (fd exhaustion): a level-triggered readiness we cannot consume must
-/// not busy-spin the loop.
+/// How long the listener sits with accept readiness ignored after an
+/// accept error (fd exhaustion): readiness we cannot consume must not
+/// busy-spin the loop.
 const ACCEPT_BACKOFF: Duration = Duration::from_millis(50);
 
-/// Per-connection cap on bytes read in one poll iteration — fairness: a
-/// firehose connection cannot monopolize the loop while others wait.
+/// Per-connection cap on bytes read in one reactor iteration — fairness:
+/// a firehose connection cannot monopolize the loop while others wait.
 const READ_BUDGET: usize = 1 << 20;
 
-/// State shared between the reactor thread and the owning
+/// Doorbell token in the readiness backend.
+const TOKEN_WAKE: u64 = 0;
+/// Listener token in the readiness backend (reactor 0 only).
+const TOKEN_LISTENER: u64 = 1;
+/// Connection ids map to tokens at this offset.
+const TOKEN_CONN_BASE: u64 = 2;
+
+/// Ready events fetched per `epoll_wait`. Undelivered events stay queued
+/// in the kernel, so a small fixed buffer bounds memory without losing
+/// anything.
+const EPOLL_BATCH: usize = 256;
+
+/// Most queued frames one `write_vectored` coalesces.
+const WRITE_BATCH: usize = 64;
+
+/// Flushed outbound frame buffers recycled per connection. Sixteen covers
+/// a full pipelining burst without holding a slow connection's peak
+/// allocation forever.
+const FRAME_POOL_CAP: usize = 16;
+
+/// One readiness report, backend-agnostic: which registration fired and
+/// which directions are now actionable.
+#[derive(Clone, Copy, Debug)]
+struct Event {
+    token: u64,
+    readable: bool,
+    writable: bool,
+    /// Error or hangup: the peer is gone or the fd is broken. Both state
+    /// machines are allowed to run (the error surfaces as a read/write
+    /// failure) and the connection is torn down if neither can consume it.
+    erred: bool,
+}
+
+/// The portable oracle: interest kept in a map, the `pollfd` array
+/// rebuilt on every wait — O(n) per iteration by design, which is what
+/// the epoll backend exists to beat. Retained as the correctness
+/// baseline, the non-Linux fallback and the `CC_REACTOR=poll` kill
+/// switch.
+#[derive(Default)]
+struct PollBackend {
+    regs: HashMap<u64, (RawFd, bool, bool)>,
+    pollfds: Vec<sys::PollFd>,
+    tokens: Vec<u64>,
+}
+
+/// Edge-triggered `epoll`: every fd registered once with its token in
+/// `epoll_event.data`, interest changed only via `EPOLL_CTL_MOD` when a
+/// connection's paused/write-pending state flips, readiness fetched as
+/// an O(ready) batch.
+#[cfg(target_os = "linux")]
+struct EpollBackend {
+    ep: sys::EpollFd,
+    buf: Vec<sys::EpollEvent>,
+}
+
+/// The readiness seam both event-loop backends sit behind. The reactor
+/// calls `update` only when a connection's desired interest actually
+/// changes, so the epoll backend performs zero syscalls for a connection
+/// whose state is steady — and the poll backend simply mirrors the mask
+/// into its map.
+enum Backend {
+    Poll(PollBackend),
+    #[cfg(target_os = "linux")]
+    Epoll(EpollBackend),
+}
+
+impl Backend {
+    fn new(kind: ReactorBackend) -> std::io::Result<Backend> {
+        match kind {
+            #[cfg(target_os = "linux")]
+            ReactorBackend::Epoll => Ok(Backend::Epoll(EpollBackend {
+                ep: sys::EpollFd::new()?,
+                buf: vec![sys::EpollEvent { events: 0, data: 0 }; EPOLL_BATCH],
+            })),
+            #[cfg(not(target_os = "linux"))]
+            ReactorBackend::Epoll => Ok(Backend::Poll(PollBackend::default())),
+            ReactorBackend::Poll => Ok(Backend::Poll(PollBackend::default())),
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    fn epoll_mask(read: bool, write: bool) -> u32 {
+        let mut mask = sys::EPOLLET;
+        if read {
+            mask |= sys::EPOLLIN;
+        }
+        if write {
+            mask |= sys::EPOLLOUT;
+        }
+        mask
+    }
+
+    /// Installs a new fd with its initial interest.
+    fn register(&mut self, fd: RawFd, token: u64, read: bool, write: bool) -> std::io::Result<()> {
+        match self {
+            Backend::Poll(p) => {
+                p.regs.insert(token, (fd, read, write));
+                Ok(())
+            }
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(e) => {
+                e.ep.ctl(sys::EPOLL_CTL_ADD, fd, Self::epoll_mask(read, write), token)
+            }
+        }
+    }
+
+    /// Changes an installed fd's interest. Call only on a real change —
+    /// that is the contract that makes the epoll backend O(ready).
+    fn update(&mut self, fd: RawFd, token: u64, read: bool, write: bool) -> std::io::Result<()> {
+        match self {
+            Backend::Poll(p) => {
+                p.regs.insert(token, (fd, read, write));
+                Ok(())
+            }
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(e) => {
+                e.ep.ctl(sys::EPOLL_CTL_MOD, fd, Self::epoll_mask(read, write), token)
+            }
+        }
+    }
+
+    /// Removes an fd ahead of closing it.
+    fn deregister(&mut self, fd: RawFd, token: u64) {
+        match self {
+            Backend::Poll(p) => {
+                p.regs.remove(&token);
+            }
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(e) => {
+                let _ = e.ep.ctl(sys::EPOLL_CTL_DEL, fd, 0, token);
+            }
+        }
+    }
+
+    /// Blocks for readiness, replacing `out` with the ready list.
+    fn wait(&mut self, timeout: Option<Duration>, out: &mut Vec<Event>) -> std::io::Result<()> {
+        out.clear();
+        match self {
+            Backend::Poll(p) => {
+                p.pollfds.clear();
+                p.tokens.clear();
+                for (&token, &(fd, read, write)) in &p.regs {
+                    let mut events = 0i16;
+                    if read {
+                        events |= sys::POLLIN;
+                    }
+                    if write {
+                        events |= sys::POLLOUT;
+                    }
+                    p.pollfds.push(sys::PollFd {
+                        fd,
+                        events,
+                        revents: 0,
+                    });
+                    p.tokens.push(token);
+                }
+                sys::wait(&mut p.pollfds, timeout)?;
+                for (pfd, &token) in p.pollfds.iter().zip(&p.tokens) {
+                    if pfd.revents == 0 {
+                        continue;
+                    }
+                    out.push(Event {
+                        token,
+                        readable: pfd.revents & sys::POLLIN != 0,
+                        writable: pfd.revents & sys::POLLOUT != 0,
+                        erred: pfd.revents & (sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0,
+                    });
+                }
+                Ok(())
+            }
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(e) => {
+                let n = e.ep.wait(&mut e.buf, timeout)?;
+                for ev in &e.buf[..n] {
+                    // Copy out of the (possibly packed) FFI struct before
+                    // taking references to the fields.
+                    let (events, data) = (ev.events, ev.data);
+                    out.push(Event {
+                        token: data,
+                        readable: events & sys::EPOLLIN != 0,
+                        writable: events & sys::EPOLLOUT != 0,
+                        erred: events & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// State shared between the reactor threads and the owning
 /// [`NetServer`](crate::NetServer): the shutdown flag plus the config the
-/// loop consults every iteration.
+/// loops consult every iteration.
 pub(crate) struct ReactorShared {
     pub(crate) closed: AtomicBool,
     pub(crate) telemetry: Arc<Telemetry>,
@@ -191,7 +523,7 @@ struct OutFrame {
 }
 
 /// One connection's full state: both state machines plus the accounting
-/// that drives poll interest and teardown deadlines.
+/// that drives readiness interest and teardown deadlines.
 struct Conn {
     stream: TcpStream,
     decoder: FrameDecoder,
@@ -208,8 +540,8 @@ struct Conn {
     /// No more bytes will be read: client EOF, read error, protocol
     /// error, or server drain.
     eof: bool,
-    /// Torn down (write failure, poll error, deadline); removed at the
-    /// next reap, dropping anything still queued.
+    /// Torn down (write failure, backend error, deadline); removed at the
+    /// next attention pass, dropping anything still queued.
     dead: bool,
     /// Since when a partial frame has been pending while we were willing
     /// to read — the slow-loris clock. Armed when a partial appears, *not*
@@ -218,6 +550,24 @@ struct Conn {
     /// Since when the write queue has been non-empty without a completed
     /// frame flush — the never-reads clock.
     out_since: Option<Instant>,
+    /// Cached read readiness. Under edge-triggered epoll an event is the
+    /// only notification we get, so readiness must be remembered across
+    /// iterations (a read budget breakout, a backpressure pause) and
+    /// cleared only by `WouldBlock`.
+    read_ready: bool,
+    /// Cached write readiness; cleared by `WouldBlock`, restored by a
+    /// writable event or a full drain.
+    write_ready: bool,
+    /// An error/hangup event was seen; sticky. If neither state machine
+    /// can consume it (paused read, empty write queue), teardown.
+    hangup: bool,
+    /// Last interest mask installed in the backend: `(read, write)`. The
+    /// loop issues `Backend::update` only when the desired mask differs.
+    interest: (bool, bool),
+    /// Flushed outbound frame buffers, recycled through
+    /// [`frame::frame_into`] — after one warm-up burst the reply path
+    /// allocates nothing.
+    pool: Vec<Vec<u8>>,
 }
 
 impl Conn {
@@ -233,6 +583,11 @@ impl Conn {
             dead: false,
             partial_since: None,
             out_since: None,
+            read_ready: false,
+            write_ready: true,
+            hangup: false,
+            interest: (true, false),
+            pool: Vec::new(),
         }
     }
 
@@ -265,9 +620,96 @@ impl Conn {
     /// kernel), keep everything owed flowing out.
     fn begin_drain(&mut self) {
         self.eof = true;
+        self.read_ready = false;
         self.decoder.clear();
         self.partial_since = None;
         let _ = self.stream.shutdown(Shutdown::Read);
+    }
+
+    /// Queues one outbound frame — built into a recycled buffer — and
+    /// flushes eagerly when the socket last looked writable: in the
+    /// common case the frame leaves in this call and the queue never
+    /// grows.
+    fn push_payload(&mut self, payload: &[u8], gated: bool, telemetry: &Telemetry, now: Instant) {
+        if self.dead {
+            return;
+        }
+        let mut bytes = self.pool.pop().unwrap_or_default();
+        frame::frame_into(&mut bytes, payload);
+        if self.out.is_empty() {
+            self.out_since = Some(now);
+        }
+        self.out.push_back(OutFrame {
+            bytes,
+            sent: 0,
+            gated,
+        });
+        if self.write_ready {
+            self.flush(telemetry, now);
+        }
+    }
+
+    /// The write state machine: drains the queue front-first with one
+    /// `write_vectored` per pass — pipelined replies coalesce into a
+    /// single syscall — resuming partial sends, until empty or
+    /// `WouldBlock`. Frame completion is the unit of accounting:
+    /// `frames_out`, gate slots, the never-reads clock and buffer
+    /// recycling all advance only when a whole frame has left.
+    fn flush(&mut self, telemetry: &Telemetry, now: Instant) {
+        while !self.out.is_empty() {
+            let written = {
+                let mut iov: Vec<IoSlice<'_>> = Vec::with_capacity(self.out.len().min(WRITE_BATCH));
+                let mut frames = self.out.iter();
+                let front = frames.next().expect("queue is non-empty");
+                iov.push(IoSlice::new(&front.bytes[front.sent..]));
+                for frame in frames.take(WRITE_BATCH - 1) {
+                    iov.push(IoSlice::new(&frame.bytes));
+                }
+                self.stream.write_vectored(&iov)
+            };
+            match written {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(mut wrote) => {
+                    while wrote > 0 {
+                        let front = self.out.front_mut().expect("written bytes imply a frame");
+                        let remaining = front.bytes.len() - front.sent;
+                        if wrote < remaining {
+                            front.sent += wrote;
+                            break;
+                        }
+                        wrote -= remaining;
+                        let sent = self.out.pop_front().expect("front exists");
+                        telemetry.frames_out.fetch_add(1, Ordering::Relaxed);
+                        if sent.gated {
+                            self.gate -= 1;
+                        }
+                        self.out_since = if self.out.is_empty() { None } else { Some(now) };
+                        self.recycle(sent.bytes);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    self.write_ready = false;
+                    return;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        self.write_ready = true;
+    }
+
+    /// Returns a flushed frame buffer to the connection's pool.
+    fn recycle(&mut self, mut bytes: Vec<u8>) {
+        if self.pool.len() < FRAME_POOL_CAP {
+            bytes.clear();
+            self.pool.push(bytes);
+        }
     }
 }
 
@@ -286,33 +728,48 @@ struct Ctx {
     /// connections; fleet tags must not.
     tokens: HashMap<u64, (u64, u64)>,
     next_token: u64,
+    /// Connections needing servicing this iteration: cached readiness,
+    /// parked submissions, armed deadline clocks. Everything *not* in
+    /// here costs zero per loop — the invariant that keeps thousands of
+    /// idle connections free.
+    attention: HashSet<u64>,
 }
 
 impl Ctx {
     /// The read state machine's pump: fill from the socket until it would
     /// block (or the fairness budget is spent), parsing as bytes land so
-    /// backpressure pauses the fill mid-stream.
+    /// backpressure pauses the fill mid-stream. `WouldBlock` — and only
+    /// `WouldBlock` — clears the cached read readiness, which is what
+    /// edge-triggered delivery requires.
     fn fill_and_parse(&mut self, conn_id: u64, conn: &mut Conn, now: Instant) {
         let mut budget = READ_BUDGET;
         while conn.wants_read() {
             match conn.decoder.fill_from(&mut conn.stream) {
                 Ok(0) => {
                     conn.eof = true;
+                    conn.read_ready = false;
                     break;
                 }
                 Ok(n) => {
                     self.parse(conn_id, conn, now);
                     budget = budget.saturating_sub(n);
                     if budget == 0 {
+                        // Budget spent with the socket still readable:
+                        // read_ready stays set, the attention set re-runs
+                        // us next iteration.
                         break;
                     }
                 }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    conn.read_ready = false;
+                    break;
+                }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(_) => {
                     // Transport failure: no more input; what was already
                     // buffered mid-frame is garbage.
                     conn.eof = true;
+                    conn.read_ready = false;
                     conn.decoder.clear();
                     break;
                 }
@@ -409,7 +866,7 @@ impl Ctx {
             }
             Err((e, _)) => {
                 let payload = codec::encode_reply(wire_id, &Err(e));
-                self.push_out(conn, frame::frame_vec(&payload), false, now);
+                conn.push_payload(&payload, false, &self.shared.telemetry, now);
             }
         }
     }
@@ -423,78 +880,62 @@ impl Ctx {
             .protocol_errors
             .fetch_add(1, Ordering::Relaxed);
         conn.eof = true;
+        conn.read_ready = false;
         conn.decoder.clear();
         conn.partial_since = None;
         let _ = conn.stream.shutdown(Shutdown::Read);
         let payload = codec::encode_protocol_error(notice_id, &error);
-        self.push_out(conn, frame::frame_vec(&payload), false, now);
-    }
-
-    /// Queues one outbound frame and flushes eagerly — in the common case
-    /// of a drained socket buffer the frame leaves in this call and the
-    /// queue never grows.
-    fn push_out(&mut self, conn: &mut Conn, bytes: Vec<u8>, gated: bool, now: Instant) {
-        if conn.dead {
-            return;
-        }
-        if conn.out.is_empty() {
-            conn.out_since = Some(now);
-        }
-        conn.out.push_back(OutFrame {
-            bytes,
-            sent: 0,
-            gated,
-        });
-        self.flush(conn, now);
-    }
-
-    /// The write state machine: drains the queue front-first, resuming
-    /// partial sends, until empty or `WouldBlock`. Frame completion is
-    /// the unit of accounting — `frames_out`, gate slots and the
-    /// never-reads clock all advance only when a whole frame has left.
-    fn flush(&mut self, conn: &mut Conn, now: Instant) {
-        while let Some(front) = conn.out.front_mut() {
-            match conn.stream.write(&front.bytes[front.sent..]) {
-                Ok(0) => {
-                    conn.dead = true;
-                    return;
-                }
-                Ok(k) => {
-                    front.sent += k;
-                    if front.sent == front.bytes.len() {
-                        let gated = front.gated;
-                        conn.out.pop_front();
-                        self.shared
-                            .telemetry
-                            .frames_out
-                            .fetch_add(1, Ordering::Relaxed);
-                        if gated {
-                            conn.gate -= 1;
-                        }
-                        conn.out_since = if conn.out.is_empty() { None } else { Some(now) };
-                    }
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(_) => {
-                    conn.dead = true;
-                    return;
-                }
-            }
-        }
+        conn.push_payload(&payload, false, &self.shared.telemetry, now);
     }
 }
 
-/// The reactor itself: the poll set, the connection table and the shared
-/// context. Runs [`Reactor::run`] on its own thread until drained.
+/// Another reactor as seen by the accepting one: where to hand a fresh
+/// socket, how to ring its doorbell, and how loaded it currently is.
+struct Peer {
+    inject: Sender<TcpStream>,
+    waker: ReplyWaker,
+    load: Arc<AtomicUsize>,
+}
+
+/// What must happen before the next blocking wait, accumulated over one
+/// attention pass.
+#[derive(Default)]
+struct Wake {
+    /// Earliest scheduled instant: a parked retry, a deadline, a backoff.
+    deadline: Option<Instant>,
+    /// Actionable readiness is still cached (read budget breakout, listener
+    /// not yet drained): wait with a zero timeout, service, repeat.
+    immediate: bool,
+}
+
+/// One reactor: its readiness backend, its connection table, its doorbell
+/// and its slice of the accept load. Runs [`Reactor::run`] on its own
+/// thread until drained.
 struct Reactor {
+    /// Reactor 0 owns the listener; the rest serve only injected sockets.
     listener: Option<TcpListener>,
     wake_rx: PipeReader,
+    backend: Backend,
     conns: HashMap<u64, Conn>,
     next_conn: u64,
     accept_backoff: Option<Instant>,
-    pollfds: Vec<sys::PollFd>,
-    poll_ids: Vec<u64>,
+    /// Cached listener readiness — edge-triggered delivery means an
+    /// un-drained accept queue must be remembered, not re-reported.
+    listener_ready: bool,
+    events: Vec<Event>,
+    /// Scratch for one drained attention set.
+    scratch: Vec<u64>,
+    /// Sockets handed over by the accepting reactor.
+    inject_rx: Receiver<TcpStream>,
+    /// The inject channel's senders are gone (drain has begun everywhere);
+    /// no more sockets can arrive.
+    inject_done: bool,
+    /// All reactors (self included at index 0), held by the accepting
+    /// reactor only; cleared at drain so the inject channels disconnect.
+    peers: Vec<Peer>,
+    /// This reactor's live-connection gauge, shared with the acceptor's
+    /// `peers` entry for least-connections placement.
+    load: Arc<AtomicUsize>,
     ctx: Ctx,
 }
 
@@ -507,126 +948,243 @@ fn earlier(best: Option<Instant>, candidate: Instant) -> Option<Instant> {
 }
 
 impl Reactor {
-    /// The loop. One iteration: reap finished connections, build the poll
-    /// set, park in `poll(2)`, then service whatever woke us — the reply
-    /// doorbell, the listener, ready sockets, parked submissions and
-    /// expired deadlines, in that order.
+    /// The loop. One iteration: adopt handed-over sockets, service the
+    /// attention set (cached readiness, parked retries, deadline clocks,
+    /// interest-mask sync, teardown), park in the backend's wait, then
+    /// apply the ready events — the reply doorbell, the listener and the
+    /// flagged connections.
     fn run(mut self) {
         let mut draining = false;
         loop {
             if !draining && self.ctx.shared.closed.load(Ordering::Acquire) {
                 draining = true;
-                self.listener = None;
-                for conn in self.conns.values_mut() {
+                if let Some(listener) = self.listener.take() {
+                    self.backend
+                        .deregister(listener.as_raw_fd(), TOKEN_LISTENER);
+                }
+                self.listener_ready = false;
+                // Dropping the peer senders disconnects every inject
+                // channel: each reactor can then prove no more sockets
+                // are coming and exit when its own table drains. The
+                // doorbell ring must come strictly *after* the drop — a
+                // peer that checked its channel between our drop and its
+                // ring would otherwise see `Empty`, park unbounded, and
+                // never learn the channel died (channel disconnection by
+                // itself wakes nobody).
+                for peer in self.peers.drain(..) {
+                    drop(peer.inject);
+                    (peer.waker)();
+                }
+                let Reactor { conns, ctx, .. } = &mut self;
+                for (&id, conn) in conns.iter_mut() {
                     conn.begin_drain();
+                    ctx.attention.insert(id);
                 }
             }
-            self.conns.retain(|_, conn| {
-                if conn.dead {
-                    let _ = conn.stream.shutdown(Shutdown::Both);
-                    return false;
-                }
-                // A graceful close: everything owed was flushed; dropping
-                // the stream sends FIN.
-                !conn.done()
-            });
-            if draining && self.conns.is_empty() {
+            self.adopt_injected(draining);
+            let now = Instant::now();
+            let mut wake = Wake::default();
+            self.process_attention(now, &mut wake);
+            if draining && self.conns.is_empty() && self.inject_done {
                 return;
             }
-            let now = Instant::now();
-            let timeout = self.poll_timeout(now);
-            let listener_polled = self.build_pollfds(now);
-            if sys::wait(&mut self.pollfds, timeout).is_err() {
-                // poll itself failing (ENOMEM) is transient; yield rather
-                // than spin.
+            if self.listener_ready {
+                match self.accept_backoff {
+                    Some(until) => wake.deadline = earlier(wake.deadline, until),
+                    None => wake.immediate = true,
+                }
+            }
+            if draining && !self.inject_done {
+                // Safety net over the ring-after-drop handshake above:
+                // while the inject channel could still disconnect, poll it
+                // on a tick rather than trusting any single wakeup.
+                wake.deadline = earlier(wake.deadline, now + PARK_RETRY_TICK);
+            }
+            let timeout = if wake.immediate {
+                Some(Duration::ZERO)
+            } else {
+                wake.deadline.map(|t| t.saturating_duration_since(now))
+            };
+            if self.backend.wait(timeout, &mut self.events).is_err() {
+                // The wait itself failing (ENOMEM) is transient; yield
+                // rather than spin.
                 std::thread::sleep(Duration::from_millis(1));
                 continue;
             }
             let now = Instant::now();
-            if self.pollfds[0].revents != 0 {
-                let mut sink = [0u8; 64];
-                let _ = self.wake_rx.read(&mut sink);
-            }
+            self.apply_events();
             // Clear-then-drain: a reply landing after the drain below
-            // finds the flag clear, rings a fresh byte, and the next poll
+            // finds the flag clear, rings a fresh byte, and the next wait
             // returns immediately — no lost wake-ups.
             self.ctx.wake_pending.store(false, Ordering::SeqCst);
             self.drain_replies(now);
-            if listener_polled && self.pollfds[1].revents != 0 {
-                self.accept_ready(now);
-            }
-            self.dispatch(listener_polled, now);
-            self.retry_parked(now);
-            self.sweep(now);
+            self.maybe_accept(now);
         }
     }
 
-    /// The next instant anything is *scheduled* to happen: a parked
-    /// retry, a slow-loris or never-reads deadline, the accept backoff.
-    /// `None` — block indefinitely — whenever the fleet is fully idle.
-    fn poll_timeout(&self, now: Instant) -> Option<Duration> {
-        let idle = self.ctx.shared.idle_timeout;
-        let write = self.ctx.shared.write_timeout;
-        let mut best: Option<Instant> = None;
-        for conn in self.conns.values() {
+    /// Folds the backend's ready list into per-connection cached
+    /// readiness and the attention set — O(ready), the whole point.
+    fn apply_events(&mut self) {
+        let events = std::mem::take(&mut self.events);
+        for ev in &events {
+            match ev.token {
+                TOKEN_WAKE => {
+                    let mut sink = [0u8; 64];
+                    let _ = self.wake_rx.read(&mut sink);
+                }
+                TOKEN_LISTENER => self.listener_ready = true,
+                token => {
+                    let id = token - TOKEN_CONN_BASE;
+                    if let Some(conn) = self.conns.get_mut(&id) {
+                        if ev.readable {
+                            conn.read_ready = true;
+                        }
+                        if ev.writable {
+                            conn.write_ready = true;
+                        }
+                        if ev.erred {
+                            // Let both state machines run: the failure
+                            // surfaces as a read/write error, or as an
+                            // unconsumable hangup at the attention pass.
+                            conn.read_ready = true;
+                            conn.write_ready = true;
+                            conn.hangup = true;
+                        }
+                        self.ctx.attention.insert(id);
+                    }
+                }
+            }
+        }
+        self.events = events;
+    }
+
+    /// Services every connection in the attention set: the read pump, the
+    /// write drain, parked retries, freed-gate re-parsing, deadline
+    /// clocks, teardown and interest-mask sync. Connections that remain
+    /// interesting (armed clocks, leftover readiness) re-enter the set;
+    /// everything else costs nothing until its next event.
+    fn process_attention(&mut self, now: Instant, wake: &mut Wake) {
+        let Reactor {
+            conns,
+            ctx,
+            backend,
+            load,
+            scratch,
+            ..
+        } = self;
+        let idle = ctx.shared.idle_timeout;
+        let write = ctx.shared.write_timeout;
+        scratch.clear();
+        scratch.extend(ctx.attention.drain());
+        for &id in scratch.iter() {
+            let Some(conn) = conns.get_mut(&id) else {
+                continue;
+            };
+            if !conn.dead {
+                if conn.read_ready && conn.wants_read() {
+                    ctx.fill_and_parse(id, conn, now);
+                }
+                if conn.write_ready && !conn.out.is_empty() && !conn.dead {
+                    conn.flush(&ctx.shared.telemetry, now);
+                }
+                if !conn.dead {
+                    if let Some((wire_id, request)) = conn.parked.take() {
+                        // The advisory capacity check skips futile tries; a
+                        // lost race against another handle simply re-parks.
+                        if ctx.handle.has_capacity_for(request.n()) {
+                            ctx.submit(id, conn, wire_id, request, now);
+                        } else {
+                            conn.parked = Some((wire_id, request));
+                        }
+                    }
+                }
+                if !conn.dead && conn.wants_read() && conn.decoder.buffered() > 0 {
+                    // Parse input unblocked by freed gate slots or
+                    // un-parking.
+                    ctx.parse(id, conn, now);
+                }
+                conn.update_partial(now);
+                let read_stalled = conn
+                    .partial_since
+                    .is_some_and(|t| now.duration_since(t) >= idle);
+                let write_stalled = conn
+                    .out_since
+                    .is_some_and(|t| now.duration_since(t) >= write);
+                if !conn.dead && (read_stalled || write_stalled) {
+                    conn.dead = true;
+                    ctx.shared
+                        .telemetry
+                        .idle_teardowns
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                if !conn.dead
+                    && conn.hangup
+                    && !conn.wants_read()
+                    && conn.out.is_empty()
+                    && !conn.done()
+                {
+                    // An error on a fully paused connection: neither state
+                    // machine can consume it. The peer is gone; tear down.
+                    conn.dead = true;
+                }
+            }
+            if conn.dead || conn.done() {
+                let conn = conns.remove(&id).expect("present: just serviced");
+                backend.deregister(conn.stream.as_raw_fd(), id + TOKEN_CONN_BASE);
+                load.fetch_sub(1, Ordering::Relaxed);
+                if conn.dead {
+                    let _ = conn.stream.shutdown(Shutdown::Both);
+                }
+                // A graceful close: everything owed was flushed; dropping
+                // the stream sends FIN.
+                continue;
+            }
+            let desired = (conn.wants_read(), !conn.out.is_empty());
+            if desired != conn.interest {
+                if desired.0 && !conn.interest.0 {
+                    // Re-enabling read interest: bytes may have landed
+                    // while we were paused without IN in the mask, so
+                    // force one speculative read rather than rely on the
+                    // backend re-reporting.
+                    conn.read_ready = true;
+                }
+                if backend
+                    .update(
+                        conn.stream.as_raw_fd(),
+                        id + TOKEN_CONN_BASE,
+                        desired.0,
+                        desired.1,
+                    )
+                    .is_err()
+                {
+                    conn.dead = true;
+                    ctx.attention.insert(id);
+                    continue;
+                }
+                conn.interest = desired;
+            }
+            // Reschedule: anything still interesting re-enters the set.
+            let mut keep = false;
             if conn.parked.is_some() {
-                best = earlier(best, now + PARK_RETRY_TICK);
+                wake.deadline = earlier(wake.deadline, now + PARK_RETRY_TICK);
+                keep = true;
             }
             if let Some(t) = conn.partial_since {
-                best = earlier(best, t + idle);
+                wake.deadline = earlier(wake.deadline, t + idle);
+                keep = true;
             }
             if let Some(t) = conn.out_since {
-                best = earlier(best, t + write);
+                wake.deadline = earlier(wake.deadline, t + write);
+                keep = true;
+            }
+            if conn.read_ready && conn.wants_read() {
+                wake.immediate = true;
+                keep = true;
+            }
+            if keep {
+                ctx.attention.insert(id);
             }
         }
-        if let Some(t) = self.accept_backoff {
-            best = earlier(best, t);
-        }
-        best.map(|t| t.saturating_duration_since(now))
-    }
-
-    /// Rebuilds the poll set: the wake pipe always, the listener unless
-    /// backing off, then every live connection with interest derived from
-    /// its state machines. Paused connections stay registered with no
-    /// interest bits — `POLLERR`/`POLLHUP` are reported regardless, so a
-    /// vanished peer is still noticed.
-    fn build_pollfds(&mut self, now: Instant) -> bool {
-        self.pollfds.clear();
-        self.poll_ids.clear();
-        self.pollfds.push(sys::PollFd {
-            fd: self.wake_rx.as_raw_fd(),
-            events: sys::POLLIN,
-            revents: 0,
-        });
-        let listener_polled = match (&self.listener, self.accept_backoff) {
-            (Some(_), Some(until)) if now < until => false,
-            (Some(listener), _) => {
-                self.accept_backoff = None;
-                self.pollfds.push(sys::PollFd {
-                    fd: listener.as_raw_fd(),
-                    events: sys::POLLIN,
-                    revents: 0,
-                });
-                true
-            }
-            (None, _) => false,
-        };
-        for (&id, conn) in &self.conns {
-            let mut events = 0i16;
-            if conn.wants_read() {
-                events |= sys::POLLIN;
-            }
-            if !conn.out.is_empty() {
-                events |= sys::POLLOUT;
-            }
-            self.pollfds.push(sys::PollFd {
-                fd: conn.stream.as_raw_fd(),
-                events,
-                revents: 0,
-            });
-            self.poll_ids.push(id);
-        }
-        listener_polled
     }
 
     /// Routes each completed reply to its connection's write queue via
@@ -643,23 +1201,75 @@ impl Reactor {
                 continue;
             };
             conn.in_fleet -= 1;
+            ctx.attention.insert(conn_id);
             if conn.dead {
                 continue;
             }
             let payload = codec::encode_reply(wire_id, &reply.result.map_err(ServerError::Query));
-            ctx.push_out(conn, frame::frame_vec(&payload), true, now);
+            conn.push_payload(&payload, true, &ctx.shared.telemetry, now);
         }
     }
 
-    /// Accepts until the listener would block. Accept errors (fd
-    /// exhaustion) put the listener on a short backoff instead of
-    /// busy-spinning its level-triggered readiness.
-    fn accept_ready(&mut self, now: Instant) {
+    /// Drains the inject channel: sockets the accepting reactor dealt to
+    /// this one. Under drain a fresh socket is adopted straight into the
+    /// draining state. A disconnected channel proves no more handoffs can
+    /// ever arrive — one leg of the drain exit condition.
+    fn adopt_injected(&mut self, draining: bool) {
+        if self.inject_done {
+            return;
+        }
+        loop {
+            match self.inject_rx.try_recv() {
+                Ok(stream) => {
+                    // The acceptor already counted this handoff into our
+                    // load gauge.
+                    let id = self.next_conn;
+                    if self.insert_conn(stream) {
+                        if draining {
+                            if let Some(conn) = self.conns.get_mut(&id) {
+                                conn.begin_drain();
+                            }
+                            self.ctx.attention.insert(id);
+                        }
+                    } else {
+                        self.load.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+                Err(TryRecvError::Empty) => return,
+                Err(TryRecvError::Disconnected) => {
+                    self.inject_done = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Accepts until the listener would block, placing each socket on the
+    /// least-loaded reactor. Accept errors (fd exhaustion) put the
+    /// listener on a short backoff — with its read interest dropped, so
+    /// the un-drained accept queue cannot busy-spin a level-triggered
+    /// backend — instead of spinning.
+    fn maybe_accept(&mut self, now: Instant) {
+        if !self.listener_ready || self.listener.is_none() {
+            return;
+        }
+        if let Some(until) = self.accept_backoff {
+            if now < until {
+                return;
+            }
+            self.accept_backoff = None;
+            if let Some(listener) = &self.listener {
+                let _ = self
+                    .backend
+                    .update(listener.as_raw_fd(), TOKEN_LISTENER, true, false);
+            }
+        }
         loop {
             let Some(listener) = &self.listener else {
                 return;
             };
-            match listener.accept() {
+            let accepted = listener.accept();
+            match accepted {
                 Ok((stream, _)) => {
                     if stream.set_nonblocking(true).is_err() {
                         continue;
@@ -672,157 +1282,321 @@ impl Reactor {
                         .telemetry
                         .connections
                         .fetch_add(1, Ordering::Relaxed);
-                    let id = self.next_conn;
-                    self.next_conn += 1;
-                    self.conns.insert(id, Conn::new(stream));
+                    self.place(stream);
                 }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    self.listener_ready = false;
+                    return;
+                }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(_) => {
                     self.accept_backoff = Some(now + ACCEPT_BACKOFF);
+                    if let Some(listener) = &self.listener {
+                        let _ =
+                            self.backend
+                                .update(listener.as_raw_fd(), TOKEN_LISTENER, false, false);
+                    }
                     return;
                 }
             }
         }
     }
 
-    /// Services every connection the poll flagged: errors first, then the
-    /// read pump, then the write drain.
-    fn dispatch(&mut self, listener_polled: bool, now: Instant) {
-        let base = 1 + usize::from(listener_polled);
-        let Reactor {
-            conns,
-            ctx,
-            pollfds,
-            poll_ids,
-            ..
-        } = self;
-        for (i, pfd) in pollfds.iter().enumerate().skip(base) {
-            let rev = pfd.revents;
-            if rev == 0 {
-                continue;
+    /// Deals one accepted socket to the least-loaded reactor — itself
+    /// included. A handoff bumps the target's load gauge immediately (the
+    /// owner decrements at removal) and rings its doorbell so the socket
+    /// is adopted within one wait.
+    fn place(&mut self, stream: TcpStream) {
+        let target = if self.peers.len() > 1 {
+            (0..self.peers.len())
+                .min_by_key(|&i| self.peers[i].load.load(Ordering::Relaxed))
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        if target == 0 {
+            if self.insert_conn(stream) {
+                self.load.fetch_add(1, Ordering::Relaxed);
             }
-            let id = poll_ids[i - base];
-            let Some(conn) = conns.get_mut(&id) else {
-                continue;
-            };
-            if conn.dead {
-                continue;
-            }
-            if rev & sys::POLLNVAL != 0 {
-                conn.dead = true;
-                continue;
-            }
-            let erred = rev & (sys::POLLERR | sys::POLLHUP) != 0;
-            if (rev & sys::POLLIN != 0 || erred) && conn.wants_read() {
-                ctx.fill_and_parse(id, conn, now);
-            }
-            if (rev & sys::POLLOUT != 0 || erred) && !conn.out.is_empty() {
-                ctx.flush(conn, now);
-            }
-            if erred && !conn.wants_read() && conn.out.is_empty() {
-                // An error on a fully paused connection: neither state
-                // machine can consume it, and a level-triggered poll would
-                // report it forever. The peer is gone; tear down.
-                conn.dead = true;
+        } else {
+            let peer = &self.peers[target];
+            peer.load.fetch_add(1, Ordering::Relaxed);
+            if peer.inject.send(stream).is_ok() {
+                (peer.waker)();
+            } else {
+                peer.load.fetch_sub(1, Ordering::Relaxed);
             }
         }
     }
 
-    /// Re-attempts parked submissions. The advisory capacity check skips
-    /// futile tries; a lost race against another handle simply re-parks.
-    fn retry_parked(&mut self, now: Instant) {
-        let Reactor { conns, ctx, .. } = self;
-        for (&id, conn) in conns.iter_mut() {
-            if conn.dead {
-                continue;
-            }
-            if let Some((wire_id, request)) = conn.parked.take() {
-                if ctx.handle.has_capacity_for(request.n()) {
-                    ctx.submit(id, conn, wire_id, request, now);
-                } else {
-                    conn.parked = Some((wire_id, request));
-                }
-            }
+    /// Installs one socket into this reactor's table and backend. Failure
+    /// (backend registration refused) drops the socket; the client sees a
+    /// reset and the connection is never serviced.
+    fn insert_conn(&mut self, stream: TcpStream) -> bool {
+        let id = self.next_conn;
+        let conn = Conn::new(stream);
+        if self
+            .backend
+            .register(
+                conn.stream.as_raw_fd(),
+                id + TOKEN_CONN_BASE,
+                conn.wants_read(),
+                false,
+            )
+            .is_err()
+        {
+            return false;
         }
-    }
-
-    /// End-of-iteration pass: parse input unblocked by freed gate slots
-    /// or un-parking, refresh the slow-loris clocks, and kill every
-    /// connection past a deadline.
-    fn sweep(&mut self, now: Instant) {
-        let Reactor { conns, ctx, .. } = self;
-        let idle = ctx.shared.idle_timeout;
-        let write = ctx.shared.write_timeout;
-        for (&id, conn) in conns.iter_mut() {
-            if conn.dead {
-                continue;
-            }
-            if conn.wants_read() && conn.decoder.buffered() > 0 {
-                ctx.parse(id, conn, now);
-            }
-            conn.update_partial(now);
-            let read_stalled = conn
-                .partial_since
-                .is_some_and(|t| now.duration_since(t) >= idle);
-            let write_stalled = conn
-                .out_since
-                .is_some_and(|t| now.duration_since(t) >= write);
-            if read_stalled || write_stalled {
-                conn.dead = true;
-                ctx.shared
-                    .telemetry
-                    .idle_teardowns
-                    .fetch_add(1, Ordering::Relaxed);
-            }
-        }
+        self.next_conn += 1;
+        self.conns.insert(id, conn);
+        true
     }
 }
 
-/// Builds the wake pipe and reply channel, then spawns the reactor
-/// thread over `listener`. Returns the join handle and the waker —
-/// ringing the waker after setting `shared.closed` is how shutdown gets
-/// the loop's attention.
+/// Builds `reactors` event loops over `listener` — per-reactor doorbells,
+/// reply channels and readiness backends, with reactor 0 owning the
+/// listener and dealing accepted sockets least-connections across the
+/// fleet — and spawns their threads. Returns the join handles and the
+/// wakers — ringing every waker after setting `shared.closed` is how
+/// shutdown gets the loops' attention.
 pub(crate) fn spawn(
     listener: TcpListener,
     handle: ServiceHandle,
     shared: Arc<ReactorShared>,
-) -> std::io::Result<(JoinHandle<()>, ReplyWaker)> {
-    let (wake_rx, wake_tx) = std::io::pipe()?;
-    let wake_pending = Arc::new(AtomicBool::new(false));
-    let waker: ReplyWaker = {
-        let pending = Arc::clone(&wake_pending);
-        Arc::new(move || {
-            // Coalesced doorbell: only the ring that flips the flag writes
-            // a byte, so the pipe can never fill no matter how many shard
-            // workers complete at once.
-            if !pending.swap(true, Ordering::SeqCst) {
-                let _ = (&wake_tx).write(&[1u8]);
-            }
-        })
-    };
-    let (reply_tx, reply_rx) = channel();
-    let reactor = Reactor {
-        listener: Some(listener),
-        wake_rx,
-        conns: HashMap::new(),
-        next_conn: 0,
-        accept_backoff: None,
-        pollfds: Vec::new(),
-        poll_ids: Vec::new(),
-        ctx: Ctx {
-            handle,
-            shared,
-            reply_tx,
-            reply_rx,
+    backend: ReactorBackend,
+    reactors: usize,
+) -> std::io::Result<(Vec<JoinHandle<()>>, Vec<ReplyWaker>)> {
+    let reactors = reactors.max(1);
+    struct Plumbing {
+        wake_rx: PipeReader,
+        wake_pending: Arc<AtomicBool>,
+        waker: ReplyWaker,
+        inject_rx: Receiver<TcpStream>,
+        load: Arc<AtomicUsize>,
+    }
+    let mut slots = Vec::with_capacity(reactors);
+    let mut peers = Vec::with_capacity(reactors);
+    let mut wakers = Vec::with_capacity(reactors);
+    for _ in 0..reactors {
+        let (wake_rx, wake_tx) = std::io::pipe()?;
+        let wake_pending = Arc::new(AtomicBool::new(false));
+        let waker: ReplyWaker = {
+            let pending = Arc::clone(&wake_pending);
+            Arc::new(move || {
+                // Coalesced doorbell: only the ring that flips the flag
+                // writes a byte, so the pipe can never fill no matter how
+                // many shard workers complete at once.
+                if !pending.swap(true, Ordering::SeqCst) {
+                    let _ = (&wake_tx).write(&[1u8]);
+                }
+            })
+        };
+        let (inject_tx, inject_rx) = channel();
+        let load = Arc::new(AtomicUsize::new(0));
+        peers.push(Peer {
+            inject: inject_tx,
             waker: Arc::clone(&waker),
+            load: Arc::clone(&load),
+        });
+        wakers.push(Arc::clone(&waker));
+        slots.push(Plumbing {
+            wake_rx,
             wake_pending,
-            tokens: HashMap::new(),
-            next_token: 0,
-        },
+            waker,
+            inject_rx,
+            load,
+        });
+    }
+    let mut threads: Vec<JoinHandle<()>> = Vec::with_capacity(reactors);
+    let mut listener = Some(listener);
+    let mut peers = Some(peers);
+    let mut build = || -> std::io::Result<()> {
+        for (i, slot) in slots.drain(..).enumerate() {
+            let mut be = Backend::new(backend)?;
+            be.register(slot.wake_rx.as_raw_fd(), TOKEN_WAKE, true, false)?;
+            let own_listener = if i == 0 { listener.take() } else { None };
+            if let Some(l) = &own_listener {
+                be.register(l.as_raw_fd(), TOKEN_LISTENER, true, false)?;
+            }
+            let (reply_tx, reply_rx) = channel();
+            let reactor = Reactor {
+                listener: own_listener,
+                wake_rx: slot.wake_rx,
+                backend: be,
+                conns: HashMap::new(),
+                next_conn: 0,
+                accept_backoff: None,
+                listener_ready: false,
+                events: Vec::new(),
+                scratch: Vec::new(),
+                inject_rx: slot.inject_rx,
+                inject_done: false,
+                peers: if i == 0 {
+                    peers.take().expect("peers handed to reactor 0 once")
+                } else {
+                    Vec::new()
+                },
+                load: slot.load,
+                ctx: Ctx {
+                    handle: handle.clone(),
+                    shared: Arc::clone(&shared),
+                    reply_tx,
+                    reply_rx,
+                    waker: slot.waker,
+                    wake_pending: slot.wake_pending,
+                    tokens: HashMap::new(),
+                    next_token: 0,
+                    attention: HashSet::new(),
+                },
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("cc-net-reactor-{i}"))
+                    .spawn(move || reactor.run())?,
+            );
+        }
+        Ok(())
     };
-    let thread = std::thread::Builder::new()
-        .name("cc-net-reactor".into())
-        .spawn(move || reactor.run())?;
-    Ok((thread, waker))
+    match build() {
+        Ok(()) => Ok((threads, wakers)),
+        Err(e) => {
+            // A partial fleet must not leak parked threads: flag the
+            // drain, ring every doorbell, join what started.
+            shared.closed.store(true, Ordering::Release);
+            for waker in &wakers {
+                waker();
+            }
+            for thread in threads {
+                let _ = thread.join();
+            }
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::read_frame;
+    use std::net::TcpListener;
+
+    /// A nonblocking server-side `Conn` wired to a blocking client
+    /// socket, for driving the write state machine directly.
+    fn conn_pair() -> (Conn, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let client = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        server.set_nonblocking(true).expect("nonblocking");
+        (Conn::new(server), client)
+    }
+
+    #[test]
+    fn vectored_flush_sends_pipelined_frames_bit_identical() {
+        let (mut conn, mut client) = conn_pair();
+        let telemetry = Telemetry::default();
+        let now = Instant::now();
+        let payloads: Vec<Vec<u8>> = (0u8..5)
+            .map(|i| vec![i; 100 * (usize::from(i) + 1)])
+            .collect();
+        // Queue everything with the socket marked un-writable so nothing
+        // leaves early, then restore readiness: the whole pipeline must
+        // drain through a single vectored flush pass.
+        conn.write_ready = false;
+        for payload in &payloads {
+            conn.push_payload(payload, false, &telemetry, now);
+        }
+        assert_eq!(conn.out.len(), payloads.len());
+        conn.write_ready = true;
+        conn.flush(&telemetry, now);
+        assert!(
+            conn.out.is_empty(),
+            "loopback buffer fits five small frames"
+        );
+        assert_eq!(telemetry.frames_out.load(Ordering::Relaxed), 5);
+        for payload in &payloads {
+            let got = read_frame(&mut client, u64::MAX)
+                .expect("read frame")
+                .expect("frame present");
+            assert_eq!(&got, payload, "pipelined frame arrived bit-identical");
+        }
+    }
+
+    #[test]
+    fn flush_resumes_partial_frames_across_vectored_writes() {
+        let (mut conn, mut client) = conn_pair();
+        let telemetry = Telemetry::default();
+        let now = Instant::now();
+        // Big enough that the kernel socket buffer cannot take it all in
+        // one write: the vectored path must resume mid-frame.
+        let payloads: Vec<Vec<u8>> = (0u8..4).map(|i| vec![i ^ 0x5a; 1 << 20]).collect();
+        conn.write_ready = false;
+        for payload in &payloads {
+            conn.push_payload(payload, false, &telemetry, now);
+        }
+        conn.write_ready = true;
+        client.set_nonblocking(false).expect("blocking client");
+        let reader = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(Some(frame)) = read_frame(&mut client, u64::MAX) {
+                got.push(frame);
+                if got.len() == 4 {
+                    break;
+                }
+            }
+            got
+        });
+        while !conn.out.is_empty() {
+            conn.flush(&telemetry, now);
+            if !conn.write_ready {
+                // Kernel buffer full: let the reader drain a little.
+                std::thread::sleep(Duration::from_millis(1));
+                conn.write_ready = true;
+            }
+        }
+        let got = reader.join().expect("reader thread");
+        assert_eq!(got, payloads, "partial-resume kept every byte in order");
+        assert_eq!(telemetry.frames_out.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn reply_buffers_recycle_without_reallocating_after_warm_up() {
+        let (mut conn, mut client) = conn_pair();
+        let telemetry = Telemetry::default();
+        let now = Instant::now();
+        let payload = vec![0xabu8; 512];
+        // Warm-up: the first reply allocates its frame buffer, flushes,
+        // and parks the buffer in the pool.
+        conn.push_payload(&payload, false, &telemetry, now);
+        assert!(conn.out.is_empty(), "loopback flush completes inline");
+        assert_eq!(conn.pool.len(), 1, "flushed buffer was recycled");
+        let warm_ptr = conn.pool[0].as_ptr();
+        let warm_cap = conn.pool[0].capacity();
+        for _ in 0..32 {
+            conn.push_payload(&payload, false, &telemetry, now);
+            assert_eq!(conn.pool.len(), 1, "steady state reuses one buffer");
+            assert_eq!(
+                conn.pool[0].as_ptr(),
+                warm_ptr,
+                "same allocation recycled on every reply"
+            );
+            assert_eq!(conn.pool[0].capacity(), warm_cap, "no reallocation");
+        }
+        // The bytes that arrived are still well-formed frames.
+        client.set_nonblocking(false).expect("blocking client");
+        for _ in 0..33 {
+            let got = read_frame(&mut client, u64::MAX)
+                .expect("read frame")
+                .expect("frame present");
+            assert_eq!(got, payload);
+        }
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let (mut conn, _client) = conn_pair();
+        for _ in 0..(FRAME_POOL_CAP * 2) {
+            conn.recycle(Vec::with_capacity(64));
+        }
+        assert_eq!(conn.pool.len(), FRAME_POOL_CAP);
+    }
 }

@@ -37,9 +37,69 @@ pub enum ServingMode {
     ThreadPerConnection,
 }
 
+/// Which readiness mechanism the reactor core multiplexes on. Both
+/// backends drive identical per-connection state machines and produce
+/// identical wire behaviour; they differ only in how the kernel reports
+/// readiness — and therefore in how serving cost scales with *idle*
+/// connections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReactorBackend {
+    /// Edge-triggered `epoll`: every fd registered once, interest masks
+    /// updated only when a connection's paused/write-pending state
+    /// changes, readiness delivered as an O(ready) event list. Idle
+    /// connections cost nothing per iteration. The default on Linux;
+    /// resolves to [`ReactorBackend::Poll`] everywhere else.
+    Epoll,
+    /// `poll(2)`: the pollfd array is rebuilt and the kernel scans every
+    /// registration on each wait — O(n) per iteration. Retained as the
+    /// portable fallback, the correctness oracle the parity tests compare
+    /// against, and the `CC_REACTOR=poll` kill switch.
+    Poll,
+}
+
+impl ReactorBackend {
+    /// The backend this host defaults to: epoll on Linux, poll elsewhere.
+    #[must_use]
+    pub fn default_for_host() -> Self {
+        if cfg!(target_os = "linux") {
+            ReactorBackend::Epoll
+        } else {
+            ReactorBackend::Poll
+        }
+    }
+
+    /// Resolves an optional explicit choice to the backend a bind will
+    /// actually run: the `CC_REACTOR` environment variable (`poll` or
+    /// `epoll`) wins as an operational kill switch — mirroring
+    /// `CC_RADIX=off` — then the explicit choice, then
+    /// [`default_for_host`](ReactorBackend::default_for_host); and
+    /// `Epoll` degrades to `Poll` on targets without it.
+    #[must_use]
+    pub fn resolve(explicit: Option<ReactorBackend>) -> ReactorBackend {
+        let env = match std::env::var("CC_REACTOR").as_deref() {
+            Ok("poll") => Some(ReactorBackend::Poll),
+            Ok("epoll") => Some(ReactorBackend::Epoll),
+            _ => None,
+        };
+        let chosen = env.or(explicit).unwrap_or_else(Self::default_for_host);
+        if chosen == ReactorBackend::Epoll && !cfg!(target_os = "linux") {
+            ReactorBackend::Poll
+        } else {
+            chosen
+        }
+    }
+}
+
+impl Default for ReactorBackend {
+    fn default() -> Self {
+        Self::default_for_host()
+    }
+}
+
 /// Sizing knobs for a [`NetServer`]: the inner fleet's [`ServerConfig`]
-/// plus the wire-level frame cap, the serving mode and the slow-peer
-/// stall bounds.
+/// plus the wire-level frame cap, the serving mode, the reactor topology
+/// and the slow-peer stall bounds.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NetServerConfig {
     fleet: ServerConfig,
@@ -48,6 +108,8 @@ pub struct NetServerConfig {
     idle_timeout: Duration,
     serving_mode: ServingMode,
     conn_send_buffer: Option<u32>,
+    reactor_backend: Option<ReactorBackend>,
+    reactor_threads: usize,
 }
 
 impl NetServerConfig {
@@ -61,6 +123,8 @@ impl NetServerConfig {
             idle_timeout: DEFAULT_IDLE_TIMEOUT,
             serving_mode: ServingMode::default(),
             conn_send_buffer: None,
+            reactor_backend: None,
+            reactor_threads: 1,
         }
     }
 
@@ -178,6 +242,55 @@ impl NetServerConfig {
     pub fn conn_send_buffer(&self) -> Option<u32> {
         self.conn_send_buffer
     }
+
+    /// Pins the reactor's readiness backend instead of letting the host
+    /// default decide; see [`ReactorBackend`]. The `CC_REACTOR`
+    /// environment variable still overrides an explicit choice — it is
+    /// the operational kill switch, like `CC_RADIX=off` for the sort
+    /// engine. Ignored under [`ServingMode::ThreadPerConnection`].
+    #[must_use]
+    pub fn with_reactor_backend(mut self, backend: ReactorBackend) -> Self {
+        self.reactor_backend = Some(backend);
+        self
+    }
+
+    /// The explicitly pinned readiness backend, if any. What a bind will
+    /// actually run is [`NetServerConfig::resolved_reactor_backend`].
+    #[inline]
+    pub fn reactor_backend(&self) -> Option<ReactorBackend> {
+        self.reactor_backend
+    }
+
+    /// The backend a bind with this config will actually run, after the
+    /// `CC_REACTOR` override and the host fallback are applied.
+    #[must_use]
+    pub fn resolved_reactor_backend(&self) -> ReactorBackend {
+        ReactorBackend::resolve(self.reactor_backend)
+    }
+
+    /// Sets the number of reactor event-loop threads. At one (the
+    /// default) a single loop owns the listener and every connection. At
+    /// N, reactor 0 still owns the listener and deals each accepted
+    /// socket to the least-loaded reactor; every reactor owns its own fd
+    /// set, readiness backend and doorbell, and fleet fan-in is unchanged
+    /// (`submit_tagged` from whichever loop read the request). Ignored
+    /// under [`ServingMode::ThreadPerConnection`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero — someone has to own the listener.
+    #[must_use]
+    pub fn with_reactor_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "reactor thread count must be non-zero");
+        self.reactor_threads = threads;
+        self
+    }
+
+    /// The configured number of reactor event-loop threads.
+    #[inline]
+    pub fn reactor_threads(&self) -> usize {
+        self.reactor_threads
+    }
 }
 
 impl Default for NetServerConfig {
@@ -189,6 +302,8 @@ impl Default for NetServerConfig {
             idle_timeout: DEFAULT_IDLE_TIMEOUT,
             serving_mode: ServingMode::default(),
             conn_send_buffer: None,
+            reactor_backend: None,
+            reactor_threads: 1,
         }
     }
 }
@@ -211,6 +326,9 @@ pub struct NetStats {
     /// [`ServingMode::ThreadPerConnection`], whose write timeout kills
     /// silently at the socket layer.
     pub idle_teardowns: u64,
+    /// Reactor event-loop threads serving connections; zero under
+    /// [`ServingMode::ThreadPerConnection`].
+    pub reactors: usize,
     /// The inner [`QueryServer`]'s per-shard telemetry.
     pub fleet: FleetStats,
 }
@@ -229,13 +347,14 @@ pub(crate) struct Telemetry {
 impl Telemetry {
     /// One consistent read of the wire counters, completed with the given
     /// fleet snapshot — the single construction point of [`NetStats`].
-    fn snapshot(&self, fleet: FleetStats) -> NetStats {
+    fn snapshot(&self, fleet: FleetStats, reactors: usize) -> NetStats {
         NetStats {
             connections: self.connections.load(Ordering::Relaxed),
             frames_in: self.frames_in.load(Ordering::Relaxed),
             frames_out: self.frames_out.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             idle_teardowns: self.idle_teardowns.load(Ordering::Relaxed),
+            reactors,
             fleet,
         }
     }
@@ -566,14 +685,29 @@ enum Backend {
         shared: Arc<Shared>,
         accept: Option<JoinHandle<()>>,
     },
-    /// The single reactor thread; `closed` + a waker ring get its
-    /// attention, joining it completes the drain.
+    /// The reactor fleet: one or more event-loop threads; `closed` + a
+    /// ring on every doorbell get their attention, joining them completes
+    /// the drain.
     #[cfg(unix)]
     Reactor {
         shared: Arc<crate::reactor::ReactorShared>,
-        waker: cc_server::ReplyWaker,
-        thread: Option<JoinHandle<()>>,
+        wakers: Vec<cc_server::ReplyWaker>,
+        threads: Vec<JoinHandle<()>>,
     },
+}
+
+impl Backend {
+    /// How many reactor event loops serve connections — zero when the
+    /// threaded core does.
+    fn reactors(&self) -> usize {
+        match self {
+            Backend::Threaded { .. } => 0,
+            #[cfg(unix)]
+            Backend::Reactor {
+                threads, wakers, ..
+            } => threads.len().max(wakers.len()),
+        }
+    }
 }
 
 impl std::fmt::Debug for NetServer {
@@ -646,12 +780,17 @@ impl NetServer {
                     idle_timeout: config.idle_timeout,
                     conn_send_buffer: config.conn_send_buffer,
                 });
-                let (thread, waker) =
-                    crate::reactor::spawn(listener, fleet.handle(), Arc::clone(&shared))?;
+                let (threads, wakers) = crate::reactor::spawn(
+                    listener,
+                    fleet.handle(),
+                    Arc::clone(&shared),
+                    config.resolved_reactor_backend(),
+                    config.reactor_threads,
+                )?;
                 Backend::Reactor {
                     shared,
-                    waker,
-                    thread: Some(thread),
+                    wakers,
+                    threads,
                 }
             }
             #[cfg(not(unix))]
@@ -691,8 +830,10 @@ impl NetServer {
     /// while the server runs; for quiescent totals use the snapshot
     /// returned by [`NetServer::shutdown`].
     pub fn stats(&self) -> NetStats {
-        self.telemetry
-            .snapshot(self.fleet.as_ref().expect("fleet lives until drop").stats())
+        self.telemetry.snapshot(
+            self.fleet.as_ref().expect("fleet lives until drop").stats(),
+            self.backend.reactors(),
+        )
     }
 
     /// Graceful shutdown. In order: stop accepting; half-close every
@@ -703,11 +844,13 @@ impl NetServer {
     /// closes.
     pub fn shutdown(mut self) -> NetStats {
         self.shutdown_impl();
+        let reactors = self.backend.reactors();
         self.telemetry.snapshot(
             self.fleet
                 .take()
                 .expect("first shutdown consumes the fleet")
                 .shutdown(),
+            reactors,
         )
     }
 
@@ -744,19 +887,21 @@ impl NetServer {
             #[cfg(unix)]
             Backend::Reactor {
                 shared,
-                waker,
-                thread,
+                wakers,
+                threads,
             } => {
                 if shared.closed.swap(true, Ordering::AcqRel) {
                     return;
                 }
-                // The waker gets the loop off its poll call; the reactor
-                // then half-closes every connection, answers everything
-                // already submitted, flushes and exits — the write/idle
-                // deadlines bound the drain against stalled peers, so
-                // this join cannot park forever.
-                waker();
-                if let Some(thread) = thread.take() {
+                // Ringing every doorbell gets each loop off its wait; the
+                // reactors then half-close every connection, answer
+                // everything already submitted, flush and exit — the
+                // write/idle deadlines bound the drain against stalled
+                // peers, so these joins cannot park forever.
+                for waker in wakers.iter() {
+                    waker();
+                }
+                for thread in threads.drain(..) {
                     let _ = thread.join();
                 }
             }

@@ -1,25 +1,34 @@
-//! The C10k shape on loopback: one reactor thread, 256 concurrent
-//! connections — 240 idle, 16 active — driven from a single client
-//! thread with the `submit`/`wait_next` split API. The demonstration is
-//! that connections are *cheap*: the idle majority costs no threads and
-//! no wakeups (an idle reactor parks in one `poll(2)` call), the active
-//! minority gets bit-identical answers, and on Linux the example prints
-//! the `/proc` thread count to show it stays O(shards) while the socket
-//! count is O(hundreds).
+//! The C10k shape on loopback: two reactor event-loop threads, 1024
+//! concurrent connections — 1008 idle, 16 active — driven from a single
+//! client thread with the `submit`/`wait_next` split API. The
+//! demonstration is that connections are *cheap*: the idle majority
+//! costs no threads and (under the edge-triggered `epoll` backend, the
+//! Linux default) no wakeup work at all — each idle socket is registered
+//! once and never touched again — the active minority gets bit-identical
+//! answers, and on Linux the example prints the `/proc` thread count to
+//! show it stays O(shards + reactors) while the socket count is
+//! O(thousands). Run with `CC_REACTOR=poll` to watch the same traffic
+//! cross the portable `poll(2)` oracle instead.
 //!
 //! ```sh
 //! cargo run --release --example net_c10k
 //! ```
 
 use congested_clique::{
-    CcClient, CliqueService, NetServer, NetServerConfig, Request, ServerConfig, ServerError,
+    CcClient, CliqueService, NetServer, NetServerConfig, ReactorBackend, Request, ServerConfig,
+    ServerError,
 };
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-const TOTAL_CONNS: usize = 256;
+const TOTAL_CONNS: usize = 1024;
 const ACTIVE: usize = 16;
 const ROUNDS: usize = 8;
+const REACTORS: usize = 2;
+
+/// Idle sockets connected per batch — kept under the listener's accept
+/// backlog so no connect waits behind hundreds of unaccepted peers.
+const CONNECT_BATCH: usize = 128;
 
 /// This process's OS thread count, where procfs exists.
 fn os_threads() -> Option<usize> {
@@ -32,33 +41,45 @@ fn os_threads() -> Option<usize> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shards = 2usize;
-    let server = NetServer::bind(
-        "127.0.0.1:0",
-        NetServerConfig::new(shards).with_fleet(
+    let config = NetServerConfig::new(shards)
+        .with_fleet(
             ServerConfig::new(shards)
                 .with_queue_capacity(32)
                 .with_coalesce_limit(8),
-        ),
-    )?;
+        )
+        .with_reactor_threads(REACTORS);
+    let backend = match config.resolved_reactor_backend() {
+        ReactorBackend::Poll => "poll(2)",
+        _ => "edge-triggered epoll",
+    };
+    let server = NetServer::bind("127.0.0.1:0", config)?;
     let addr = server.local_addr();
-    println!("reactor server up on {addr}: {shards} shards behind one event loop");
+    println!(
+        "reactor server up on {addr}: {shards} shards behind {REACTORS} event loops ({backend})"
+    );
     let threads_at_bind = os_threads();
 
     // The active minority: every client driven by this one thread.
     let mut clients: Vec<CcClient> = (0..ACTIVE)
         .map(|_| CcClient::connect(addr))
         .collect::<Result<_, _>>()?;
-    // The idle majority: accepted, polled, never speaking.
-    let idle: Vec<TcpStream> = (ACTIVE..TOTAL_CONNS)
-        .map(|_| TcpStream::connect(addr))
-        .collect::<Result<_, _>>()?;
-    let deadline = Instant::now() + Duration::from_secs(10);
-    while server.stats().connections < TOTAL_CONNS as u64 {
-        assert!(Instant::now() < deadline, "connections not accepted");
-        std::thread::sleep(Duration::from_millis(5));
+    // The idle majority: accepted, counted, never speaking — connected
+    // in backlog-sized batches, waiting for the acceptor between them.
+    let mut idle: Vec<TcpStream> = Vec::with_capacity(TOTAL_CONNS - ACTIVE);
+    while idle.len() < TOTAL_CONNS - ACTIVE {
+        let batch = CONNECT_BATCH.min(TOTAL_CONNS - ACTIVE - idle.len());
+        for _ in 0..batch {
+            idle.push(TcpStream::connect(addr)?);
+        }
+        let want = (ACTIVE + idle.len()) as u64;
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while server.stats().connections < want {
+            assert!(Instant::now() < deadline, "connections not accepted");
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
-    let threads_at_c256 = os_threads();
-    if let (Some(bind), Some(full)) = (threads_at_bind, threads_at_c256) {
+    let threads_at_full = os_threads();
+    if let (Some(bind), Some(full)) = (threads_at_bind, threads_at_full) {
         println!(
             "threads: {bind} after bind, {full} with {TOTAL_CONNS} connections \
              (+{} for +{} sockets)",
@@ -125,6 +146,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(stats.frames_out, served as u64);
     assert_eq!(stats.protocol_errors, 0);
     assert_eq!(stats.idle_teardowns, 0);
+    assert_eq!(stats.reactors, REACTORS);
     println!(
         "graceful shutdown: {} frames in, {} frames out, {} idle teardowns",
         stats.frames_in, stats.frames_out, stats.idle_teardowns
