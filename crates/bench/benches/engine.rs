@@ -35,7 +35,10 @@
 //! over the `cc-net` TCP loopback (codec + framing + sockets) from 4
 //! real client connections. Total round counts are asserted identical
 //! across substrates, so the rows isolate dispatch/queueing overhead,
-//! the wire tax, and (on multi-core hosts) shard parallelism.
+//! the wire tax, and (on multi-core hosts) shard parallelism. An
+//! `obs_overhead` pair re-runs the reactor traffic with the cc-obs
+//! lifecycle timestamps live vs stripped (the `CC_OBS=off` path) and
+//! asserts the instrumented row stays within noise.
 
 use cc_bench::harness::{self, Options};
 use cc_core::routing::{route_optimized_with_spec, spec_for_optimized};
@@ -675,6 +678,65 @@ fn main() {
         }
     }
 
+    // Observability overhead: the same single-connection reactor traffic
+    // as net_throughput, once with the lifecycle timestamps live
+    // (`timing_on`, the default) and once with them stripped to no-ops
+    // (`timing_off` — the runtime path `CC_OBS=off` selects). Counters
+    // and gauges stay on in both rows; the switch removes only the
+    // `Instant` stamps feeding the per-stage latency histograms, so the
+    // pair prices exactly what the histograms cost a serving request.
+    {
+        let obs_n = 64usize;
+        let requests: Vec<Request> = RequestMix::new(vec![obs_n])
+            .with_weights([0, 1, 1, 0, 0, 0, 0])
+            .generate(net_queries, 42);
+        let mut rounds_seen: Vec<u64> = Vec::new();
+        let mut obs_row = |mode: &str, timing: bool| {
+            cc_obs::set_timing_enabled(timing);
+            let mut entry = harness::bench("obs_overhead", obs_n, mode, &opts, || {
+                let server = NetServer::bind(
+                    "127.0.0.1:0",
+                    NetServerConfig::new(4).with_fleet(
+                        ServerConfig::new(4)
+                            .with_queue_capacity(32)
+                            .with_coalesce_limit(8),
+                    ),
+                )
+                .unwrap();
+                let addr = server.local_addr();
+                let rounds = strided_rounds(clients, &requests, || {
+                    let mut client = CcClient::connect(addr).unwrap();
+                    move |request: &Request| client.call(request).unwrap().metrics().comm_rounds()
+                });
+                rounds_seen.push(rounds);
+                rounds
+            });
+            cc_obs::set_timing_enabled(true);
+            entry.worker_threads = Some(ExecMode::Auto.worker_threads(obs_n));
+            entry
+        };
+        let instrumented = obs_row("timing_on", true);
+        let stripped = obs_row("timing_off", false);
+        assert!(
+            rounds_seen.windows(2).all(|w| w[0] == w[1]),
+            "obs_overhead: rows disagreed on rounds: {rounds_seen:?}"
+        );
+        let s = harness::speedup(&instrumented, &stripped);
+        // Acceptance target: instrumentation within ~3% of the stripped
+        // path. The assert is lenient for the same reason as the
+        // net_scaling gate — quick mode is one sample on a shared host —
+        // while the JSON rows carry the real numbers.
+        assert!(
+            s.ratio < 1.5,
+            "obs_overhead: timing_off runs {:.2}x faster than instrumented — \
+             the lifecycle stamps are not within noise",
+            s.ratio
+        );
+        speedups.push(s);
+        entries.push(instrumented);
+        entries.push(stripped);
+    }
+
     harness::write_json("engine", &opts, &entries, &speedups);
 
     // Surface the acceptance numbers directly in the output.
@@ -738,6 +800,15 @@ fn main() {
             println!(
                 "net_scaling: {} at {} connections runs at {:.2}x vs {}",
                 s.candidate, s.n, s.ratio, s.baseline
+            );
+        }
+        // The observability kit's acceptance regime: serving with the
+        // lifecycle stamps live must sit within noise of the stripped
+        // path (a ratio near 1.0 means the histograms are free).
+        if s.group == "obs_overhead" {
+            println!(
+                "obs_overhead n={}: {} runs at {:.2}x vs instrumented {}",
+                s.n, s.candidate, s.ratio, s.baseline
             );
         }
     }

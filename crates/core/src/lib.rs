@@ -76,3 +76,10 @@ pub use cc_sim::{Metrics, SessionStats};
 // `cc-core` dependency.
 pub use cc_sim::wire;
 pub use cc_sim::{EdgeLoadHistogram, NodeId, RoundMetrics, SimError, WorkMeter};
+
+// The observability layer the serving tiers share: `cc-server` registers
+// its fleet telemetry here and `cc-net` both instruments its reactor and
+// ships whole-registry [`obs::Snapshot`]s over the wire. Re-exported so
+// those layers (and codec code in particular) keep a single-dependency
+// story, mirroring the `wire` re-export above.
+pub use cc_obs as obs;

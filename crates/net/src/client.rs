@@ -7,6 +7,7 @@ use std::io::{BufWriter, ErrorKind, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use cc_core::obs::Snapshot;
 use cc_core::Outcome;
 use cc_server::Request;
 
@@ -325,6 +326,60 @@ impl CcClient {
             .collect())
     }
 
+    /// Fetches a full metric snapshot from the server: every counter,
+    /// gauge and latency histogram the serving stack records — wire
+    /// counters, reactor loop metrics, per-shard fleet telemetry and the
+    /// per-stage latency histograms (`net.decode_ns`,
+    /// `fleet.queue_wait_ns`, `fleet.session_run_ns`, `net.write_ns`).
+    /// The server answers inline at the wire layer, so a stats probe
+    /// never queues behind data requests.
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol failures;
+    /// [`NetError::RepliesPending`] if [`CcClient::submit`] replies are
+    /// still owed (the stats roundtrip owns the reply stream, like
+    /// [`CcClient::call`]).
+    pub fn stats(&mut self) -> Result<Snapshot, NetError> {
+        self.ensure_live()?;
+        self.ensure_unmixed()?;
+        let id = self.next_id;
+        self.next_id += 1;
+        if let Err(e) = frame::write_frame(&mut self.writer, &codec::encode_stats_request(id)) {
+            return Err(self.fail(e));
+        }
+        self.flush_writer()?;
+        // A dedicated read loop: with nothing else in flight
+        // (ensure_unmixed) the very next frame must be our stats reply.
+        loop {
+            match self.decoder.next_frame(self.max_frame_bytes) {
+                Ok(Some(range)) => {
+                    return match codec::decode_frame(self.decoder.payload(range)) {
+                        Ok(Frame::StatsReply { id: got, snapshot }) if got == id => Ok(snapshot),
+                        Ok(Frame::StatsReply { id: got, .. }) => {
+                            Err(self.fail(NetError::UnexpectedId { id: got }))
+                        }
+                        Ok(Frame::ProtocolError { error, .. }) => {
+                            Err(self.fail(NetError::RemoteProtocol(error)))
+                        }
+                        Ok(_) => Err(self.fail(NetError::Wire(WireError::malformed(
+                            "expected a stats reply",
+                        )))),
+                        Err(e) => Err(self.fail(NetError::Wire(e))),
+                    };
+                }
+                Ok(None) => {}
+                Err(e) => return Err(self.fail(NetError::Wire(e))),
+            }
+            match self.decoder.fill_from(&mut self.stream) {
+                Ok(0) => return Err(self.fail(NetError::Disconnected)),
+                Ok(_) => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(self.fail(NetError::Io(e))),
+            }
+        }
+    }
+
     /// Poisons the connection and hands the error back — every failure
     /// path funnels through here so the broken state can never be missed.
     fn fail(&mut self, e: NetError) -> NetError {
@@ -390,8 +445,14 @@ impl CcClient {
                         Ok(Frame::ProtocolError { error, .. }) => {
                             Err(self.fail(NetError::RemoteProtocol(error)))
                         }
-                        Ok(Frame::Request { .. }) => Err(self.fail(NetError::Wire(
-                            WireError::malformed("servers send only reply frames"),
+                        Ok(Frame::Request { .. } | Frame::StatsRequest { .. }) => Err(self.fail(
+                            NetError::Wire(WireError::malformed("servers send only reply frames")),
+                        )),
+                        // A stats reply can only answer a stats request,
+                        // and those never share the stream with data
+                        // replies (`ensure_unmixed` in both directions).
+                        Ok(Frame::StatsReply { .. }) => Err(self.fail(NetError::Wire(
+                            WireError::malformed("unsolicited stats reply"),
                         ))),
                         Err(e) => Err(self.fail(NetError::Wire(e))),
                     };

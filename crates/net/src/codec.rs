@@ -11,10 +11,19 @@
 //!
 //! ```text
 //! payload := version:u8 kind:u8 id:u64 body
-//! kind    := 0 REQUEST   (body = request)
-//!            1 REPLY     (body = result)
-//!            2 PROTO_ERR (body = wire_error)
+//! kind    := 0 REQUEST       (body = request)
+//!            1 REPLY         (body = result)
+//!            2 PROTO_ERR     (body = wire_error)
+//!            3 STATS_REQUEST (body = empty)
+//!            4 STATS_REPLY   (body = snapshot)
 //! ```
+//!
+//! A `snapshot` is a whole [`cc_core::obs::Snapshot`]: counters and
+//! gauges as `(string, u64)` pairs (gauges in two's complement), then
+//! histograms as `(string, sum:u64, max:u64, nonzero:u8,
+//! (bucket:u8, count:u64)*)` with bucket indices strictly increasing
+//! and counts non-zero — the sparse form is canonical, so stats frames
+//! round-trip losslessly byte-for-byte like every other frame.
 //!
 //! Composite rules, applied recursively:
 //!
@@ -30,6 +39,7 @@
 //! decode, so a frame that decodes structurally but violates instance
 //! invariants is a deterministic [`WireError::Malformed`].
 
+use cc_core::obs::{HistogramSnapshot, Snapshot, HISTOGRAM_BUCKETS};
 use cc_core::routing::{RouteOutcome, RoutedMessage, RoutingInstance};
 use cc_core::sorting::{
     IndexOutcome, ModeOutcome, SelectOutcome, SmallKeyOutcome, SortOutcome, TaggedKey,
@@ -48,6 +58,8 @@ pub const WIRE_VERSION: u8 = 1;
 const KIND_REQUEST: u8 = 0;
 const KIND_REPLY: u8 = 1;
 const KIND_PROTO_ERR: u8 = 2;
+const KIND_STATS_REQUEST: u8 = 3;
+const KIND_STATS_REPLY: u8 = 4;
 
 /// What one reply carries: the unified [`Outcome`] or the exact
 /// [`ServerError`] — the same type an in-process
@@ -79,6 +91,20 @@ pub enum Frame {
         id: u64,
         /// The decode failure, losslessly encoded.
         error: WireError,
+    },
+    /// A client's request for the server's live metric registry. Answered
+    /// inline by the connection layer — it never enters the shard queues,
+    /// so a stats poll cannot be delayed by fleet backpressure.
+    StatsRequest {
+        /// Correlation id, echoed verbatim in the stats reply.
+        id: u64,
+    },
+    /// The whole-registry snapshot answering stats request `id`.
+    StatsReply {
+        /// The id of the stats request this answers.
+        id: u64,
+        /// Every counter, gauge and histogram, losslessly encoded.
+        snapshot: Snapshot,
     },
 }
 
@@ -430,6 +456,59 @@ pub fn encode_protocol_error(id: u64, error: &WireError) -> Vec<u8> {
     let mut w = BitWriter::new();
     header(&mut w, KIND_PROTO_ERR, id);
     put_wire_error(&mut w, error);
+    w.finish()
+}
+
+fn put_histogram(w: &mut BitWriter, h: &HistogramSnapshot) {
+    put_u64(w, h.sum);
+    put_u64(w, h.max);
+    let nonzero: Vec<(usize, u64)> = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c != 0)
+        .map(|(i, &c)| (i, c))
+        .collect();
+    put_u8(w, nonzero.len() as u8);
+    for (index, count) in nonzero {
+        put_u8(w, index as u8);
+        put_u64(w, count);
+    }
+}
+
+fn put_snapshot(w: &mut BitWriter, snapshot: &Snapshot) {
+    put_len(w, snapshot.counters.len());
+    for (name, v) in &snapshot.counters {
+        put_string(w, name);
+        put_u64(w, *v);
+    }
+    put_len(w, snapshot.gauges.len());
+    for (name, v) in &snapshot.gauges {
+        put_string(w, name);
+        // Two's complement: the decoder reverses the cast losslessly.
+        put_u64(w, *v as u64);
+    }
+    put_len(w, snapshot.histograms.len());
+    for (name, h) in &snapshot.histograms {
+        put_string(w, name);
+        put_histogram(w, h);
+    }
+}
+
+/// Encodes a stats-request frame payload (header only — the request
+/// carries no body).
+pub fn encode_stats_request(id: u64) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    header(&mut w, KIND_STATS_REQUEST, id);
+    w.finish()
+}
+
+/// Encodes a stats-reply frame payload: the whole registry snapshot,
+/// histograms in sparse canonical form (only non-zero buckets travel).
+pub fn encode_stats_reply(id: u64, snapshot: &Snapshot) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    header(&mut w, KIND_STATS_REPLY, id);
+    put_snapshot(&mut w, snapshot);
     w.finish()
 }
 
@@ -814,6 +893,73 @@ fn get_wire_error(d: &mut Dec<'_>) -> Result<WireError, WireError> {
     }
 }
 
+// Minimum encoded bytes of one snapshot entry: empty name (u32 len) +
+// u64 value for counters/gauges; name + sum + max + nonzero-count for
+// histograms.
+const STAT_ENTRY_BYTES: u64 = 12;
+const HIST_ENTRY_BYTES: u64 = 21;
+
+fn get_histogram(d: &mut Dec<'_>) -> Result<HistogramSnapshot, WireError> {
+    let sum = d.u64()?;
+    let max = d.u64()?;
+    let nonzero = d.u8()? as usize;
+    if nonzero > HISTOGRAM_BUCKETS {
+        return Err(WireError::malformed(format!(
+            "histogram claims {nonzero} non-zero buckets of {HISTOGRAM_BUCKETS}"
+        )));
+    }
+    let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+    let mut prev: Option<usize> = None;
+    for _ in 0..nonzero {
+        let index = d.u8()? as usize;
+        if index >= HISTOGRAM_BUCKETS {
+            return Err(WireError::malformed(format!(
+                "histogram bucket index {index} out of range"
+            )));
+        }
+        if prev.is_some_and(|p| index <= p) {
+            return Err(WireError::malformed(
+                "histogram bucket indices are not strictly increasing",
+            ));
+        }
+        let count = d.u64()?;
+        if count == 0 {
+            // Zero counts never travel: the sparse form stays canonical,
+            // so encode(decode(bytes)) reproduces `bytes` exactly.
+            return Err(WireError::malformed("histogram carries a zero bucket"));
+        }
+        buckets[index] = count;
+        prev = Some(index);
+    }
+    Ok(HistogramSnapshot { buckets, sum, max })
+}
+
+fn get_snapshot(d: &mut Dec<'_>) -> Result<Snapshot, WireError> {
+    let counters_len = d.checked_len(STAT_ENTRY_BYTES)?;
+    let mut counters = Vec::with_capacity(counters_len);
+    for _ in 0..counters_len {
+        let name = d.string()?;
+        counters.push((name, d.u64()?));
+    }
+    let gauges_len = d.checked_len(STAT_ENTRY_BYTES)?;
+    let mut gauges = Vec::with_capacity(gauges_len);
+    for _ in 0..gauges_len {
+        let name = d.string()?;
+        gauges.push((name, d.u64()? as i64));
+    }
+    let histograms_len = d.checked_len(HIST_ENTRY_BYTES)?;
+    let mut histograms = Vec::with_capacity(histograms_len);
+    for _ in 0..histograms_len {
+        let name = d.string()?;
+        histograms.push((name, get_histogram(d)?));
+    }
+    Ok(Snapshot {
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
 /// Every `context` label this codec emits in [`WireError::UnknownTag`];
 /// used to restore the `&'static str` when the error itself crosses the
 /// wire. Keep in sync with the `UnknownTag` construction sites above.
@@ -879,6 +1025,11 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame, WireError> {
             id,
             error: get_wire_error(&mut d)?,
         },
+        KIND_STATS_REQUEST => Frame::StatsRequest { id },
+        KIND_STATS_REPLY => Frame::StatsReply {
+            id,
+            snapshot: get_snapshot(&mut d)?,
+        },
         tag => {
             return Err(WireError::UnknownTag {
                 context: "frame kind",
@@ -899,6 +1050,8 @@ mod tests {
             Frame::Request { id, request } => encode_request(*id, request),
             Frame::Reply { id, result } => encode_reply(*id, result),
             Frame::ProtocolError { id, error } => encode_protocol_error(*id, error),
+            Frame::StatsRequest { id } => encode_stats_request(*id),
+            Frame::StatsReply { id, snapshot } => encode_stats_reply(*id, snapshot),
         };
         decode_frame(&bytes).expect("roundtrip decode")
     }
@@ -1054,6 +1207,103 @@ mod tests {
             };
             assert_eq!(roundtrip(&frame), frame);
         }
+    }
+
+    #[test]
+    fn stats_frames_roundtrip_losslessly() {
+        assert_eq!(
+            roundtrip(&Frame::StatsRequest { id: 42 }),
+            Frame::StatsRequest { id: 42 }
+        );
+        let mut hist = HistogramSnapshot::default();
+        hist.buckets[0] = 3;
+        hist.buckets[17] = 9;
+        hist.buckets[HISTOGRAM_BUCKETS - 1] = 1;
+        hist.sum = u64::MAX;
+        hist.max = u64::MAX;
+        let snapshot = Snapshot {
+            counters: vec![
+                ("net.frames_in".into(), u64::MAX),
+                ("net.frames_out".into(), 0),
+            ],
+            gauges: vec![
+                ("fleet.shard0.queue_depth".into(), -3),
+                ("net.reactor.inject_depth".into(), i64::MAX),
+            ],
+            histograms: vec![
+                ("fleet.queue_wait_ns".into(), hist),
+                ("net.write_ns".into(), HistogramSnapshot::default()),
+            ],
+        };
+        let frame = Frame::StatsReply {
+            id: u64::MAX,
+            snapshot: snapshot.clone(),
+        };
+        assert_eq!(roundtrip(&frame), frame);
+        // Empty snapshots (a fresh registry) are valid frames too.
+        let empty = Frame::StatsReply {
+            id: 0,
+            snapshot: Snapshot::default(),
+        };
+        assert_eq!(roundtrip(&empty), empty);
+        // The sparse form is canonical: re-encoding a decoded reply
+        // reproduces the bytes exactly.
+        let bytes = encode_stats_reply(7, &snapshot);
+        match decode_frame(&bytes).unwrap() {
+            Frame::StatsReply { id, snapshot: s } => {
+                assert_eq!(encode_stats_reply(id, &s), bytes);
+            }
+            other => panic!("expected StatsReply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_canonical_stats_histograms_are_malformed() {
+        let reject = |tweak: &dyn Fn(&mut BitWriter)| {
+            let mut w = BitWriter::new();
+            w.write_bits(u64::from(WIRE_VERSION), 8);
+            w.write_bits(u64::from(KIND_STATS_REPLY), 8);
+            w.write_bits(1, 64);
+            w.write_bits(0, 32); // no counters
+            w.write_bits(0, 32); // no gauges
+            w.write_bits(1, 32); // one histogram
+            w.write_bits(1, 32); // name = "h"
+            w.write_bits(u64::from(b'h'), 8);
+            w.write_bits(10, 64); // sum
+            w.write_bits(8, 64); // max
+            tweak(&mut w);
+            decode_frame(&w.finish()).unwrap_err()
+        };
+        // A zero bucket count breaks canonicality.
+        let err = reject(&|w: &mut BitWriter| {
+            w.write_bits(1, 8); // one pair
+            w.write_bits(3, 8);
+            w.write_bits(0, 64); // count 0
+        });
+        assert!(matches!(err, WireError::Malformed { .. }), "{err:?}");
+        // Non-increasing indices.
+        let err = reject(&|w: &mut BitWriter| {
+            w.write_bits(2, 8);
+            w.write_bits(5, 8);
+            w.write_bits(1, 64);
+            w.write_bits(5, 8); // repeated index
+            w.write_bits(1, 64);
+        });
+        assert!(matches!(err, WireError::Malformed { .. }), "{err:?}");
+        // An out-of-range bucket index.
+        let err = reject(&|w: &mut BitWriter| {
+            w.write_bits(1, 8);
+            w.write_bits(64, 8); // index 64 of 0..=63
+            w.write_bits(1, 64);
+        });
+        assert!(matches!(err, WireError::Malformed { .. }), "{err:?}");
+        // A stats request with a body is trailing bytes.
+        let mut bytes = encode_stats_request(9);
+        bytes.push(0);
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(WireError::TrailingBytes { extra: 1 })
+        );
     }
 
     #[test]

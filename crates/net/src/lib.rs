@@ -60,9 +60,11 @@
 //! ```text
 //! frame   := payload_len:u32be payload
 //! payload := version:u8  kind:u8  request_id:u64  body
-//! kind    := 0 REQUEST    body = request     (client → server)
-//!            1 REPLY      body = result      (server → client)
-//!            2 PROTO_ERR  body = wire_error  (server → client, fatal)
+//! kind    := 0 REQUEST     body = request     (client → server)
+//!            1 REPLY       body = result      (server → client)
+//!            2 PROTO_ERR   body = wire_error  (server → client, fatal)
+//!            3 STATS_REQ   body = (empty)     (client → server)
+//!            4 STATS_REPLY body = snapshot    (server → client)
 //! ```
 //!
 //! The `request_id` tag is chosen by the client and echoed verbatim in
@@ -71,6 +73,12 @@
 //! shards), and the id maps each one back. See [`codec`] for the body
 //! grammars and [`frame::DEFAULT_MAX_FRAME_BYTES`] for the size cap that
 //! keeps corrupt length prefixes from forcing allocations.
+//!
+//! `STATS_REQ` ([`CcClient::stats`]) fetches the server's full metric
+//! registry — wire counters, reactor loop metrics, per-shard fleet
+//! telemetry and the per-stage latency histograms — as a
+//! [`Snapshot`](cc_core::obs::Snapshot), answered inline at the wire
+//! layer without ever entering the fleet queues.
 //!
 //! ## Contract
 //!

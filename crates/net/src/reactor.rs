@@ -63,6 +63,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use cc_core::obs::{self, Registry};
 use cc_server::{ReplyWaker, Request, ServerError, ServiceHandle, TaggedReply};
 
 use crate::codec::{self, Frame};
@@ -499,6 +500,9 @@ impl Backend {
 pub(crate) struct ReactorShared {
     pub(crate) closed: AtomicBool,
     pub(crate) telemetry: Arc<Telemetry>,
+    /// The fleet's metric registry — the source for inline
+    /// `Frame::StatsRequest` answers.
+    pub(crate) registry: Registry,
     pub(crate) max_frame_bytes: u64,
     pub(crate) write_timeout: Duration,
     pub(crate) idle_timeout: Duration,
@@ -520,6 +524,11 @@ struct OutFrame {
     bytes: Vec<u8>,
     sent: usize,
     gated: bool,
+    /// [`obs::now`] stamp from when the frame entered the write queue;
+    /// recorded into `net.write_ns` when the last byte flushes. Taken for
+    /// gated (data reply) frames only, so the histogram's count tracks
+    /// served requests — notices and stats replies stay out of it.
+    queued_at: Option<Instant>,
 }
 
 /// One connection's full state: both state machines plus the accounting
@@ -643,6 +652,7 @@ impl Conn {
             bytes,
             sent: 0,
             gated,
+            queued_at: if gated { obs::now() } else { None },
         });
         if self.write_ready {
             self.flush(telemetry, now);
@@ -682,9 +692,10 @@ impl Conn {
                         }
                         wrote -= remaining;
                         let sent = self.out.pop_front().expect("front exists");
-                        telemetry.frames_out.fetch_add(1, Ordering::Relaxed);
+                        telemetry.frames_out.incr();
                         if sent.gated {
                             self.gate -= 1;
+                            telemetry.write_ns.record_elapsed(sent.queued_at);
                         }
                         self.out_since = if self.out.is_empty() { None } else { Some(now) };
                         self.recycle(sent.bytes);
@@ -789,15 +800,32 @@ impl Ctx {
                 Ok(None) => break,
                 Ok(Some(range)) => {
                     progressed = true;
+                    let decode_started = obs::now();
                     match codec::decode_frame(conn.decoder.payload(range.clone())) {
                         Ok(Frame::Request { id, request }) => {
                             self.shared
                                 .telemetry
-                                .frames_in
-                                .fetch_add(1, Ordering::Relaxed);
+                                .decode_ns
+                                .record_elapsed(decode_started);
+                            self.shared.telemetry.frames_in.incr();
                             self.submit(conn_id, conn, id, request, now);
                         }
-                        Ok(Frame::Reply { id, .. } | Frame::ProtocolError { id, .. }) => {
+                        Ok(Frame::StatsRequest { id }) => {
+                            // Answered inline from the registry — a stats
+                            // probe never enters the fleet queues, takes no
+                            // gate slot, and its reply stays out of
+                            // `net.write_ns` (count parity with served data
+                            // requests).
+                            self.shared.telemetry.frames_in.incr();
+                            let payload =
+                                codec::encode_stats_reply(id, &self.shared.registry.snapshot());
+                            conn.push_payload(&payload, false, &self.shared.telemetry, now);
+                        }
+                        Ok(
+                            Frame::Reply { id, .. }
+                            | Frame::ProtocolError { id, .. }
+                            | Frame::StatsReply { id, .. },
+                        ) => {
                             self.protocol_error(
                                 conn,
                                 id,
@@ -875,10 +903,7 @@ impl Ctx {
     /// read side — after a framing error there is no resync point. The
     /// notice and every still-owed reply drain through the write queue.
     fn protocol_error(&mut self, conn: &mut Conn, notice_id: u64, error: WireError, now: Instant) {
-        self.shared
-            .telemetry
-            .protocol_errors
-            .fetch_add(1, Ordering::Relaxed);
+        self.shared.telemetry.protocol_errors.incr();
         conn.eof = true;
         conn.read_ready = false;
         conn.decoder.clear();
@@ -954,7 +979,12 @@ impl Reactor {
     /// apply the ready events — the reply doorbell, the listener and the
     /// flagged connections.
     fn run(mut self) {
+        let shared = Arc::clone(&self.ctx.shared);
         let mut draining = false;
+        // Armed after each readiness wait returns; the span recorded into
+        // `net.reactor.loop_ns` is therefore exactly the non-blocked work
+        // between two waits — never the parked time inside one.
+        let mut iter_started: Option<Instant> = None;
         loop {
             if !draining && self.ctx.shared.closed.load(Ordering::Acquire) {
                 draining = true;
@@ -1005,12 +1035,27 @@ impl Reactor {
             } else {
                 wake.deadline.map(|t| t.saturating_duration_since(now))
             };
+            shared
+                .telemetry
+                .reactor_loop_ns
+                .record_elapsed(iter_started.take());
+            match self.backend {
+                Backend::Poll(_) => shared.telemetry.reactor_polls_poll.incr(),
+                #[cfg(target_os = "linux")]
+                Backend::Epoll(_) => shared.telemetry.reactor_polls_epoll.incr(),
+            }
             if self.backend.wait(timeout, &mut self.events).is_err() {
                 // The wait itself failing (ENOMEM) is transient; yield
                 // rather than spin.
                 std::thread::sleep(Duration::from_millis(1));
                 continue;
             }
+            iter_started = obs::now();
+            shared.telemetry.reactor_wakeups.incr();
+            shared
+                .telemetry
+                .reactor_ready_set
+                .record(self.events.len() as u64);
             let now = Instant::now();
             self.apply_events();
             // Clear-then-drain: a reply landing after the drain below
@@ -1112,10 +1157,7 @@ impl Reactor {
                     .is_some_and(|t| now.duration_since(t) >= write);
                 if !conn.dead && (read_stalled || write_stalled) {
                     conn.dead = true;
-                    ctx.shared
-                        .telemetry
-                        .idle_teardowns
-                        .fetch_add(1, Ordering::Relaxed);
+                    ctx.shared.telemetry.idle_teardowns.incr();
                 }
                 if !conn.dead
                     && conn.hangup
@@ -1223,6 +1265,8 @@ impl Reactor {
                 Ok(stream) => {
                     // The acceptor already counted this handoff into our
                     // load gauge.
+                    self.ctx.shared.telemetry.reactor_injected.incr();
+                    self.ctx.shared.telemetry.reactor_inject_depth.add(-1);
                     let id = self.next_conn;
                     if self.insert_conn(stream) {
                         if draining {
@@ -1277,11 +1321,7 @@ impl Reactor {
                     // One frame per reply; Nagle would delay them.
                     let _ = stream.set_nodelay(true);
                     cap_send_buffer(&stream, self.ctx.shared.conn_send_buffer);
-                    self.ctx
-                        .shared
-                        .telemetry
-                        .connections
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.ctx.shared.telemetry.connections.incr();
                     self.place(stream);
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -1322,6 +1362,7 @@ impl Reactor {
             let peer = &self.peers[target];
             peer.load.fetch_add(1, Ordering::Relaxed);
             if peer.inject.send(stream).is_ok() {
+                self.ctx.shared.telemetry.reactor_inject_depth.add(1);
                 (peer.waker)();
             } else {
                 peer.load.fetch_sub(1, Ordering::Relaxed);
@@ -1512,7 +1553,7 @@ mod tests {
             conn.out.is_empty(),
             "loopback buffer fits five small frames"
         );
-        assert_eq!(telemetry.frames_out.load(Ordering::Relaxed), 5);
+        assert_eq!(telemetry.frames_out.get(), 5);
         for payload in &payloads {
             let got = read_frame(&mut client, u64::MAX)
                 .expect("read frame")
@@ -1555,7 +1596,7 @@ mod tests {
         }
         let got = reader.join().expect("reader thread");
         assert_eq!(got, payloads, "partial-resume kept every byte in order");
-        assert_eq!(telemetry.frames_out.load(Ordering::Relaxed), 4);
+        assert_eq!(telemetry.frames_out.get(), 4);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use cc_core::obs::{self, Counter, Gauge, Histogram, Registry};
 use cc_server::{FleetStats, QueryServer, ServerConfig, ServerError, ServiceHandle, TaggedReply};
 
 use crate::codec::{self, Frame};
@@ -333,27 +334,75 @@ pub struct NetStats {
     pub fleet: FleetStats,
 }
 
-/// The wire-level counters, shared by whichever backend serves — one
-/// instance per [`NetServer`], read by [`NetServer::stats`].
+/// The wire-level metrics, shared by whichever backend serves — one
+/// instance per [`NetServer`], read by [`NetServer::stats`]. Normally
+/// built with [`Telemetry::new`] over the fleet's [`Registry`] so one
+/// `Request::Stats` snapshot covers the whole serving stack; the
+/// `Default` form (standalone, unregistered cells) remains for unit
+/// tests that drive connection state machines directly.
 #[derive(Default)]
 pub(crate) struct Telemetry {
-    pub(crate) connections: AtomicU64,
-    pub(crate) frames_in: AtomicU64,
-    pub(crate) frames_out: AtomicU64,
-    pub(crate) protocol_errors: AtomicU64,
-    pub(crate) idle_teardowns: AtomicU64,
+    pub(crate) connections: Counter,
+    pub(crate) frames_in: Counter,
+    pub(crate) frames_out: Counter,
+    pub(crate) protocol_errors: Counter,
+    pub(crate) idle_teardowns: Counter,
+    /// Time from a complete request frame's arrival to its decoded
+    /// [`cc_server::Request`] — data requests only, so the count moves in
+    /// lockstep with the fleet's per-shard `requests` counters.
+    pub(crate) decode_ns: Histogram,
+    /// Time a data reply spends between entering the write path and its
+    /// last byte handed to the kernel. Stats replies and error notices
+    /// are excluded so the count stays in lockstep with served requests.
+    pub(crate) write_ns: Histogram,
+    /// Reactor loop: returns from the blocking readiness wait.
+    pub(crate) reactor_wakeups: Counter,
+    /// Ready events delivered per wakeup.
+    pub(crate) reactor_ready_set: Histogram,
+    /// Time servicing one loop iteration between two readiness waits.
+    pub(crate) reactor_loop_ns: Histogram,
+    /// Readiness waits issued through the epoll backend.
+    pub(crate) reactor_polls_epoll: Counter,
+    /// Readiness waits issued through the `poll(2)` backend.
+    pub(crate) reactor_polls_poll: Counter,
+    /// Sockets adopted off the accept-handoff (inject) channel.
+    pub(crate) reactor_injected: Counter,
+    /// Handed-off sockets not yet adopted by their target reactor.
+    pub(crate) reactor_inject_depth: Gauge,
 }
 
 impl Telemetry {
+    /// Registry-backed construction: every cell is shared with `registry`
+    /// under its `net.*` name, so wire metrics land in the same snapshot
+    /// as the fleet's `fleet.*` ones.
+    pub(crate) fn new(registry: &Registry) -> Telemetry {
+        Telemetry {
+            connections: registry.counter("net.connections"),
+            frames_in: registry.counter("net.frames_in"),
+            frames_out: registry.counter("net.frames_out"),
+            protocol_errors: registry.counter("net.protocol_errors"),
+            idle_teardowns: registry.counter("net.idle_teardowns"),
+            decode_ns: registry.histogram("net.decode_ns"),
+            write_ns: registry.histogram("net.write_ns"),
+            reactor_wakeups: registry.counter("net.reactor.wakeups"),
+            reactor_ready_set: registry.histogram("net.reactor.ready_set"),
+            reactor_loop_ns: registry.histogram("net.reactor.loop_ns"),
+            reactor_polls_epoll: registry.counter("net.reactor.polls.epoll"),
+            reactor_polls_poll: registry.counter("net.reactor.polls.poll"),
+            reactor_injected: registry.counter("net.reactor.injected"),
+            reactor_inject_depth: registry.gauge("net.reactor.inject_depth"),
+        }
+    }
+
     /// One consistent read of the wire counters, completed with the given
     /// fleet snapshot — the single construction point of [`NetStats`].
     fn snapshot(&self, fleet: FleetStats, reactors: usize) -> NetStats {
         NetStats {
-            connections: self.connections.load(Ordering::Relaxed),
-            frames_in: self.frames_in.load(Ordering::Relaxed),
-            frames_out: self.frames_out.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
-            idle_teardowns: self.idle_teardowns.load(Ordering::Relaxed),
+            connections: self.connections.get(),
+            frames_in: self.frames_in.get(),
+            frames_out: self.frames_out.get(),
+            protocol_errors: self.protocol_errors.get(),
+            idle_teardowns: self.idle_teardowns.get(),
             reactors,
             fleet,
         }
@@ -416,6 +465,9 @@ struct Shared {
     #[cfg_attr(not(unix), allow(dead_code))]
     conn_send_buffer: Option<u32>,
     telemetry: Arc<Telemetry>,
+    /// The fleet's metric registry — the source for inline
+    /// `Frame::StatsRequest` answers.
+    registry: Registry,
     next_conn: AtomicU64,
     conns: Mutex<HashMap<u64, ConnEntry>>,
 }
@@ -478,44 +530,74 @@ fn run_reader(
         let mut notice_id = 0;
         let fatal = match frame::read_frame(&mut stream, shared.max_frame_bytes) {
             Ok(None) => break,
-            Ok(Some(payload)) => match codec::decode_frame(&payload) {
-                Ok(Frame::Request { id, request }) => {
-                    shared.telemetry.frames_in.fetch_add(1, Ordering::Relaxed);
-                    // Backpressure, both directions: the gate blocks while
-                    // too many of this connection's replies are completed
-                    // but unwritten (a client pipelining without reading),
-                    // and submit_tagged blocks while the target shard's
-                    // bounded queue is full. Either way this loop stops
-                    // reading and TCP flow control pushes back on the
-                    // client. Server-level rejections (only ShutDown here;
-                    // the tagged path never uses try_submit) are answered
-                    // inline so a pipelining client is never left waiting.
-                    gate.acquire();
-                    match handle.submit_tagged(id, request, &replies) {
-                        Ok(()) => continue,
-                        Err(e) => {
-                            // No reply will reach the writer's channel.
-                            gate.release();
-                            let notice = codec::encode_reply(id, &Err(e));
-                            if write_locked(&sink, &notice).is_err() {
-                                break;
+            Ok(Some(payload)) => {
+                let decode_started = obs::now();
+                match codec::decode_frame(&payload) {
+                    Ok(Frame::Request { id, request }) => {
+                        shared.telemetry.decode_ns.record_elapsed(decode_started);
+                        shared.telemetry.frames_in.incr();
+                        // Backpressure, both directions: the gate blocks while
+                        // too many of this connection's replies are completed
+                        // but unwritten (a client pipelining without reading),
+                        // and submit_tagged blocks while the target shard's
+                        // bounded queue is full. Either way this loop stops
+                        // reading and TCP flow control pushes back on the
+                        // client. Server-level rejections (only ShutDown here;
+                        // the tagged path never uses try_submit) are answered
+                        // inline so a pipelining client is never left waiting.
+                        gate.acquire();
+                        match handle.submit_tagged(id, request, &replies) {
+                            Ok(()) => continue,
+                            Err(e) => {
+                                // No reply will reach the writer's channel.
+                                gate.release();
+                                let notice = codec::encode_reply(id, &Err(e));
+                                if write_locked(&sink, &notice).is_err() {
+                                    break;
+                                }
+                                shared.telemetry.frames_out.incr();
+                                continue;
                             }
-                            shared.telemetry.frames_out.fetch_add(1, Ordering::Relaxed);
-                            continue;
                         }
                     }
+                    Ok(Frame::StatsRequest { id }) => {
+                        // Answered inline from the registry — a stats probe
+                        // never competes with data requests for shard queue
+                        // slots or gate capacity, and its reply is excluded
+                        // from `net.write_ns` so that histogram's count
+                        // keeps tracking served data requests.
+                        //
+                        // The snapshot is taken *under the sink lock*: any
+                        // data reply the client has already seen was written
+                        // under this lock and its bookkeeping completed
+                        // before the lock released, so the snapshot counts
+                        // every reply that prompted this probe.
+                        shared.telemetry.frames_in.incr();
+                        let mut stream = sink.lock().expect("sink lock");
+                        let payload = codec::encode_stats_reply(id, &shared.registry.snapshot());
+                        if frame::write_frame(&mut *stream, &payload).is_err() {
+                            break;
+                        }
+                        drop(stream);
+                        shared.telemetry.frames_out.incr();
+                        continue;
+                    }
+                    Ok(
+                        Frame::Reply { id, .. }
+                        | Frame::ProtocolError { id, .. }
+                        | Frame::StatsReply { id, .. },
+                    ) => {
+                        notice_id = id;
+                        WireError::malformed("clients may send only request frames")
+                    }
+                    Err(e) => {
+                        // The header (and its request id) may have parsed even
+                        // though the body did not; name the request if so.
+                        notice_id = codec::peek_request_id(&payload).unwrap_or(0);
+                        e
+                    }
                 }
-                Ok(Frame::Reply { id, .. } | Frame::ProtocolError { id, .. }) => {
-                    notice_id = id;
-                    WireError::malformed("clients may send only request frames")
-                }
-                Err(e) => {
-                    // The header (and its request id) may have parsed even
-                    // though the body did not; name the request if so.
-                    notice_id = codec::peek_request_id(&payload).unwrap_or(0);
-                    e
-                }
-            },
+            }
             // An oversized length prefix is a protocol error worth
             // reporting; transport failures and disconnects are not.
             Err(NetError::Wire(e)) => e,
@@ -523,12 +605,9 @@ fn run_reader(
         };
         // Undecodable input: report which way it failed, then drop the
         // connection — after a framing error there is no resync point.
-        shared
-            .telemetry
-            .protocol_errors
-            .fetch_add(1, Ordering::Relaxed);
+        shared.telemetry.protocol_errors.incr();
         if write_locked(&sink, &codec::encode_protocol_error(notice_id, &fatal)).is_ok() {
-            shared.telemetry.frames_out.fetch_add(1, Ordering::Relaxed);
+            shared.telemetry.frames_out.incr();
         }
         break;
     }
@@ -557,11 +636,18 @@ fn run_writer(
     while let Ok(reply) = replies.recv() {
         if !client_gone {
             let payload = codec::encode_reply(reply.id, &reply.result.map_err(ServerError::Query));
-            if write_locked(&sink, &payload).is_ok() {
-                shared.telemetry.frames_out.fetch_add(1, Ordering::Relaxed);
+            let write_started = obs::now();
+            let mut stream = sink.lock().expect("sink lock");
+            if frame::write_frame(&mut *stream, &payload).is_ok() {
+                // Recorded while still holding the sink lock: a stats
+                // probe prompted by this very reply snapshots under the
+                // same lock, so the sample is visible before the snapshot
+                // can be taken.
+                shared.telemetry.write_ns.record_elapsed(write_started);
+                shared.telemetry.frames_out.incr();
             } else {
                 client_gone = true;
-                let _ = sink.lock().expect("sink lock").shutdown(Shutdown::Both);
+                let _ = stream.shutdown(Shutdown::Both);
             }
         }
         gate.release();
@@ -612,7 +698,7 @@ fn accept_loop(listener: TcpListener, handle: ServiceHandle, shared: Arc<Shared>
         let _ = stream.set_write_timeout(Some(shared.write_timeout));
         #[cfg(unix)]
         crate::reactor::cap_send_buffer(&stream, shared.conn_send_buffer);
-        shared.telemetry.connections.fetch_add(1, Ordering::Relaxed);
+        shared.telemetry.connections.incr();
         let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
         shared.conns.lock().expect("conns lock").insert(
             conn_id,
@@ -731,6 +817,7 @@ fn spawn_threaded(
     listener: TcpListener,
     handle: ServiceHandle,
     telemetry: Arc<Telemetry>,
+    registry: Registry,
     config: &NetServerConfig,
 ) -> Backend {
     let shared = Arc::new(Shared {
@@ -739,6 +826,7 @@ fn spawn_threaded(
         write_timeout: config.write_timeout,
         conn_send_buffer: config.conn_send_buffer,
         telemetry,
+        registry,
         next_conn: AtomicU64::new(0),
         conns: Mutex::new(HashMap::new()),
     });
@@ -768,13 +856,17 @@ impl NetServer {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let telemetry = Arc::new(Telemetry::default());
+        // The wire layer records into the fleet's own registry, so one
+        // stats snapshot spans sockets, queues and sessions.
+        let registry = fleet.registry().clone();
+        let telemetry = Arc::new(Telemetry::new(&registry));
         let backend = match config.serving_mode {
             #[cfg(unix)]
             ServingMode::Reactor => {
                 let shared = Arc::new(crate::reactor::ReactorShared {
                     closed: AtomicBool::new(false),
                     telemetry: Arc::clone(&telemetry),
+                    registry: registry.clone(),
                     max_frame_bytes: config.max_frame_bytes,
                     write_timeout: config.write_timeout,
                     idle_timeout: config.idle_timeout,
@@ -794,12 +886,20 @@ impl NetServer {
                 }
             }
             #[cfg(not(unix))]
-            ServingMode::Reactor => {
-                spawn_threaded(listener, fleet.handle(), Arc::clone(&telemetry), &config)
-            }
-            ServingMode::ThreadPerConnection => {
-                spawn_threaded(listener, fleet.handle(), Arc::clone(&telemetry), &config)
-            }
+            ServingMode::Reactor => spawn_threaded(
+                listener,
+                fleet.handle(),
+                Arc::clone(&telemetry),
+                registry.clone(),
+                &config,
+            ),
+            ServingMode::ThreadPerConnection => spawn_threaded(
+                listener,
+                fleet.handle(),
+                Arc::clone(&telemetry),
+                registry.clone(),
+                &config,
+            ),
         };
         Ok(NetServer {
             local_addr,
@@ -904,6 +1004,14 @@ impl NetServer {
                 for thread in threads.drain(..) {
                     let _ = thread.join();
                 }
+            }
+        }
+        // Operator-facing exit report, gated behind `CC_OBS_DUMP` so test
+        // and CI output stays quiet. Runs once: a second shutdown (or the
+        // Drop after an explicit one) early-returns above.
+        if matches!(std::env::var("CC_OBS_DUMP").as_deref(), Ok(v) if !v.is_empty() && v != "0") {
+            if let Some(fleet) = &self.fleet {
+                eprintln!("{}", fleet.registry().snapshot());
             }
         }
     }

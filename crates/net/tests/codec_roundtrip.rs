@@ -2,6 +2,7 @@
 //! bit-identically; truncated and corrupted frames fail *deterministically*
 //! (same bytes, same [`WireError`] — every time, on every host).
 
+use cc_core::obs::{HistogramSnapshot, Snapshot, HISTOGRAM_BUCKETS};
 use cc_core::routing::{RouteOutcome, RoutedMessage};
 use cc_core::sorting::{
     IndexOutcome, ModeOutcome, SelectOutcome, SmallKeyOutcome, SortOutcome, TaggedKey,
@@ -9,7 +10,9 @@ use cc_core::sorting::{
 use cc_core::{
     CliqueService, EdgeLoadHistogram, Metrics, NodeId, Outcome, RoundMetrics, WorkMeter,
 };
-use cc_net::codec::{decode_frame, encode_reply, encode_request, Frame};
+use cc_net::codec::{
+    decode_frame, encode_reply, encode_request, encode_stats_reply, encode_stats_request, Frame,
+};
 use cc_net::WireError;
 use cc_rand::DetRng;
 use cc_server::{Request, ServerError};
@@ -135,6 +138,86 @@ fn random_outcomes_roundtrip() {
         let result = Ok(random_outcome(&mut rng));
         let frame = decode_frame(&encode_reply(i, &result)).expect("valid frame");
         assert_eq!(frame, Frame::Reply { id: i, result });
+    }
+}
+
+/// A structurally arbitrary registry snapshot: random metric names,
+/// counter/gauge extremes, histograms with random sparse bucket
+/// populations (including empty ones — the sparse encoding's edge case).
+fn random_snapshot(rng: &mut DetRng) -> Snapshot {
+    let counters = (0..rng.gen_range_usize(0..6))
+        .map(|i| (format!("net.c{i}.total"), rng.next_u64()))
+        .collect();
+    let gauges = (0..rng.gen_range_usize(0..5))
+        .map(|i| (format!("fleet.g{i}.depth"), rng.next_u64() as i64))
+        .collect();
+    let histograms = (0..rng.gen_range_usize(0..5))
+        .map(|i| {
+            let mut h = HistogramSnapshot::default();
+            for _ in 0..rng.gen_range_usize(0..12) {
+                let bucket = rng.gen_range_usize(0..HISTOGRAM_BUCKETS);
+                h.buckets[bucket] = h.buckets[bucket].saturating_add(rng.gen_range_u64(1..1000));
+                h.max = h.max.max(rng.next_u64());
+                h.sum = h.sum.saturating_add(rng.next_u64());
+            }
+            (format!("fleet.h{i}_ns"), h)
+        })
+        .collect();
+    Snapshot {
+        counters,
+        gauges,
+        histograms,
+    }
+}
+
+/// Random registry snapshots — and the bodyless stats requests — cross
+/// the codec losslessly, like every other frame kind.
+#[test]
+fn random_stats_snapshots_roundtrip() {
+    let mut rng = DetRng::seed_from_u64(0x0B5E);
+    for i in 0..100u64 {
+        let snapshot = random_snapshot(&mut rng);
+        let frame = decode_frame(&encode_stats_reply(i, &snapshot)).expect("valid frame");
+        assert_eq!(frame, Frame::StatsReply { id: i, snapshot });
+        let frame = decode_frame(&encode_stats_request(i)).expect("valid frame");
+        assert_eq!(frame, Frame::StatsRequest { id: i });
+    }
+}
+
+/// Stats frames inherit the codec's failure discipline: every truncation
+/// point is [`WireError::Truncated`], and single-byte corruptions decode
+/// to the same verdict every time.
+#[test]
+fn stats_frame_damage_is_deterministically_rejected() {
+    let mut rng = DetRng::seed_from_u64(0x57A75);
+    let mut frames = vec![encode_stats_request(3)];
+    for i in 0..4u64 {
+        frames.push(encode_stats_reply(i, &random_snapshot(&mut rng)));
+    }
+    for bytes in &frames {
+        let cuts: Vec<usize> = if bytes.len() <= 256 {
+            (0..bytes.len()).collect()
+        } else {
+            (0..256)
+                .map(|_| rng.gen_range_usize(0..bytes.len()))
+                .collect()
+        };
+        for cut in cuts {
+            assert_eq!(
+                decode_frame(&bytes[..cut]),
+                Err(WireError::Truncated),
+                "cut at {cut}/{}",
+                bytes.len()
+            );
+        }
+        for _ in 0..64 {
+            let mut corrupted = bytes.clone();
+            let at = rng.gen_range_usize(0..corrupted.len());
+            corrupted[at] ^= 1u8 << rng.gen_range_usize(0..8);
+            let once = decode_frame(&corrupted);
+            let twice = decode_frame(&corrupted);
+            assert_eq!(once, twice, "nondeterministic verdict at byte {at}");
+        }
     }
 }
 

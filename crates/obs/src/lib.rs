@@ -1,0 +1,734 @@
+//! # cc-obs — lock-free observability for the serving stack
+//!
+//! Named [`Counter`]s, [`Gauge`]s, and mergeable log-bucketed latency
+//! [`Histogram`]s behind a cheap-to-clone [`Registry`], plus the
+//! [`Snapshot`] type the `cc-net` wire endpoint ships to clients.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Never influence control flow.** Every metric is an
+//!    `AtomicU64`/`AtomicI64` cell updated with `Ordering::Relaxed`;
+//!    nothing here blocks, allocates on the hot path, or feeds back into
+//!    scheduling. The serving stack stays bit-deterministic with
+//!    instrumentation on.
+//! 2. **Cheap under contention.** Histograms stripe their bucket cells
+//!    across thread shards (each thread picks a stripe once, round-robin)
+//!    so concurrent recorders do not fight over one cache line; stripes
+//!    are summed only at [`Histogram::snapshot`] time.
+//! 3. **Compile-out / switch-off.** Wall-clock stamping goes through
+//!    [`now`], which returns `None` when the `timing` cargo feature is
+//!    off, when `CC_OBS=off` is set in the environment, or after
+//!    [`set_timing_enabled`]`(false)`. Counters and gauges stay live in
+//!    every mode — they back the stack's long-standing stats structs,
+//!    whose semantics must not depend on an env var.
+//!
+//! Latency histograms use power-of-two buckets: bucket 0 holds exact
+//! zeros and bucket `i ≥ 1` holds values in `[2^(i-1), 2^i - 1]`
+//! (the top bucket is open-ended). That makes snapshots mergeable by
+//! plain bucket-wise addition — associative and lossless — which is also
+//! what keeps the wire encoding in `cc-net` compact: only non-zero
+//! buckets travel.
+//!
+//! ```rust
+//! use cc_obs::Registry;
+//!
+//! let registry = Registry::new();
+//! let hits = registry.counter("cache.hits");
+//! let wait = registry.histogram("queue.wait_ns");
+//! hits.incr();
+//! wait.record(1500);
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("cache.hits"), Some(1));
+//! assert_eq!(snap.histogram("queue.wait_ns").unwrap().count(), 1);
+//! println!("{snap}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of power-of-two buckets in a [`Histogram`]: enough for any
+/// `u64` value (nanosecond durations up to ~584 years).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Bucket-cell stripes per histogram. Each recording thread is assigned
+/// one stripe round-robin on first use, so up to this many threads can
+/// record into the same histogram without sharing cache lines.
+const HIST_STRIPES: usize = 8;
+
+// ---------------------------------------------------------------------------
+// Timing gate
+// ---------------------------------------------------------------------------
+
+const TIMING_UNSET: u8 = 0;
+const TIMING_ON: u8 = 1;
+const TIMING_OFF: u8 = 2;
+
+/// Process-wide timing switch. Initialized lazily from `CC_OBS`;
+/// overridable at runtime via [`set_timing_enabled`] (used by the
+/// overhead bench to measure both modes in one process).
+static TIMING: AtomicU8 = AtomicU8::new(TIMING_UNSET);
+
+/// Whether wall-clock stamping is currently on. `false` whenever the
+/// `timing` cargo feature is compiled out; otherwise defaults from the
+/// `CC_OBS` environment variable (`off`/`0`/`false` disable) and tracks
+/// the latest [`set_timing_enabled`] call.
+pub fn timing_enabled() -> bool {
+    if !cfg!(feature = "timing") {
+        return false;
+    }
+    match TIMING.load(Ordering::Relaxed) {
+        TIMING_ON => true,
+        TIMING_OFF => false,
+        _ => {
+            let on = !matches!(
+                std::env::var("CC_OBS").as_deref(),
+                Ok("off") | Ok("0") | Ok("false")
+            );
+            TIMING.store(if on { TIMING_ON } else { TIMING_OFF }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Overrides the timing gate at runtime, superseding the `CC_OBS`
+/// environment default. A no-op signal when the `timing` feature is
+/// compiled out ([`now`] stays `None` regardless).
+pub fn set_timing_enabled(on: bool) {
+    TIMING.store(if on { TIMING_ON } else { TIMING_OFF }, Ordering::Relaxed);
+}
+
+/// A monotonic stamp for span timing: `Some(Instant::now())` when timing
+/// is enabled, `None` otherwise. Pair with
+/// [`Histogram::record_elapsed`], which ignores `None` — the disabled
+/// path costs one relaxed atomic load and no syscall.
+pub fn now() -> Option<Instant> {
+    timing_enabled().then(Instant::now)
+}
+
+/// Nanoseconds elapsed since `start`, saturating at `u64::MAX`; `None`
+/// when the stamp itself was skipped.
+pub fn elapsed_ns(start: Option<Instant>) -> Option<u64> {
+    start.map(|s| u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX))
+}
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+// ---------------------------------------------------------------------------
+
+/// A monotonically written `u64` cell. Cloning shares the cell, so a
+/// registry handle and a hot-path handle observe the same value.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `v` (relaxed).
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Overwrites the value. Used by metrics that republish a total
+    /// (e.g. per-shard session aggregates) rather than accumulate deltas.
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if `v` is larger — for counters that track
+    /// a running maximum (largest batch, biggest frame).
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depth, in-flight count). Cloning
+/// shares the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Adds `delta` (may be negative) and returns the updated value, so
+    /// an increment can feed a high-water [`record_max`](Self::record_max)
+    /// without a second load.
+    pub fn add(&self, delta: i64) -> i64 {
+        self.0.fetch_add(delta, Ordering::Relaxed) + delta
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if `v` is larger — the high-water-mark
+    /// primitive behind the fleet's peak queue depths.
+    pub fn record_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Round-robin stripe assignment: each thread draws its stripe index
+/// once, so a fixed thread pool spreads evenly across stripes.
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_STRIPE: usize =
+        NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % HIST_STRIPES;
+}
+
+#[derive(Debug)]
+struct Stripe {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    stripes: [Stripe; HIST_STRIPES],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A lock-free, mergeable log-bucketed histogram. Values land in
+/// power-of-two buckets (see the crate docs for the bucket layout);
+/// recording is three relaxed atomic ops on a thread-striped cell.
+/// Cloning shares the cells.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            stripes: std::array::from_fn(|_| Stripe {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            }),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+}
+
+/// The bucket a value lands in: 0 for zero, else the value's bit length
+/// (capped at the open-ended top bucket).
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// The largest value bucket `i` can hold (`u64::MAX` for the open-ended
+/// top bucket). Percentile estimates quote this bound.
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Creates a fresh, unregistered histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        let stripe = THREAD_STRIPE.with(|s| *s);
+        self.0.stripes[stripe].buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records the nanoseconds elapsed since a [`now`] stamp; a `None`
+    /// stamp (timing disabled at stamp time) records nothing, so the
+    /// histogram's count only reflects fully timed spans.
+    pub fn record_elapsed(&self, start: Option<Instant>) {
+        if let Some(ns) = elapsed_ns(start) {
+            self.record(ns);
+        }
+    }
+
+    /// Merges the stripes into one immutable [`HistogramSnapshot`].
+    /// Concurrent recorders are fine: the snapshot is some valid
+    /// interleaving point, and every completed `record` before the call
+    /// is included.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for stripe in &self.0.stripes {
+            for (acc, cell) in buckets.iter_mut().zip(stripe.buckets.iter()) {
+                *acc = acc.saturating_add(cell.load(Ordering::Relaxed));
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.0.sum.load(Ordering::Relaxed),
+            max: self.0.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable, mergeable view of a [`Histogram`]: the summed buckets
+/// plus the exact running sum and max. This is what travels over the
+/// wire in a stats reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts; see the crate docs for the layout.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of every recorded value (wrapping only after `u64` overflow).
+    pub sum: u64,
+    /// Largest recorded value (exact, not bucket-rounded).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|&b| b == 0)
+    }
+
+    /// Bucket-wise sum of two snapshots — associative and commutative,
+    /// so shard- or node-level histograms merge in any order.
+    pub fn merge(&self, other: &Self) -> Self {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (acc, (a, b)) in buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(other.buckets.iter()))
+        {
+            *acc = a.saturating_add(*b);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.saturating_add(other.sum),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Upper-bound estimate of the `p`-th percentile (`p` in percent,
+    /// e.g. `99.0`): the upper edge of the bucket holding the rank-`⌈p·N⌉`
+    /// observation, capped at the exact [`max`](Self::max). Returns 0 on
+    /// an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * count as f64).ceil().clamp(1.0, count as f64) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum = cum.saturating_add(c);
+            if cum >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate; see [`percentile`](Self::percentile).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Exact arithmetic mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry + Snapshot
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named collection of metrics. Cheap to clone (all clones share one
+/// map); lookups are idempotent, so independent layers can register the
+/// same name and share the underlying cells — the fleet's shards all
+/// record into one `fleet.queue_wait_ns` this way.
+///
+/// The registry mutex guards only registration and snapshotting, never
+/// the hot recording path: handles returned by
+/// [`counter`](Self::counter)/[`gauge`](Self::gauge)/[`histogram`](Self::histogram)
+/// touch their atomic cells directly.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric `{name}` is already registered with a different kind"),
+        }
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric `{name}` is already registered with a different kind"),
+        }
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::default()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric `{name}` is already registered with a different kind"),
+        }
+    }
+
+    /// Reads every metric into an immutable [`Snapshot`], sorted by name
+    /// within each kind (the map is ordered, so snapshots of equal state
+    /// compare equal).
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.inner.lock().unwrap();
+        let mut snap = Snapshot::default();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snap
+    }
+}
+
+/// A point-in-time copy of a whole [`Registry`]: every counter, gauge,
+/// and histogram by name. This is the payload of the `cc-net` stats
+/// wire endpoint; [`Display`](fmt::Display) renders the human dump
+/// emitted on graceful shutdown.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// `(name, value)` per counter, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge, name-sorted.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, merged buckets)` per histogram, name-sorted.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// The counter named `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The gauge named `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The histogram named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+impl fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for (name, v) in &self.counters {
+                writeln!(f, "  {name:<34} {v:>12}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "gauges:")?;
+            for (name, v) in &self.gauges {
+                writeln!(f, "  {name:<34} {v:>12}")?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(
+                f,
+                "histograms:{:<24} {:>10} {:>12} {:>12} {:>12} {:>12}",
+                "", "count", "p50", "p90", "p99", "max"
+            )?;
+            for (name, h) in &self.histograms {
+                writeln!(
+                    f,
+                    "  {name:<34} {:>10} {:>12} {:>12} {:>12} {:>12}",
+                    h.count(),
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
+                    h.max
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // Bucket 0 is exact zeros; bucket i >= 1 covers [2^(i-1), 2^i - 1].
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            assert_eq!(bucket_index(lo), i, "lower edge of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "upper edge of bucket {i}");
+        }
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_index(1u64 << 63), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_records_land_in_expected_buckets() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 5);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[1], 1);
+        assert_eq!(snap.buckets[2], 2);
+        assert_eq!(snap.buckets[11], 1); // 1024 = 2^10 -> bit length 11
+        assert_eq!(snap.sum, 1030);
+        assert_eq!(snap.max, 1024);
+        assert_eq!(snap.p50(), 3); // rank 3 of 5 lands in bucket 2, upper edge 3
+        assert_eq!(snap.p99(), 1024); // top bucket's bound caps at exact max
+    }
+
+    #[test]
+    fn percentiles_on_empty_histogram_are_zero() {
+        let snap = Histogram::new().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.p50(), 0);
+        assert_eq!(snap.p99(), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |values: &[u64]| {
+            let h = Histogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let a = mk(&[0, 1, 7, 500]);
+        let b = mk(&[3, 3, 3, u64::MAX]);
+        let c = mk(&[42]);
+        assert_eq!(a.merge(&b), b.merge(&a));
+        assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        let all = a.merge(&b).merge(&c);
+        assert_eq!(all.count(), 9);
+        assert_eq!(all.max, u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_under_concurrent_writers_sees_complete_records() {
+        const WRITERS: usize = 4;
+        const PER_WRITER: u64 = 5_000;
+        let h = Histogram::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        thread::scope(|scope| {
+            // A racing reader: mid-flight snapshots must be monotone and
+            // never exceed the final total.
+            let reader = {
+                let h = h.clone();
+                let stop = stop.clone();
+                scope.spawn(move || {
+                    let mut last = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let c = h.snapshot().count();
+                        assert!(c >= last, "snapshot count went backwards");
+                        assert!(c <= WRITERS as u64 * PER_WRITER);
+                        last = c;
+                    }
+                })
+            };
+            let writers: Vec<_> = (0..WRITERS)
+                .map(|w| {
+                    let h = h.clone();
+                    scope.spawn(move || {
+                        for i in 0..PER_WRITER {
+                            h.record((w as u64) << 32 | i);
+                        }
+                    })
+                })
+                .collect();
+            for writer in writers {
+                writer.join().unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+            reader.join().unwrap();
+        });
+        assert_eq!(h.snapshot().count(), WRITERS as u64 * PER_WRITER);
+    }
+
+    #[test]
+    fn registry_is_idempotent_and_shared() {
+        let registry = Registry::new();
+        let a = registry.counter("hits");
+        let b = registry.counter("hits");
+        a.add(2);
+        b.incr();
+        assert_eq!(registry.snapshot().counter("hits"), Some(3));
+
+        let g = registry.gauge("depth");
+        g.add(5);
+        g.add(-2);
+        registry.gauge("depth").record_max(100);
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("depth"), Some(100));
+
+        let clone = registry.clone();
+        clone.histogram("lat").record(8);
+        assert_eq!(registry.snapshot().histogram("lat").unwrap().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn registry_rejects_kind_mismatch() {
+        let registry = Registry::new();
+        registry.counter("x");
+        registry.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_display_lists_every_kind() {
+        let registry = Registry::new();
+        registry.counter("net.frames_in").add(7);
+        registry.gauge("fleet.queue_depth").set(2);
+        registry.histogram("fleet.queue_wait_ns").record(900);
+        let dump = registry.snapshot().to_string();
+        assert!(dump.contains("counters:"));
+        assert!(dump.contains("net.frames_in"));
+        assert!(dump.contains("gauges:"));
+        assert!(dump.contains("histograms:"));
+        assert!(dump.contains("fleet.queue_wait_ns"));
+    }
+
+    #[test]
+    fn timing_toggle_controls_now() {
+        // `set_timing_enabled` overrides whatever CC_OBS said.
+        set_timing_enabled(false);
+        assert_eq!(now(), None);
+        let h = Histogram::new();
+        h.record_elapsed(now());
+        assert!(h.snapshot().is_empty(), "disabled stamp must not record");
+        set_timing_enabled(true);
+        if cfg!(feature = "timing") {
+            let stamp = now();
+            assert!(stamp.is_some());
+            h.record_elapsed(stamp);
+            assert_eq!(h.snapshot().count(), 1);
+        } else {
+            assert_eq!(now(), None);
+        }
+    }
+}

@@ -6,6 +6,7 @@ use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySe
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use cc_core::obs::{self, Registry};
 use cc_core::Outcome;
 
 use crate::config::ServerConfig;
@@ -192,6 +193,7 @@ impl ServiceHandle {
                 tx: replies.clone(),
                 wake: Some(Arc::clone(wake)),
             },
+            enqueued_at: obs::now(),
         });
         let rejected = match shard.queue.try_send(envelope) {
             Ok(()) => {
@@ -247,7 +249,11 @@ impl ServiceHandle {
         blocking: bool,
     ) -> Result<(), ServerError> {
         let shard = self.shard_for(&request)?;
-        let envelope = Envelope::Query(QueryJob { request, reply });
+        let envelope = Envelope::Query(QueryJob {
+            request,
+            reply,
+            enqueued_at: obs::now(),
+        });
         if blocking {
             if shard.queue.send(envelope).is_err() {
                 return Err(ServerError::ShutDown);
@@ -301,6 +307,7 @@ pub struct QueryServer {
     closed: Arc<AtomicBool>,
     workers: Vec<JoinHandle<()>>,
     config: ServerConfig,
+    registry: Registry,
 }
 
 impl std::fmt::Debug for ShardClient {
@@ -319,11 +326,15 @@ impl QueryServer {
     /// [`ServerError::InvalidConfig`] for zero shards/capacity/coalesce.
     pub fn new(config: ServerConfig) -> Result<Self, ServerError> {
         config.validate()?;
+        // Every shard's counters, gauges and the fleet-wide latency
+        // histograms live in this registry; `FleetStats` snapshots read
+        // the same cells a stats-wire snapshot serializes.
+        let registry = Registry::new();
         let mut shards = Vec::with_capacity(config.shards());
         let mut workers = Vec::with_capacity(config.shards());
         for index in 0..config.shards() {
             let (queue_tx, queue_rx) = sync_channel(config.queue_capacity());
-            let telemetry = Arc::new(ShardTelemetry::default());
+            let telemetry = Arc::new(ShardTelemetry::new(&registry, index));
             let worker_telemetry = Arc::clone(&telemetry);
             let coalesce_limit = config.coalesce_limit();
             let handle = std::thread::Builder::new()
@@ -341,7 +352,15 @@ impl QueryServer {
             closed: Arc::new(AtomicBool::new(false)),
             workers,
             config,
+            registry,
         })
+    }
+
+    /// The metric registry every shard records into. Layers embedding
+    /// the fleet (the `cc-net` server) register their own metrics here
+    /// too, so one snapshot covers the whole serving stack.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// The configuration this server was built with.

@@ -5,7 +5,9 @@
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
+use std::time::Instant;
 
+use cc_core::obs;
 use cc_core::{CliqueService, CoreError};
 
 use crate::request::{QueryResult, Request};
@@ -79,6 +81,11 @@ impl ReplySink {
 pub(crate) struct QueryJob {
     pub(crate) request: Request,
     pub(crate) reply: ReplySink,
+    /// [`obs::now`] stamp taken just before the queue send; the dequeue
+    /// side turns it into a `fleet.queue_wait_ns` sample. `None` when
+    /// timing is disabled — the histogram then simply records nothing,
+    /// while every counter keeps its usual meaning.
+    pub(crate) enqueued_at: Option<Instant>,
 }
 
 /// What travels on a shard's queue.
@@ -116,6 +123,7 @@ pub(crate) fn run_shard(
         match queue.recv() {
             Ok(Envelope::Query(job)) => {
                 telemetry.dequeued();
+                telemetry.queue_wait.record_elapsed(job.enqueued_at);
                 batch.push(job);
             }
             Ok(Envelope::Shutdown) => draining = true,
@@ -132,6 +140,7 @@ pub(crate) fn run_shard(
             match queue.try_recv() {
                 Ok(Envelope::Query(job)) => {
                     telemetry.dequeued();
+                    telemetry.queue_wait.record_elapsed(job.enqueued_at);
                     batch.push(job);
                 }
                 Ok(Envelope::Shutdown) => draining = true,
@@ -155,6 +164,7 @@ pub(crate) fn run_shard(
             while let Ok(envelope) = queue.try_recv() {
                 if let Envelope::Query(job) = envelope {
                     telemetry.dequeued();
+                    telemetry.queue_wait.record_elapsed(job.enqueued_at);
                     batch.push(job);
                     if batch.len() >= coalesce_limit {
                         serve_batch(&mut services, &mut batch, &telemetry);
@@ -190,13 +200,19 @@ fn serve_batch(
         match service_for(services, n, telemetry) {
             Ok(service) => {
                 for job in &batch[start..end] {
+                    let run_started = obs::now();
                     let result = job.request.serve_on(service);
+                    telemetry.session_run.record_elapsed(run_started);
                     telemetry.request_served(result.is_err());
                     job.reply.send(result);
                 }
             }
             Err(e) => {
                 for job in &batch[start..end] {
+                    // A zero-length sample keeps the histogram's count in
+                    // lockstep with `requests` even when the session never
+                    // existed.
+                    telemetry.session_run.record_elapsed(obs::now());
                     telemetry.request_served(true);
                     job.reply.send(Err(e.clone()));
                 }
@@ -208,13 +224,13 @@ fn serve_batch(
 
     // Surface the session layer's own accounting per shard: the sums of
     // every live service's `SessionStats`.
-    let (mut completed, mut failed, mut rounds, mut messages) = (0, 0, 0, 0);
+    let (mut completed, mut failed, mut rounds, mut messages) = (0u64, 0u64, 0u64, 0u64);
     for service in services.values() {
         let stats = service.stats();
-        completed += stats.completed();
-        failed += stats.failed();
-        rounds += stats.comm_rounds();
-        messages += stats.messages();
+        completed = completed.saturating_add(stats.completed());
+        failed = failed.saturating_add(stats.failed());
+        rounds = rounds.saturating_add(stats.comm_rounds());
+        messages = messages.saturating_add(stats.messages());
     }
     telemetry.store_session_totals(completed, failed, rounds, messages);
 }

@@ -1,66 +1,103 @@
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use cc_core::obs::{Counter, Gauge, Histogram, Registry};
 
-/// The live counters one shard worker and its clients share.
+/// The live counters one shard worker and its clients share — now
+/// registry-backed `cc-obs` cells, so [`ShardStats`]/[`FleetStats`] are
+/// *views* over the same storage a stats-wire snapshot reads, not
+/// parallel bookkeeping.
 ///
-/// Monotonic counters are `fetch_add`ed by their single writer (the shard
-/// worker for serve-side counters, any handle for enqueues); `queue_depth`
-/// is the one gauge with two writers — handles increment *after* a
+/// Monotonic counters are added by their single writer (the shard worker
+/// for serve-side counters, any handle for enqueues); `queue_depth` is
+/// the one gauge with two writers — handles increment *after* a
 /// successful send and the worker decrements on receive, so a fast worker
 /// can transiently observe the decrement first. The gauge is signed for
-/// exactly that reason and clamped to zero in snapshots. Everything is
+/// exactly that reason and clamped to zero in snapshots. Every cell is
 /// `Relaxed`: readers take an instantaneous snapshot, not a synchronized
 /// cut, and no counter guards any memory.
+///
+/// `Default` builds a free-standing instance with unregistered cells
+/// (used by unit tests); [`ShardTelemetry::new`] registers every cell
+/// under `fleet.shard{i}.*` names plus the two fleet-wide latency
+/// histograms, which all shards share by name.
 #[derive(Debug, Default)]
 pub(crate) struct ShardTelemetry {
-    requests: AtomicU64,
-    rejected: AtomicU64,
-    completed_runs: AtomicU64,
-    failed_runs: AtomicU64,
-    comm_rounds: AtomicU64,
-    messages: AtomicU64,
-    sessions: AtomicU64,
-    batches: AtomicU64,
-    coalesced_runs: AtomicU64,
-    max_batch: AtomicU64,
-    queue_depth: AtomicI64,
-    peak_queue_depth: AtomicI64,
+    requests: Counter,
+    rejected: Counter,
+    completed_runs: Counter,
+    failed_runs: Counter,
+    comm_rounds: Counter,
+    messages: Counter,
+    sessions: Counter,
+    batches: Counter,
+    coalesced_runs: Counter,
+    max_batch: Counter,
+    queue_depth: Gauge,
+    peak_queue_depth: Gauge,
+    /// Nanoseconds a job sat queued between shard-enqueue and dequeue.
+    /// Shared by every shard (registered once under `fleet.queue_wait_ns`).
+    pub(crate) queue_wait: Histogram,
+    /// Nanoseconds one request spent inside `Request::serve_on` — the
+    /// session-run (compute) stage. Shared under `fleet.session_run_ns`.
+    pub(crate) session_run: Histogram,
 }
 
 impl ShardTelemetry {
+    /// Registers shard `index`'s cells in `registry` and returns the
+    /// handle set the worker and its clients share.
+    pub(crate) fn new(registry: &Registry, index: usize) -> Self {
+        let name = |field: &str| format!("fleet.shard{index}.{field}");
+        ShardTelemetry {
+            requests: registry.counter(&name("requests")),
+            rejected: registry.counter(&name("rejected")),
+            completed_runs: registry.counter(&name("completed_runs")),
+            failed_runs: registry.counter(&name("failed_runs")),
+            comm_rounds: registry.counter(&name("comm_rounds")),
+            messages: registry.counter(&name("messages")),
+            sessions: registry.counter(&name("sessions")),
+            batches: registry.counter(&name("batches")),
+            coalesced_runs: registry.counter(&name("coalesced_runs")),
+            max_batch: registry.counter(&name("max_batch")),
+            queue_depth: registry.gauge(&name("queue_depth")),
+            peak_queue_depth: registry.gauge(&name("peak_queue_depth")),
+            queue_wait: registry.histogram("fleet.queue_wait_ns"),
+            session_run: registry.histogram("fleet.session_run_ns"),
+        }
+    }
+
     /// A request entered the shard queue (caller side, after a successful
-    /// send — rejected sends never touch the gauge).
+    /// send — rejected sends never touch the gauge). Samples the
+    /// high-water mark here, at the deepest the queue can be.
     pub(crate) fn enqueued(&self) {
-        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
-        self.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        let depth = self.queue_depth.add(1);
+        self.peak_queue_depth.record_max(depth);
     }
 
     /// The worker took a request off the queue.
     pub(crate) fn dequeued(&self) {
-        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.queue_depth.add(-1);
     }
 
     /// The worker served one request (`rejected` = it returned an error).
     pub(crate) fn request_served(&self, rejected: bool) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.incr();
         if rejected {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
+            self.rejected.incr();
         }
     }
 
     /// The worker is serving a coalesced batch of `len` requests.
     pub(crate) fn batch_started(&self, len: u64) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.max_batch.fetch_max(len, Ordering::Relaxed);
+        self.batches.incr();
+        self.max_batch.record_max(len);
     }
 
     /// One same-`n` run within a batch.
     pub(crate) fn coalesced_run(&self) {
-        self.coalesced_runs.fetch_add(1, Ordering::Relaxed);
+        self.coalesced_runs.incr();
     }
 
     /// A new `n → CliqueService` entry was created.
     pub(crate) fn session_created(&self) {
-        self.sessions.fetch_add(1, Ordering::Relaxed);
+        self.sessions.incr();
     }
 
     /// Publishes the shard's aggregated
@@ -73,26 +110,26 @@ impl ShardTelemetry {
         comm_rounds: u64,
         messages: u64,
     ) {
-        self.completed_runs.store(completed, Ordering::Relaxed);
-        self.failed_runs.store(failed, Ordering::Relaxed);
-        self.comm_rounds.store(comm_rounds, Ordering::Relaxed);
-        self.messages.store(messages, Ordering::Relaxed);
+        self.completed_runs.store(completed);
+        self.failed_runs.store(failed);
+        self.comm_rounds.store(comm_rounds);
+        self.messages.store(messages);
     }
 
     pub(crate) fn snapshot(&self) -> ShardStats {
         ShardStats {
-            requests: self.requests.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            completed_runs: self.completed_runs.load(Ordering::Relaxed),
-            failed_runs: self.failed_runs.load(Ordering::Relaxed),
-            comm_rounds: self.comm_rounds.load(Ordering::Relaxed),
-            messages: self.messages.load(Ordering::Relaxed),
-            sessions: self.sessions.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            coalesced_runs: self.coalesced_runs.load(Ordering::Relaxed),
-            max_batch: self.max_batch.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed).max(0) as u64,
-            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed).max(0) as u64,
+            requests: self.requests.get(),
+            rejected: self.rejected.get(),
+            completed_runs: self.completed_runs.get(),
+            failed_runs: self.failed_runs.get(),
+            comm_rounds: self.comm_rounds.get(),
+            messages: self.messages.get(),
+            sessions: self.sessions.get(),
+            batches: self.batches.get(),
+            coalesced_runs: self.coalesced_runs.get(),
+            max_batch: self.max_batch.get(),
+            queue_depth: self.queue_depth.get().max(0) as u64,
+            peak_queue_depth: self.peak_queue_depth.get().max(0) as u64,
         }
     }
 }
@@ -147,45 +184,53 @@ pub struct FleetStats {
 }
 
 impl FleetStats {
+    /// Saturating sum of one field over the shards — soak runs must
+    /// degrade to a pinned ceiling, never wrap (or panic in debug).
+    fn total(&self, field: impl Fn(&ShardStats) -> u64) -> u64 {
+        self.shards
+            .iter()
+            .fold(0u64, |acc, s| acc.saturating_add(field(s)))
+    }
+
     /// Requests answered across the fleet.
     pub fn requests(&self) -> u64 {
-        self.shards.iter().map(|s| s.requests).sum()
+        self.total(|s| s.requests)
     }
 
     /// Error answers across the fleet.
     pub fn rejected(&self) -> u64 {
-        self.shards.iter().map(|s| s.rejected).sum()
+        self.total(|s| s.rejected)
     }
 
     /// Completed protocol runs across every shard's sessions.
     pub fn completed_runs(&self) -> u64 {
-        self.shards.iter().map(|s| s.completed_runs).sum()
+        self.total(|s| s.completed_runs)
     }
 
     /// Failed protocol runs across every shard's sessions.
     pub fn failed_runs(&self) -> u64 {
-        self.shards.iter().map(|s| s.failed_runs).sum()
+        self.total(|s| s.failed_runs)
     }
 
     /// Communication rounds across every shard's sessions.
     pub fn comm_rounds(&self) -> u64 {
-        self.shards.iter().map(|s| s.comm_rounds).sum()
+        self.total(|s| s.comm_rounds)
     }
 
     /// Messages delivered across every shard's sessions.
     pub fn messages(&self) -> u64 {
-        self.shards.iter().map(|s| s.messages).sum()
+        self.total(|s| s.messages)
     }
 
     /// Live `CliqueService`s across the fleet (one per distinct clique
     /// size per shard that has seen it).
     pub fn sessions(&self) -> u64 {
-        self.shards.iter().map(|s| s.sessions).sum()
+        self.total(|s| s.sessions)
     }
 
     /// Coalesced batches served across the fleet.
     pub fn batches(&self) -> u64 {
-        self.shards.iter().map(|s| s.batches).sum()
+        self.total(|s| s.batches)
     }
 
     /// Largest batch any shard drained in one gulp.
@@ -266,5 +311,47 @@ mod tests {
         assert_eq!(fleet.peak_queue_depth(), 4);
         assert_eq!(fleet.mean_batch_len(), 2.0);
         assert_eq!(FleetStats::default().mean_batch_len(), 0.0);
+    }
+
+    #[test]
+    fn fleet_sums_saturate_instead_of_overflowing() {
+        // A soak run that pushes any shard counter near u64::MAX must
+        // pin the fleet aggregate at the ceiling, not wrap (release) or
+        // panic (debug).
+        let near_max = ShardStats {
+            requests: u64::MAX - 1,
+            messages: u64::MAX,
+            comm_rounds: u64::MAX / 2 + 1,
+            ..ShardStats::default()
+        };
+        let fleet = FleetStats {
+            shards: vec![near_max, near_max],
+        };
+        assert_eq!(fleet.requests(), u64::MAX);
+        assert_eq!(fleet.messages(), u64::MAX);
+        assert_eq!(fleet.comm_rounds(), u64::MAX);
+        assert_eq!(fleet.mean_batch_len(), 0.0);
+    }
+
+    #[test]
+    fn registered_telemetry_feeds_the_registry() {
+        let registry = Registry::new();
+        let t0 = ShardTelemetry::new(&registry, 0);
+        let t1 = ShardTelemetry::new(&registry, 1);
+        t0.enqueued();
+        t0.enqueued();
+        t0.dequeued();
+        t1.enqueued();
+        t0.request_served(false);
+        t0.queue_wait.record(100);
+        t1.queue_wait.record(900); // same fleet-wide histogram by name
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("fleet.shard0.requests"), Some(1));
+        assert_eq!(snap.gauge("fleet.shard0.queue_depth"), Some(1));
+        assert_eq!(snap.gauge("fleet.shard0.peak_queue_depth"), Some(2));
+        assert_eq!(snap.gauge("fleet.shard1.queue_depth"), Some(1));
+        assert_eq!(snap.histogram("fleet.queue_wait_ns").unwrap().count(), 2);
+        // The struct view reads the same cells the registry snapshots.
+        assert_eq!(t0.snapshot().peak_queue_depth, 2);
     }
 }

@@ -66,10 +66,11 @@ impl SessionStats {
         self.failed
     }
 
-    /// Total runs, successful or not.
+    /// Total runs, successful or not (saturating, like every counter
+    /// here — a soak run pins at `u64::MAX` instead of wrapping).
     #[inline]
     pub fn runs(&self) -> u64 {
-        self.completed + self.failed
+        self.completed.saturating_add(self.failed)
     }
 
     /// Communication rounds summed over all completed runs.
@@ -84,14 +85,20 @@ impl SessionStats {
         self.messages
     }
 
+    // Saturating on purpose: a long soak run must degrade to a pinned
+    // ceiling, never wrap in release or panic in debug.
     fn record<O>(&mut self, result: &Result<RunReport<O>, SimError>) {
         match result {
             Ok(report) => {
-                self.completed += 1;
-                self.comm_rounds += report.metrics.comm_rounds();
-                self.messages += report.metrics.total_messages();
+                self.completed = self.completed.saturating_add(1);
+                self.comm_rounds = self
+                    .comm_rounds
+                    .saturating_add(report.metrics.comm_rounds());
+                self.messages = self
+                    .messages
+                    .saturating_add(report.metrics.total_messages());
             }
-            Err(_) => self.failed += 1,
+            Err(_) => self.failed = self.failed.saturating_add(1),
         }
     }
 }
@@ -118,22 +125,22 @@ impl<O> BatchReport<O> {
         self.runs.len() - self.completed()
     }
 
-    /// Communication rounds summed over the completed runs.
+    /// Communication rounds summed over the completed runs (saturating).
     pub fn total_comm_rounds(&self) -> u64 {
         self.runs
             .iter()
             .filter_map(|r| r.as_ref().ok())
-            .map(|r| r.metrics.comm_rounds())
-            .sum()
+            .fold(0u64, |acc, r| acc.saturating_add(r.metrics.comm_rounds()))
     }
 
-    /// Messages delivered summed over the completed runs.
+    /// Messages delivered summed over the completed runs (saturating).
     pub fn total_messages(&self) -> u64 {
         self.runs
             .iter()
             .filter_map(|r| r.as_ref().ok())
-            .map(|r| r.metrics.total_messages())
-            .sum()
+            .fold(0u64, |acc, r| {
+                acc.saturating_add(r.metrics.total_messages())
+            })
     }
 
     /// Completed runs per wall-clock second (0 when nothing completed or
@@ -594,6 +601,34 @@ mod tests {
         assert_eq!(ok_before, ok_after);
         assert_eq!(session.stats().runs(), 3);
         assert_eq!(session.stats().failed(), 1);
+    }
+
+    /// Soak-run protection: counters already at the ceiling must stay
+    /// pinned there on further records — a plain `+=` would wrap in
+    /// release builds and panic in debug.
+    #[test]
+    fn session_stats_saturate_instead_of_overflowing() {
+        let mut stats = SessionStats {
+            completed: u64::MAX,
+            failed: u64::MAX,
+            comm_rounds: u64::MAX,
+            messages: u64::MAX,
+        };
+        assert_eq!(stats.runs(), u64::MAX);
+        let ok: Result<RunReport<()>, SimError> = Ok(RunReport {
+            outputs: Vec::new(),
+            metrics: crate::metrics::Metrics::new(false, 0),
+        });
+        stats.record(&ok);
+        let err: Result<RunReport<()>, SimError> = Err(SimError::InvalidSpec {
+            reason: "soak".into(),
+        });
+        stats.record(&err);
+        assert_eq!(stats.completed(), u64::MAX);
+        assert_eq!(stats.failed(), u64::MAX);
+        assert_eq!(stats.comm_rounds(), u64::MAX);
+        assert_eq!(stats.messages(), u64::MAX);
+        assert_eq!(stats.runs(), u64::MAX);
     }
 
     #[test]

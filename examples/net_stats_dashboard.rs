@@ -1,0 +1,155 @@
+//! A live stats dashboard over the wire: one connection drives pipelined
+//! mixed traffic at a 4-shard `NetServer` while a *second* connection
+//! polls [`CcClient::stats`] and renders a refreshing table of per-stage
+//! latency percentiles (decode → queue wait → session run → reply
+//! write), queue depths and request totals — the same registry snapshot
+//! `CC_OBS_DUMP=1` prints on shutdown, sampled live instead. Stats
+//! probes are answered inline at the wire layer, so the dashboard reads
+//! never queue behind the workload they observe.
+//!
+//! ```sh
+//! cargo run --release --example net_stats_dashboard
+//! ```
+//!
+//! On a terminal the table redraws in place; under CI (stdout not a
+//! tty) each refresh prints as its own block.
+
+use congested_clique::obs::{HistogramSnapshot, Snapshot};
+use congested_clique::workloads::{EntryPoint, RequestMix};
+use congested_clique::{CcClient, NetServer, NetServerConfig, ServerConfig};
+use std::io::IsTerminal;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+const WAVES: usize = 8;
+const WAVE_LEN: usize = 12;
+
+/// The per-stage histograms of the request lifecycle, in span order.
+const STAGES: [(&str, &str); 4] = [
+    ("decode", "net.decode_ns"),
+    ("queue wait", "fleet.queue_wait_ns"),
+    ("session run", "fleet.session_run_ns"),
+    ("reply write", "net.write_ns"),
+];
+
+fn micros(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+fn stage_row(label: &str, hist: &HistogramSnapshot) -> String {
+    format!(
+        "  {label:<12} {:>7}  {:>9.1}  {:>9.1}  {:>9.1}  {:>9.1}",
+        hist.count(),
+        micros(hist.p50()),
+        micros(hist.p90()),
+        micros(hist.p99()),
+        micros(hist.max),
+    )
+}
+
+/// Renders one dashboard frame; returns the number of lines printed so
+/// a tty refresh can rewind exactly that far.
+fn render(snapshot: &Snapshot) -> usize {
+    let mut lines = Vec::new();
+    lines.push(format!(
+        "frames in {:>5}   replies out {:>5}   connections {}",
+        snapshot.counter("net.frames_in").unwrap_or(0),
+        snapshot.counter("net.frames_out").unwrap_or(0),
+        snapshot.counter("net.connections").unwrap_or(0),
+    ));
+    lines.push(format!(
+        "  {:<12} {:>7}  {:>9}  {:>9}  {:>9}  {:>9}",
+        "stage", "count", "p50 µs", "p90 µs", "p99 µs", "max µs"
+    ));
+    for (label, name) in STAGES {
+        if let Some(hist) = snapshot.histogram(name) {
+            lines.push(stage_row(label, hist));
+        }
+    }
+    let mut queue_line = String::from("queues:");
+    for (name, value) in &snapshot.gauges {
+        if let Some(rest) = name.strip_prefix("fleet.shard") {
+            if let Some((shard, "queue_depth")) = rest.split_once('.') {
+                let peak = snapshot
+                    .gauge(&format!("fleet.shard{shard}.peak_queue_depth"))
+                    .unwrap_or(0);
+                queue_line.push_str(&format!("  shard{shard} {value} (peak {peak})"));
+            }
+        }
+    }
+    lines.push(queue_line);
+    let count = lines.len();
+    println!("{}", lines.join("\n"));
+    count
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A latency dashboard needs the lifecycle stamps live regardless of
+    // what CC_OBS says in the environment.
+    congested_clique::obs::set_timing_enabled(true);
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        NetServerConfig::new(4).with_fleet(
+            ServerConfig::new(4)
+                .with_queue_capacity(32)
+                .with_coalesce_limit(8),
+        ),
+    )?;
+    let addr = server.local_addr();
+    println!("net server up on {addr}: workload on one connection, dashboard on another\n");
+
+    // Mixed multi-shard traffic, census excluded so every reply succeeds.
+    let mix = RequestMix::new(vec![16usize, 25, 36])
+        .with_zipf_theta(0.9)
+        .with_weight(EntryPoint::SmallKeyCensus, 0);
+    let total = (WAVES * WAVE_LEN) as u64;
+
+    let workload_done = AtomicBool::new(false);
+    let tty = std::io::stdout().is_terminal();
+    std::thread::scope(|scope| -> Result<(), Box<dyn std::error::Error>> {
+        let done = &workload_done;
+        scope.spawn(move || {
+            let mut client = CcClient::connect(addr).expect("workload connect");
+            for wave in 0..WAVES {
+                let requests = mix.generate(WAVE_LEN, wave as u64);
+                let replies = client.pipeline(&requests).expect("pipeline");
+                assert!(replies.iter().all(|r| r.is_ok()), "workload must succeed");
+            }
+            done.store(true, Ordering::Release);
+        });
+
+        // The dashboard: an independent connection sampling the registry
+        // until the workload finishes, then one final settled frame.
+        let mut dashboard = CcClient::connect(addr)?;
+        let mut last_height = 0usize;
+        loop {
+            let finished = workload_done.load(Ordering::Acquire);
+            let snapshot = dashboard.stats()?;
+            if tty && last_height > 0 {
+                // Rewind over the previous frame and redraw in place.
+                print!("\x1b[{last_height}A\x1b[J");
+            }
+            last_height = render(&snapshot);
+            if finished {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        Ok(())
+    })?;
+
+    // The settled snapshot is exact: one histogram sample per request at
+    // every stage, and not one more.
+    let mut probe = CcClient::connect(addr)?;
+    let snapshot = probe.stats()?;
+    for (_, name) in STAGES {
+        let hist = snapshot.histogram(name).expect(name);
+        assert_eq!(hist.count(), total, "{name}: one sample per request");
+    }
+    drop(probe);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.fleet.requests(), total);
+    println!("\nall {total} requests served; per-stage histogram counts match exactly");
+    Ok(())
+}

@@ -20,6 +20,9 @@
 //!   persistent clique sessions;
 //! * [`net`] — the TCP wire protocol, [`NetServer`] and [`CcClient`]
 //!   library exposing that fleet over real sockets;
+//! * [`obs`] — the std-only observability kit (counters, gauges,
+//!   mergeable latency histograms, registry snapshots) every serving
+//!   layer records into;
 //! * [`baselines`] — randomized and strawman comparators;
 //! * [`workloads`] — instance generators.
 //!
@@ -52,6 +55,7 @@ pub use cc_baselines as baselines;
 pub use cc_coloring as coloring;
 pub use cc_core as core;
 pub use cc_net as net;
+pub use cc_obs as obs;
 pub use cc_primitives as primitives;
 pub use cc_server as server;
 pub use cc_sim as sim;
